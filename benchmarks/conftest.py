@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Every paper table/figure has one benchmark that regenerates it and
+prints the rows (captured output shows with ``pytest benchmarks/
+--benchmark-only -s``).  Table-regenerating benchmarks run one round by
+default — they are deterministic simulations, so repeated rounds only
+measure the simulator, which the micro benchmarks already cover.
+"""
+
+import pytest
+
+
+def regen(benchmark, fn, *args, **kwargs):
+    """Run a table/figure regeneration once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def regenerate():
+    return regen

@@ -1,0 +1,75 @@
+"""Ablation benches A1-A3 (design decisions DESIGN.md calls out)."""
+
+from repro.experiments.ablations import (
+    run_ablation_balancing,
+    run_ablation_energy,
+    run_ablation_frequency,
+    run_ablation_hierarchy,
+    run_ablation_mcpsc,
+    run_ablation_memory,
+)
+
+
+def test_a1_balancing_strategies(benchmark, regenerate):
+    result = regenerate(benchmark, run_ablation_balancing, dataset="ck34", n_slaves=47)
+    print("\n" + result.to_text())
+    by_name = {r[0]: r[1] for r in result.rows}
+    assert by_name["longest_first"] <= by_name["none"] * 1.02
+
+
+def test_a2_hierarchical_masters(benchmark, regenerate):
+    result = regenerate(
+        benchmark,
+        run_ablation_hierarchy,
+        dataset="ck34",
+        n_workers=47,
+        submaster_counts=(2, 4),
+    )
+    print("\n" + result.to_text())
+    assert len(result.rows) >= 3
+
+
+def test_a3_mcpsc_partitioning(benchmark, regenerate):
+    result = regenerate(benchmark, run_ablation_mcpsc, dataset="ck34-mini", n_slaves=12)
+    print("\n" + result.to_text())
+    by_name = {r[0]: r[2] for r in result.rows}
+    assert by_name["work"] < by_name["even"]
+
+
+def test_a4_frequency_scaling(benchmark, regenerate):
+    result = regenerate(
+        benchmark, run_ablation_frequency, dataset="ck34", n_slaves=47
+    )
+    print("\n" + result.to_text())
+    eff = [row[4] for row in result.rows]
+    assert eff == sorted(eff, reverse=True)  # faster clocks, lower efficiency
+
+
+def test_a5_memory_constrained_master(benchmark, regenerate):
+    result = regenerate(
+        benchmark, run_ablation_memory, dataset="ck34", n_slaves=16
+    )
+    print("\n" + result.to_text())
+    # blocked order must fault less than natural at every limit
+    rows = result.rows[1:]
+    for k in range(0, len(rows), 2):
+        natural, blocked = rows[k], rows[k + 1]
+        assert blocked[3] < natural[3]
+
+
+def test_a6_energy_vs_cores(benchmark, regenerate):
+    result = regenerate(benchmark, run_ablation_energy, dataset="ck34")
+    print("\n" + result.to_text())
+    scc_rows = [r for r in result.rows if isinstance(r[0], int)]
+    energies = [r[2] for r in scc_rows]
+    assert energies == sorted(energies, reverse=True)  # more slaves, less energy
+
+
+def test_a7_tmalign_init_ablation(benchmark, regenerate):
+    from repro.experiments.ablations import run_ablation_inits
+
+    result = regenerate(benchmark, run_ablation_inits, dataset="ck34", n_pairs=8)
+    print("\n" + result.to_text())
+    full = result.rows[0]
+    stripped = next(r for r in result.rows if r[0] == "threading only")
+    assert full[1] >= stripped[1]  # full init set never scores worse

@@ -1,0 +1,58 @@
+"""Simulator throughput benchmarks: DES kernel, NoC, RCCE, full farm."""
+
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets import load_dataset
+from repro.psc.evaluator import JobEvaluator
+from repro.scc.machine import SccMachine
+from repro.scc.rcce import Rcce
+from repro.sim.engine import Environment
+
+
+def test_bench_des_engine_100k_events(benchmark):
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(20_000):
+                yield env.timeout(1.0)
+
+        for _ in range(5):
+            env.process(ticker())
+        env.run()
+        return env.event_count
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events >= 100_000
+
+
+def test_bench_rcce_1000_messages(benchmark):
+    def run():
+        m = SccMachine()
+        rcce = Rcce(m)
+
+        def sender(core):
+            for k in range(1000):
+                yield from rcce.send(core, 47, k, nbytes=4096)
+
+        def receiver(core):
+            for _ in range(1000):
+                yield from rcce.recv(core, 0)
+
+        m.spawn(0, sender)
+        m.spawn(47, receiver)
+        m.run()
+        return m.fabric.messages_sent
+
+    msgs = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert msgs > 2000
+
+
+def test_bench_rckalign_full_run_ck34_47_slaves(benchmark):
+    ds = load_dataset("ck34")
+    ev = JobEvaluator(ds)
+
+    def run():
+        return run_rckalign(RckAlignConfig(dataset=ds, n_slaves=47), evaluator=ev)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.n_jobs == 561

@@ -1,0 +1,11 @@
+"""Table I: SCC configuration summary (trivial, kept for completeness —
+every table in the paper has a regenerating bench target)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_scc_features(benchmark, regenerate):
+    result = regenerate(benchmark, run_table1)
+    print("\n" + result.to_text())
+    text = result.to_text()
+    assert "6x4 mesh" in text and "48 cores" in text

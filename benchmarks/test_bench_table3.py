@@ -1,0 +1,11 @@
+"""Table III: serial all-vs-all baselines on both CPUs and datasets."""
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3_serial_baselines(benchmark, regenerate):
+    result = regenerate(benchmark, run_table3)
+    print("\n" + result.to_text())
+    for row in result.rows:
+        assert abs(row[1] - row[2]) / row[2] < 0.02  # ck34 vs paper
+        assert abs(row[3] - row[4]) / row[4] < 0.02  # rs119 vs paper

@@ -1,0 +1,23 @@
+"""Experiment II: Table IV + Figure 6 — rckAlign speedup vs slave count."""
+
+import os
+
+from repro.experiments.common import SLAVE_GRID_FULL, SLAVE_GRID_QUICK
+from repro.experiments.exp2 import run_exp2
+
+
+def _grid():
+    return SLAVE_GRID_FULL if os.environ.get("REPRO_FULL_GRID") else SLAVE_GRID_QUICK
+
+
+def test_table4_fig6_speedup_both_datasets(benchmark, regenerate):
+    result = regenerate(
+        benchmark, run_exp2, datasets=("ck34", "rs119"), slave_counts=_grid()
+    )
+    print("\n" + result.to_text())
+    last = result.rows[-1]
+    assert last[0] == 47
+    ck_speedup, rs_speedup = last[1], last[4]
+    assert rs_speedup > ck_speedup, "larger dataset must scale better (paper)"
+    assert 30 < ck_speedup < 47
+    assert 38 < rs_speedup < 47

@@ -1,0 +1,12 @@
+"""Table V: cross-system summary (AMD serial, P54C serial, rckAlign)."""
+
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_summary(benchmark, regenerate):
+    result = regenerate(benchmark, run_table5)
+    print("\n" + result.to_text())
+    rs = next(r for r in result.rows if r[0] == "rs119")
+    # paper: ~11x over AMD, ~44x over a single P54C, on RS119
+    assert 9 < rs[4] < 14
+    assert 38 < rs[5] < 50

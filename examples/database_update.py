@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Incremental database update on the simulated SCC.
+
+Structural databases grow constantly (the paper's first motivation), but
+an update does not need full all-vs-all: only the new structures must be
+compared against everything before them.  This example sizes that
+workload on the simulated SCC for increasing batch sizes and compares it
+with the full recomputation.
+
+Run:  python examples/database_update.py
+"""
+
+from repro import RckAlignConfig, load_dataset, run_rckalign
+from repro.core.scenarios import run_database_update_scc
+from repro.psc.evaluator import JobEvaluator
+from repro.scc.power import estimate_rckalign_energy
+
+
+def main() -> None:
+    dataset = load_dataset("ck34")
+    evaluator = JobEvaluator(dataset)
+
+    full = run_rckalign(RckAlignConfig(dataset=dataset, n_slaves=47), evaluator=evaluator)
+    full_energy = estimate_rckalign_energy(full)
+    print(
+        f"full all-vs-all: {full.n_jobs} jobs, {full.total_seconds:.0f} s, "
+        f"{full_energy.total_joules / 1e3:.1f} kJ\n"
+    )
+
+    print(f"{'new chains':>10}  {'jobs':>5}  {'time (s)':>8}  {'energy (kJ)':>11}  {'vs full':>8}")
+    for n_new in (1, 2, 4, 8):
+        rep = run_database_update_scc(dataset, n_new=n_new, n_slaves=47, evaluator=evaluator)
+        energy = estimate_rckalign_energy(rep)
+        print(
+            f"{n_new:>10}  {rep.n_jobs:>5}  {rep.total_seconds:>8.1f}  "
+            f"{energy.total_joules / 1e3:>11.2f}  "
+            f"{rep.total_seconds / full.total_seconds:>7.1%}"
+        )
+
+    print(
+        "\nKeeping the database fresh costs a small fraction of the full "
+        "recomputation — the chip absorbs daily additions in seconds."
+    )
+
+
+if __name__ == "__main__":
+    main()

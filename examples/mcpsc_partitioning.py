@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Multi-criteria PSC with partitioned cores (paper §V extension).
+
+Runs three PSC methods (TM-align, gapless Kabsch-RMSD, SS composition)
+over the same dataset on one simulated SCC, with the slave pool
+partitioned between methods — comparing naive equal partitioning against
+work-proportional partitioning, the open question the paper raises.
+
+Run:  python examples/mcpsc_partitioning.py
+"""
+
+from repro import McPscConfig, run_mcpsc
+
+
+def main() -> None:
+    for strategy in ("even", "work"):
+        report = run_mcpsc(
+            McPscConfig(
+                dataset="ck34-mini",
+                methods=("tmalign", "kabsch_rmsd", "sse_composition"),
+                n_slaves=12,
+                partitioning=strategy,
+            )
+        )
+        print(f"partitioning = {strategy!r}")
+        for method, n_cores in report.partitions.items():
+            n_results = len(report.per_method_results[method])
+            print(f"  {method:<16} {n_cores:>2} cores, {n_results} comparisons")
+        print(f"  makespan: {report.total_seconds:.1f} s\n")
+
+    print(
+        "Work-proportional partitioning finishes much sooner: TM-align "
+        "dominates the total work, so giving every method the same core "
+        "count leaves most of the chip idle while TM-align's partition "
+        "grinds on — the paper's 'algorithm complexities may vary' point."
+    )
+
+
+if __name__ == "__main__":
+    main()

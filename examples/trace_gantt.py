@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Visualize core utilization of a farmed run as a text Gantt chart.
+
+Builds a small master–slaves farm directly from the library pieces
+(machine, RCCE, skeleton runtime), attaches an execution tracer, and
+renders per-core busy bars — master bottleneck and tail imbalance are
+visible at a glance.
+
+Run:  python examples/trace_gantt.py
+"""
+
+from repro import Rcce, SccMachine, load_dataset
+from repro.core.skeletons import FarmConfig, Job, SkeletonRuntime
+from repro.psc.evaluator import JobEvaluator
+from repro.scc.trace import Tracer, render_gantt
+
+N_SLAVES = 6
+
+
+def main() -> None:
+    dataset = load_dataset("ck34-mini")
+    evaluator = JobEvaluator(dataset)
+
+    machine = SccMachine()
+    tracer = Tracer(machine)  # attach BEFORE spawning programs
+    rcce = Rcce(machine)
+    runtime = SkeletonRuntime(
+        machine,
+        rcce,
+        master_id=0,
+        slave_ids=list(range(1, 1 + N_SLAVES)),
+        config=FarmConfig(slave_boot_seconds=0.05),
+    )
+
+    jobs = [
+        Job(job_id=k, payload=(i, j), nbytes=evaluator.job_nbytes(i, j))
+        for k, (i, j) in enumerate(
+            (i, j) for i in range(len(dataset)) for j in range(i + 1, len(dataset))
+        )
+    ]
+
+    def master(core):
+        yield from runtime.farm(core, jobs)
+
+    def slave_handler(core, payload):
+        i, j = payload
+        _, counts = evaluator.evaluate(i, j)
+        yield from core.compute_counts(counts)
+        return {"i": i, "j": j}, evaluator.result_nbytes()
+
+    machine.spawn(0, master)
+    for s in runtime.slave_ids:
+        machine.spawn(s, runtime.slave_loop, slave_handler)
+    machine.run()
+
+    print(
+        f"{len(jobs)} pairwise jobs over {N_SLAVES} slaves, "
+        f"makespan {machine.now:.1f} simulated seconds\n"
+    )
+    print(render_gantt(tracer, core_ids=range(0, N_SLAVES + 1)))
+    print(
+        "\nrck00 is the master (short bursts of job bookkeeping); the "
+        "slaves stay busy until the job queue drains — the idle tails on "
+        "the right are the load imbalance the paper discusses."
+    )
+
+
+if __name__ == "__main__":
+    main()

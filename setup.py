@@ -1,0 +1,11 @@
+"""Shim so `pip install -e . --no-use-pep517` works offline.
+
+The offline environment has setuptools 65 but no `wheel` package, so the
+PEP 660 editable-install path (which builds a wheel) is unavailable.
+Metadata lives in pyproject.toml; this file only enables the legacy
+`setup.py develop` code path.
+"""
+
+from setuptools import setup
+
+setup()

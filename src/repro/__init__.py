@@ -1,0 +1,73 @@
+"""repro: rckAlign reproduction — all-to-all protein structure comparison
+with TM-align on a simulated NoC many-core (Intel SCC) processor.
+
+Reproduces Sharma, Papanikolaou & Manolakos, "Accelerating all-to-all
+protein structures comparison with TM-align using a NoC many-cores
+processor architecture" (IPDPSW 2013).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import tm_align, load_dataset
+    ds = load_dataset("ck34")
+    result = tm_align(ds[0], ds[1])
+    print(result.summary())
+
+    from repro import RckAlignConfig, run_rckalign
+    report = run_rckalign(RckAlignConfig(dataset="ck34", n_slaves=47))
+    print(report.summary())
+"""
+
+from repro.structure import Chain, assign_secondary
+from repro.datasets import Dataset, load_dataset
+from repro.tmalign import TMAlignParams, TMAlignResult, tm_align, tm_score_fixed_alignment
+from repro.psc import JobEvaluator, PSCMethod, get_method, one_vs_all, all_vs_all
+from repro.core import (
+    FarmConfig,
+    McPscConfig,
+    RckAlignConfig,
+    RckAlignReport,
+    SkeletonRuntime,
+    run_mcpsc,
+    run_rckalign,
+)
+from repro.baselines import (
+    DistributedConfig,
+    SerialConfig,
+    run_distributed,
+    run_serial,
+)
+from repro.scc import Rcce, SccConfig, SccMachine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chain",
+    "assign_secondary",
+    "Dataset",
+    "load_dataset",
+    "TMAlignParams",
+    "TMAlignResult",
+    "tm_align",
+    "tm_score_fixed_alignment",
+    "JobEvaluator",
+    "PSCMethod",
+    "get_method",
+    "one_vs_all",
+    "all_vs_all",
+    "FarmConfig",
+    "McPscConfig",
+    "RckAlignConfig",
+    "RckAlignReport",
+    "SkeletonRuntime",
+    "run_mcpsc",
+    "run_rckalign",
+    "DistributedConfig",
+    "SerialConfig",
+    "run_distributed",
+    "run_serial",
+    "Rcce",
+    "SccConfig",
+    "SccMachine",
+    "__version__",
+]

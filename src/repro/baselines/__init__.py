@@ -1,0 +1,26 @@
+"""Baselines the paper compares rckAlign against.
+
+* :mod:`repro.baselines.serial` — the serial TM-align C port on a
+  single CPU (AMD Athlon II X2 @ 2.4 GHz or one SCC P54C @ 800 MHz),
+  Table III.
+* :mod:`repro.baselines.distributed` — distributed TM-align: master on
+  the MCPC host issuing per-pair jobs over pssh, each job paying
+  process-spawn cost and NFS reads through the shared MCPC disk,
+  Experiment I / Table II.
+"""
+
+from repro.baselines.serial import SerialConfig, SerialReport, run_serial
+from repro.baselines.distributed import (
+    DistributedConfig,
+    DistributedReport,
+    run_distributed,
+)
+
+__all__ = [
+    "SerialConfig",
+    "SerialReport",
+    "run_serial",
+    "DistributedConfig",
+    "DistributedReport",
+    "run_distributed",
+]

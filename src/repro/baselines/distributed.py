@@ -1,0 +1,158 @@
+"""Distributed TM-align with the master on the MCPC (Experiment I).
+
+Models the comparison system of the paper's Experiment I: a master
+process on the SCC host PC (MCPC) issues one pssh remote execution per
+pairwise comparison; the launched process on an SCC core must fault in
+the TM-align binary over NFS, read both structure files over NFS, run
+the comparison, and exit.  The paper names the two killers of this
+scheme, and both are modelled:
+
+(a) every NFS read goes through the single MCPC disk controller — a
+    shared FIFO resource with finite bandwidth, so concurrent readers
+    queue; and
+(b) each job pays a fresh process-environment setup on its core.
+
+Cost parameters are calibrated against Table II (see EXPERIMENTS.md):
+the per-job overhead of ~5.7 s over the preloaded serial baseline at one
+slave, shrinking with parallelism but bounded by NFS contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cost.cpu import CpuModel, P54C_800
+from repro.datasets.pairs import all_vs_all_pairs
+from repro.datasets.registry import Dataset, load_dataset
+from repro.psc.base import PSCMethod
+from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+__all__ = ["DistributedConfig", "DistributedReport", "run_distributed"]
+
+
+@dataclass(frozen=True)
+class DistributedConfig:
+    """Parameters of the MCPC-master distributed run."""
+
+    dataset: str | Dataset = "ck34"
+    n_cores: int = 47
+    core_cpu: CpuModel = P54C_800
+    mode: EvalMode | str = EvalMode.MODEL
+    method: Optional[PSCMethod] = None
+    ordered_pairs: bool = False
+    include_self: bool = False
+    # calibrated overhead model (Table II):
+    host_dispatch_seconds: float = 0.04  # pssh issue, serialized on the host
+    spawn_seconds: float = 5.55  # process env setup on the P54C core
+    binary_nbytes: int = 1_500_000  # TM-align binary+libs faulted over NFS
+    nfs_bandwidth_bytes_per_s: float = 30e6
+    nfs_request_latency_s: float = 0.008
+
+    def resolve_dataset(self) -> Dataset:
+        if isinstance(self.dataset, Dataset):
+            return self.dataset
+        return load_dataset(self.dataset)
+
+
+@dataclass
+class DistributedReport:
+    dataset_name: str
+    n_cores: int
+    n_jobs: int
+    total_seconds: float
+    nfs_busy_seconds: float
+    host_busy_seconds: float
+    per_core_jobs: Dict[int, int]
+
+    @property
+    def nfs_utilization(self) -> float:
+        return self.nfs_busy_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"distributed {self.dataset_name} on {self.n_cores} cores: "
+            f"{self.total_seconds:.1f}s (NFS util {self.nfs_utilization:.2f})"
+        )
+
+
+def run_distributed(
+    config: DistributedConfig, evaluator: Optional[JobEvaluator] = None
+) -> DistributedReport:
+    """Simulate the MCPC-master distributed all-vs-all run."""
+    dataset = config.resolve_dataset()
+    if config.n_cores < 1:
+        raise ValueError("need at least one core")
+    evaluator = evaluator or JobEvaluator(dataset, config.method, config.mode)
+    if evaluator.dataset is not dataset:
+        raise ValueError("evaluator is bound to a different dataset")
+    cpu = config.core_cpu
+
+    env = Environment()
+    nfs = Resource(env, capacity=1)
+    free_cores: Store = Store(env)
+    for c in range(config.n_cores):
+        free_cores.put(c)
+
+    jobs = list(
+        all_vs_all_pairs(
+            len(dataset), ordered=config.ordered_pairs, include_self=config.include_self
+        )
+    )
+    stats = {
+        "nfs_busy": 0.0,
+        "host_busy": 0.0,
+        "per_core": {c: 0 for c in range(config.n_cores)},
+    }
+
+    def nfs_read(nbytes: int):
+        req = nfs.request()
+        yield req
+        try:
+            dt = (
+                config.nfs_request_latency_s
+                + nbytes / config.nfs_bandwidth_bytes_per_s
+            )
+            stats["nfs_busy"] += dt
+            yield env.timeout(dt)
+        finally:
+            nfs.release(req)
+
+    def core_job(core_id: int, i: int, j: int):
+        # process spawn: environment setup + binary faulted over NFS
+        yield env.timeout(config.spawn_seconds)
+        yield from nfs_read(config.binary_nbytes)
+        # the process reads its own two structure files over NFS
+        yield from nfs_read(dataset[i].nbytes_pdb)
+        yield from nfs_read(dataset[j].nbytes_pdb)
+        # the comparison itself (same costing as every other runner)
+        _, counts = evaluator.evaluate(i, j)
+        yield env.timeout(cpu.seconds(counts))
+        stats["per_core"][core_id] += 1
+        free_cores.put(core_id)
+
+    def host_master():
+        running = []
+        for i, j in jobs:
+            core_id = yield free_cores.get()
+            stats["host_busy"] += config.host_dispatch_seconds
+            yield env.timeout(config.host_dispatch_seconds)
+            running.append(env.process(core_job(core_id, i, j)))
+        for proc in running:
+            if not proc.processed:
+                yield proc
+
+    done = env.process(host_master())
+    env.run(done)
+
+    return DistributedReport(
+        dataset_name=dataset.name,
+        n_cores=config.n_cores,
+        n_jobs=len(jobs),
+        total_seconds=env.now,
+        nfs_busy_seconds=stats["nfs_busy"],
+        host_busy_seconds=stats["host_busy"],
+        per_core_jobs=stats["per_core"],
+    )

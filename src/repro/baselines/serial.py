@@ -1,0 +1,94 @@
+"""Serial all-vs-all TM-align on one CPU (paper Table III).
+
+Mirrors the paper's measurement conditions: the program loads all
+structures once up front (the paper modified the single-core version to
+do this, "to be equivalent to the way rckAlign works"), then runs every
+pairwise comparison back to back.  Time is priced through the CPU model
+from the evaluator's op counts, so the serial totals and the simulated
+rckAlign slave work are consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cost.cpu import CpuModel, P54C_800
+from repro.datasets.pairs import all_vs_all_pairs
+from repro.datasets.registry import Dataset, load_dataset
+from repro.psc.base import PSCMethod
+from repro.psc.evaluator import EvalMode, JobEvaluator
+
+__all__ = ["SerialConfig", "SerialReport", "run_serial"]
+
+
+@dataclass(frozen=True)
+class SerialConfig:
+    dataset: str | Dataset = "ck34"
+    cpu: CpuModel = P54C_800
+    mode: EvalMode | str = EvalMode.MODEL
+    method: Optional[PSCMethod] = None
+    ordered_pairs: bool = False
+    include_self: bool = False
+    # bulk load bandwidth for the initial dataset read (local disk)
+    load_bandwidth_bytes_per_s: float = 50e6
+
+    def resolve_dataset(self) -> Dataset:
+        if isinstance(self.dataset, Dataset):
+            return self.dataset
+        return load_dataset(self.dataset)
+
+
+@dataclass
+class SerialReport:
+    dataset_name: str
+    cpu_name: str
+    n_jobs: int
+    total_seconds: float
+    load_seconds: float
+    compute_seconds: float
+    per_pair_seconds: List[float]
+    scores: Dict[tuple[int, int], Dict[str, float]]
+
+    def summary(self) -> str:
+        return (
+            f"serial {self.dataset_name} on {self.cpu_name}: "
+            f"{self.n_jobs} pairs in {self.total_seconds:.1f}s"
+        )
+
+
+def run_serial(
+    config: SerialConfig, evaluator: Optional[JobEvaluator] = None
+) -> SerialReport:
+    """Price a serial all-vs-all run on the configured CPU."""
+    dataset = config.resolve_dataset()
+    evaluator = evaluator or JobEvaluator(dataset, config.method, config.mode)
+    if evaluator.dataset is not dataset:
+        raise ValueError("evaluator is bound to a different dataset")
+    cpu = config.cpu
+
+    pdb_bytes = sum(c.nbytes_pdb for c in dataset)
+    load_seconds = (
+        pdb_bytes / config.load_bandwidth_bytes_per_s
+        + cpu.seconds({"io_byte": pdb_bytes})
+    )
+
+    per_pair: List[float] = []
+    scores: Dict[tuple[int, int], Dict[str, float]] = {}
+    for i, j in all_vs_all_pairs(
+        len(dataset), ordered=config.ordered_pairs, include_self=config.include_self
+    ):
+        result, counts = evaluator.evaluate(i, j)
+        per_pair.append(cpu.seconds(counts))
+        scores[(i, j)] = result
+    compute = sum(per_pair)
+    return SerialReport(
+        dataset_name=dataset.name,
+        cpu_name=cpu.name,
+        n_jobs=len(per_pair),
+        total_seconds=load_seconds + compute,
+        load_seconds=load_seconds,
+        compute_seconds=compute,
+        per_pair_seconds=per_pair,
+        scores=scores,
+    )

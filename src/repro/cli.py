@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+Experiment harnesses (regenerate the paper's tables/figures)::
+
+    python -m repro.cli table1
+    python -m repro.cli exp2 --quick --dataset both
+    python -m repro.cli all --quick
+
+Tool commands::
+
+    python -m repro.cli align a.pdb b.pdb       # pairwise TM-align
+    python -m repro.cli search query.pdb --dataset ck34 --top 10
+    python -m repro.cli info --dataset rs119    # dataset summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.experiments import (
+    SLAVE_GRID_FULL,
+    SLAVE_GRID_QUICK,
+    run_ablation_balancing,
+    run_ablation_hierarchy,
+    run_ablation_mcpsc,
+    run_exp1,
+    run_exp2,
+    run_table1,
+    run_table3,
+    run_table5,
+)
+from repro.experiments.ablations import (
+    run_ablation_energy,
+    run_ablation_frequency,
+    run_ablation_inits,
+    run_ablation_memory,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _grid(args) -> tuple[int, ...]:
+    return SLAVE_GRID_QUICK if args.quick else SLAVE_GRID_FULL
+
+
+# ---------------------------------------------------------------- experiments
+def _cmd_table1(args) -> str:
+    return run_table1().to_text()
+
+
+def _cmd_table3(args) -> str:
+    return run_table3(mode=args.mode).to_text()
+
+
+def _cmd_exp1(args) -> str:
+    return run_exp1(
+        dataset=args.dataset, slave_counts=_grid(args), mode=args.mode
+    ).to_text()
+
+
+def _cmd_exp2(args) -> str:
+    datasets = (args.dataset,) if args.dataset != "both" else ("ck34", "rs119")
+    return run_exp2(
+        datasets=datasets, slave_counts=_grid(args), mode=args.mode
+    ).to_text()
+
+
+def _cmd_table5(args) -> str:
+    return run_table5(mode=args.mode).to_text()
+
+
+def _cmd_ablations(args) -> str:
+    parts = [
+        run_ablation_balancing(mode=args.mode).to_text(),
+        run_ablation_hierarchy(mode=args.mode).to_text(),
+        run_ablation_mcpsc(mode=args.mode).to_text(),
+        run_ablation_frequency(mode=args.mode).to_text(),
+        run_ablation_memory(mode=args.mode).to_text(),
+        run_ablation_energy(mode=args.mode).to_text(),
+        run_ablation_inits().to_text(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _cmd_all(args) -> str:
+    out = []
+    for name in ("table1", "table3", "exp1", "exp2", "table5", "ablations"):
+        t0 = time.time()
+        out.append(_EXPERIMENTS[name](args))
+        out.append(f"[{name} regenerated in {time.time() - t0:.1f}s]")
+    return "\n\n".join(out)
+
+
+_EXPERIMENTS: dict[str, Callable] = {
+    "table1": _cmd_table1,
+    "table3": _cmd_table3,
+    "exp1": _cmd_exp1,
+    "exp2": _cmd_exp2,
+    "table5": _cmd_table5,
+    "ablations": _cmd_ablations,
+    "all": _cmd_all,
+}
+
+
+# ----------------------------------------------------------------- tool cmds
+def _load_chain(path: str, dataset_name: str):
+    """A positional that is either a PDB file path or a chain name in
+    the given dataset."""
+    import os
+
+    from repro.datasets import load_dataset
+    from repro.structure import read_pdb_file
+
+    if os.path.exists(path):
+        return read_pdb_file(path)
+    return load_dataset(dataset_name).by_name(path)
+
+
+def _cmd_align(args) -> str:
+    from repro.tmalign import tm_align
+    from repro.tmalign.report import format_tmalign_report
+
+    chain_a = _load_chain(args.chain_a, args.dataset)
+    chain_b = _load_chain(args.chain_b, args.dataset)
+    result = tm_align(chain_a, chain_b)
+    return format_tmalign_report(result, chain_a, chain_b)
+
+
+def _cmd_search(args) -> str:
+    from repro.datasets import load_dataset
+    from repro.psc import get_method, one_vs_all
+
+    dataset = load_dataset(args.dataset)
+    query = _load_chain(args.query, args.dataset)
+    hits = one_vs_all(query, dataset, method=get_method(args.method))
+    lines = [
+        f"query {query.name} ({len(query)} residues) vs {dataset.name} "
+        f"({len(dataset)} chains) using {args.method}:",
+        f"{'rank':>4}  {'chain':<20} {'score':>8}",
+    ]
+    for rank, hit in enumerate(hits[: args.top], start=1):
+        lines.append(f"{rank:>4}  {hit.chain_name:<20} {hit.score:>8.4f}")
+    return "\n".join(lines)
+
+
+def _cmd_matrix(args) -> str:
+    """All-vs-all score matrix for a dataset, written to CSV."""
+    from repro.datasets import load_dataset
+    from repro.psc import get_method
+    from repro.psc.io import score_matrix, write_score_table_csv
+    from repro.psc.search import all_vs_all
+
+    dataset = load_dataset(args.dataset)
+    method = get_method(args.method)
+    table = all_vs_all(dataset, method=method)
+    write_score_table_csv(table, args.output)
+    mat, names = score_matrix(table, method.score_key, dataset=dataset)
+    lines = [
+        f"wrote {len(table)} pair scores to {args.output}",
+        f"matrix {mat.shape[0]}x{mat.shape[1]}, "
+        f"mean off-diagonal {method.score_key} = "
+        f"{(mat.sum() - mat.trace()) / (mat.size - len(names)):.4f}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_info(args) -> str:
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(args.dataset)
+    lines = [
+        f"dataset {ds.name}: {len(ds)} chains, {ds.total_residues} residues "
+        f"(mean length {ds.mean_length:.1f})",
+        f"description: {ds.description}",
+        "families:",
+    ]
+    for fam, members in sorted(ds.families.items()):
+        lengths = [len(c) for c in members]
+        lines.append(
+            f"  {fam:<16} {len(members):>3} chains, "
+            f"lengths {min(lengths)}-{max(lengths)}"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rckalign",
+        description=(
+            "Reproduce 'Accelerating all-to-all protein structures comparison "
+            "with TM-align using a NoC many-cores processor architecture' "
+            "(IPDPSW 2013) — and use its tools directly."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p) -> None:
+        p.add_argument(
+            "--mode",
+            default="model",
+            choices=("model", "measured"),
+            help="pair costing: analytic model (fast) or real aligner runs",
+        )
+        p.add_argument(
+            "--quick",
+            action="store_true",
+            help="sweep only 5 slave counts instead of all 24",
+        )
+        p.add_argument(
+            "--dataset",
+            default="ck34",
+            help="dataset for exp1/exp2 (exp2 also accepts 'both')",
+        )
+
+    for name in sorted(_EXPERIMENTS):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        add_common(p)
+        p.set_defaults(fn=_EXPERIMENTS[name])
+
+    p = sub.add_parser("align", help="pairwise TM-align of two structures")
+    p.add_argument("chain_a", help="PDB file path or chain name in --dataset")
+    p.add_argument("chain_b", help="PDB file path or chain name in --dataset")
+    p.add_argument("--dataset", default="ck34")
+    p.set_defaults(fn=_cmd_align)
+
+    p = sub.add_parser("search", help="one-vs-all ranked search")
+    p.add_argument("query", help="PDB file path or chain name in --dataset")
+    p.add_argument("--dataset", default="ck34")
+    p.add_argument("--method", default="tmalign")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=_cmd_search)
+
+    p = sub.add_parser("matrix", help="all-vs-all score matrix to CSV")
+    p.add_argument("--dataset", default="ck34-mini")
+    p.add_argument("--method", default="sse_composition")
+    p.add_argument("--output", default="scores.csv")
+    p.set_defaults(fn=_cmd_matrix)
+
+    p = sub.add_parser("info", help="dataset summary")
+    p.add_argument("--dataset", default="ck34")
+    p.set_defaults(fn=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    t0 = time.time()
+    print(args.fn(args))
+    print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""The paper's contribution: rckskel algorithmic skeletons + rckAlign.
+
+* :mod:`repro.core.skeletons` — the rckskel library: SEQ, PAR, COLLECT
+  and FARM constructs over RCCE on the simulated SCC (paper §IV).
+* :mod:`repro.core.rckalign` — the master–slaves all-vs-all TM-align
+  application built with rckskel (paper §IV "The rckAlign application").
+* :mod:`repro.core.framework` — the generic "port a PSC method" recipe,
+  including multi-criteria PSC with per-method core partitions (§V).
+* :mod:`repro.core.hierarchy` — hierarchical-masters extension (§V).
+* :mod:`repro.core.balancing` — job-ordering strategies (§V notes that
+  the paper used none; these are our ablations).
+"""
+
+from repro.core.skeletons import (
+    Job,
+    JobResult,
+    FarmConfig,
+    SkeletonRuntime,
+    TERMINATE,
+)
+from repro.core.rckalign import RckAlignConfig, RckAlignReport, run_rckalign
+from repro.core.balancing import order_jobs, BALANCING_STRATEGIES
+from repro.core.framework import McPscConfig, run_mcpsc
+from repro.core.hierarchy import HierarchicalFarmConfig, run_hierarchical_rckalign
+from repro.core.tasks import TaskNode, seq_task, par_task, execute_task
+from repro.core.scenarios import run_one_vs_all_scc, run_database_update_scc
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "FarmConfig",
+    "SkeletonRuntime",
+    "TERMINATE",
+    "RckAlignConfig",
+    "RckAlignReport",
+    "run_rckalign",
+    "order_jobs",
+    "BALANCING_STRATEGIES",
+    "McPscConfig",
+    "run_mcpsc",
+    "HierarchicalFarmConfig",
+    "run_hierarchical_rckalign",
+    "TaskNode",
+    "seq_task",
+    "par_task",
+    "execute_task",
+    "run_one_vs_all_scc",
+    "run_database_update_scc",
+]

@@ -1,0 +1,68 @@
+"""Job-ordering (load-balancing) strategies for the farm.
+
+The paper states "no load balancing was applied to the allocation of
+jobs to slaves in our implementation" and cites [2] that good balancing
+can improve all-vs-all PSC — these strategies are the corresponding
+ablation (experiment A1 in DESIGN.md).
+
+With a greedy farm, ordering is the only lever: longest-processing-time
+first (LPT) is the classic makespan heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.skeletons import Job
+
+__all__ = ["BALANCING_STRATEGIES", "order_jobs"]
+
+
+def _natural(jobs: Sequence[Job], cost) -> list[Job]:
+    return list(jobs)
+
+
+def _longest_first(jobs: Sequence[Job], cost) -> list[Job]:
+    return sorted(jobs, key=lambda j: (-cost(j), j.job_id))
+
+
+def _shortest_first(jobs: Sequence[Job], cost) -> list[Job]:
+    return sorted(jobs, key=lambda j: (cost(j), j.job_id))
+
+
+def _alternating(jobs: Sequence[Job], cost) -> list[Job]:
+    """Interleave long and short jobs (long, short, long, ...)."""
+    by_len = sorted(jobs, key=lambda j: (-cost(j), j.job_id))
+    head, tail = 0, len(by_len) - 1
+    out: list[Job] = []
+    while head <= tail:
+        out.append(by_len[head])
+        head += 1
+        if head <= tail:
+            out.append(by_len[tail])
+            tail -= 1
+    return out
+
+
+BALANCING_STRATEGIES: dict[str, Callable[[Sequence[Job], Callable[[Job], float]], list[Job]]] = {
+    "none": _natural,  # the paper's configuration
+    "longest_first": _longest_first,
+    "shortest_first": _shortest_first,
+    "alternating": _alternating,
+}
+
+
+def order_jobs(
+    jobs: Sequence[Job],
+    strategy: str,
+    cost: Callable[[Job], float],
+) -> list[Job]:
+    """Order ``jobs`` for dispatch.  ``cost`` estimates per-job work."""
+    try:
+        fn = BALANCING_STRATEGIES[strategy]
+    except KeyError:
+        raise KeyError(
+            f"unknown balancing strategy {strategy!r}; "
+            f"known: {sorted(BALANCING_STRATEGIES)}"
+        ) from None
+    return fn(jobs, cost)

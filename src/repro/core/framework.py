@@ -1,0 +1,186 @@
+"""Multi-criteria PSC on the SCC (the paper's §V extension).
+
+"All slave processes are not required to run the same PSC algorithm ...
+different slave processes can be running different algorithms on the
+same data received from the master process."  This module implements
+exactly that: one master, the slave pool partitioned between PSC
+methods, each partition farmed its own all-pairs job queue concurrently
+via :meth:`SkeletonRuntime.farm_grouped`.
+
+Partitioning strategies (the open question the paper raises):
+
+* ``"even"`` — equal core counts per method;
+* ``"work"`` — cores proportional to each method's estimated total work
+  (the sensible default, since "the algorithm complexities may vary").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.rckalign import _dataset_pdb_bytes, build_jobs
+from repro.core.skeletons import FarmConfig, Job, JobResult, SkeletonRuntime
+from repro.datasets.registry import Dataset, load_dataset
+from repro.psc.base import PSCMethod
+from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.psc.methods import get_method
+from repro.scc.config import SccConfig
+from repro.scc.machine import Core, SccMachine
+from repro.scc.rcce import Rcce
+
+__all__ = ["McPscConfig", "McPscReport", "run_mcpsc", "partition_slaves"]
+
+
+@dataclass(frozen=True)
+class McPscConfig:
+    """Configuration of a multi-criteria PSC run."""
+
+    dataset: str | Dataset = "ck34-mini"
+    methods: tuple[str, ...] = ("tmalign", "kabsch_rmsd", "sse_composition")
+    n_slaves: int = 47
+    partitioning: str = "work"  # "even" | "work"
+    mode: EvalMode | str = EvalMode.MODEL
+    scc: SccConfig = field(default_factory=SccConfig)
+    farm: FarmConfig = field(default_factory=FarmConfig)
+    master_core: int = 0
+
+    def resolve_dataset(self) -> Dataset:
+        if isinstance(self.dataset, Dataset):
+            return self.dataset
+        return load_dataset(self.dataset)
+
+
+@dataclass
+class McPscReport:
+    dataset_name: str
+    n_slaves: int
+    partitions: Dict[str, int]
+    per_method_jobs: Dict[str, int]
+    per_method_results: Dict[str, List[JobResult]]
+    total_seconds: float
+    sim_events: int
+
+    def summary(self) -> str:
+        parts = ", ".join(f"{m}:{n}" for m, n in self.partitions.items())
+        return (
+            f"MC-PSC {self.dataset_name}: {sum(self.per_method_jobs.values())} "
+            f"jobs, partitions [{parts}] -> {self.total_seconds:.1f}s"
+        )
+
+
+def partition_slaves(
+    slave_ids: Sequence[int],
+    method_work: Dict[str, float],
+    strategy: str,
+) -> Dict[str, list[int]]:
+    """Split the slave pool between methods.
+
+    ``method_work`` maps method name to estimated total cycles.  Every
+    method gets at least one slave; remainders go to the heaviest
+    methods first.
+    """
+    names = list(method_work)
+    n = len(slave_ids)
+    if n < len(names):
+        raise ValueError(f"{n} slaves cannot host {len(names)} methods")
+    if strategy == "even":
+        shares = {m: n // len(names) for m in names}
+        for k in range(n % len(names)):
+            shares[names[k]] += 1
+    elif strategy == "work":
+        total = sum(method_work.values())
+        if total <= 0:
+            raise ValueError("total estimated work must be positive")
+        raw = {m: method_work[m] / total * n for m in names}
+        shares = {m: max(1, int(raw[m])) for m in names}
+        # distribute leftover slaves by largest fractional remainder
+        leftover = n - sum(shares.values())
+        order = sorted(names, key=lambda m: -(raw[m] - int(raw[m])))
+        k = 0
+        while leftover > 0:
+            shares[order[k % len(order)]] += 1
+            leftover -= 1
+            k += 1
+        while leftover < 0:  # a max(1, ...) bump overshot
+            victim = max(names, key=lambda m: shares[m])
+            if shares[victim] <= 1:
+                raise ValueError("cannot partition: too few slaves")
+            shares[victim] -= 1
+            leftover += 1
+    else:
+        raise ValueError(f"unknown partitioning strategy {strategy!r}")
+    out: Dict[str, list[int]] = {}
+    it = iter(slave_ids)
+    for m in names:
+        out[m] = [next(it) for _ in range(shares[m])]
+    return out
+
+
+def run_mcpsc(config: McPscConfig) -> McPscReport:
+    """Simulate a multi-method all-vs-all run with partitioned slaves."""
+    dataset = config.resolve_dataset()
+    methods: Dict[str, PSCMethod] = {name: get_method(name) for name in config.methods}
+    evaluators = {
+        name: JobEvaluator(dataset, method, config.mode)
+        for name, method in methods.items()
+    }
+
+    machine = SccMachine(config=config.scc)
+    rcce = Rcce(machine)
+    master_id = config.master_core
+    slave_ids = [c for c in range(config.scc.n_cores) if c != master_id][
+        : config.n_slaves
+    ]
+    runtime = SkeletonRuntime(machine, rcce, master_id, slave_ids, config.farm)
+    cpu = config.scc.core_cpu
+
+    jobs_by_method = {
+        name: build_jobs(dataset, evaluators[name]) for name in methods
+    }
+    work_by_method = {
+        name: sum(
+            cpu.cycles(evaluators[name].evaluate(*job.payload)[1]) for job in jobs
+        )
+        for name, jobs in jobs_by_method.items()
+    }
+    partitions = partition_slaves(slave_ids, work_by_method, config.partitioning)
+
+    # tag each job with its method so shared slave code can dispatch on it
+    groups: Dict[str, tuple[list[Job], list[int]]] = {}
+    for name, jobs in jobs_by_method.items():
+        tagged = [
+            Job(j.job_id, (name, j.payload), j.nbytes) for j in jobs
+        ]
+        groups[name] = (tagged, partitions[name])
+
+    box: dict[str, Any] = {}
+
+    def master_program(core: Core):
+        yield from core.dram_read(_dataset_pdb_bytes(dataset))
+        yield from core.compute_counts({"io_byte": _dataset_pdb_bytes(dataset)})
+        box["results"] = yield from runtime.farm_grouped(core, groups)
+
+    def slave_handler(core: Core, payload):
+        method_name, (i, j) = payload
+        scores, counts = evaluators[method_name].evaluate(i, j)
+        yield from core.compute_counts(counts)
+        return (
+            {"method": method_name, "i": i, "j": j, **scores},
+            evaluators[method_name].result_nbytes(),
+        )
+
+    machine.spawn(master_id, master_program, name="mcpsc-master")
+    for s in slave_ids:
+        machine.spawn(s, runtime.slave_loop, slave_handler, name=f"slave{s}")
+    machine.run()
+
+    return McPscReport(
+        dataset_name=dataset.name,
+        n_slaves=config.n_slaves,
+        partitions={m: len(p) for m, p in partitions.items()},
+        per_method_jobs={m: len(j) for m, j in jobs_by_method.items()},
+        per_method_results=box.get("results", {}),
+        total_seconds=machine.now,
+        sim_events=machine.env.event_count,
+    )

@@ -1,0 +1,153 @@
+"""Hierarchical masters (the paper's §V scalability suggestion).
+
+"This can be tackled by implementing a hierarchy of master processes
+such that a master does not become a bottleneck for the slaves it
+controls."  Here a top-level master splits the job list between
+sub-masters, each of which farms its share over a private slave
+partition; every sub-master serves few enough slaves that its per-job
+service cost stops being the bottleneck.  Ablation A2 compares this
+against the single-master rckAlign at high slave counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.rckalign import RckAlignConfig, RckAlignReport, _dataset_pdb_bytes, build_jobs
+from repro.core.skeletons import FarmConfig, Job, JobResult, SkeletonRuntime
+from repro.psc.evaluator import JobEvaluator
+from repro.scc.machine import Core, SccMachine
+from repro.scc.rcce import Rcce
+
+__all__ = ["HierarchicalFarmConfig", "run_hierarchical_rckalign"]
+
+
+@dataclass(frozen=True)
+class HierarchicalFarmConfig:
+    """rckAlign with a two-level master hierarchy.
+
+    ``n_submasters`` cores act as sub-masters; the remaining slaves are
+    split between them as evenly as possible.  The top master only
+    ships job-index batches (small messages), so it never bottlenecks.
+    """
+
+    base: RckAlignConfig = field(default_factory=RckAlignConfig)
+    n_submasters: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_submasters < 1:
+            raise ValueError("need at least one sub-master")
+
+
+def _split_round_robin(jobs: List[Job], k: int) -> List[List[Job]]:
+    """Deal jobs round-robin so every share has a similar work mix."""
+    shares: List[List[Job]] = [[] for _ in range(k)]
+    for idx, job in enumerate(jobs):
+        shares[idx % k].append(job)
+    return shares
+
+
+def run_hierarchical_rckalign(
+    config: HierarchicalFarmConfig,
+    evaluator: Optional[JobEvaluator] = None,
+) -> RckAlignReport:
+    """Simulate the hierarchical variant; returns the same report type
+    as :func:`repro.core.rckalign.run_rckalign` for comparison."""
+    base = config.base
+    dataset = base.resolve_dataset()
+    evaluator = evaluator or JobEvaluator(dataset, base.method, base.mode)
+    total_workers = base.n_slaves
+    n_sub = config.n_submasters
+    if total_workers < 2 * n_sub:
+        raise ValueError(
+            f"{total_workers} worker cores cannot host {n_sub} sub-masters "
+            "with at least one slave each"
+        )
+
+    machine = SccMachine(config=base.scc)
+    rcce = Rcce(machine)
+    master_id = base.master_core
+    worker_ids = [c for c in range(base.scc.n_cores) if c != master_id][:total_workers]
+    submaster_ids = worker_ids[:n_sub]
+    slave_pool = worker_ids[n_sub:]
+    # contiguous split keeps each group's slaves near their sub-master
+    groups: Dict[int, list[int]] = {}
+    per = len(slave_pool) // n_sub
+    extra = len(slave_pool) % n_sub
+    pos = 0
+    for k, sm in enumerate(submaster_ids):
+        take = per + (1 if k < extra else 0)
+        groups[sm] = slave_pool[pos : pos + take]
+        pos += take
+
+    # top-level runtime: sub-masters act as "slaves" of the top master
+    top_runtime = SkeletonRuntime(machine, rcce, master_id, submaster_ids, base.farm)
+    group_runtimes = {
+        sm: SkeletonRuntime(machine, rcce, sm, groups[sm], base.farm)
+        for sm in submaster_ids
+    }
+
+    jobs = build_jobs(dataset, evaluator, base.ordered_pairs, base.include_self)
+    shares = _split_round_robin(jobs, n_sub)
+
+    box: dict[str, Any] = {}
+
+    def top_master(core: Core):
+        t0 = core.env.now
+        yield from core.dram_read(_dataset_pdb_bytes(dataset))
+        yield from core.compute_counts({"io_byte": _dataset_pdb_bytes(dataset)})
+        box["load_seconds"] = core.env.now - t0
+        batch_jobs = [
+            Job(job_id=k, payload=("batch", k), nbytes=16 * len(shares[k]))
+            for k in range(n_sub)
+        ]
+        results = yield from top_runtime.farm(core, batch_jobs)
+        box["results"] = [r for res in results for r in res.payload["results"]]
+
+    def submaster_handler(core: Core, payload):
+        _, share_idx = payload
+        share = shares[share_idx]
+        # the sub-master loads the structures its share needs itself
+        # (parallel iMC reads), then farms its slaves
+        yield from core.dram_read(_dataset_pdb_bytes(dataset))
+        yield from core.compute_counts({"io_byte": _dataset_pdb_bytes(dataset)})
+        results = yield from group_runtimes[core.id].farm(core, share)
+        return {"results": results}, 256
+
+    def slave_handler(core: Core, payload):
+        i, j = payload
+        scores, counts = evaluator.evaluate(i, j)
+        yield from core.compute_counts(counts)
+        return {"i": i, "j": j, **scores}, evaluator.result_nbytes()
+
+    machine.spawn(master_id, top_master, name="top-master")
+    for sm in submaster_ids:
+        machine.spawn(sm, top_runtime.slave_loop, submaster_handler,
+                      name=f"submaster{sm}")
+    for sm in submaster_ids:
+        for s in groups[sm]:
+            machine.spawn(s, group_runtimes[sm].slave_loop, slave_handler,
+                          name=f"slave{s}")
+    machine.run()
+
+    results = box.get("results", [])
+    return RckAlignReport(
+        dataset_name=dataset.name,
+        n_chains=len(dataset),
+        n_slaves=total_workers,
+        n_jobs=len(jobs),
+        total_seconds=machine.now,
+        load_seconds=box.get("load_seconds", 0.0),
+        results=results,
+        slave_busy_seconds={
+            s: machine.core(s).stats.compute_s for s in slave_pool
+        },
+        slave_jobs={s: machine.core(s).stats.jobs_done for s in slave_pool},
+        master_compute_seconds=machine.core(master_id).stats.compute_s,
+        poll_visits=top_runtime.poll_visits
+        + sum(rt.poll_visits for rt in group_runtimes.values()),
+        noc_messages=machine.fabric.messages_sent,
+        noc_bytes=machine.fabric.bytes_sent,
+        sim_events=machine.env.event_count,
+    )

@@ -1,0 +1,256 @@
+"""rckAlign: master–slaves all-vs-all TM-align on the simulated SCC.
+
+The structure follows the paper's §IV: a single master core loads all
+structures (off-chip memory through the nearest iMC), builds the
+all-pairs job list, and farms the jobs over the slave cores with the
+rckskel FARM construct; slaves receive structure data through RCCE,
+run the comparison, and post results which the master collects by
+round-robin polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.balancing import order_jobs
+from repro.core.skeletons import FarmConfig, Job, JobResult, SkeletonRuntime
+from repro.cost.cpu import CpuModel
+from collections import OrderedDict
+
+from repro.datasets.pairs import all_vs_all_pairs, blocked_pairs
+from repro.datasets.registry import Dataset, load_dataset
+from repro.psc.base import PSCMethod
+from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.scc.config import SccConfig
+from repro.scc.machine import Core, SccMachine
+from repro.scc.rcce import Rcce
+
+__all__ = ["RckAlignConfig", "RckAlignReport", "run_rckalign", "build_jobs"]
+
+
+@dataclass(frozen=True)
+class RckAlignConfig:
+    """Configuration of one rckAlign run.
+
+    ``n_slaves`` follows the paper's convention: the master runs on the
+    first core and slaves on the next ``n_slaves`` cores (max 47 on the
+    default 48-core SCC).
+    """
+
+    dataset: str | Dataset = "ck34"
+    n_slaves: int = 47
+    mode: EvalMode | str = EvalMode.MODEL
+    method: Optional[PSCMethod] = None
+    scc: SccConfig = field(default_factory=SccConfig)
+    farm: FarmConfig = field(default_factory=FarmConfig)
+    balancing: str = "none"  # the paper applied no load balancing
+    ordered_pairs: bool = False
+    include_self: bool = False
+    master_core: int = 0
+    # Memory-constrained streaming (paper future work: datasets "too
+    # large to be loaded into memory at once").  None = preload all
+    # structures, as the paper's rckAlign does; an integer bounds the
+    # number of structures resident in the master's memory — others are
+    # faulted in from off-chip memory on demand (LRU eviction).
+    memory_limit_chains: Optional[int] = None
+    # 'natural' row-major pairs, or 'blocked' cache-friendly tiles
+    # (only meaningful with a memory limit).
+    pair_order: str = "natural"
+    # When set, farm exactly these (i, j) pairs instead of all-vs-all —
+    # used by the one-vs-all and database-update scenarios.
+    explicit_pairs: Optional[tuple[tuple[int, int], ...]] = None
+
+    def resolve_dataset(self) -> Dataset:
+        if isinstance(self.dataset, Dataset):
+            return self.dataset
+        return load_dataset(self.dataset)
+
+
+@dataclass
+class RckAlignReport:
+    """Timing and accounting of a completed simulated run."""
+
+    dataset_name: str
+    n_chains: int
+    n_slaves: int
+    n_jobs: int
+    total_seconds: float
+    load_seconds: float
+    results: List[JobResult]
+    slave_busy_seconds: Dict[int, float]
+    slave_jobs: Dict[int, int]
+    master_compute_seconds: float
+    poll_visits: int
+    noc_messages: int
+    noc_bytes: int
+    sim_events: int
+    structure_faults: int = 0  # streaming mode: on-demand loads
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Busy fraction of the slave pool over the makespan."""
+        if self.total_seconds <= 0:
+            return 0.0
+        busy = sum(self.slave_busy_seconds.values())
+        return busy / (self.n_slaves * self.total_seconds)
+
+    def summary(self) -> str:
+        return (
+            f"rckAlign {self.dataset_name}: {self.n_jobs} jobs on "
+            f"{self.n_slaves} slaves -> {self.total_seconds:.1f}s "
+            f"(efficiency {self.parallel_efficiency:.2f})"
+        )
+
+
+def build_jobs(
+    dataset: Dataset,
+    evaluator: JobEvaluator,
+    ordered: bool = False,
+    include_self: bool = False,
+    pair_order: str = "natural",
+    block_size: int = 0,
+) -> list[Job]:
+    """The master's job list: one job per structure pair."""
+    if pair_order == "natural":
+        pairs = all_vs_all_pairs(len(dataset), ordered=ordered, include_self=include_self)
+    elif pair_order == "blocked":
+        if ordered or include_self:
+            raise ValueError("blocked order supports unordered i<j pairs only")
+        pairs = blocked_pairs(len(dataset), max(1, block_size))
+    else:
+        raise ValueError(f"unknown pair_order {pair_order!r}")
+    jobs = []
+    for k, (i, j) in enumerate(pairs):
+        jobs.append(Job(job_id=k, payload=(i, j), nbytes=evaluator.job_nbytes(i, j)))
+    return jobs
+
+
+def _dataset_pdb_bytes(dataset: Dataset) -> int:
+    return sum(c.nbytes_pdb for c in dataset)
+
+
+def run_rckalign(
+    config: RckAlignConfig,
+    evaluator: Optional[JobEvaluator] = None,
+) -> RckAlignReport:
+    """Simulate one full rckAlign execution and return its report.
+
+    Pass a shared ``evaluator`` to reuse the measured-mode cache across
+    the core-count sweep of Experiment II.
+    """
+    dataset = config.resolve_dataset()
+    if config.n_slaves < 1:
+        raise ValueError("need at least one slave")
+    if config.n_slaves + 1 > config.scc.n_cores:
+        raise ValueError(
+            f"{config.n_slaves} slaves + 1 master exceed the "
+            f"{config.scc.n_cores}-core SCC"
+        )
+    evaluator = evaluator or JobEvaluator(dataset, config.method, config.mode)
+    if evaluator.dataset is not dataset:
+        raise ValueError("evaluator is bound to a different dataset")
+
+    machine = SccMachine(config=config.scc)
+    rcce = Rcce(machine)
+    master_id = config.master_core
+    slave_ids = [c for c in range(config.scc.n_cores) if c != master_id][
+        : config.n_slaves
+    ]
+    runtime = SkeletonRuntime(machine, rcce, master_id, slave_ids, config.farm)
+
+    cpu: CpuModel = config.scc.core_cpu
+    limit = config.memory_limit_chains
+    if limit is not None and limit < 2:
+        raise ValueError("memory_limit_chains must be >= 2 (a job needs two)")
+    if config.explicit_pairs is not None:
+        jobs = [
+            Job(job_id=k, payload=(i, j), nbytes=evaluator.job_nbytes(i, j))
+            for k, (i, j) in enumerate(config.explicit_pairs)
+        ]
+    else:
+        jobs = build_jobs(
+            dataset,
+            evaluator,
+            config.ordered_pairs,
+            config.include_self,
+            pair_order=config.pair_order,
+            block_size=(limit // 2) if limit else 0,
+        )
+
+    def job_cost(job: Job) -> float:
+        i, j = job.payload
+        _, counts = evaluator.evaluate(i, j)
+        return cpu.cycles(counts)
+
+    if config.balancing != "none":
+        jobs = order_jobs(jobs, config.balancing, job_cost)
+
+    report_box: dict[str, Any] = {"structure_faults": 0}
+
+    # LRU residency set for the memory-constrained variant
+    resident: OrderedDict[int, None] = OrderedDict()
+
+    def fault_in(core: Core, idx: int):
+        """Coroutine: ensure structure ``idx`` is in master memory."""
+        if idx in resident:
+            resident.move_to_end(idx)
+            return
+        nbytes = dataset[idx].nbytes_pdb
+        yield from core.dram_read(nbytes)
+        yield from core.compute_counts({"io_byte": nbytes})
+        resident[idx] = None
+        report_box["structure_faults"] += 1
+        while len(resident) > limit:
+            resident.popitem(last=False)
+
+    def streaming_loader(core: Core, job: Job):
+        i, j = job.payload
+        yield from fault_in(core, i)
+        yield from fault_in(core, j)
+
+    def master_program(core: Core):
+        t0 = core.env.now
+        if limit is None:
+            # 1. load every structure once up front (the design decision
+            #    the paper credits for beating the distributed version)
+            yield from core.dram_read(_dataset_pdb_bytes(dataset))
+            yield from core.compute_counts({"io_byte": _dataset_pdb_bytes(dataset)})
+        report_box["load_seconds"] = core.env.now - t0
+        # 2. farm the all-pairs job list over the slaves
+        results = yield from runtime.farm(
+            core, jobs, on_dispatch=streaming_loader if limit is not None else None
+        )
+        report_box["results"] = results
+
+    def slave_handler(core: Core, payload):
+        i, j = payload
+        scores, counts = evaluator.evaluate(i, j)
+        yield from core.compute_counts(counts)
+        return {"i": i, "j": j, **scores}, evaluator.result_nbytes()
+
+    machine.spawn(master_id, master_program, name="master")
+    for s in slave_ids:
+        machine.spawn(s, runtime.slave_loop, slave_handler, name=f"slave{s}")
+    machine.run()
+
+    master = machine.core(master_id)
+    return RckAlignReport(
+        dataset_name=dataset.name,
+        n_chains=len(dataset),
+        n_slaves=config.n_slaves,
+        n_jobs=len(jobs),
+        total_seconds=machine.now,
+        load_seconds=report_box.get("load_seconds", 0.0),
+        results=report_box.get("results", []),
+        slave_busy_seconds={
+            s: machine.core(s).stats.compute_s for s in slave_ids
+        },
+        slave_jobs={s: machine.core(s).stats.jobs_done for s in slave_ids},
+        master_compute_seconds=master.stats.compute_s,
+        poll_visits=runtime.poll_visits,
+        noc_messages=machine.fabric.messages_sent,
+        noc_bytes=machine.fabric.bytes_sent,
+        sim_events=machine.env.event_count,
+        structure_faults=report_box.get("structure_faults", 0),
+    )

@@ -1,0 +1,91 @@
+"""Task scenarios beyond all-vs-all: one-vs-all and database update.
+
+The paper's introduction motivates two workloads besides full all-vs-all:
+
+* **one-to-many** — "a newly discovered protein structure is typically
+  compared with all known structures";
+* **many-to-many update** — a *set* of new structures against the whole
+  database (the incremental form of all-vs-all as databases grow).
+
+Both map onto the same rckAlign farm with a different pair list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.core.rckalign import RckAlignConfig, RckAlignReport, run_rckalign
+from repro.datasets.registry import Dataset
+from repro.psc.evaluator import JobEvaluator
+
+__all__ = [
+    "run_one_vs_all_scc",
+    "run_database_update_scc",
+    "one_vs_all_pair_list",
+    "update_pair_list",
+]
+
+
+def one_vs_all_pair_list(dataset: Dataset, query: str | int) -> tuple[tuple[int, int], ...]:
+    """Pairs comparing one query chain against every other chain."""
+    if isinstance(query, str):
+        names = [c.name for c in dataset]
+        try:
+            q = names.index(query)
+        except ValueError:
+            raise KeyError(f"no chain named {query!r} in {dataset.name}") from None
+    else:
+        q = int(query)
+        if not 0 <= q < len(dataset):
+            raise IndexError(f"query index {q} out of range")
+    return tuple((q, j) if q < j else (j, q) for j in range(len(dataset)) if j != q)
+
+
+def update_pair_list(dataset: Dataset, n_new: int) -> tuple[tuple[int, int], ...]:
+    """Pairs a database update must compute: the last ``n_new`` chains
+    are "new" and compare against everything before them plus each
+    other (i < j with j among the new chains)."""
+    n = len(dataset)
+    if not 1 <= n_new < n:
+        raise ValueError(f"n_new must be in [1, {n - 1}]")
+    first_new = n - n_new
+    return tuple(
+        (i, j) for j in range(first_new, n) for i in range(j)
+    )
+
+
+def run_one_vs_all_scc(
+    dataset: Dataset,
+    query: str | int,
+    n_slaves: int = 47,
+    base: Optional[RckAlignConfig] = None,
+    evaluator: Optional[JobEvaluator] = None,
+) -> RckAlignReport:
+    """One-vs-all search farmed over the simulated SCC."""
+    base = base or RckAlignConfig(dataset=dataset, n_slaves=n_slaves)
+    config = replace(
+        base,
+        dataset=dataset,
+        n_slaves=n_slaves,
+        explicit_pairs=one_vs_all_pair_list(dataset, query),
+    )
+    return run_rckalign(config, evaluator=evaluator)
+
+
+def run_database_update_scc(
+    dataset: Dataset,
+    n_new: int,
+    n_slaves: int = 47,
+    base: Optional[RckAlignConfig] = None,
+    evaluator: Optional[JobEvaluator] = None,
+) -> RckAlignReport:
+    """Incremental many-to-many update farmed over the simulated SCC."""
+    base = base or RckAlignConfig(dataset=dataset, n_slaves=n_slaves)
+    config = replace(
+        base,
+        dataset=dataset,
+        n_slaves=n_slaves,
+        explicit_pairs=update_pair_list(dataset, n_new),
+    )
+    return run_rckalign(config, evaluator=evaluator)

@@ -1,0 +1,461 @@
+"""rckskel: algorithmic skeletons for the simulated SCC (paper §IV).
+
+The library mirrors the C API described in the paper:
+
+* **SEQ** — run jobs on a set of processing elements strictly in order;
+* **PAR** — distribute jobs round-robin without waiting for completion;
+* **COLLECT** — round-robin poll processing elements until all results
+  of the outstanding jobs are in;
+* **FARM** — the master–slaves construct: wait for all slaves to be
+  ready (``check_ready``), keep every slave busy, poll round-robin, and
+  terminate the slaves when the job list is exhausted.
+
+Communication model: jobs travel master→slave through the full RCCE
+rendezvous (MPB-chunked); a finished slave deposits its result in its
+own MPB and raises a flag, which the master discovers by *round-robin
+polling* — each poll visit is a remote flag read priced at the mesh hop
+latency.  To keep the event count tractable the simulator charges the
+walked poll visits as one lump timeout and sleeps when no flag is up
+(time-equivalent to busy polling; DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Mapping, Optional, Sequence
+
+from repro.scc.machine import Core, SccMachine
+from repro.scc.rcce import Rcce
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource, Store
+
+__all__ = ["Job", "JobResult", "FarmConfig", "SkeletonRuntime", "TERMINATE"]
+
+
+class _Terminate:
+    """Sentinel job payload telling a slave to exit its loop."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "TERMINATE"
+
+
+TERMINATE = _Terminate()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: an opaque payload plus its modelled wire size."""
+
+    job_id: int
+    payload: Any
+    nbytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("job nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What a slave posts back to the master."""
+
+    job_id: int
+    payload: Any
+    slave_id: int
+    nbytes: int
+    finished_at: float
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Master-side bookkeeping costs (cycles on the master's core).
+
+    ``master_job_cycles`` covers building one job and staging it for
+    send; ``master_result_cycles`` covers unpacking and storing one
+    result.  They are the knobs that make the single master a soft
+    bottleneck at high slave counts, calibrated against the paper's
+    Table IV (see EXPERIMENTS.md); the per-visit poll cost models the
+    remote MPB flag read.
+    """
+
+    master_job_cycles: float = 24.0e6
+    master_result_cycles: float = 24.0e6
+    poll_flag_bytes: int = 32
+    # Launching the SPMD binary on a core faults it in over the MCPC's
+    # NFS export, which serializes on the loader/disk; the master's FARM
+    # cannot start until every slave reports ready (check_ready), so at
+    # high core counts this shows up as a ~0.2 s-per-slave startup ramp
+    # (visible in the paper's Table IV as the extra constant at 47
+    # slaves).
+    slave_boot_seconds: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.master_job_cycles < 0 or self.master_result_cycles < 0:
+            raise ValueError("master cycle costs must be non-negative")
+        if self.slave_boot_seconds < 0:
+            raise ValueError("slave_boot_seconds must be non-negative")
+
+
+# A slave handler is a generator coroutine: handler(core, payload)
+# -> returns (result_payload, result_nbytes).
+SlaveHandler = Callable[[Core, Any], Generator]
+
+
+class SkeletonRuntime:
+    """Shared state binding a master, its slaves, and the constructs."""
+
+    def __init__(
+        self,
+        machine: SccMachine,
+        rcce: Rcce,
+        master_id: int,
+        slave_ids: Sequence[int],
+        config: Optional[FarmConfig] = None,
+    ) -> None:
+        slave_ids = list(slave_ids)
+        if master_id in slave_ids:
+            raise ValueError("master cannot also be a slave")
+        if len(set(slave_ids)) != len(slave_ids):
+            raise ValueError("duplicate slave ids")
+        if not slave_ids:
+            raise ValueError("need at least one slave")
+        self.machine = machine
+        self.rcce = rcce
+        self.master_id = master_id
+        self.slave_ids = slave_ids
+        self.config = config or FarmConfig()
+        env = machine.env
+        self._outbox: dict[int, Store] = {s: Store(env) for s in slave_ids}
+        self._ready: Store = Store(env)
+        self._signal: Optional[Event] = None
+        self._ready_count = 0
+        self._boot_loader = Resource(env, capacity=1)
+        # instrumentation
+        self.poll_visits = 0
+        self.results_collected = 0
+
+    # -- slave side --------------------------------------------------------
+    def slave_loop(self, core: Core, handler: SlaveHandler) -> Generator:
+        """Program run by every slave core (paper Fig. 3 template).
+
+        Boots (binary faulted in through the serialized loader),
+        announces readiness, then blocks receiving jobs from the master,
+        executes ``handler`` on each, posts the result, and exits on
+        TERMINATE.
+        """
+        if self.config.slave_boot_seconds > 0:
+            req = self._boot_loader.request()
+            yield req
+            try:
+                yield self._env.timeout(self.config.slave_boot_seconds)
+            finally:
+                self._boot_loader.release(req)
+        yield from self._post_ready(core)
+        while True:
+            msg = yield from self.rcce.recv(core, self.master_id)
+            if isinstance(msg.payload, _Terminate):
+                return
+            job: Job = msg.payload
+            out = yield from handler(core, job.payload)
+            result_payload, result_nbytes = out
+            core.stats.jobs_done += 1
+            yield from self._post_result(
+                core,
+                JobResult(
+                    job.job_id,
+                    result_payload,
+                    core.id,
+                    int(result_nbytes),
+                    core.env.now,
+                ),
+            )
+
+    def _post_ready(self, core: Core) -> Generator:
+        yield self.machine.env.timeout(self.machine.config.noc.local_latency_s)
+        self._ready.put(core.id)
+        self._fire_signal()
+
+    def _post_result(self, core: Core, result: JobResult) -> Generator:
+        # local copy of the result into the slave's own MPB + flag raise
+        yield self.machine.env.timeout(self.machine.config.noc.local_latency_s)
+        self._outbox[core.id].put(result)
+        self._fire_signal()
+
+    def _fire_signal(self) -> None:
+        if self._signal is not None and not self._signal.triggered:
+            self._signal.succeed()
+
+    # -- master-side cost helpers ------------------------------------------
+    @property
+    def _env(self) -> Environment:
+        return self.machine.env
+
+    def _poll_visit_seconds(self, master: Core, slave: int) -> float:
+        """Cost of one remote MPB flag read by the master."""
+        cfg = self.machine.config
+        hops = self.machine.fabric.mesh.hop_count(
+            self.machine.fabric.mesh.coord(master.tile),
+            self.machine.fabric.mesh.coord(cfg.tile_of_core(slave)),
+        )
+        noc = cfg.noc
+        return (
+            hops * noc.hop_latency_s
+            + self.config.poll_flag_bytes / noc.link_bandwidth_bytes_per_s
+            + noc.local_latency_s
+        )
+
+    def _pull_result(self, master: Core, slave: int, result: JobResult) -> Generator:
+        """Move a posted result from the slave's MPB to the master."""
+        yield from self.machine.fabric.transfer(
+            self.machine.config.tile_of_core(slave),
+            master.tile,
+            result.nbytes + self.config.poll_flag_bytes,
+        )
+        yield from master.compute_cycles(self.config.master_result_cycles)
+        self.results_collected += 1
+
+    def _dispatch(self, master: Core, slave: int, job: Job) -> Generator:
+        yield from master.compute_cycles(self.config.master_job_cycles)
+        yield from self.rcce.send(master, slave, job, nbytes=job.nbytes)
+
+    def _scan_for_result(
+        self, master: Core, order: Sequence[int], start: int
+    ) -> Generator:
+        """Round-robin scan from position ``start``; returns
+        ``(slave, result, next_start)`` or None if no flag is up.
+
+        Visits are charged as one lump timeout (see module docstring).
+        """
+        n = len(order)
+        visited = 0
+        for k in range(n):
+            slave = order[(start + k) % n]
+            visited += 1
+            ok, item = self._outbox[slave].try_get()
+            if ok:
+                self.poll_visits += visited
+                yield self._env.timeout(
+                    sum(
+                        self._poll_visit_seconds(master, order[(start + m) % n])
+                        for m in range(visited)
+                    )
+                )
+                return slave, item, (start + k + 1) % n
+        self.poll_visits += n
+        yield self._env.timeout(
+            sum(self._poll_visit_seconds(master, s) for s in order)
+        )
+        return None
+
+    def _wait_signal(self) -> Generator:
+        self._signal = self._env.event()
+        # re-check after arming to avoid a lost wakeup
+        if any(len(box) for box in self._outbox.values()) or len(self._ready):
+            self._signal.succeed()
+        yield self._signal
+        self._signal = None
+
+    # -- constructs -----------------------------------------------------------
+    def check_ready(self, master: Core, expected: Optional[int] = None) -> Generator:
+        """Block until ``expected`` slaves announced readiness (all by
+        default).  This is rckskel's ``check_ready`` hook.
+
+        Idempotent: slaves announce once, and the count of consumed
+        announcements persists, so back-to-back FARMs on the same
+        slaves don't re-wait.
+        """
+        expected = len(self.slave_ids) if expected is None else expected
+        while self._ready_count < expected:
+            got, _ = self._ready.try_get()
+            if got:
+                self._ready_count += 1
+                continue
+            yield from self._wait_signal()
+
+    def seq(
+        self,
+        master: Core,
+        jobs: Sequence[Job],
+        ue_ids: Optional[Sequence[int]] = None,
+        collector: Optional[Callable[[JobResult], None]] = None,
+    ) -> Generator:
+        """SEQ: run jobs strictly one after another on the given UEs."""
+        ues = list(ue_ids or self.slave_ids)
+        results: list[JobResult] = []
+        for k, job in enumerate(jobs):
+            slave = ues[k % len(ues)]
+            yield from self._dispatch(master, slave, job)
+            result = yield from self._await_slave(master, slave)
+            if collector is not None:
+                collector(result)
+            results.append(result)
+        return results
+
+    def par(
+        self,
+        master: Core,
+        jobs: Sequence[Job],
+        ue_ids: Optional[Sequence[int]] = None,
+    ) -> Generator:
+        """PAR: distribute jobs round-robin; do not wait for results.
+
+        With more jobs than UEs, a send to a still-busy UE blocks until
+        that UE accepts the next job (rendezvous semantics), exactly as
+        issuing through RCCE would.
+        """
+        ues = list(ue_ids or self.slave_ids)
+        for k, job in enumerate(jobs):
+            yield from self._dispatch(master, ues[k % len(ues)], job)
+        return len(jobs)
+
+    def collect(
+        self,
+        master: Core,
+        n_results: int,
+        ue_ids: Optional[Sequence[int]] = None,
+        collector: Optional[Callable[[JobResult], None]] = None,
+    ) -> Generator:
+        """COLLECT: round-robin poll until ``n_results`` arrive."""
+        ues = list(ue_ids or self.slave_ids)
+        results: list[JobResult] = []
+        pos = 0
+        while len(results) < n_results:
+            found = yield from self._scan_for_result(master, ues, pos)
+            if found is None:
+                yield from self._wait_signal()
+                continue
+            slave, result, pos = found
+            yield from self._pull_result(master, slave, result)
+            if collector is not None:
+                collector(result)
+            results.append(result)
+        return results
+
+    def _await_slave(self, master: Core, slave: int) -> Generator:
+        """Wait (polling this one slave) until it posts a result."""
+        while True:
+            ok, item = self._outbox[slave].try_get()
+            yield self._env.timeout(self._poll_visit_seconds(master, slave))
+            self.poll_visits += 1
+            if ok:
+                yield from self._pull_result(master, slave, item)
+                return item
+            yield from self._wait_signal()
+
+    def farm(
+        self,
+        master: Core,
+        jobs: Sequence[Job],
+        ue_ids: Optional[Sequence[int]] = None,
+        collector: Optional[Callable[[JobResult], None]] = None,
+        terminate: bool = True,
+        on_dispatch: Optional[Callable[[Core, Job], Generator]] = None,
+    ) -> Generator:
+        """FARM: the paper's master–slaves construct.
+
+        Waits for slave readiness, primes one job per slave, then keeps
+        every slave busy with round-robin polling until the job list is
+        exhausted; finally sends TERMINATE (unless ``terminate=False``,
+        for callers that will farm again on the same slaves).
+
+        ``on_dispatch`` is an optional master-side coroutine run before
+        each job is sent — e.g. the streaming loader that faults
+        structures into the master's limited memory.
+        """
+        ues = list(ue_ids or self.slave_ids)
+        yield from self.check_ready(master, expected=len(self.slave_ids))
+        queue = deque(jobs)
+        results: list[JobResult] = []
+
+        def dispatch(slave: int, job: Job) -> Generator:
+            if on_dispatch is not None:
+                yield from on_dispatch(master, job)
+            yield from self._dispatch(master, slave, job)
+
+        outstanding = 0
+        for slave in ues:
+            if not queue:
+                break
+            yield from dispatch(slave, queue.popleft())
+            outstanding += 1
+        pos = 0
+        while outstanding:
+            found = yield from self._scan_for_result(master, ues, pos)
+            if found is None:
+                yield from self._wait_signal()
+                continue
+            slave, result, pos = found
+            yield from self._pull_result(master, slave, result)
+            if collector is not None:
+                collector(result)
+            results.append(result)
+            outstanding -= 1
+            if queue:
+                yield from dispatch(slave, queue.popleft())
+                outstanding += 1
+        if terminate:
+            yield from self.shutdown(master, ues)
+        return results
+
+    def farm_grouped(
+        self,
+        master: Core,
+        groups: Mapping[str, tuple[Sequence[Job], Sequence[int]]],
+        collector: Optional[Callable[[str, JobResult], None]] = None,
+        terminate: bool = True,
+    ) -> Generator:
+        """FARM with per-group job queues and disjoint slave partitions.
+
+        ``groups`` maps a group name to ``(jobs, ue_ids)``; each slave
+        only ever receives jobs of its own group.  This is the engine of
+        the multi-criteria PSC extension (paper §V): different slave
+        partitions run different PSC algorithms concurrently under one
+        master.  Returns ``{group: [JobResult, ...]}``.
+        """
+        slave_group: dict[int, str] = {}
+        queues: dict[str, deque[Job]] = {}
+        for gname, (gjobs, gues) in groups.items():
+            queues[gname] = deque(gjobs)
+            for ue in gues:
+                if ue in slave_group:
+                    raise ValueError(f"slave {ue} assigned to two groups")
+                if ue not in self._outbox:
+                    raise ValueError(f"slave {ue} is not part of this runtime")
+                slave_group[ue] = gname
+        yield from self.check_ready(master, expected=len(self.slave_ids))
+        order = [s for s in self.slave_ids if s in slave_group]
+        results: dict[str, list[JobResult]] = {g: [] for g in groups}
+        outstanding = 0
+        for slave in order:
+            queue = queues[slave_group[slave]]
+            if queue:
+                yield from self._dispatch(master, slave, queue.popleft())
+                outstanding += 1
+        pos = 0
+        while outstanding:
+            found = yield from self._scan_for_result(master, order, pos)
+            if found is None:
+                yield from self._wait_signal()
+                continue
+            slave, result, pos = found
+            yield from self._pull_result(master, slave, result)
+            gname = slave_group[slave]
+            if collector is not None:
+                collector(gname, result)
+            results[gname].append(result)
+            outstanding -= 1
+            queue = queues[gname]
+            if queue:
+                yield from self._dispatch(master, slave, queue.popleft())
+                outstanding += 1
+        if terminate:
+            yield from self.shutdown(master)
+        return results
+
+    def shutdown(self, master: Core, ue_ids: Optional[Sequence[int]] = None) -> Generator:
+        """Send TERMINATE to the given (default: all) slaves."""
+        for slave in ue_ids or self.slave_ids:
+            yield from self.rcce.send(master, slave, TERMINATE, nbytes=0)

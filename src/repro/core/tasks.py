@@ -1,0 +1,107 @@
+"""Task trees: rckskel's hierarchy of tasks and jobs (paper §IV).
+
+"A task refers to a collection of jobs, or other tasks ... Thus the
+task data structure is used to capture jobs to be processed, the manner
+in which they must be processed (serial or parallel) and the computing
+resources available (SCC cores) to them."
+
+A :class:`TaskNode` is either SEQ (children executed strictly in order)
+or PAR (children farmed greedily over the node's processing elements);
+leaves are :class:`~repro.core.skeletons.Job` objects.  ``ue_ids``
+restricts a subtree to a subset of the runtime's slaves — "allocating a
+sensible number of cores, based on the number of jobs, is left to the
+software implementation".
+
+:func:`execute_task` walks the tree on the master core:
+
+* a SEQ node runs each child to completion before the next starts;
+* a PAR node runs its *job* children through one greedy farm wave and
+  its *task* children afterwards in order (each child task may itself
+  be parallel over its own cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence, Union
+
+from repro.core.skeletons import Job, JobResult, SkeletonRuntime
+from repro.scc.machine import Core
+
+__all__ = ["TaskNode", "seq_task", "par_task", "execute_task", "count_jobs"]
+
+Child = Union["TaskNode", Job]
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """A SEQ or PAR composition of jobs and sub-tasks."""
+
+    kind: str  # 'seq' | 'par'
+    children: tuple[Child, ...]
+    ue_ids: Optional[tuple[int, ...]] = None  # None = inherit
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("seq", "par"):
+            raise ValueError(f"task kind must be 'seq' or 'par', got {self.kind!r}")
+        if not self.children:
+            raise ValueError("a task needs at least one child")
+        for child in self.children:
+            if not isinstance(child, (TaskNode, Job)):
+                raise TypeError(f"task child must be TaskNode or Job, got {type(child)}")
+
+
+def seq_task(*children: Child, ue_ids: Optional[Sequence[int]] = None) -> TaskNode:
+    """Build a SEQ node."""
+    return TaskNode("seq", tuple(children), tuple(ue_ids) if ue_ids else None)
+
+
+def par_task(*children: Child, ue_ids: Optional[Sequence[int]] = None) -> TaskNode:
+    """Build a PAR node."""
+    return TaskNode("par", tuple(children), tuple(ue_ids) if ue_ids else None)
+
+
+def count_jobs(node: Child) -> int:
+    """Total number of Job leaves under ``node``."""
+    if isinstance(node, Job):
+        return 1
+    return sum(count_jobs(c) for c in node.children)
+
+
+def execute_task(
+    runtime: SkeletonRuntime,
+    master: Core,
+    node: Child,
+    ue_ids: Optional[Sequence[int]] = None,
+) -> Generator:
+    """Coroutine: run a task tree on the master; returns all JobResults.
+
+    The caller is responsible for slave readiness/termination (use
+    ``runtime.check_ready`` before and ``runtime.shutdown`` after), so
+    trees can be executed back to back on the same slaves.
+    """
+    ues = list(node.ue_ids) if isinstance(node, TaskNode) and node.ue_ids else (
+        list(ue_ids) if ue_ids else list(runtime.slave_ids)
+    )
+    if isinstance(node, Job):
+        results = yield from runtime.farm(master, [node], ue_ids=ues, terminate=False)
+        return results
+
+    results: list[JobResult] = []
+    if node.kind == "seq":
+        for child in node.children:
+            child_results = yield from execute_task(runtime, master, child, ues)
+            results.extend(child_results)
+        return results
+
+    # PAR: farm all direct job leaves in one greedy wave, then run task
+    # children (each may use its own core subset)
+    jobs = [c for c in node.children if isinstance(c, Job)]
+    subtasks = [c for c in node.children if isinstance(c, TaskNode)]
+    if jobs:
+        wave = yield from runtime.farm(master, jobs, ue_ids=ues, terminate=False)
+        results.extend(wave)
+    for sub in subtasks:
+        sub_results = yield from execute_task(runtime, master, sub, ues)
+        results.extend(sub_results)
+    return results

@@ -1,0 +1,35 @@
+"""Cost accounting: operation counters, CPU models, per-pair cost model.
+
+The reproduction cannot time 2013-era hardware directly, so simulated
+compute time is derived from *operation counts* of the real algorithm
+mapped through per-CPU cycles-per-operation tables calibrated against the
+paper's Table III (see DESIGN.md §2 and §5.2).
+"""
+
+from repro.cost.counters import CostCounter, OP_CLASSES
+from repro.cost.cpu import CpuModel, P54C_800, AMD_ATHLON_2400, MCPC_HOST, CPU_MODELS
+from repro.cost.model import (
+    PairCostModel,
+    estimate_op_counts,
+    pair_cycles,
+    pair_seconds,
+    dataset_total_seconds,
+)
+from repro.cost.calibration import calibrate_two_class, CalibrationResult
+
+__all__ = [
+    "CostCounter",
+    "OP_CLASSES",
+    "CpuModel",
+    "P54C_800",
+    "AMD_ATHLON_2400",
+    "MCPC_HOST",
+    "CPU_MODELS",
+    "PairCostModel",
+    "estimate_op_counts",
+    "pair_cycles",
+    "pair_seconds",
+    "dataset_total_seconds",
+    "calibrate_two_class",
+    "CalibrationResult",
+]

@@ -1,0 +1,169 @@
+"""Calibration of CPU cycle scales against the paper's Table III.
+
+Table III gives four absolute wall-clock numbers: serial all-vs-all time
+for {CK34, RS119} x {AMD Athlon II X2 2.4 GHz, Intel P54C 800 MHz}.  For
+each CPU we solve the exact 2x2 linear system
+
+    work_scale * W(dataset) + overhead_scale * OVH(dataset)
+        = T_paper(dataset) * freq          (for both datasets)
+
+where W/OVH are the scaling-group and overhead-group work totals of the
+bundled synthetic datasets under the pair cost model.  The system is
+well-conditioned because the two groups grow differently with the
+dataset: scaling work grows ~quadratically with total residues (~20x
+from CK34 to RS119) while per-pair overhead grows with the pair count
+(12.5x), which is also what lets the model reproduce the paper's
+dataset-dependent AMD/P54C speed ratio (see repro.cost.cpu).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.cost.counters import CostCounter
+from repro.cost.cpu import BASE_WEIGHTS, OVERHEAD_GROUP, CpuModel
+from repro.cost.model import PairCostModel, estimate_op_counts
+
+__all__ = [
+    "TABLE3_SECONDS",
+    "CalibrationResult",
+    "group_work",
+    "dataset_group_work",
+    "calibrate_two_class",
+    "recalibrate_cpus",
+]
+
+# Paper, Table III (seconds).
+TABLE3_SECONDS: Mapping[str, Mapping[str, float]] = {
+    "amd": {"ck34": 406.0, "rs119": 7298.0},
+    "p54c": {"ck34": 2029.0, "rs119": 28597.0},
+}
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Solved cycle scales plus the reproduction error per dataset."""
+
+    cpu_name: str
+    work_scale: float
+    overhead_scale: float
+    predicted_seconds: Mapping[str, float]
+    target_seconds: Mapping[str, float]
+
+    @property
+    def max_relative_error(self) -> float:
+        errs = [
+            abs(self.predicted_seconds[d] - self.target_seconds[d])
+            / self.target_seconds[d]
+            for d in self.target_seconds
+        ]
+        return max(errs)
+
+
+def group_work(counts: CostCounter | Mapping[str, float]) -> tuple[float, float]:
+    """Split op counts into (scaling-group work, overhead-group work).
+
+    Work is measured in BASE_WEIGHTS units so the per-CPU scales are the
+    only free parameters.
+    """
+    items = counts.counts.items() if isinstance(counts, CostCounter) else counts.items()
+    work = 0.0
+    ovh = 0.0
+    for op, v in items:
+        if not v:
+            continue
+        w = v * BASE_WEIGHTS[op]
+        if op in OVERHEAD_GROUP:
+            ovh += w
+        else:
+            work += w
+    return work, ovh
+
+
+def dataset_group_work(
+    lengths: Sequence[int],
+    names: Sequence[str] | None = None,
+    model: PairCostModel | None = None,
+) -> tuple[float, float]:
+    """All-vs-all (i<j) group work totals for a dataset's chain lengths."""
+    dp_total = 0.0
+    irr_total = 0.0
+    n = len(lengths)
+    for i in range(n):
+        for j in range(i + 1, n):
+            key = f"{names[i]}|{names[j]}" if names is not None else None
+            counts = estimate_op_counts(lengths[i], lengths[j], key, model)
+            dp, irr = group_work(counts)
+            dp_total += dp
+            irr_total += irr
+    return dp_total, irr_total
+
+
+def calibrate_two_class(
+    works: Mapping[str, tuple[float, float]],
+    targets: Mapping[str, float],
+    freq_hz: float,
+    cpu_name: str = "cpu",
+) -> CalibrationResult:
+    """Solve the 2x2 system for (dp_scale, irregular_scale).
+
+    ``works`` maps dataset name -> (dp_work, irr_work); ``targets`` maps
+    dataset name -> paper seconds.  Exactly two datasets are required.
+    """
+    names = sorted(targets)
+    if len(names) != 2 or set(works) < set(names):
+        raise ValueError("calibration needs work and target for exactly 2 datasets")
+    A = np.array([[works[d][0], works[d][1]] for d in names])
+    b = np.array([targets[d] * freq_hz for d in names])
+    cond = np.linalg.cond(A)
+    if not np.isfinite(cond) or cond > 1e12:
+        raise ValueError(f"calibration system is singular (cond={cond:.3g})")
+    work_scale, ovh_scale = np.linalg.solve(A, b)
+    if work_scale <= 0 or ovh_scale <= 0:
+        raise ValueError(
+            f"calibration produced non-positive scales "
+            f"(work={work_scale:.4g}, overhead={ovh_scale:.4g}); the dataset "
+            "work mixes cannot explain the target ratios"
+        )
+    predicted = {
+        d: (work_scale * works[d][0] + ovh_scale * works[d][1]) / freq_hz
+        for d in names
+    }
+    return CalibrationResult(
+        cpu_name=cpu_name,
+        work_scale=float(work_scale),
+        overhead_scale=float(ovh_scale),
+        predicted_seconds=predicted,
+        target_seconds=dict(targets),
+    )
+
+
+def recalibrate_cpus(
+    model: PairCostModel | None = None,
+) -> Dict[str, CalibrationResult]:
+    """Re-derive the scales baked into :mod:`repro.cost.cpu`.
+
+    Loads the bundled datasets, computes their group work under the pair
+    cost model, and solves for each benchmarked CPU.  Used by tests to
+    check the baked constants and by developers after changing datasets
+    or the aligner.
+    """
+    from repro.cost.cpu import AMD_ATHLON_2400, P54C_800
+    from repro.datasets import load_dataset
+
+    works = {}
+    for ds_name in ("ck34", "rs119"):
+        ds = load_dataset(ds_name)
+        lengths = [len(c) for c in ds]
+        names = [c.name for c in ds]
+        works[ds_name] = dataset_group_work(lengths, names, model)
+
+    out: Dict[str, CalibrationResult] = {}
+    for key, cpu in (("amd", AMD_ATHLON_2400), ("p54c", P54C_800)):
+        out[key] = calibrate_two_class(
+            works, TABLE3_SECONDS[key], cpu.freq_hz, cpu.name
+        )
+    return out

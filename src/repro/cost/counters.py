@@ -1,0 +1,84 @@
+"""Named operation counters threaded through the TM-align implementation.
+
+The counter classes are the abstract "work units" of the cost model:
+
+================  ==========================================================
+op class          meaning
+========================================================================
+``dp_cell``       one Needleman–Wunsch dynamic-programming cell update
+``kabsch``        one Kabsch SVD superposition call (fixed part)
+``kabsch_point``  one point processed inside a Kabsch call (linear part)
+``score_pair``    one residue-pair distance/score evaluation in the
+                  TM-score iterative search
+``sec_res``       one residue classified during secondary-structure
+                  assignment
+``align_fixed``   fixed per-pairwise-alignment overhead (setup, I/O
+                  marshalling, result formatting)
+``io_byte``       one byte moved through file/memory I/O
+========================================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+OP_CLASSES: tuple[str, ...] = (
+    "dp_cell",
+    "kabsch",
+    "kabsch_point",
+    "score_pair",
+    "sec_res",
+    "align_fixed",
+    "io_byte",
+)
+
+__all__ = ["CostCounter", "OP_CLASSES"]
+
+
+class CostCounter:
+    """Mutable bag of named operation counts.
+
+    Unknown class names are rejected eagerly so a typo in instrumentation
+    cannot silently create a cost class no CPU model prices.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self.counts: Dict[str, float] = {name: 0.0 for name in OP_CLASSES}
+        if initial:
+            for name, value in initial.items():
+                self.add(name, value)
+
+    def add(self, op_class: str, amount: float = 1.0) -> None:
+        if op_class not in self.counts:
+            raise KeyError(
+                f"unknown op class {op_class!r}; known: {sorted(self.counts)}"
+            )
+        if amount < 0:
+            raise ValueError(f"negative op count: {amount}")
+        self.counts[op_class] += amount
+
+    def merge(self, other: "CostCounter") -> None:
+        for name, value in other.counts.items():
+            self.counts[name] += value
+
+    def copy(self) -> "CostCounter":
+        return CostCounter(self.counts)
+
+    def total(self, classes: Iterable[str] | None = None) -> float:
+        names = OP_CLASSES if classes is None else tuple(classes)
+        return float(sum(self.counts[name] for name in names))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.counts)
+
+    def __getitem__(self, op_class: str) -> float:
+        return self.counts[op_class]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CostCounter) and self.counts == other.counts
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.counts.items() if v}
+        return f"CostCounter({nonzero})"

@@ -1,0 +1,175 @@
+"""Analytic per-pair operation-count model.
+
+Running the real Python TM-align on all 7021 RS119 pairs for every point
+of a 24-point core-count sweep would be needlessly slow, so the simulator
+can price a pairwise comparison from chain lengths alone ("model" mode).
+The model's per-op-class counts are low-order polynomials in
+``(1, Lmin, La*Lb)`` fitted by least squares against *measured* op counts
+of the real aligner (:func:`fit_pair_cost_model`); the defaults baked in
+below come from that fit on a seeded sample (regenerated and checked in
+tests).
+
+A deterministic per-pair jitter models run-to-run variation in iteration
+counts; it is derived from a stable hash of the chain names so results
+are reproducible and identical between the serial baseline and rckAlign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cost.counters import OP_CLASSES, CostCounter
+from repro.cost.cpu import CpuModel
+
+__all__ = [
+    "PairCostModel",
+    "fit_pair_cost_model",
+    "estimate_op_counts",
+    "pair_cycles",
+    "pair_seconds",
+    "dataset_total_seconds",
+    "DEFAULT_PAIR_COST_MODEL",
+]
+
+# Feature vector for the per-class linear model.
+_FEATURES = ("const", "lmin", "prod")
+
+
+def _features(la: int, lb: int) -> np.ndarray:
+    return np.array([1.0, float(min(la, lb)), float(la) * float(lb)])
+
+
+@dataclass(frozen=True)
+class PairCostModel:
+    """Per-op-class linear model ``count = c0 + c1*Lmin + c2*La*Lb``.
+
+    ``jitter`` is the half-width of the deterministic multiplicative
+    noise applied to the iteration-dependent classes (dp_cell,
+    score_pair, kabsch, kabsch_point).
+    """
+
+    coeffs: Mapping[str, tuple[float, float, float]]
+    jitter: float = 0.12
+
+    def __post_init__(self) -> None:
+        missing = [c for c in OP_CLASSES if c not in self.coeffs]
+        if missing:
+            raise ValueError(f"cost model missing op classes: {missing}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def counts(
+        self, la: int, lb: int, pair_key: str | None = None
+    ) -> Dict[str, float]:
+        """Estimated op counts for a (la, lb) pair.
+
+        ``pair_key`` (e.g. ``"nameA|nameB"``) seeds the deterministic
+        jitter; without it the estimate is the noiseless mean.
+        """
+        feats = _features(la, lb)
+        out: Dict[str, float] = {}
+        for op, c in self.coeffs.items():
+            out[op] = max(0.0, float(np.dot(c, feats)))
+        out["sec_res"] = float(la + lb)  # exact by construction
+        out["align_fixed"] = 1.0
+        if pair_key is not None and self.jitter > 0:
+            factor = 1.0 + self.jitter * (2.0 * _stable_unit(pair_key) - 1.0)
+            for op in ("dp_cell", "score_pair", "kabsch", "kabsch_point"):
+                out[op] *= factor
+        return out
+
+
+def _stable_unit(key: str) -> float:
+    """Uniform-ish value in [0, 1) from a stable hash of ``key``."""
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def fit_pair_cost_model(
+    samples: Sequence[tuple[int, int, CostCounter]],
+    jitter: float = 0.12,
+) -> PairCostModel:
+    """Least-squares fit of the per-class model from measured op counts.
+
+    ``samples`` holds ``(la, lb, counter)`` triples from real
+    :func:`repro.tmalign.tm_align` runs.  Coefficients are clipped at
+    zero (counts cannot be negative).
+    """
+    if len(samples) < len(_FEATURES):
+        raise ValueError(
+            f"need at least {len(_FEATURES)} samples to fit, got {len(samples)}"
+        )
+    X = np.vstack([_features(la, lb) for la, lb, _ in samples])
+    coeffs: Dict[str, tuple[float, float, float]] = {}
+    for op in OP_CLASSES:
+        y = np.array([ctr[op] for _, _, ctr in samples])
+        sol, *_ = np.linalg.lstsq(X, y, rcond=None)
+        coeffs[op] = (float(sol[0]), float(sol[1]), float(sol[2]))
+    return PairCostModel(coeffs=coeffs, jitter=jitter)
+
+
+# Fitted on 60 measured CK34/RS119 pairs (seed 7) by
+# tools/refit_cost_model.py; median relative error ~8% on the dominant
+# classes (checked in tests/test_cost_model.py).
+DEFAULT_PAIR_COST_MODEL = PairCostModel(
+    coeffs={
+        "dp_cell": (-13887.8, -2471.96, 34.8311),
+        "kabsch": (1232.38, -6.89441, 0.0371803),
+        "kabsch_point": (13281.9, -173.525, 3.42061),
+        "score_pair": (-16971.1, -2339.88, 38.0921),
+        "sec_res": (201.593, -0.453378, 0.00683835),
+        "align_fixed": (1.0, 0.0, 0.0),
+        "io_byte": (0.0, 0.0, 0.0),
+    }
+)
+
+
+def estimate_op_counts(
+    la: int,
+    lb: int,
+    pair_key: str | None = None,
+    model: PairCostModel | None = None,
+) -> Dict[str, float]:
+    """Module-level convenience over :meth:`PairCostModel.counts`."""
+    return (model or DEFAULT_PAIR_COST_MODEL).counts(la, lb, pair_key)
+
+
+def pair_cycles(
+    cpu: CpuModel,
+    la: int,
+    lb: int,
+    pair_key: str | None = None,
+    model: PairCostModel | None = None,
+) -> float:
+    """Estimated cycles for one pairwise comparison on ``cpu``."""
+    return cpu.cycles(estimate_op_counts(la, lb, pair_key, model))
+
+
+def pair_seconds(
+    cpu: CpuModel,
+    la: int,
+    lb: int,
+    pair_key: str | None = None,
+    model: PairCostModel | None = None,
+) -> float:
+    return pair_cycles(cpu, la, lb, pair_key, model) / cpu.freq_hz
+
+
+def dataset_total_seconds(
+    lengths: Iterable[int],
+    cpu: CpuModel,
+    names: Sequence[str] | None = None,
+    model: PairCostModel | None = None,
+) -> float:
+    """Serial all-vs-all (i<j) compute time for a list of chain lengths."""
+    lengths = list(lengths)
+    total = 0.0
+    for i in range(len(lengths)):
+        for j in range(i + 1, len(lengths)):
+            key = f"{names[i]}|{names[j]}" if names is not None else None
+            total += pair_seconds(cpu, lengths[i], lengths[j], key, model)
+    return total

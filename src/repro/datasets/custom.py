@@ -1,0 +1,54 @@
+"""User-supplied datasets: build a Dataset from a directory of PDB files.
+
+The bundled CK34/RS119 stand-ins cover the paper's experiments; users
+with real structures point this loader at a directory instead.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.datasets.registry import Dataset
+from repro.structure.pdbio import read_pdb_file
+
+__all__ = ["load_dataset_from_dir"]
+
+
+def load_dataset_from_dir(
+    path: str | os.PathLike,
+    name: Optional[str] = None,
+    pattern: str = "*.pdb",
+    min_residues: int = 10,
+) -> Dataset:
+    """Read every ``pattern`` file under ``path`` into a Dataset.
+
+    Files shorter than ``min_residues`` Cα atoms are skipped with the
+    reason recorded in the dataset description; unparseable files raise.
+    Chains are named after the file stem and sorted for determinism.
+    """
+    root = Path(path)
+    if not root.is_dir():
+        raise NotADirectoryError(f"{root} is not a directory")
+    files = sorted(root.glob(pattern))
+    if not files:
+        raise FileNotFoundError(f"no {pattern} files under {root}")
+    chains = []
+    skipped = []
+    for f in files:
+        chain = read_pdb_file(f)
+        if len(chain) < min_residues:
+            skipped.append(f.name)
+            continue
+        chains.append(chain)
+    if not chains:
+        raise ValueError(
+            f"all {len(files)} files were shorter than {min_residues} residues"
+        )
+    desc = f"user dataset from {root} ({len(chains)} chains)"
+    if skipped:
+        desc += f"; skipped short: {', '.join(skipped[:5])}"
+        if len(skipped) > 5:
+            desc += f" (+{len(skipped) - 5} more)"
+    return Dataset(name or root.name, tuple(chains), desc)

@@ -1,0 +1,95 @@
+"""Dataset container and name-based registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping
+
+from repro.structure.model import Chain
+
+__all__ = ["Dataset", "load_dataset", "DATASET_BUILDERS"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named collection of protein chains with family metadata."""
+
+    name: str
+    chains: tuple[Chain, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.chains:
+            raise ValueError("dataset must contain at least one chain")
+        names = [c.name for c in self.chains]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate chain names in dataset")
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def __iter__(self):
+        return iter(self.chains)
+
+    def __getitem__(self, idx: int) -> Chain:
+        return self.chains[idx]
+
+    def by_name(self, name: str) -> Chain:
+        for chain in self.chains:
+            if chain.name == name:
+                return chain
+        raise KeyError(f"no chain named {name!r} in dataset {self.name!r}")
+
+    @property
+    def families(self) -> Mapping[str, tuple[Chain, ...]]:
+        out: Dict[str, list[Chain]] = {}
+        for chain in self.chains:
+            out.setdefault(chain.family or "singleton", []).append(chain)
+        return {k: tuple(v) for k, v in out.items()}
+
+    @property
+    def total_residues(self) -> int:
+        return sum(len(c) for c in self.chains)
+
+    @property
+    def mean_length(self) -> float:
+        return self.total_residues / len(self.chains)
+
+    def subset(self, n: int, name: str | None = None) -> "Dataset":
+        """First ``n`` chains — used for fast test/benchmark variants."""
+        if not 1 <= n <= len(self.chains):
+            raise ValueError(f"cannot take {n} chains from {len(self.chains)}")
+        return Dataset(
+            name or f"{self.name}[:{n}]",
+            self.chains[:n],
+            f"first {n} chains of {self.name}",
+        )
+
+
+# Populated lazily to avoid import cycles; see _ensure_builders().
+DATASET_BUILDERS: Dict[str, Callable[[], Dataset]] = {}
+_CACHE: Dict[str, Dataset] = {}
+
+
+def _ensure_builders() -> None:
+    if DATASET_BUILDERS:
+        return
+    from repro.datasets.ck34 import build_ck34
+    from repro.datasets.rs119 import build_rs119
+
+    DATASET_BUILDERS["ck34"] = build_ck34
+    DATASET_BUILDERS["rs119"] = build_rs119
+    # Small variants for fast tests/benchmarks.
+    DATASET_BUILDERS["ck34-mini"] = lambda: build_ck34().subset(8, "ck34-mini")
+    DATASET_BUILDERS["rs119-mini"] = lambda: build_rs119().subset(12, "rs119-mini")
+
+
+def load_dataset(name: str) -> Dataset:
+    """Build (and memoize) a dataset by registry name."""
+    _ensure_builders()
+    key = name.lower()
+    if key not in DATASET_BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASET_BUILDERS)}")
+    if key not in _CACHE:
+        _CACHE[key] = DATASET_BUILDERS[key]()
+    return _CACHE[key]

@@ -1,0 +1,363 @@
+"""Ablations A1–A3: design-choice studies beyond the paper's tables.
+
+* **A1 balancing** — the paper used no load balancing; how much do job
+  ordering strategies help the greedy farm?
+* **A2 hierarchy** — the paper suggests hierarchical masters to remove
+  the single-master bottleneck; quantify it at high slave counts.
+* **A3 MC-PSC** — the paper's §V extension: multiple PSC methods with
+  partitioned cores; compare partitioning strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.balancing import BALANCING_STRATEGIES
+from repro.core.framework import McPscConfig, run_mcpsc
+from repro.core.hierarchy import HierarchicalFarmConfig, run_hierarchical_rckalign
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import ExperimentResult
+from repro.psc.evaluator import EvalMode, JobEvaluator
+
+__all__ = [
+    "run_ablation_balancing",
+    "run_ablation_hierarchy",
+    "run_ablation_mcpsc",
+    "run_ablation_frequency",
+    "run_ablation_memory",
+    "run_ablation_energy",
+    "run_ablation_inits",
+]
+
+
+def run_ablation_balancing(
+    dataset: str = "ck34",
+    n_slaves: int = 47,
+    strategies: Optional[Sequence[str]] = None,
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    ds = load_dataset(dataset)
+    evaluator = JobEvaluator(ds, mode=mode)
+    rows = []
+    for strategy in strategies or sorted(BALANCING_STRATEGIES):
+        rep = run_rckalign(
+            RckAlignConfig(
+                dataset=ds, n_slaves=n_slaves, balancing=strategy, mode=mode
+            ),
+            evaluator=evaluator,
+        )
+        rows.append((strategy, rep.total_seconds, rep.parallel_efficiency))
+    base = min(r[1] for r in rows)
+    rows = [(s, t, e, t / base) for s, t, e in rows]
+    return ExperimentResult(
+        exp_id="A1",
+        title=f"Balancing ablation: job ordering on {dataset}, {n_slaves} slaves",
+        columns=("strategy", "time (s)", "efficiency", "vs best"),
+        rows=rows,
+        notes="'none' is the paper's configuration (natural pair order).",
+    )
+
+
+def run_ablation_hierarchy(
+    dataset: str = "ck34",
+    n_workers: int = 47,
+    submaster_counts: Sequence[int] = (1, 2, 4, 6),
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    """Single master vs two-level hierarchies using the same core budget.
+
+    ``n_workers`` counts every non-top-master core (sub-masters consume
+    cores that could have been slaves — the real trade-off).
+    """
+    ds = load_dataset(dataset)
+    evaluator = JobEvaluator(ds, mode=mode)
+    rows = []
+    flat = run_rckalign(
+        RckAlignConfig(dataset=ds, n_slaves=n_workers, mode=mode), evaluator=evaluator
+    )
+    rows.append(("single master", n_workers, flat.total_seconds, 1.0))
+    for k in submaster_counts:
+        if k < 1 or n_workers < 2 * k:
+            continue
+        rep = run_hierarchical_rckalign(
+            HierarchicalFarmConfig(
+                base=RckAlignConfig(dataset=ds, n_slaves=n_workers, mode=mode),
+                n_submasters=k,
+            ),
+            evaluator=evaluator,
+        )
+        rows.append(
+            (
+                f"{k} sub-masters",
+                n_workers - k,
+                rep.total_seconds,
+                flat.total_seconds / rep.total_seconds,
+            )
+        )
+    return ExperimentResult(
+        exp_id="A2",
+        title=f"Hierarchical masters on {dataset}, {n_workers} worker cores",
+        columns=("configuration", "compute slaves", "time (s)", "speedup vs flat"),
+        rows=rows,
+        notes=(
+            "Paper §V: 'a hierarchy of master processes such that a master "
+            "does not become a bottleneck for the slaves it controls'."
+        ),
+    )
+
+
+def run_ablation_frequency(
+    dataset: str = "ck34",
+    n_slaves: int = 47,
+    multipliers: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    """A4: scale the core clock (paper §V: "faster processor cores ...
+    ideal candidates"; also "the single master strategy would become the
+    bottleneck, if slave processes were running on faster cores").
+
+    Compute (slaves *and* master) scales with the clock; the network,
+    MPB synchronisation, and the per-slave application-launch ramp do
+    not — so efficiency at 47 slaves decays as cores get faster.
+    """
+    import dataclasses
+
+    from repro.baselines.serial import SerialConfig, run_serial
+    from repro.cost.cpu import P54C_800
+    from repro.scc.config import SccConfig
+
+    ds = load_dataset(dataset)
+    evaluator = JobEvaluator(ds, mode=mode)
+    rows = []
+    for mult in multipliers:
+        cpu = dataclasses.replace(
+            P54C_800,
+            name=f"P54C @ {mult * 0.8:.1f} GHz",
+            freq_hz=P54C_800.freq_hz * mult,
+        )
+        scc = SccConfig(core_cpu=cpu)
+        serial = run_serial(SerialConfig(dataset=ds, cpu=cpu, mode=mode), evaluator=evaluator)
+        rep = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=n_slaves, scc=scc, mode=mode),
+            evaluator=evaluator,
+        )
+        speedup = serial.total_seconds / rep.total_seconds
+        rows.append(
+            (f"{mult:.0f}x", serial.total_seconds, rep.total_seconds, speedup,
+             speedup / n_slaves)
+        )
+    return ExperimentResult(
+        exp_id="A4",
+        title=f"Core-frequency scaling on {dataset}, {n_slaves} slaves",
+        columns=("clock", "serial (s)", "rckAlign (s)", "speedup", "efficiency"),
+        rows=rows,
+        notes=(
+            "Fixed startup/communication costs eat the gains of faster "
+            "cores — the paper's warning about the single-master design."
+        ),
+    )
+
+
+def run_ablation_memory(
+    dataset: str = "ck34",
+    n_slaves: int = 16,
+    limits: Sequence[int] = (34, 16, 8, 4),
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    """A5: memory-constrained master (paper future work: datasets "too
+    large to be loaded into memory at once").
+
+    Compares full preload against LRU-streamed masters with bounded
+    resident structures, in natural vs blocked pair order.
+    """
+    ds = load_dataset(dataset)
+    evaluator = JobEvaluator(ds, mode=mode)
+    rows = []
+    base = run_rckalign(
+        RckAlignConfig(dataset=ds, n_slaves=n_slaves, mode=mode), evaluator=evaluator
+    )
+    rows.append(("preload all", "-", base.total_seconds, 0))
+    for limit in limits:
+        if limit >= len(ds):
+            continue
+        for order in ("natural", "blocked"):
+            rep = run_rckalign(
+                RckAlignConfig(
+                    dataset=ds,
+                    n_slaves=n_slaves,
+                    mode=mode,
+                    memory_limit_chains=limit,
+                    pair_order=order,
+                ),
+                evaluator=evaluator,
+            )
+            rows.append(
+                (f"limit {limit}", order, rep.total_seconds, rep.structure_faults)
+            )
+    return ExperimentResult(
+        exp_id="A5",
+        title=f"Memory-constrained master on {dataset}, {n_slaves} slaves",
+        columns=("resident structures", "pair order", "time (s)", "faults"),
+        rows=rows,
+        notes=(
+            "Blocked pair tiling keeps the fault count near the streaming "
+            "lower bound; on-chip refetches are cheap, so even tight "
+            "limits barely move the makespan."
+        ),
+    )
+
+
+def run_ablation_energy(
+    dataset: str = "ck34",
+    slave_counts: Sequence[int] = (1, 7, 15, 23, 31, 39, 47),
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    """A6: energy and energy-delay vs slave count.
+
+    The SCC was built for power research (its 25-125 W envelope), so we
+    report the energy side of the speedup story: more slaves shorten the
+    run (less uncore/idle energy) but burn more active-core power; the
+    energy-delay product tells where the sweet spot sits.
+    """
+    from repro.scc.power import PowerConfig, cpu_energy, estimate_rckalign_energy
+
+    ds = load_dataset(dataset)
+    evaluator = JobEvaluator(ds, mode=mode)
+    rows = []
+    for n in slave_counts:
+        rep = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=n, mode=mode), evaluator=evaluator
+        )
+        energy = estimate_rckalign_energy(rep, PowerConfig())
+        rows.append(
+            (
+                n,
+                rep.total_seconds,
+                energy.total_joules / 1e3,
+                energy.average_watts,
+                energy.energy_delay_product / 1e3,
+            )
+        )
+    # reference: the serial AMD run at its TDP
+    from repro.baselines.serial import SerialConfig, run_serial
+    from repro.cost.cpu import AMD_ATHLON_2400
+
+    amd = run_serial(
+        SerialConfig(dataset=ds, cpu=AMD_ATHLON_2400, mode=mode), evaluator=evaluator
+    )
+    rows.append(
+        (
+            "AMD ref",
+            amd.total_seconds,
+            cpu_energy(amd.total_seconds, 65.0) / 1e3,
+            65.0,
+            cpu_energy(amd.total_seconds, 65.0) * amd.total_seconds / 1e3,
+        )
+    )
+    return ExperimentResult(
+        exp_id="A6",
+        title=f"Energy vs slave count on {dataset}",
+        columns=("slaves", "time (s)", "energy (kJ)", "avg W", "EDP (kJ*s)"),
+        rows=rows,
+        notes=(
+            "Adding slaves keeps reducing both time and total energy "
+            "(idle cores are cheap, the uncore dominates), so the full "
+            "chip is optimal for both metrics — and competitive with the "
+            "65 W desktop CPU in energy terms."
+        ),
+    )
+
+
+def run_ablation_inits(
+    dataset: str = "ck34",
+    n_pairs: int = 12,
+    seed: int = 13,
+) -> ExperimentResult:
+    """A7: which of TM-align's initial alignments earn their cost?
+
+    The paper (§II) describes three initial-alignment kinds; TM-align's
+    robustness comes from running all of them.  On a seeded sample of
+    real pairs we disable each in turn and record the mean TM-score
+    found and the measured work (P54C-priced cycles).
+    """
+    import numpy as np
+
+    from repro.cost.counters import CostCounter
+    from repro.cost.cpu import P54C_800
+    from repro.tmalign import TMAlignParams, tm_align
+
+    ds = load_dataset(dataset)
+    rng = np.random.default_rng(seed)
+    pairs = set()
+    while len(pairs) < n_pairs:
+        i, j = rng.integers(0, len(ds), 2)
+        if i < j:
+            pairs.add((int(i), int(j)))
+    variants = {
+        "all inits (default)": TMAlignParams(),
+        "no gapless threading": TMAlignParams(use_threading_init=False),
+        "no SS alignment": TMAlignParams(use_ss_init=False),
+        "no combined (SS+dist)": TMAlignParams(use_combined_init=False),
+        "no fragment windows": TMAlignParams(use_fragment_init=False),
+        "threading only": TMAlignParams(
+            use_ss_init=False, use_combined_init=False, use_fragment_init=False
+        ),
+    }
+    rows = []
+    base_tm = None
+    for label, params in variants.items():
+        tms = []
+        cycles = 0.0
+        for i, j in sorted(pairs):
+            ctr = CostCounter()
+            res = tm_align(ds[i], ds[j], params=params, counter=ctr)
+            tms.append(res.tm_max)
+            cycles += P54C_800.cycles(ctr)
+        mean_tm = float(np.mean(tms))
+        if base_tm is None:
+            base_tm = mean_tm
+            base_cycles = cycles
+        rows.append(
+            (label, mean_tm, mean_tm - base_tm, cycles / base_cycles)
+        )
+    return ExperimentResult(
+        exp_id="A7",
+        title=f"TM-align initial-alignment ablation ({n_pairs} {dataset} pairs)",
+        columns=("variant", "mean TM", "ΔTM vs full", "relative cost"),
+        rows=rows,
+        notes=(
+            "Redundant inits rarely change the best score on easy pairs "
+            "but protect the hard ones; the cost column shows what each "
+            "protection buys."
+        ),
+    )
+
+
+def run_ablation_mcpsc(
+    dataset: str = "ck34-mini",
+    n_slaves: int = 12,
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    rows = []
+    for strategy in ("even", "work"):
+        rep = run_mcpsc(
+            McPscConfig(
+                dataset=dataset, n_slaves=n_slaves, partitioning=strategy, mode=mode
+            )
+        )
+        parts = ", ".join(f"{m}:{n}" for m, n in rep.partitions.items())
+        rows.append((strategy, parts, rep.total_seconds))
+    base = min(r[2] for r in rows)
+    rows = [(s, p, t, t / base) for s, p, t in rows]
+    return ExperimentResult(
+        exp_id="A3",
+        title=f"MC-PSC core partitioning on {dataset}, {n_slaves} slaves",
+        columns=("partitioning", "cores per method", "time (s)", "vs best"),
+        rows=rows,
+        notes=(
+            "Paper §V: running multiple PSC algorithms in one chip requires "
+            "'assessment of optimal strategies for the partitioning of the "
+            "cores dedicated to different PSC algorithms'."
+        ),
+    )

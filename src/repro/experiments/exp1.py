@@ -1,0 +1,78 @@
+"""Experiment I (Table II + Figure 5): rckAlign vs distributed TM-align.
+
+All-vs-all on CK34; the slave/core count sweeps the odd values 1..47.
+The rckAlign column runs on the simulated SCC (master on core 0); the
+TM-align column runs the MCPC-master distributed model whose jobs pay
+process-spawn and NFS costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.distributed import DistributedConfig, run_distributed
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import (
+    SLAVE_GRID_FULL,
+    ExperimentResult,
+    ascii_plot,
+)
+from repro.psc.evaluator import EvalMode, JobEvaluator
+
+__all__ = ["run_exp1", "PAPER_TABLE2"]
+
+# Paper Table II (seconds) for reference columns.
+PAPER_TABLE2 = {
+    1: (2027, 5212), 3: (689, 1704), 5: (420, 854), 7: (305, 569),
+    9: (238, 511), 11: (196, 452), 13: (168, 382), 15: (148, 332),
+    17: (132, 293), 19: (120, 262), 21: (109, 238), 23: (101, 218),
+    25: (94, 202), 27: (88, 187), 29: (83, 175), 31: (79, 168),
+    33: (73, 174), 35: (71, 173), 37: (68, 145), 39: (65, 143),
+    41: (62, 132), 43: (60, 126), 45: (59, 122), 47: (56, 120),
+}
+
+
+def run_exp1(
+    dataset: str = "ck34",
+    slave_counts: Optional[Sequence[int]] = None,
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    ds = load_dataset(dataset)
+    evaluator = JobEvaluator(ds, mode=mode)
+    counts = tuple(slave_counts or SLAVE_GRID_FULL)
+    rows = []
+    rck_series = []
+    dist_series = []
+    for n in counts:
+        rck = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=n, mode=mode), evaluator=evaluator
+        )
+        dist = run_distributed(
+            DistributedConfig(dataset=ds, n_cores=n, mode=mode), evaluator=evaluator
+        )
+        paper = PAPER_TABLE2.get(n, (float("nan"), float("nan")))
+        rows.append(
+            (n, rck.total_seconds, paper[0], dist.total_seconds, paper[1])
+        )
+        rck_series.append((n, rck.total_seconds))
+        dist_series.append((n, dist.total_seconds))
+    fig5 = ascii_plot(
+        {"rckAlign": rck_series, "TM-align (distributed)": dist_series},
+        logy=True,
+        title=f"Figure 5: all-vs-all {dataset} time vs cores (log time)",
+    )
+    return ExperimentResult(
+        exp_id="exp1",
+        title=f"Table II: parallel rckAlign vs distributed TM-align ({dataset})",
+        columns=(
+            "slave cores",
+            "rckAlign (s)",
+            "paper rckAlign",
+            "TM-align (s)",
+            "paper TM-align",
+        ),
+        rows=rows,
+        notes=fig5,
+        extras={"figure5": {"rckAlign": rck_series, "distributed": dist_series}},
+    )

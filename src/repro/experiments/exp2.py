@@ -1,0 +1,93 @@
+"""Experiment II (Table IV + Figure 6): rckAlign speedup vs slave count.
+
+Speedup is reported relative to the single-slave/single-core P54C time,
+exactly as in the paper ("the speedup reported is relative to the
+performance on a single core of the SCC").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.serial import SerialConfig, run_serial
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import (
+    SLAVE_GRID_FULL,
+    ExperimentResult,
+    ascii_plot,
+)
+from repro.psc.evaluator import EvalMode, JobEvaluator
+
+__all__ = ["run_exp2", "PAPER_TABLE4"]
+
+# Paper Table IV: slave cores -> (CK34 speedup, CK34 s, RS119 speedup, RS119 s)
+PAPER_TABLE4 = {
+    1: (1.0, 2029, 1.0, 28597), 3: (2.94, 689, 2.96, 9654),
+    5: (4.82, 420, 4.91, 5818), 7: (6.66, 305, 6.95, 4114),
+    9: (8.52, 238, 8.94, 3195), 11: (10.34, 196, 10.97, 2605),
+    13: (12.09, 168, 12.95, 2208), 15: (13.74, 148, 14.88, 1921),
+    17: (15.36, 132, 16.76, 1705), 19: (16.89, 120, 18.64, 1534),
+    21: (18.53, 109, 20.59, 1389), 23: (20.03, 101, 22.52, 1270),
+    25: (21.56, 94, 24.52, 1166), 27: (23.02, 88, 26.49, 1079),
+    29: (24.52, 83, 28.45, 1005), 31: (25.72, 79, 30.37, 941),
+    33: (27.68, 73, 32.32, 885), 35: (28.43, 71, 34.21, 836),
+    37: (29.75, 68, 36.14, 791), 39: (30.97, 65, 38.01, 752),
+    41: (32.60, 62, 39.74, 719), 43: (33.59, 60, 41.49, 689),
+    45: (34.45, 59, 43.40, 659), 47: (36.17, 56, 44.78, 640),
+}
+
+
+def run_exp2(
+    datasets: Sequence[str] = ("ck34", "rs119"),
+    slave_counts: Optional[Sequence[int]] = None,
+    mode: EvalMode | str = EvalMode.MODEL,
+) -> ExperimentResult:
+    counts = tuple(slave_counts or SLAVE_GRID_FULL)
+    per_ds: Dict[str, list[tuple[int, float, float]]] = {}
+    baselines: Dict[str, float] = {}
+    for name in datasets:
+        ds = load_dataset(name)
+        evaluator = JobEvaluator(ds, mode=mode)
+        base = run_serial(SerialConfig(dataset=ds, mode=mode), evaluator=evaluator)
+        baselines[name] = base.total_seconds
+        series = []
+        for n in counts:
+            rep = run_rckalign(
+                RckAlignConfig(dataset=ds, n_slaves=n, mode=mode),
+                evaluator=evaluator,
+            )
+            series.append((n, rep.total_seconds, base.total_seconds / rep.total_seconds))
+        per_ds[name] = series
+
+    rows = []
+    for k, n in enumerate(counts):
+        row: list = [n]
+        for name in datasets:
+            _, secs, speedup = per_ds[name][k]
+            paper = PAPER_TABLE4.get(n)
+            paper_speedup = (
+                paper[0] if paper and name == "ck34" else paper[2] if paper else float("nan")
+            )
+            row += [speedup, paper_speedup, secs]
+        rows.append(tuple(row))
+
+    columns: list[str] = ["slave cores"]
+    for name in datasets:
+        columns += [f"{name} speedup", f"{name} paper", f"{name} time (s)"]
+
+    fig6 = ascii_plot(
+        {
+            name: [(n, sp) for n, _, sp in per_ds[name]]
+            for name in datasets
+        },
+        title="Figure 6: speedup vs number of slave cores",
+    )
+    return ExperimentResult(
+        exp_id="exp2",
+        title="Table IV: rckAlign all-vs-all performance and speedup",
+        columns=tuple(columns),
+        rows=rows,
+        notes=fig6,
+        extras={"series": per_ds, "baselines": baselines},
+    )

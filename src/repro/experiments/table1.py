@@ -1,0 +1,44 @@
+"""Table I: salient features of the (simulated) SCC chip."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.scc.config import SccConfig
+
+__all__ = ["run_table1"]
+
+
+def run_table1(config: SccConfig | None = None) -> ExperimentResult:
+    cfg = config or SccConfig()
+    noc = cfg.noc
+    rows = [
+        (
+            "Core architecture",
+            f"{noc.width}x{noc.height} mesh, {cfg.cores_per_tile} "
+            f"{cfg.core_cpu.name.split('(')[0].strip()} cores per tile "
+            f"({cfg.n_cores} cores)",
+        ),
+        (
+            "Local cache",
+            f"{cfg.mpb_bytes_per_tile // 1024}KB shared MPB per tile "
+            f"({cfg.mpb_bytes_per_core // 1024}KB per core)",
+        ),
+        (
+            "Mesh",
+            f"{noc.mesh_freq_hz / 1e9:.1f} GHz, "
+            f"{noc.link_bytes_per_cycle:.0f} B/cycle links, "
+            f"{noc.router_latency_cycles:.0f}-cycle routers",
+        ),
+        (
+            "Main memory",
+            f"{len(noc.mc_coords)} iMCs, "
+            f"{noc.dram_bandwidth_bytes_per_s / 1e9:.1f} GB/s each",
+        ),
+    ]
+    return ExperimentResult(
+        exp_id="table1",
+        title="Salient features of the simulated SCC chip",
+        columns=("feature", "value"),
+        rows=rows,
+        notes="Paper Table I: 6x4 mesh, 2 P54C cores/tile, 16KB MPB/tile, 4 iMCs.",
+    )

@@ -1,0 +1,34 @@
+"""Rigid-body geometry kernels used by the structure-comparison algorithms.
+
+Everything operates on ``(N, 3)`` float64 NumPy arrays of coordinates
+(Cα traces in this project).
+"""
+
+from repro.geometry.transforms import (
+    RigidTransform,
+    random_rotation,
+    rotation_about_axis,
+)
+from repro.geometry.kabsch import kabsch, superpose, rmsd, rmsd_superposed
+from repro.geometry.distances import (
+    pairwise_distances,
+    cross_distances,
+    contact_map,
+    radius_of_gyration,
+    sequential_distances,
+)
+
+__all__ = [
+    "RigidTransform",
+    "random_rotation",
+    "rotation_about_axis",
+    "kabsch",
+    "superpose",
+    "rmsd",
+    "rmsd_superposed",
+    "pairwise_distances",
+    "cross_distances",
+    "contact_map",
+    "radius_of_gyration",
+    "sequential_distances",
+]

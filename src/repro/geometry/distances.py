@@ -1,0 +1,67 @@
+"""Distance-geometry helpers for Cα traces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pairwise_distances",
+    "cross_distances",
+    "contact_map",
+    "radius_of_gyration",
+    "sequential_distances",
+]
+
+
+def _coords(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) coordinates, got {x.shape}")
+    return x
+
+
+def pairwise_distances(coords: np.ndarray) -> np.ndarray:
+    """Symmetric ``(N, N)`` Euclidean distance matrix."""
+    coords = _coords(coords)
+    diff = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(Na, Nb)`` distance matrix between two coordinate sets.
+
+    Uses the expanded-square formulation, clipping tiny negatives that
+    arise from cancellation.
+    """
+    a = _coords(a)
+    b = _coords(b)
+    sq = (
+        (a * a).sum(axis=1)[:, None]
+        + (b * b).sum(axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq)
+
+
+def contact_map(coords: np.ndarray, cutoff: float = 8.0) -> np.ndarray:
+    """Boolean contact map at ``cutoff`` Å, diagonal excluded."""
+    dist = pairwise_distances(coords)
+    contacts = dist < cutoff
+    np.fill_diagonal(contacts, False)
+    return contacts
+
+
+def radius_of_gyration(coords: np.ndarray) -> float:
+    coords = _coords(coords)
+    centered = coords - coords.mean(axis=0)
+    return float(np.sqrt((centered * centered).sum() / coords.shape[0]))
+
+
+def sequential_distances(coords: np.ndarray, offset: int = 1) -> np.ndarray:
+    """Distances between residues ``i`` and ``i + offset`` along the chain."""
+    coords = _coords(coords)
+    if offset < 1 or offset >= coords.shape[0]:
+        raise ValueError(f"offset {offset} out of range for {coords.shape[0]} points")
+    diff = coords[offset:] - coords[:-offset]
+    return np.sqrt((diff * diff).sum(axis=1))

@@ -1,0 +1,83 @@
+"""Rigid transforms (proper rotations + translations) in 3-D."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RigidTransform", "random_rotation", "rotation_about_axis"]
+
+
+@dataclass(frozen=True)
+class RigidTransform:
+    """A proper rigid motion ``x -> R @ x + t``.
+
+    ``rotation`` is a 3x3 proper orthogonal matrix, ``translation`` a
+    length-3 vector.  Instances are immutable.
+    """
+
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        rot = np.asarray(self.rotation, dtype=np.float64)
+        tra = np.asarray(self.translation, dtype=np.float64)
+        if rot.shape != (3, 3):
+            raise ValueError(f"rotation must be 3x3, got {rot.shape}")
+        if tra.shape != (3,):
+            raise ValueError(f"translation must be length 3, got {tra.shape}")
+        object.__setattr__(self, "rotation", rot)
+        object.__setattr__(self, "translation", tra)
+
+    @classmethod
+    def identity(cls) -> "RigidTransform":
+        return cls()
+
+    def apply(self, coords: np.ndarray) -> np.ndarray:
+        """Transform an ``(N, 3)`` coordinate array (or a single point)."""
+        coords = np.asarray(coords, dtype=np.float64)
+        return coords @ self.rotation.T + self.translation
+
+    def compose(self, other: "RigidTransform") -> "RigidTransform":
+        """Return the transform equivalent to applying ``other`` then self."""
+        return RigidTransform(
+            rotation=self.rotation @ other.rotation,
+            translation=self.rotation @ other.translation + self.translation,
+        )
+
+    def inverse(self) -> "RigidTransform":
+        rot_inv = self.rotation.T
+        return RigidTransform(rotation=rot_inv, translation=-rot_inv @ self.translation)
+
+    def is_proper(self, atol: float = 1e-8) -> bool:
+        """Check orthogonality and det=+1 (no reflection)."""
+        rot = self.rotation
+        return bool(
+            np.allclose(rot @ rot.T, np.eye(3), atol=atol)
+            and np.isclose(np.linalg.det(rot), 1.0, atol=atol)
+        )
+
+
+def rotation_about_axis(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rotation matrix about ``axis`` by ``angle`` radians (Rodrigues)."""
+    axis = np.asarray(axis, dtype=np.float64)
+    norm = np.linalg.norm(axis)
+    if norm == 0:
+        raise ValueError("axis must be non-zero")
+    ux, uy, uz = axis / norm
+    c, s = np.cos(angle), np.sin(angle)
+    cross = np.array([[0.0, -uz, uy], [uz, 0.0, -ux], [-uy, ux, 0.0]])
+    outer = np.outer([ux, uy, uz], [ux, uy, uz])
+    return c * np.eye(3) + s * cross + (1.0 - c) * outer
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Uniformly distributed proper rotation matrix (QR of Gaussian)."""
+    mat = rng.standard_normal((3, 3))
+    q, r = np.linalg.qr(mat)
+    # Fix signs so the distribution is uniform (Mezzadri 2007).
+    q = q * np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q

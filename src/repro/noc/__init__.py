@@ -1,0 +1,21 @@
+"""Network-on-Chip model: 2-D mesh, XY routing, contention-aware links.
+
+Message-level simulation of the SCC's 6x4 router mesh (DESIGN.md §5.1):
+each directed link between adjacent routers is a FIFO resource with a
+bandwidth and a per-hop router latency; a message traverses its XY path
+hop by hop (virtual cut-through with per-hop serialization), so
+congestion at any link — in practice the master tile's injection link —
+queues messages realistically.  Memory controllers at the mesh edges
+model off-chip DRAM reads with their own bandwidth/latency.
+"""
+
+from repro.noc.mesh import Mesh, TileCoord
+from repro.noc.fabric import NocFabric, NocConfig, MemoryController
+
+__all__ = [
+    "Mesh",
+    "TileCoord",
+    "NocFabric",
+    "NocConfig",
+    "MemoryController",
+]

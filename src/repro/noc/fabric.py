@@ -1,0 +1,196 @@
+"""Contention-aware message transport over the mesh.
+
+Transfers are simulated at message granularity: a message of B bytes
+crossing hop h acquires that directed link, holds it for
+``router_latency + B / link_bandwidth`` and releases it (per-hop
+store-and-forward/virtual-cut-through approximation — see DESIGN.md
+§5.1).  Only one message occupies a directed link at a time, so queueing
+at a hot link (e.g. the master's injection port) emerges naturally, while
+acquiring one link at a time keeps the model trivially deadlock-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.noc.mesh import Mesh, TileCoord
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["NocConfig", "NocFabric", "MemoryController"]
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Timing/topology parameters of the on-chip network.
+
+    Defaults approximate the SCC: 6x4 router mesh clocked at 1.6 GHz,
+    16-byte links, 4-cycle router traversal; 4 DDR3 memory controllers
+    at the mesh's edge columns.
+    """
+
+    width: int = 6
+    height: int = 4
+    mesh_freq_hz: float = 1.6e9
+    link_bytes_per_cycle: float = 16.0
+    router_latency_cycles: float = 4.0
+    local_latency_s: float = 50e-9  # tile-internal (MPB) access, no mesh hop
+    dram_bandwidth_bytes_per_s: float = 5.3e9
+    dram_latency_s: float = 100e-9
+    # memory controllers attach at these router coordinates (SCC: two on
+    # each of the west/east edges)
+    mc_coords: tuple[tuple[int, int], ...] = ((0, 0), (0, 3), (5, 0), (5, 3))
+    # transfer fidelity:
+    #   'store_forward' — each hop pays router latency + full message
+    #       serialization before the next hop starts (conservative, the
+    #       default used for the paper reproduction);
+    #   'wormhole'      — the message pipelines through the path: the
+    #       head pays per-hop router latency, the body streams once, and
+    #       every link on the path is held for the overlapping interval
+    #       (faithful to the SCC's virtual-cut-through mesh for large
+    #       messages).
+    fidelity: str = "store_forward"
+
+    def __post_init__(self) -> None:
+        if self.mesh_freq_hz <= 0 or self.link_bytes_per_cycle <= 0:
+            raise ValueError("mesh frequency and link width must be positive")
+        if self.router_latency_cycles < 0:
+            raise ValueError("router latency cannot be negative")
+        if self.fidelity not in ("store_forward", "wormhole"):
+            raise ValueError(f"unknown fidelity {self.fidelity!r}")
+
+    @property
+    def link_bandwidth_bytes_per_s(self) -> float:
+        return self.link_bytes_per_cycle * self.mesh_freq_hz
+
+    @property
+    def hop_latency_s(self) -> float:
+        return self.router_latency_cycles / self.mesh_freq_hz
+
+
+class MemoryController:
+    """One off-chip DRAM port: bandwidth-limited FIFO resource."""
+
+    def __init__(self, env: Environment, config: NocConfig, coord: TileCoord) -> None:
+        self.env = env
+        self.config = config
+        self.coord = coord
+        self._port = Resource(env, capacity=1)
+        self.bytes_served = 0
+
+    def read(self, nbytes: int) -> Generator:
+        """Coroutine: serve a read of ``nbytes`` (latency + serialization)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        req = self._port.request()
+        yield req
+        try:
+            service = (
+                self.config.dram_latency_s
+                + nbytes / self.config.dram_bandwidth_bytes_per_s
+            )
+            yield self.env.timeout(service)
+            self.bytes_served += nbytes
+        finally:
+            self._port.release(req)
+
+
+class NocFabric:
+    """The simulated interconnect: mesh + directed links + controllers."""
+
+    def __init__(self, env: Environment, config: NocConfig | None = None) -> None:
+        self.env = env
+        self.config = config or NocConfig()
+        self.mesh = Mesh(self.config.width, self.config.height)
+        # one Resource per directed link between adjacent routers
+        self._links: dict[tuple[TileCoord, TileCoord], Resource] = {}
+        for t in range(self.mesh.n_tiles):
+            c = self.mesh.coord(t)
+            for nb in self.mesh.neighbors(c):
+                self._links[(c, nb)] = Resource(env, capacity=1)
+        self.memory_controllers = [
+            MemoryController(env, self.config, TileCoord(x, y))
+            for (x, y) in self.config.mc_coords
+        ]
+        # instrumentation
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def link(self, src: TileCoord, dst: TileCoord) -> Resource:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no directed link {src}->{dst}") from None
+
+    def link_utilization(self) -> dict[tuple[TileCoord, TileCoord], int]:
+        """Total grant count per directed link (hot-spot analysis)."""
+        return {k: v.total_grants for k, v in self._links.items()}
+
+    def transfer(self, src_tile: int, dst_tile: int, nbytes: int) -> Generator:
+        """Coroutine: move ``nbytes`` from ``src_tile`` to ``dst_tile``.
+
+        Completes when the last byte arrives.  Same-tile transfers only
+        pay the local (MPB) latency.  The contention model depends on
+        ``config.fidelity`` (see :class:`NocConfig`).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        src = self.mesh.coord(src_tile)
+        dst = self.mesh.coord(dst_tile)
+        if src == dst:
+            yield self.env.timeout(self.config.local_latency_s)
+            return
+        path = self.mesh.xy_route(src, dst)
+        if self.config.fidelity == "wormhole":
+            yield from self._transfer_wormhole(path, nbytes)
+        else:
+            yield from self._transfer_store_forward(path, nbytes)
+
+    def _transfer_store_forward(self, path, nbytes: int) -> Generator:
+        """Per-hop: acquire link, pay router latency + full message
+        serialization, release, advance."""
+        serialization = nbytes / self.config.link_bandwidth_bytes_per_s
+        for hop_src, hop_dst in path:
+            link = self._links[(hop_src, hop_dst)]
+            req = link.request()
+            yield req
+            try:
+                yield self.env.timeout(self.config.hop_latency_s + serialization)
+            finally:
+                link.release(req)
+
+    def _transfer_wormhole(self, path, nbytes: int) -> Generator:
+        """Pipelined: the head acquires links hop by hop (router latency
+        each); once the path is held, the body streams exactly once; all
+        links release together when the tail passes.
+
+        Deadlock-free despite holding multiple links: XY routing orders
+        every path's link acquisitions by dimension then coordinate, so
+        no circular wait can form.
+        """
+        held = []
+        try:
+            for hop_src, hop_dst in path:
+                link = self._links[(hop_src, hop_dst)]
+                req = link.request()
+                yield req
+                held.append((link, req))
+                yield self.env.timeout(self.config.hop_latency_s)
+            yield self.env.timeout(nbytes / self.config.link_bandwidth_bytes_per_s)
+        finally:
+            for link, req in held:
+                link.release(req)
+
+    def dram_read(self, tile: int, nbytes: int) -> Generator:
+        """Coroutine: read ``nbytes`` from the nearest memory controller,
+        including the mesh transfer of the data back to ``tile``."""
+        coord = self.mesh.coord(tile)
+        mc = min(
+            self.memory_controllers,
+            key=lambda m: (self.mesh.hop_count(m.coord, coord), m.coord),
+        )
+        yield from mc.read(nbytes)
+        yield from self.transfer(self.mesh.tile_id(mc.coord), tile, nbytes)

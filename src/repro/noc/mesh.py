@@ -1,0 +1,95 @@
+"""Mesh topology and XY dimension-ordered routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import networkx as nx
+
+__all__ = ["TileCoord", "Mesh"]
+
+
+@dataclass(frozen=True, order=True)
+class TileCoord:
+    """Router/tile coordinate on the mesh: x is the column, y the row."""
+
+    x: int
+    y: int
+
+    def __repr__(self) -> str:
+        return f"({self.x},{self.y})"
+
+
+class Mesh:
+    """A ``width x height`` 2-D mesh of routers.
+
+    Provides tile-id <-> coordinate mapping and deterministic XY
+    (dimension-ordered: x first, then y) routing, the algorithm the SCC
+    mesh uses; XY routing is deadlock-free on a mesh.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        self.width = width
+        self.height = height
+
+    @property
+    def n_tiles(self) -> int:
+        return self.width * self.height
+
+    def coord(self, tile_id: int) -> TileCoord:
+        if not 0 <= tile_id < self.n_tiles:
+            raise ValueError(f"tile id {tile_id} out of range [0, {self.n_tiles})")
+        return TileCoord(tile_id % self.width, tile_id // self.width)
+
+    def tile_id(self, coord: TileCoord) -> int:
+        if not (0 <= coord.x < self.width and 0 <= coord.y < self.height):
+            raise ValueError(f"coordinate {coord} outside {self.width}x{self.height}")
+        return coord.y * self.width + coord.x
+
+    def neighbors(self, coord: TileCoord) -> Iterator[TileCoord]:
+        if coord.x > 0:
+            yield TileCoord(coord.x - 1, coord.y)
+        if coord.x < self.width - 1:
+            yield TileCoord(coord.x + 1, coord.y)
+        if coord.y > 0:
+            yield TileCoord(coord.x, coord.y - 1)
+        if coord.y < self.height - 1:
+            yield TileCoord(coord.x, coord.y + 1)
+
+    def xy_route(self, src: TileCoord, dst: TileCoord) -> list[tuple[TileCoord, TileCoord]]:
+        """Directed hops from ``src`` to ``dst``: x-dimension first, then y."""
+        for c in (src, dst):
+            if not (0 <= c.x < self.width and 0 <= c.y < self.height):
+                raise ValueError(f"coordinate {c} outside mesh")
+        hops: list[tuple[TileCoord, TileCoord]] = []
+        cur = src
+        step_x = 1 if dst.x > src.x else -1
+        while cur.x != dst.x:
+            nxt = TileCoord(cur.x + step_x, cur.y)
+            hops.append((cur, nxt))
+            cur = nxt
+        step_y = 1 if dst.y > src.y else -1
+        while cur.y != dst.y:
+            nxt = TileCoord(cur.x, cur.y + step_y)
+            hops.append((cur, nxt))
+            cur = nxt
+        return hops
+
+    def hop_count(self, src: TileCoord, dst: TileCoord) -> int:
+        """Manhattan distance (number of router-to-router hops)."""
+        return abs(src.x - dst.x) + abs(src.y - dst.y)
+
+    def to_networkx(self) -> "nx.Graph":
+        """The mesh as a networkx grid graph (analysis/visualisation)."""
+        g = nx.Graph()
+        for t in range(self.n_tiles):
+            c = self.coord(t)
+            g.add_node(t, x=c.x, y=c.y)
+        for t in range(self.n_tiles):
+            c = self.coord(t)
+            for nb in self.neighbors(c):
+                g.add_edge(t, self.tile_id(nb))
+        return g

@@ -1,0 +1,39 @@
+"""Protein structure comparison methods and task-level helpers.
+
+Defines the :class:`PSCMethod` interface the parallel framework farms
+out, the TM-align method plus two light-weight alternatives used for
+multi-criteria PSC (paper §V's extension), a cost-aware
+:class:`JobEvaluator` shared by the serial baseline and the simulators,
+and the serial one-vs-all ranked search API.
+"""
+
+from repro.psc.base import PSCMethod
+from repro.psc.methods import (
+    TMAlignMethod,
+    KabschRmsdMethod,
+    SSECompositionMethod,
+    METHOD_REGISTRY,
+    get_method,
+)
+from repro.psc.contact import ContactProfileMethod
+from repro.seqalign.method import SequenceIdentityMethod
+
+METHOD_REGISTRY["contact_profile"] = ContactProfileMethod
+METHOD_REGISTRY["seq_identity"] = SequenceIdentityMethod
+from repro.psc.evaluator import JobEvaluator, EvalMode
+from repro.psc.search import one_vs_all, all_vs_all, RankedHit
+
+__all__ = [
+    "PSCMethod",
+    "TMAlignMethod",
+    "KabschRmsdMethod",
+    "SSECompositionMethod",
+    "ContactProfileMethod",
+    "METHOD_REGISTRY",
+    "get_method",
+    "JobEvaluator",
+    "EvalMode",
+    "one_vs_all",
+    "all_vs_all",
+    "RankedHit",
+]

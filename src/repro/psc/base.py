@@ -1,0 +1,50 @@
+"""The pairwise PSC method interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping
+
+from repro.cost.counters import CostCounter
+from repro.structure.model import Chain
+
+__all__ = ["PSCMethod"]
+
+
+class PSCMethod(ABC):
+    """A pairwise protein-structure-comparison method.
+
+    Implementations provide the *real* computation (``compare``) and an
+    analytic estimate of its operation counts (``estimate_counts``) used
+    by the timing simulators in model mode.  ``score_key`` names the
+    entry of the result mapping used for ranking (higher = more
+    similar).
+    """
+
+    #: registry/display name, e.g. ``"tmalign"``
+    name: str = "abstract"
+    #: key of the ranking score in the result mapping
+    score_key: str = "score"
+
+    @abstractmethod
+    def compare(
+        self, chain_a: Chain, chain_b: Chain, counter: CostCounter
+    ) -> Dict[str, float]:
+        """Run the real comparison, charging ``counter`` with op counts.
+
+        Returns a flat mapping of named scores (must include
+        ``self.score_key``).
+        """
+
+    @abstractmethod
+    def estimate_counts(
+        self, len_a: int, len_b: int, pair_key: str | None = None
+    ) -> Mapping[str, float]:
+        """Analytic op-count estimate for a pair of the given lengths."""
+
+    def similarity(self, result: Mapping[str, float]) -> float:
+        """Ranking score from a result mapping (higher = more similar)."""
+        return float(result[self.score_key])
+
+    def __repr__(self) -> str:
+        return f"<PSCMethod {self.name}>"

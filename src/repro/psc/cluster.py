@@ -1,0 +1,90 @@
+"""Fold clustering from all-vs-all similarity tables.
+
+The end product of an all-vs-all PSC run is usually a clustering of the
+database into fold families; this module provides the standard
+average-linkage hierarchical clustering over ``1 - similarity``
+distances (scipy backend) and agreement metrics against known labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.spatial.distance import squareform
+
+from repro.datasets.registry import Dataset
+from repro.psc.io import score_matrix
+
+__all__ = ["cluster_families", "cluster_agreement", "adjusted_rand_index"]
+
+
+def cluster_families(
+    table: Mapping[tuple[str, str], Mapping[str, float]],
+    score_key: str,
+    dataset: Optional[Dataset] = None,
+    names: Optional[Sequence[str]] = None,
+    threshold: float = 0.5,
+    method: str = "average",
+) -> Dict[str, int]:
+    """Cluster chains from an all-vs-all score table.
+
+    ``threshold`` is a *similarity* cut: pairs more similar than it end
+    up in the same cluster (for TM-scores, 0.5 is the conventional
+    same-fold line).  Returns ``{chain_name: cluster_id}`` with cluster
+    ids starting at 1.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    mat, order = score_matrix(table, score_key, dataset=dataset, names=names)
+    if np.isnan(mat).any():
+        raise ValueError("score table does not cover all pairs")
+    dist = 1.0 - np.clip(mat, 0.0, 1.0)
+    np.fill_diagonal(dist, 0.0)
+    # enforce symmetry within float tolerance for squareform
+    dist = (dist + dist.T) / 2.0
+    condensed = squareform(dist, checks=False)
+    tree = linkage(condensed, method=method)
+    labels = fcluster(tree, t=1.0 - threshold, criterion="distance")
+    return {name: int(lbl) for name, lbl in zip(order, labels)}
+
+
+def adjusted_rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Adjusted Rand index between two flat clusterings (in [-1, 1])."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("label arrays must be equal-length 1-D")
+    n = a.size
+    if n < 2:
+        raise ValueError("need at least two items")
+    cats_a = {v: k for k, v in enumerate(sorted(set(a.tolist())))}
+    cats_b = {v: k for k, v in enumerate(sorted(set(b.tolist())))}
+    cont = np.zeros((len(cats_a), len(cats_b)), dtype=np.int64)
+    for x, y in zip(a.tolist(), b.tolist()):
+        cont[cats_a[x], cats_b[y]] += 1
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(cont).sum()
+    sum_rows = comb2(cont.sum(axis=1)).sum()
+    sum_cols = comb2(cont.sum(axis=0)).sum()
+    total = comb2(n)
+    expected = sum_rows * sum_cols / total
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def cluster_agreement(
+    clusters: Mapping[str, int], dataset: Dataset
+) -> float:
+    """ARI between a clustering and the dataset's family labels."""
+    names = [c.name for c in dataset]
+    fams = {f: k for k, f in enumerate(sorted({c.family or c.name for c in dataset}))}
+    truth = [fams[c.family or c.name] for c in dataset]
+    predicted = [clusters[n] for n in names]
+    return adjusted_rand_index(truth, predicted)

@@ -1,0 +1,104 @@
+"""Consensus PSC: combine several methods' rankings (paper §I–II).
+
+"Several methods are used in the PSC domain and the current trend is to
+generate consensus results by combining them" — multi-criteria PSC
+exists precisely to feed consensus scoring.  This module aggregates the
+per-method score tables an MC-PSC run produces into a single ranking:
+
+* ``borda``     — mean of the per-method rank positions;
+* ``mean_rank`` — identical to borda up to orientation (kept as an
+  explicit name);
+* ``zscore``    — mean of per-method standardized scores, which keeps
+  magnitude information the rank transforms discard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["consensus_scores", "consensus_from_mcpsc", "CONSENSUS_SCHEMES"]
+
+CONSENSUS_SCHEMES = ("borda", "mean_rank", "zscore")
+
+PairKey = tuple[str, str]
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Rank positions (1 = best/highest), average ranks for ties."""
+    order = np.argsort(-values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    return ranks
+
+
+def consensus_scores(
+    per_method: Mapping[str, Mapping[PairKey, float]],
+    scheme: str = "borda",
+) -> Dict[PairKey, float]:
+    """Aggregate per-method pair scores into consensus scores.
+
+    ``per_method`` maps method name -> {pair: similarity}.  All methods
+    must cover the same pair set.  Higher consensus = more similar.
+    """
+    if scheme not in CONSENSUS_SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; known: {CONSENSUS_SCHEMES}")
+    if not per_method:
+        raise ValueError("need at least one method")
+    methods = list(per_method)
+    pair_sets = [set(per_method[m]) for m in methods]
+    pairs = sorted(pair_sets[0])
+    for m, ps in zip(methods, pair_sets):
+        if ps != pair_sets[0]:
+            raise ValueError(f"method {m!r} covers a different pair set")
+
+    matrix = np.array(
+        [[float(per_method[m][p]) for p in pairs] for m in methods]
+    )  # (n_methods, n_pairs)
+
+    if scheme in ("borda", "mean_rank"):
+        ranks = np.vstack([_ranks(row) for row in matrix])
+        combined = -ranks.mean(axis=0)  # smaller mean rank = better
+    else:  # zscore
+        std = matrix.std(axis=1, keepdims=True)
+        std[std == 0] = 1.0
+        z = (matrix - matrix.mean(axis=1, keepdims=True)) / std
+        combined = z.mean(axis=0)
+    return {pair: float(score) for pair, score in zip(pairs, combined)}
+
+
+def consensus_from_mcpsc(
+    report,
+    score_keys: Mapping[str, str],
+    dataset,
+    scheme: str = "borda",
+) -> Dict[PairKey, float]:
+    """Consensus over a :class:`~repro.core.framework.McPscReport`.
+
+    ``score_keys`` maps method name -> the result key holding its
+    similarity (e.g. ``{"tmalign": "tm_norm_b", ...}``).  Only methods
+    present in both the report and ``score_keys`` participate.
+    """
+    per_method: Dict[str, Dict[PairKey, float]] = {}
+    for method, results in report.per_method_results.items():
+        if method not in score_keys:
+            continue
+        key = score_keys[method]
+        table: Dict[PairKey, float] = {}
+        for r in results:
+            i, j = r.payload["i"], r.payload["j"]
+            table[(dataset[i].name, dataset[j].name)] = float(r.payload[key])
+        per_method[method] = table
+    if not per_method:
+        raise ValueError("no overlapping methods between report and score_keys")
+    return consensus_scores(per_method, scheme)

@@ -1,0 +1,74 @@
+"""Cost-aware pair evaluation shared by all runners.
+
+The serial baseline, the distributed-MCPC baseline and rckAlign must
+charge *identical* per-pair costs for the speedup tables to be
+meaningful, so they all evaluate pairs through one :class:`JobEvaluator`:
+
+* ``model`` mode (default for timing sweeps): op counts come from the
+  method's analytic estimate; no structures are actually aligned.
+* ``measured`` mode: the real method runs and its measured op counts
+  are used; results are memoized per pair so that parameter sweeps pay
+  the Python cost once.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.cost.counters import CostCounter
+from repro.datasets.registry import Dataset
+from repro.psc.base import PSCMethod
+from repro.psc.methods import TMAlignMethod
+
+__all__ = ["EvalMode", "JobEvaluator"]
+
+
+class EvalMode(str, enum.Enum):
+    MODEL = "model"
+    MEASURED = "measured"
+
+
+class JobEvaluator:
+    """Evaluates (i, j) pairs of a dataset for one PSC method."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        method: Optional[PSCMethod] = None,
+        mode: EvalMode | str = EvalMode.MODEL,
+    ) -> None:
+        self.dataset = dataset
+        self.method = method or TMAlignMethod()
+        self.mode = EvalMode(mode)
+        self._cache: Dict[Tuple[int, int], Tuple[Dict[str, float], CostCounter]] = {}
+
+    def pair_key(self, i: int, j: int) -> str:
+        return f"{self.dataset[i].name}|{self.dataset[j].name}"
+
+    def evaluate(self, i: int, j: int) -> tuple[Dict[str, float], CostCounter]:
+        """Return ``(scores, op_counts)`` for comparing chains i and j."""
+        if self.mode is EvalMode.MODEL:
+            counts = CostCounter()
+            est = self.method.estimate_counts(
+                len(self.dataset[i]), len(self.dataset[j]), self.pair_key(i, j)
+            )
+            for op, v in est.items():
+                counts.add(op, v)
+            scores = {"estimated": 1.0}
+            return scores, counts
+        key = (i, j)
+        if key not in self._cache:
+            counter = CostCounter()
+            scores = self.method.compare(self.dataset[i], self.dataset[j], counter)
+            self._cache[key] = (scores, counter)
+        scores, counter = self._cache[key]
+        return dict(scores), counter.copy()
+
+    def job_nbytes(self, i: int, j: int) -> int:
+        """Wire size of the job the master ships (both structures)."""
+        return self.dataset[i].nbytes_wire + self.dataset[j].nbytes_wire + 64
+
+    def result_nbytes(self) -> int:
+        """Wire size of a result record (scores, not the alignment)."""
+        return 256

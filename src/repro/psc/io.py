@@ -1,0 +1,108 @@
+"""Persistence of PSC results: score tables as CSV/JSON, score matrices.
+
+A downstream user wants the all-vs-all numbers on disk, not in a Python
+dict; these helpers write/read the score tables produced by
+:func:`repro.psc.search.all_vs_all` (and the consensus tables) and pivot
+them into dense matrices for clustering tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.registry import Dataset
+
+__all__ = [
+    "write_score_table_csv",
+    "read_score_table_csv",
+    "write_score_table_json",
+    "read_score_table_json",
+    "score_matrix",
+]
+
+PairKey = tuple[str, str]
+Table = Mapping[PairKey, Mapping[str, float]]
+
+
+def write_score_table_csv(table: Table, path: str | os.PathLike) -> None:
+    """One row per pair; columns = union of all score keys (sorted)."""
+    if not table:
+        raise ValueError("empty score table")
+    keys = sorted({k for result in table.values() for k in result})
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["chain_a", "chain_b", *keys])
+        for (a, b), result in sorted(table.items()):
+            writer.writerow([a, b, *(format(result.get(k, ""), "") for k in keys)])
+
+
+def read_score_table_csv(path: str | os.PathLike) -> Dict[PairKey, Dict[str, float]]:
+    out: Dict[PairKey, Dict[str, float]] = {}
+    with open(path, newline="", encoding="ascii") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if header[:2] != ["chain_a", "chain_b"]:
+            raise ValueError(f"not a score-table CSV: header {header[:2]}")
+        keys = header[2:]
+        for row in reader:
+            a, b, *values = row
+            out[(a, b)] = {
+                k: float(v) for k, v in zip(keys, values) if v != ""
+            }
+    return out
+
+
+def write_score_table_json(table: Table, path: str | os.PathLike) -> None:
+    payload = [
+        {"chain_a": a, "chain_b": b, "scores": dict(result)}
+        for (a, b), result in sorted(table.items())
+    ]
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+
+
+def read_score_table_json(path: str | os.PathLike) -> Dict[PairKey, Dict[str, float]]:
+    with open(path, encoding="ascii") as fh:
+        payload = json.load(fh)
+    return {
+        (entry["chain_a"], entry["chain_b"]): dict(entry["scores"])
+        for entry in payload
+    }
+
+
+def score_matrix(
+    table: Table,
+    score_key: str,
+    dataset: Optional[Dataset] = None,
+    names: Optional[Sequence[str]] = None,
+    diagonal: float = 1.0,
+    missing: float = np.nan,
+) -> tuple[np.ndarray, list[str]]:
+    """Pivot a pair table into a symmetric (N, N) matrix.
+
+    Chain order comes from ``dataset``/``names`` when given, otherwise
+    from the sorted set of names in the table.  Returns
+    ``(matrix, names)``.
+    """
+    if dataset is not None:
+        order = [c.name for c in dataset]
+    elif names is not None:
+        order = list(names)
+    else:
+        order = sorted({n for pair in table for n in pair})
+    idx = {name: k for k, name in enumerate(order)}
+    n = len(order)
+    mat = np.full((n, n), missing, dtype=np.float64)
+    np.fill_diagonal(mat, diagonal)
+    for (a, b), result in table.items():
+        if a not in idx or b not in idx:
+            raise KeyError(f"pair ({a}, {b}) not in the requested chain order")
+        value = float(result[score_key])
+        mat[idx[a], idx[b]] = value
+        mat[idx[b], idx[a]] = value
+    return mat, order

@@ -1,0 +1,183 @@
+"""Concrete PSC methods.
+
+* :class:`TMAlignMethod` — the paper's method (full TM-align).
+* :class:`KabschRmsdMethod` — gapless sliding-window Kabsch RMSD, a
+  cheap geometric comparator.
+* :class:`SSECompositionMethod` — secondary-structure composition
+  distance, the cheapest of all.
+
+The latter two exist so the multi-criteria PSC extension (paper §V) has
+genuinely different algorithms with different complexities to partition
+cores over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.cost.counters import CostCounter
+from repro.cost.model import DEFAULT_PAIR_COST_MODEL, PairCostModel
+from repro.geometry.kabsch import kabsch
+from repro.psc.base import PSCMethod
+from repro.structure.model import Chain
+from repro.structure.secstruct import SS_COIL, SS_HELIX, SS_STRAND, SS_TURN
+from repro.tmalign.align import tm_align
+from repro.tmalign.params import TMAlignParams
+
+__all__ = [
+    "TMAlignMethod",
+    "KabschRmsdMethod",
+    "SSECompositionMethod",
+    "METHOD_REGISTRY",
+    "get_method",
+]
+
+
+class TMAlignMethod(PSCMethod):
+    """Full TM-align; ranking score is the TM-score normalised by the
+    target (second) chain."""
+
+    name = "tmalign"
+    score_key = "tm_norm_b"
+
+    def __init__(
+        self,
+        params: Optional[TMAlignParams] = None,
+        cost_model: Optional[PairCostModel] = None,
+    ) -> None:
+        self.params = params or TMAlignParams()
+        self.cost_model = cost_model or DEFAULT_PAIR_COST_MODEL
+
+    def compare(
+        self, chain_a: Chain, chain_b: Chain, counter: CostCounter
+    ) -> Dict[str, float]:
+        res = tm_align(chain_a, chain_b, params=self.params, counter=counter)
+        return {
+            "tm_norm_a": res.tm_norm_a,
+            "tm_norm_b": res.tm_norm_b,
+            "rmsd": res.rmsd,
+            "n_aligned": float(res.n_aligned),
+            "seq_identity": res.seq_identity,
+        }
+
+    def estimate_counts(
+        self, len_a: int, len_b: int, pair_key: str | None = None
+    ) -> Mapping[str, float]:
+        return self.cost_model.counts(len_a, len_b, pair_key)
+
+
+class KabschRmsdMethod(PSCMethod):
+    """Best gapless-superposition similarity.
+
+    Slides the shorter chain along the longer one, superposing each
+    window with Kabsch; the score is ``1 / (1 + best_rmsd)`` so that
+    higher means more similar, like the other methods.
+    """
+
+    name = "kabsch_rmsd"
+    score_key = "similarity"
+
+    def __init__(self, stride: int = 4) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+
+    # Fraction of TM-align's calibrated per-comparison fixed overhead
+    # this method pays: it allocates no DP matrices and formats a single
+    # number, so only the structure-marshalling part remains.
+    FIXED_OVERHEAD_UNITS = 0.05
+
+    def compare(
+        self, chain_a: Chain, chain_b: Chain, counter: CostCounter
+    ) -> Dict[str, float]:
+        counter.add("align_fixed", self.FIXED_OVERHEAD_UNITS)
+        short, long_ = (
+            (chain_a.coords, chain_b.coords)
+            if len(chain_a) <= len(chain_b)
+            else (chain_b.coords, chain_a.coords)
+        )
+        n = short.shape[0]
+        best = np.inf
+        for start in range(0, long_.shape[0] - n + 1, self.stride) or [0]:
+            seg = long_[start : start + n]
+            xf = kabsch(short, seg, counter=counter)
+            diff = xf.apply(short) - seg
+            r = float(np.sqrt((diff * diff).sum() / n))
+            counter.add("score_pair", n)
+            best = min(best, r)
+        if not np.isfinite(best):  # equal lengths, single window
+            xf = kabsch(short, long_, counter=counter)
+            diff = xf.apply(short) - long_
+            best = float(np.sqrt((diff * diff).sum() / n))
+        return {"best_rmsd": best, "similarity": 1.0 / (1.0 + best)}
+
+    def estimate_counts(
+        self, len_a: int, len_b: int, pair_key: str | None = None
+    ) -> Mapping[str, float]:
+        lmin, lmax = sorted((len_a, len_b))
+        windows = max(1, (lmax - lmin) // self.stride + 1)
+        return {
+            "align_fixed": self.FIXED_OVERHEAD_UNITS,
+            "kabsch": float(windows),
+            "kabsch_point": float(windows * lmin),
+            "score_pair": float(windows * lmin),
+        }
+
+
+class SSECompositionMethod(PSCMethod):
+    """Secondary-structure composition similarity (histogram overlap).
+
+    Compares the fractional H/E/T/C composition of the two chains —
+    O(L) work, the cheapest comparator here.
+    """
+
+    name = "sse_composition"
+    score_key = "similarity"
+
+    _CLASSES = (SS_HELIX, SS_STRAND, SS_TURN, SS_COIL)
+
+    # see KabschRmsdMethod: composition comparison touches almost nothing
+    FIXED_OVERHEAD_UNITS = 0.01
+
+    def compare(
+        self, chain_a: Chain, chain_b: Chain, counter: CostCounter
+    ) -> Dict[str, float]:
+        counter.add("align_fixed", self.FIXED_OVERHEAD_UNITS)
+        counter.add("sec_res", len(chain_a) + len(chain_b))
+        fa = self._fractions(chain_a)
+        fb = self._fractions(chain_b)
+        overlap = float(np.minimum(fa, fb).sum())
+        return {"similarity": overlap}
+
+    def _fractions(self, chain: Chain) -> np.ndarray:
+        ss = chain.secondary
+        n = len(ss)
+        return np.array([ss.count(c) / n for c in self._CLASSES])
+
+    def estimate_counts(
+        self, len_a: int, len_b: int, pair_key: str | None = None
+    ) -> Mapping[str, float]:
+        return {
+            "align_fixed": self.FIXED_OVERHEAD_UNITS,
+            "sec_res": float(len_a + len_b),
+        }
+
+
+METHOD_REGISTRY = {
+    "tmalign": TMAlignMethod,
+    "kabsch_rmsd": KabschRmsdMethod,
+    "sse_composition": SSECompositionMethod,
+}
+
+
+def get_method(name: str, **kwargs) -> PSCMethod:
+    """Instantiate a registered method by name."""
+    try:
+        cls = METHOD_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PSC method {name!r}; known: {sorted(METHOD_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,70 @@
+"""Serial PSC task APIs: one-vs-all ranked search and all-vs-all matrix.
+
+These are the *algorithmic* (non-simulated) entry points a
+bioinformatician would call directly; the paper's motivating task is the
+ranked one-vs-all search ("retrieve a ranked list of proteins, where
+structurally similar proteins are ranked higher").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cost.counters import CostCounter
+from repro.datasets.registry import Dataset
+from repro.psc.base import PSCMethod
+from repro.psc.methods import TMAlignMethod
+from repro.structure.model import Chain
+
+__all__ = ["RankedHit", "one_vs_all", "all_vs_all"]
+
+
+@dataclass(frozen=True)
+class RankedHit:
+    """One entry of a ranked search result."""
+
+    chain_name: str
+    score: float
+    details: Dict[str, float]
+
+
+def one_vs_all(
+    query: Chain,
+    dataset: Dataset,
+    method: Optional[PSCMethod] = None,
+    counter: Optional[CostCounter] = None,
+    exclude_self: bool = True,
+) -> list[RankedHit]:
+    """Compare ``query`` against every dataset chain; rank by similarity."""
+    method = method or TMAlignMethod()
+    hits: list[RankedHit] = []
+    for chain in dataset:
+        if exclude_self and chain.name == query.name:
+            continue
+        ctr = CostCounter()
+        scores = method.compare(query, chain, ctr)
+        if counter is not None:
+            counter.merge(ctr)
+        hits.append(RankedHit(chain.name, method.similarity(scores), dict(scores)))
+    hits.sort(key=lambda h: (-h.score, h.chain_name))
+    return hits
+
+
+def all_vs_all(
+    dataset: Dataset,
+    method: Optional[PSCMethod] = None,
+    counter: Optional[CostCounter] = None,
+) -> Dict[tuple[str, str], Dict[str, float]]:
+    """All unordered pairs (i<j) of the dataset; returns a score table."""
+    method = method or TMAlignMethod()
+    out: Dict[tuple[str, str], Dict[str, float]] = {}
+    n = len(dataset)
+    for i in range(n):
+        for j in range(i + 1, n):
+            ctr = CostCounter()
+            scores = method.compare(dataset[i], dataset[j], ctr)
+            if counter is not None:
+                counter.merge(ctr)
+            out[(dataset[i].name, dataset[j].name)] = dict(scores)
+    return out

@@ -1,0 +1,31 @@
+"""The simulated Single-chip Cloud Computer (SCC).
+
+* :class:`SccConfig` — Table I of the paper as configuration: 6x4 tile
+  mesh, 2 P54C cores per tile (48 cores), 16 KB message-passing buffer
+  (MPB) per tile, 4 memory controllers.
+* :class:`SccMachine` — cores as simulation coroutines on top of the
+  :mod:`repro.noc` fabric.
+* :class:`Rcce` — a faithful-latency model of Intel's RCCE library:
+  blocking rendezvous send/recv with MPB-sized chunking, barrier and
+  broadcast.  Payloads are real Python objects carried through the
+  simulated network, so application data integrity is testable.
+"""
+
+from repro.scc.config import SccConfig
+from repro.scc.machine import SccMachine, Core, CoreStats
+from repro.scc.rcce import Rcce
+from repro.scc.power import PowerConfig, EnergyReport, estimate_rckalign_energy
+from repro.scc.trace import Tracer, render_gantt
+
+__all__ = [
+    "SccConfig",
+    "SccMachine",
+    "Core",
+    "CoreStats",
+    "Rcce",
+    "PowerConfig",
+    "EnergyReport",
+    "estimate_rckalign_energy",
+    "Tracer",
+    "render_gantt",
+]

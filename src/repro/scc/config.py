@@ -1,0 +1,56 @@
+"""SCC machine configuration (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.cpu import CpuModel, P54C_800
+from repro.noc.fabric import NocConfig
+
+__all__ = ["SccConfig"]
+
+
+@dataclass(frozen=True)
+class SccConfig:
+    """Parameters of the simulated chip.
+
+    Defaults reproduce the paper's Table I: a 6x4 mesh of 24 tiles, two
+    P54C x86 cores per tile (48 total), a 16 KB MPB per tile shared by
+    its two cores (8 KB each), four memory controllers.
+    """
+
+    noc: NocConfig = field(default_factory=NocConfig)
+    cores_per_tile: int = 2
+    core_cpu: CpuModel = P54C_800
+    mpb_bytes_per_tile: int = 16 * 1024
+    rcce_flag_bytes: int = 32  # one cache line per synchronisation flag
+    rcce_chunk_header_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.cores_per_tile < 1:
+            raise ValueError("cores_per_tile must be >= 1")
+        if self.mpb_bytes_per_tile < 2 * self.rcce_flag_bytes:
+            raise ValueError("MPB too small for flags")
+
+    @property
+    def n_tiles(self) -> int:
+        return self.noc.width * self.noc.height
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_tiles * self.cores_per_tile
+
+    @property
+    def mpb_bytes_per_core(self) -> int:
+        return self.mpb_bytes_per_tile // self.cores_per_tile
+
+    @property
+    def rcce_chunk_bytes(self) -> int:
+        """Payload bytes movable per rendezvous round (MPB share minus
+        the space reserved for flags and the chunk header)."""
+        return self.mpb_bytes_per_core - 2 * self.rcce_flag_bytes - self.rcce_chunk_header_bytes
+
+    def tile_of_core(self, core_id: int) -> int:
+        if not 0 <= core_id < self.n_cores:
+            raise ValueError(f"core id {core_id} out of range [0, {self.n_cores})")
+        return core_id // self.cores_per_tile

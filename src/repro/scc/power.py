@@ -1,0 +1,115 @@
+"""Power and energy model of the SCC chip.
+
+The SCC was built for power-management research: it dissipates ~25 W
+idle to ~125 W with all 48 cores busy at full voltage/frequency, split
+between the cores and the uncore (mesh + memory controllers).  This
+module prices a simulated run in joules so experiments can report the
+energy (and energy-delay) side of the many-core story — e.g. where the
+energy-optimal slave count lies for an all-vs-all task.
+
+The model is the standard CMOS split:
+
+* uncore power is constant while the chip is on;
+* an idle core burns leakage + clock-tree power;
+* a busy core adds dynamic power  ``C·V²·f``; with frequency scaling we
+  assume the voltage tracks frequency linearly inside the SCC's
+  operating range, so dynamic power scales ~cubically with the clock
+  multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["PowerConfig", "EnergyReport", "estimate_rckalign_energy", "cpu_energy"]
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Chip power parameters (defaults approximate the published SCC
+    envelope: 48 busy cores at 800 MHz ≈ 125 W, idle chip ≈ 25 W)."""
+
+    uncore_w: float = 19.0  # mesh, iMCs, I/O — always on
+    core_idle_w: float = 0.125  # leakage + clocking per core
+    core_active_w: float = 2.08  # additional dynamic power per busy core
+    freq_multiplier: float = 1.0  # relative to 800 MHz
+    voltage_tracks_frequency: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.uncore_w, self.core_idle_w, self.core_active_w) < 0:
+            raise ValueError("power figures must be non-negative")
+        if self.freq_multiplier <= 0:
+            raise ValueError("freq_multiplier must be positive")
+
+    @property
+    def active_core_w(self) -> float:
+        """Dynamic per-core power at the configured clock."""
+        m = self.freq_multiplier
+        scale = m**3 if self.voltage_tracks_frequency else m
+        return self.core_active_w * scale
+
+    def chip_power(self, busy_cores: int, total_cores: int = 48) -> float:
+        """Instantaneous chip power with ``busy_cores`` active."""
+        if not 0 <= busy_cores <= total_cores:
+            raise ValueError("busy_cores out of range")
+        return (
+            self.uncore_w
+            + total_cores * self.core_idle_w
+            + busy_cores * self.active_core_w
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one simulated run."""
+
+    total_joules: float
+    makespan_s: float
+    busy_core_seconds: float
+    idle_core_seconds: float
+
+    @property
+    def average_watts(self) -> float:
+        return self.total_joules / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def energy_delay_product(self) -> float:
+        """J·s — the metric minimized by energy-aware sizing."""
+        return self.total_joules * self.makespan_s
+
+
+def estimate_rckalign_energy(
+    report,
+    config: PowerConfig | None = None,
+    total_cores: int = 48,
+) -> EnergyReport:
+    """Energy of a :class:`~repro.core.rckalign.RckAlignReport` run.
+
+    Busy time comes from the per-core compute accounting; cores not in
+    the run (and slave idle gaps) burn idle power; the uncore burns its
+    constant power for the whole makespan.
+    """
+    config = config or PowerConfig()
+    makespan = report.total_seconds
+    busy = sum(report.slave_busy_seconds.values()) + report.master_compute_seconds
+    total_core_seconds = total_cores * makespan
+    idle = max(0.0, total_core_seconds - busy)
+    joules = (
+        config.uncore_w * makespan
+        + config.core_idle_w * total_core_seconds
+        + config.active_core_w * busy
+    )
+    return EnergyReport(
+        total_joules=joules,
+        makespan_s=makespan,
+        busy_core_seconds=busy,
+        idle_core_seconds=idle,
+    )
+
+
+def cpu_energy(seconds: float, tdp_watts: float) -> float:
+    """Crude energy for a conventional CPU run (busy at ~TDP)."""
+    if seconds < 0 or tdp_watts < 0:
+        raise ValueError("seconds and tdp_watts must be non-negative")
+    return seconds * tdp_watts

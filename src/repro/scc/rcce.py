@@ -1,0 +1,253 @@
+"""RCCE-like message passing on the simulated SCC.
+
+Models the semantics and costs of Intel's RCCE "gory-free" interface:
+
+* ``send``/``recv`` are *blocking rendezvous* operations: data moves
+  through the receiver-side MPB in chunks of at most the core's MPB
+  share, with a flag round-trip per chunk (receiver posts "buffer free",
+  sender moves data and raises "data ready");
+* an initial fixed-size header round communicates the payload size;
+* ``barrier`` is the centralized counter algorithm (everyone pings the
+  lowest-ranked member, which then releases everyone);
+* ``bcast`` is root-sequential, as in the reference implementation.
+
+Timing comes from :class:`~repro.noc.fabric.NocFabric` transfers, so
+mesh contention is honoured; the *payload* is an arbitrary Python object
+handed over on the final chunk, letting applications ship real data
+through the simulated chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, Sequence
+
+from repro.scc.machine import Core, SccMachine
+from repro.sim.resources import Store
+
+__all__ = ["Rcce", "Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """What a receiver gets: source rank, payload object, modelled size."""
+
+    source: int
+    payload: Any
+    nbytes: int
+
+
+class _Channel:
+    """Synchronisation state for one directed (src, dst) core pair."""
+
+    __slots__ = ("ready", "done")
+
+    def __init__(self, env) -> None:
+        self.ready = Store(env)  # receiver -> sender: "MPB slot free"
+        self.done = Store(env)  # sender -> receiver: "chunk ready" tokens
+
+
+class Rcce:
+    """One RCCE communication domain over an :class:`SccMachine`."""
+
+    def __init__(self, machine: SccMachine) -> None:
+        self.machine = machine
+        self.config = machine.config
+        self._channels: dict[tuple[int, int], _Channel] = {}
+        # mailbox of completed messages per (src, dst), so recv can be
+        # posted before or after the sender arrives
+        self.sends = 0
+        self.bytes_total = 0
+
+    def _channel(self, src: int, dst: int) -> _Channel:
+        key = (src, dst)
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = _Channel(self.machine.env)
+            self._channels[key] = ch
+        return ch
+
+    # ------------------------------------------------------------------
+    def send(
+        self, core: Core, dst: int, payload: Any, nbytes: Optional[int] = None
+    ) -> Generator:
+        """Coroutine: blocking rendezvous send of ``payload`` to ``dst``.
+
+        ``nbytes`` is the modelled wire size; by default it is taken
+        from ``payload.nbytes_wire`` or falls back to 64 bytes.
+        """
+        if dst == core.id:
+            raise ValueError("cannot send to self")
+        nbytes = self._payload_bytes(payload) if nbytes is None else int(nbytes)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        env = self.machine.env
+        fabric = self.machine.fabric
+        cfg = self.config
+        ch = self._channel(core.id, dst)
+        dst_tile = cfg.tile_of_core(dst)
+        t0 = env.now
+        self.sends += 1
+        self.bytes_total += nbytes
+
+        # header round: wait for the receiver, ship size header + flag
+        yield ch.ready.get()
+        yield from fabric.transfer(
+            core.tile, dst_tile, cfg.rcce_chunk_header_bytes + cfg.rcce_flag_bytes
+        )
+        ch.done.put(("header", nbytes))
+
+        chunk = cfg.rcce_chunk_bytes
+        remaining = nbytes
+        while True:
+            this_chunk = min(chunk, remaining)
+            yield ch.ready.get()
+            yield from fabric.transfer(
+                core.tile, dst_tile, this_chunk + cfg.rcce_flag_bytes
+            )
+            remaining -= this_chunk
+            if remaining > 0:
+                ch.done.put(("chunk", this_chunk))
+            else:
+                ch.done.put(("last", Message(core.id, payload, nbytes)))
+                break
+        core.stats.comm_s += env.now - t0
+
+    def recv(self, core: Core, src: int) -> Generator:
+        """Coroutine: blocking receive from ``src``; returns a Message."""
+        if src == core.id:
+            raise ValueError("cannot receive from self")
+        env = self.machine.env
+        fabric = self.machine.fabric
+        cfg = self.config
+        ch = self._channel(src, core.id)
+        src_tile = cfg.tile_of_core(src)
+        t0 = env.now
+
+        # post readiness for the header (flag write into sender's MPB)
+        yield from fabric.transfer(core.tile, src_tile, cfg.rcce_flag_bytes)
+        ch.ready.put(None)
+        kind, _ = yield ch.done.get()
+        assert kind == "header", f"protocol error: expected header, got {kind}"
+
+        while True:
+            yield from fabric.transfer(core.tile, src_tile, cfg.rcce_flag_bytes)
+            ch.ready.put(None)
+            kind, value = yield ch.done.get()
+            if kind == "last":
+                core.stats.comm_s += env.now - t0
+                return value
+            assert kind == "chunk"
+
+    # ------------------------------------------------------------------
+    def barrier(self, core: Core, group: Sequence[int]) -> Generator:
+        """Coroutine: block until every core in ``group`` arrives.
+
+        Centralized algorithm: members signal the lowest rank, which
+        releases them all (matches RCCE_barrier's flag counter loop).
+        """
+        group = sorted(group)
+        if core.id not in group:
+            raise ValueError(f"core {core.id} not in barrier group {group}")
+        root = group[0]
+        if core.id == root:
+            for member in group:
+                if member == root:
+                    continue
+                yield from self.recv(core, member)
+            for member in group:
+                if member == root:
+                    continue
+                yield from self.send(core, member, "barrier-release", nbytes=0)
+        else:
+            yield from self.send(core, root, "barrier-arrive", nbytes=0)
+            yield from self.recv(core, root)
+
+    def bcast(self, core: Core, root: int, group: Sequence[int], payload: Any = None, nbytes: Optional[int] = None) -> Generator:
+        """Coroutine: root-sequential broadcast; returns the payload."""
+        if core.id == root:
+            for member in group:
+                if member != root:
+                    yield from self.send(core, member, payload, nbytes=nbytes)
+            return payload
+        msg = yield from self.recv(core, root)
+        return msg.payload
+
+    def scatter(
+        self,
+        core: Core,
+        root: int,
+        group: Sequence[int],
+        items: Optional[Sequence[Any]] = None,
+        nbytes_each: int = 64,
+    ) -> Generator:
+        """Coroutine: root sends ``items[k]`` to the k-th group member
+        (root keeps its own slot); returns this core's item."""
+        group = list(group)
+        if core.id == root:
+            if items is None or len(items) != len(group):
+                raise ValueError("root must supply one item per group member")
+            mine = None
+            for member, item in zip(group, items):
+                if member == root:
+                    mine = item
+                else:
+                    yield from self.send(core, member, item, nbytes=nbytes_each)
+            return mine
+        msg = yield from self.recv(core, root)
+        return msg.payload
+
+    def gather(
+        self,
+        core: Core,
+        root: int,
+        group: Sequence[int],
+        value: Any,
+        nbytes_each: int = 64,
+    ) -> Generator:
+        """Coroutine: members send ``value`` to root; root returns the
+        list in group order, others return None."""
+        group = list(group)
+        if core.id == root:
+            out = []
+            for member in group:
+                if member == root:
+                    out.append(value)
+                else:
+                    msg = yield from self.recv(core, member)
+                    out.append(msg.payload)
+            return out
+        yield from self.send(core, root, value, nbytes=nbytes_each)
+        return None
+
+    def reduce(
+        self,
+        core: Core,
+        root: int,
+        group: Sequence[int],
+        value: Any,
+        op=None,
+        nbytes_each: int = 64,
+    ) -> Generator:
+        """Coroutine: root returns op-fold of all members' values
+        (default: sum); others return None."""
+        gathered = yield from self.gather(core, root, group, value, nbytes_each)
+        if gathered is None:
+            return None
+        if op is None:
+            total = gathered[0]
+            for v in gathered[1:]:
+                total = total + v
+            return total
+        total = gathered[0]
+        for v in gathered[1:]:
+            total = op(total, v)
+        return total
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload_bytes(payload: Any) -> int:
+        size = getattr(payload, "nbytes_wire", None)
+        if size is not None:
+            return int(size)
+        return 64

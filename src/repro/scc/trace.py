@@ -1,0 +1,92 @@
+"""Execution tracing: per-core busy intervals and a text Gantt chart.
+
+Attach a :class:`Tracer` to a machine before spawning programs; every
+``compute_*`` burst is recorded as an interval.  ``render_gantt`` draws
+a fixed-width utilization chart, handy for eyeballing master-bottleneck
+and tail-imbalance effects in simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.scc.machine import Core, SccMachine
+
+__all__ = ["Interval", "Tracer", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    core_id: int
+    start: float
+    end: float
+    kind: str  # 'compute' | 'comm'
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Records compute bursts by wrapping ``Core.compute_cycles``."""
+
+    def __init__(self, machine: SccMachine) -> None:
+        self.machine = machine
+        self.intervals: list[Interval] = []
+        self._install()
+
+    def _install(self) -> None:
+        tracer = self
+
+        for core in self.machine.cores:
+            original = core.compute_cycles
+
+            def traced(cycles: float, _core: Core = core, _orig=original):
+                start = _core.env.now
+                yield from _orig(cycles)
+                tracer.intervals.append(
+                    Interval(_core.id, start, _core.env.now, "compute")
+                )
+
+            # bind per-core wrapper (instance attribute shadows method)
+            core.compute_cycles = traced  # type: ignore[method-assign]
+
+    def busy_fraction(self, core_id: int, until: Optional[float] = None) -> float:
+        horizon = until if until is not None else self.machine.now
+        if horizon <= 0:
+            return 0.0
+        busy = sum(
+            iv.duration for iv in self.intervals if iv.core_id == core_id
+        )
+        return busy / horizon
+
+    def core_intervals(self, core_id: int) -> list[Interval]:
+        return [iv for iv in self.intervals if iv.core_id == core_id]
+
+
+def render_gantt(
+    tracer: Tracer,
+    core_ids: Optional[Sequence[int]] = None,
+    width: int = 72,
+) -> str:
+    """Fixed-width utilization chart: '#' busy, '.' idle, per core row."""
+    horizon = tracer.machine.now
+    if horizon <= 0:
+        return "(no simulated time elapsed)"
+    cores = (
+        list(core_ids)
+        if core_ids is not None
+        else sorted({iv.core_id for iv in tracer.intervals})
+    )
+    lines = [f"0 {'-' * (width - 12)} {horizon:.3g}s"]
+    for cid in cores:
+        row = [0.0] * width
+        for iv in tracer.core_intervals(cid):
+            lo = int(iv.start / horizon * width)
+            hi = max(lo + 1, int(iv.end / horizon * width))
+            for k in range(lo, min(hi, width)):
+                row[k] = 1.0
+        bar = "".join("#" if v else "." for v in row)
+        lines.append(f"rck{cid:02d} |{bar}| {tracer.busy_fraction(cid):5.1%}")
+    return "\n".join(lines)

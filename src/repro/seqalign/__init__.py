@@ -1,0 +1,33 @@
+"""Sequence alignment: affine-gap Needleman–Wunsch / Smith–Waterman.
+
+The paper's related work (§II) builds on NoC sequence aligners
+(Needleman & Wunsch on-chip accelerators [25, 26]); multi-criteria PSC
+servers also mix sequence similarity into their consensus.  This package
+provides the classic substitution-matrix alignments:
+
+* :func:`affine_align` — three-state Gotoh DP with affine gaps
+  (``open + (L-1)·extend``), vectorized row-wise like the TM-align DP;
+  global, semiglobal (free end gaps) and local (Smith–Waterman) modes;
+* :func:`align_sequences` — protein sequences with BLOSUM62;
+* :class:`SequenceIdentityMethod` — sequence similarity as another
+  MC-PSC criterion.
+"""
+
+from repro.seqalign.matrices import BLOSUM62, substitution_score_matrix
+from repro.seqalign.align import (
+    AffineParams,
+    SeqAlignmentResult,
+    affine_align,
+    align_sequences,
+)
+from repro.seqalign.method import SequenceIdentityMethod
+
+__all__ = [
+    "BLOSUM62",
+    "substitution_score_matrix",
+    "AffineParams",
+    "SeqAlignmentResult",
+    "affine_align",
+    "align_sequences",
+    "SequenceIdentityMethod",
+]

@@ -1,0 +1,236 @@
+"""Affine-gap alignment (Gotoh) — global, semiglobal and local modes.
+
+Gap cost model: a gap of length L costs ``gap_open + (L-1) * gap_extend``
+(both ≤ 0; first gap residue pays the open).  Three DP states as in
+:mod:`repro.tmalign.dp`, vectorized row by row:
+
+* ``M``  from the previous row (diagonal max);
+* ``Ix`` (vertical runs) from the previous row;
+* ``Iy`` (horizontal runs) via the decayed running-max identity
+  ``Iy[i,j] = ge*j + max_k (opener[k] - ge*k)`` → one
+  ``np.maximum.accumulate`` per row.
+
+Because the scan recombines sums, float equality cannot recover the
+horizontal traceback; a per-cell pointer byte is stored for ``Iy`` while
+``M``/``Ix`` predecessors are recovered by exact float equality on the
+expressions the forward pass evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.tmalign.result import Alignment
+
+__all__ = ["AffineParams", "SeqAlignmentResult", "affine_align", "align_sequences"]
+
+NEG = -1e18
+MODES = ("global", "semiglobal", "local")
+
+
+@dataclass(frozen=True)
+class AffineParams:
+    """Affine gap parameters (defaults: standard BLOSUM62 pairing)."""
+
+    gap_open: float = -11.0
+    gap_extend: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.gap_open > 0 or self.gap_extend > 0:
+            raise ValueError("gap penalties must be <= 0")
+        if self.gap_extend < self.gap_open:
+            raise ValueError("gap_extend must not be more negative than gap_open")
+
+
+@dataclass(frozen=True)
+class SeqAlignmentResult:
+    """Outcome of a sequence alignment."""
+
+    score: float
+    alignment: Alignment
+    seq_a: str
+    seq_b: str
+
+    @property
+    def n_aligned(self) -> int:
+        return len(self.alignment)
+
+    @property
+    def identity(self) -> float:
+        if not len(self.alignment):
+            return 0.0
+        same = sum(
+            1
+            for i, j in zip(self.alignment.ai.tolist(), self.alignment.aj.tolist())
+            if self.seq_a[i] == self.seq_b[j]
+        )
+        return same / len(self.alignment)
+
+    def strings(self) -> tuple[str, str, str]:
+        return self.alignment.strings(self.seq_a, self.seq_b)
+
+
+def _forward(score: np.ndarray, go: float, ge: float, mode: str):
+    la, lb = score.shape
+    M = np.full((la + 1, lb + 1), NEG)
+    Ix = np.full((la + 1, lb + 1), NEG)
+    Iy = np.full((la + 1, lb + 1), NEG)
+    ptr_iy = np.zeros((la + 1, lb + 1), dtype=np.int8)  # 0 extend, 1 from M, 2 from Ix
+    M[0, 0] = 0.0
+    js = np.arange(lb)
+    if mode == "global":
+        if la:
+            Ix[1:, 0] = go + ge * np.arange(la)
+        if lb:
+            Iy[0, 1:] = go + ge * js
+    elif mode == "semiglobal":
+        Ix[1:, 0] = 0.0
+        Iy[0, 1:] = 0.0
+        Ix[0, 0] = 0.0
+        Iy[0, 0] = 0.0
+    # local: boundaries stay NEG; M gets a zero floor below
+
+    for i in range(1, la + 1):
+        m_prev, ix_prev, iy_prev = M[i - 1], Ix[i - 1], Iy[i - 1]
+        best_prev = np.maximum(np.maximum(m_prev[:-1], ix_prev[:-1]), iy_prev[:-1])
+        if mode == "local":
+            best_prev = np.maximum(best_prev, 0.0)
+        M[i, 1:] = score[i - 1] + best_prev
+        Ix[i, 1:] = np.maximum(
+            np.maximum(m_prev[1:], iy_prev[1:]) + go, ix_prev[1:] + ge
+        )
+        # Iy via decayed running max over openers in this row
+        b_m = M[i, :-1] + go
+        b_x = Ix[i, :-1] + go
+        openers = np.maximum(b_m, b_x)
+        shifted = openers - ge * js  # opener at column k starts the run at k+1
+        running = np.maximum.accumulate(shifted)
+        prev_running = np.concatenate(([NEG], running[:-1]))
+        opened = shifted >= prev_running
+        Iy[i, 1:] = running + ge * js
+        ptr_iy[i, 1:] = np.where(opened, np.where(b_m >= b_x, 1, 2), 0)
+    return M, Ix, Iy, ptr_iy
+
+
+def _pick_end(M, Ix, Iy, mode: str) -> tuple[int, int, int, float]:
+    la = M.shape[0] - 1
+    lb = M.shape[1] - 1
+    if mode == "global":
+        vals = (M[la, lb], Ix[la, lb], Iy[la, lb])
+        state = int(np.argmax(vals))
+        return la, lb, state, float(vals[state])
+    if mode == "semiglobal":
+        # classic overlap alignment: a free suffix in ONE sequence — the
+        # path ends on the last row or last column (gap states there
+        # carry the charged run of the other sequence)
+        best = (0.0, la, lb, 0)  # empty alignment along the boundary
+        for state, grid in enumerate((M, Ix, Iy)):
+            j = int(np.argmax(grid[la, :]))
+            if grid[la, j] > best[0]:
+                best = (float(grid[la, j]), la, j, state)
+            i = int(np.argmax(grid[:, lb]))
+            if grid[i, lb] > best[0]:
+                best = (float(grid[i, lb]), i, lb, state)
+        return best[1], best[2], best[3], best[0]
+    # local: best M cell anywhere, empty alignment as fallback
+    flat = int(np.argmax(M))
+    i, j = divmod(flat, M.shape[1])
+    if M[i, j] <= 0.0:
+        return 0, 0, 0, 0.0
+    return int(i), int(j), 0, float(M[i, j])
+
+
+def affine_align(
+    score: np.ndarray,
+    gap_open: float = -11.0,
+    gap_extend: float = -1.0,
+    mode: str = "global",
+    counter=None,
+) -> tuple[float, Alignment]:
+    """Optimal affine-gap alignment of a score matrix.
+
+    Returns ``(score, alignment)``.  ``mode``:
+
+    * ``global`` — end gaps charged, traceback corner to corner;
+    * ``semiglobal`` — classic overlap alignment: at each end the run
+      of ONE sequence is free (path starts/ends on the DP boundary);
+    * ``local`` — Smith–Waterman (zero floor, best segment only).
+    """
+    score = np.asarray(score, dtype=np.float64)
+    if score.ndim != 2 or score.size == 0:
+        raise ValueError(f"score matrix must be 2-D non-empty, got {score.shape}")
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    AffineParams(gap_open, gap_extend)  # validates
+    la, lb = score.shape
+    if counter is not None:
+        counter.add("dp_cell", la * lb)
+    go, ge = float(gap_open), float(gap_extend)
+    M, Ix, Iy, ptr_iy = _forward(score, go, ge, mode)
+    i, j, state, best = _pick_end(M, Ix, Iy, mode)
+
+    ai: list[int] = []
+    aj: list[int] = []
+    while i > 0 or j > 0:
+        if state == 0:  # M cell: emit the pair, find the predecessor
+            cur = M[i, j]
+            s = score[i - 1, j - 1]
+            ai.append(i - 1)
+            aj.append(j - 1)
+            i -= 1
+            j -= 1
+            if i == 0 and j == 0:
+                break
+            prev_best = max(M[i, j], Ix[i, j], Iy[i, j])
+            if mode == "local" and prev_best <= 0.0 and cur == s:
+                break  # segment started here (zero-floor origin)
+            # exact float equality: these are the expressions the
+            # forward pass evaluated
+            if s + M[i, j] == cur:
+                state = 0
+            elif s + Ix[i, j] == cur:
+                state = 1
+            else:
+                state = 2
+        elif state == 1:  # Ix run cell: came from (i-1, j)
+            if j == 0:
+                i = 0  # leading vertical run: nothing left to emit
+                break
+            cur = Ix[i, j]
+            i -= 1
+            if Ix[i, j] + ge == cur:
+                state = 1
+            elif M[i, j] + go == cur:
+                state = 0
+            else:
+                state = 2
+        else:  # Iy run cell: came from (i, j-1); pointers stored
+            if i == 0:
+                j = 0  # leading horizontal run
+                break
+            p = int(ptr_iy[i, j])
+            j -= 1
+            state = (2, 0, 1)[p]
+    ai.reverse()
+    aj.reverse()
+    return best, Alignment(np.asarray(ai, dtype=np.intp), np.asarray(aj, dtype=np.intp), best)
+
+
+def align_sequences(
+    seq_a: str,
+    seq_b: str,
+    matrix: str = "blosum62",
+    gap_open: float = -11.0,
+    gap_extend: float = -1.0,
+    mode: str = "local",
+    counter=None,
+) -> SeqAlignmentResult:
+    """Align two protein sequences; default is BLOSUM62 Smith–Waterman."""
+    from repro.seqalign.matrices import substitution_score_matrix
+
+    score = substitution_score_matrix(seq_a, seq_b, matrix)
+    best, ali = affine_align(score, gap_open, gap_extend, mode, counter=counter)
+    return SeqAlignmentResult(score=best, alignment=ali, seq_a=seq_a, seq_b=seq_b)

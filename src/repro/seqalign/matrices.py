@@ -1,0 +1,76 @@
+"""Substitution matrices (BLOSUM62) and score-matrix construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BLOSUM62", "IDENTITY", "substitution_score_matrix", "AA_ORDER"]
+
+AA_ORDER = "ARNDCQEGHILKMFPSTWYV"
+
+# BLOSUM62 (Henikoff & Henikoff 1992), standard 20x20, row/col = AA_ORDER.
+_BLOSUM62_ROWS = [
+    #  A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0],  # A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3],  # R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3],  # N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3],  # D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],  # C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2],  # Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2],  # E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3],  # G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3],  # H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3],  # I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1],  # L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2],  # K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1],  # M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1],  # F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2],  # P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2],  # S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0],  # T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3],  # W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -2],  # Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -2,  4],  # V
+]
+
+BLOSUM62: dict[tuple[str, str], int] = {
+    (a, b): _BLOSUM62_ROWS[i][j]
+    for i, a in enumerate(AA_ORDER)
+    for j, b in enumerate(AA_ORDER)
+}
+
+IDENTITY: dict[tuple[str, str], int] = {
+    (a, b): (1 if a == b else 0) for a in AA_ORDER for b in AA_ORDER
+}
+
+_MATRICES = {"blosum62": BLOSUM62, "identity": IDENTITY}
+
+
+def substitution_score_matrix(
+    seq_a: str, seq_b: str, matrix: str | dict = "blosum62"
+) -> np.ndarray:
+    """(La, Lb) score matrix for two sequences under a named matrix.
+
+    Unknown residues score as the matrix minimum (conservative).
+    """
+    if isinstance(matrix, str):
+        try:
+            table = _MATRICES[matrix.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown matrix {matrix!r}; known: {sorted(_MATRICES)}"
+            ) from None
+    else:
+        table = matrix
+    if not seq_a or not seq_b:
+        raise ValueError("sequences must be non-empty")
+    floor = min(table.values())
+    # build fast lookup over the 26-letter alphabet
+    lut = np.full((26, 26), float(floor))
+    for (a, b), v in table.items():
+        lut[ord(a) - 65, ord(b) - 65] = float(v)
+    ia = np.frombuffer(seq_a.upper().encode("ascii"), dtype=np.uint8) - 65
+    ib = np.frombuffer(seq_b.upper().encode("ascii"), dtype=np.uint8) - 65
+    if ia.min() < 0 or ia.max() > 25 or ib.min() < 0 or ib.max() > 25:
+        raise ValueError("sequences must be alphabetic")
+    return lut[np.ix_(ia, ib)]

@@ -1,0 +1,168 @@
+"""Shared-resource primitives built on the event kernel.
+
+* :class:`Resource` — counted resource with a FIFO wait queue (models a
+  link, a disk controller, a dispatch slot).
+* :class:`PriorityResource` — same, but waiters carry a priority.
+* :class:`Store` — unbounded FIFO of Python objects (models a mailbox or
+  message channel); ``put`` never blocks, ``get`` blocks until an item is
+  available.
+
+All methods that may block return :class:`~repro.sim.engine.Event` objects
+to be yielded from a process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Store"]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiters: deque[Request] = deque()
+        # instrumentation
+        self.total_grants = 0
+        self.peak_queue_len = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        req = Request(self.env, self)
+        if len(self._users) < self.capacity:
+            self._grant(req)
+        else:
+            self._waiters.append(req)
+            self.peak_queue_len = max(self.peak_queue_len, len(self._waiters))
+        return req
+
+    def release(self, req: Request) -> None:
+        if req not in self._users:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._users.discard(req)
+        while self._waiters and len(self._users) < self.capacity:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, req: Request) -> None:
+        self._users.add(req)
+        self.total_grants += 1
+        req.succeed(req)
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by (priority, fifo sequence)."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._pq: list[tuple[float, int, Request]] = []
+        self._pq_seq = 0
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._pq)
+
+    def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
+        req = Request(self.env, self)
+        if len(self._users) < self.capacity and not self._pq:
+            self._grant(req)
+        else:
+            heapq.heappush(self._pq, (priority, self._pq_seq, req))
+            self._pq_seq += 1
+            self.peak_queue_len = max(self.peak_queue_len, len(self._pq))
+        return req
+
+    def release(self, req: Request) -> None:  # type: ignore[override]
+        if req not in self._users:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._users.discard(req)
+        while self._pq and len(self._users) < self.capacity:
+            _, _, nxt = heapq.heappop(self._pq)
+            self._grant(nxt)
+
+
+class Store:
+    """Unbounded FIFO message store.
+
+    ``put(item)`` is immediate (returns an already-fired event so it can
+    still be yielded uniformly); ``get()`` blocks until an item exists.
+    """
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        # instrumentation
+        self.total_puts = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def peek(self) -> Optional[Any]:
+        """Return the head item without removing it, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def put(self, item: Any) -> Event:
+        self.total_puts += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+        done = Event(self.env)
+        done.succeed(item)
+        return done
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None

@@ -1,0 +1,97 @@
+"""Family consensus shapes (the Chew–Kedem problem behind CK34).
+
+The CK34 dataset comes from Chew & Kedem's "Finding the consensus shape
+for a protein family" — the all-vs-all comparisons this repository
+parallelizes are the inputs of exactly this computation.  Closing the
+loop: given a family of structures,
+
+* :func:`find_medoid` picks the member with the highest mean pairwise
+  TM-score (the family's most central structure);
+* :func:`consensus_structure` aligns every member onto the medoid with
+  TM-align and averages the superposed Cα positions over the medoid's
+  residues (each position averaged over the members aligned there).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.structure.model import Chain
+from repro.tmalign.align import tm_align
+from repro.tmalign.params import TMAlignParams
+
+__all__ = ["find_medoid", "consensus_structure"]
+
+
+def find_medoid(
+    chains: Sequence[Chain], params: Optional[TMAlignParams] = None
+) -> tuple[int, np.ndarray]:
+    """Index of the most central chain and the mean-TM vector.
+
+    Centrality of chain k = mean over others of the TM-score normalised
+    by the *other* chain (how well k explains each member).
+    """
+    n = len(chains)
+    if n < 2:
+        raise ValueError("need at least two chains")
+    tm = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            res = tm_align(chains[i], chains[j], params=params)
+            tm[i, j] = res.tm_norm_b  # i explaining j
+            tm[j, i] = res.tm_norm_a  # j explaining i
+    means = tm.sum(axis=1) / (n - 1)
+    return int(np.argmax(means)), means
+
+
+def consensus_structure(
+    chains: Sequence[Chain],
+    params: Optional[TMAlignParams] = None,
+    min_support: float = 0.5,
+    name: str = "consensus",
+) -> tuple[Chain, dict]:
+    """Average structure of a family, anchored on its medoid.
+
+    Every member is TM-aligned onto the medoid and superposed; each
+    medoid residue's consensus position is the mean of the member
+    positions aligned to it (the medoid itself always supports its own
+    residues).  Residues supported by fewer than ``min_support`` of the
+    members are dropped.  Returns ``(consensus_chain, info)`` where
+    ``info`` holds the medoid index, per-residue support, and the mean
+    TM-score of members against the consensus anchor.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    medoid_idx, means = find_medoid(chains, params=params)
+    medoid = chains[medoid_idx]
+    m = len(medoid)
+    n = len(chains)
+    sums = medoid.coords.copy()
+    counts = np.ones(m)
+    for k, chain in enumerate(chains):
+        if k == medoid_idx:
+            continue
+        res = tm_align(chain, medoid, params=params)
+        moved = res.transform.apply(chain.coords)
+        for ci, mj in zip(res.alignment.ai.tolist(), res.alignment.aj.tolist()):
+            sums[mj] += moved[ci]
+            counts[mj] += 1
+    support = counts / n
+    keep = support >= min_support
+    if keep.sum() < 3:
+        raise ValueError(
+            f"fewer than 3 consensus residues at support >= {min_support}"
+        )
+    coords = (sums[keep].T / counts[keep]).T
+    seq = "".join(medoid.sequence[i] for i in range(m) if keep[i])
+    consensus = Chain(name, coords, seq, family=medoid.family)
+    info = {
+        "medoid_index": medoid_idx,
+        "medoid_name": medoid.name,
+        "mean_tm": means,
+        "support": support,
+        "n_residues": int(keep.sum()),
+    }
+    return consensus, info

@@ -1,0 +1,95 @@
+"""Minimal PDB-format I/O for Cα traces.
+
+Writes standard fixed-column ``ATOM`` records (Cα only) and reads them
+back; sufficient for interchange with real TM-align inputs, which also
+only consume Cα atoms.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO
+
+import numpy as np
+
+from repro.structure.model import Chain
+
+__all__ = ["chain_to_pdb", "chain_from_pdb", "read_pdb_file", "write_pdb_file"]
+
+_AA_3TO1 = {
+    "ALA": "A", "CYS": "C", "ASP": "D", "GLU": "E", "PHE": "F",
+    "GLY": "G", "HIS": "H", "ILE": "I", "LYS": "K", "LEU": "L",
+    "MET": "M", "ASN": "N", "PRO": "P", "GLN": "Q", "ARG": "R",
+    "SER": "S", "THR": "T", "VAL": "V", "TRP": "W", "TYR": "Y",
+}
+_AA_1TO3 = {v: k for k, v in _AA_3TO1.items()}
+
+
+def chain_to_pdb(chain: Chain) -> str:
+    """Render the chain as PDB ATOM records (Cα only) plus TER/END."""
+    lines = [f"REMARK   repro synthetic structure {chain.name}"]
+    if chain.family:
+        lines.append(f"REMARK   family {chain.family}")
+    for i, (aa, xyz) in enumerate(zip(chain.sequence, chain.coords), start=1):
+        res3 = _AA_1TO3.get(aa, "ALA")
+        x, y, z = xyz
+        lines.append(
+            f"ATOM  {i:5d}  CA  {res3} A{i:4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f}{1.0:6.2f}{0.0:6.2f}           C  "
+        )
+    lines.append(f"TER   {len(chain) + 1:5d}      "
+                 f"{_AA_1TO3.get(chain.sequence[-1], 'ALA')} A{len(chain):4d}")
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def chain_from_pdb(text: str | TextIO, name: str = "pdb_chain") -> Chain:
+    """Parse Cα ATOM records from PDB text.
+
+    Only the first model and the first chain identifier encountered are
+    read, mirroring how the paper's datasets were extracted ("first chain
+    of the first model").
+    """
+    if isinstance(text, str):
+        text = io.StringIO(text)
+    coords: list[tuple[float, float, float]] = []
+    seq: list[str] = []
+    family = None
+    chain_id: str | None = None
+    for line in text:
+        if line.startswith("REMARK   family "):
+            family = line.split("family", 1)[1].strip()
+        if line.startswith("ENDMDL"):
+            break
+        if not line.startswith("ATOM"):
+            continue
+        atom_name = line[12:16].strip()
+        if atom_name != "CA":
+            continue
+        altloc = line[16:17]
+        if altloc not in (" ", "A"):
+            continue
+        this_chain = line[21:22]
+        if chain_id is None:
+            chain_id = this_chain
+        elif this_chain != chain_id:
+            break  # first chain only
+        res3 = line[17:20].strip()
+        seq.append(_AA_3TO1.get(res3, "A"))
+        coords.append(
+            (float(line[30:38]), float(line[38:46]), float(line[46:54]))
+        )
+    if len(coords) < 3:
+        raise ValueError("PDB text contains fewer than 3 CA atoms")
+    return Chain(name, np.array(coords, dtype=np.float64), "".join(seq), family)
+
+
+def write_pdb_file(chain: Chain, path: str | os.PathLike) -> None:
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(chain_to_pdb(chain))
+
+
+def read_pdb_file(path: str | os.PathLike, name: str | None = None) -> Chain:
+    with open(path, "r", encoding="ascii") as fh:
+        return chain_from_pdb(fh, name or os.path.splitext(os.path.basename(path))[0])

@@ -1,0 +1,88 @@
+"""Geometric secondary-structure assignment (TM-align's ``make_sec``).
+
+TM-align classifies each residue from five Cα–Cα distances in the
+window ``[i-2, i+2]`` using fixed distance templates for helix and
+strand; residues matching neither are coil, and a short ``i``/``i+4``
+distance marks a turn.  The same constants are used here so the
+SS-based initial alignment behaves like the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["assign_secondary", "SS_HELIX", "SS_STRAND", "SS_TURN", "SS_COIL"]
+
+SS_COIL = "C"
+SS_HELIX = "H"
+SS_STRAND = "E"
+SS_TURN = "T"
+
+# (target distance, tolerance) per window distance, from TMalign make_sec.
+_HELIX = {
+    "d13": (5.45, 2.1), "d14": (5.18, 2.1), "d15": (6.37, 2.1),
+    "d24": (5.45, 2.1), "d25": (5.18, 2.1), "d35": (5.45, 2.1),
+}
+_STRAND = {
+    "d13": (6.1, 1.42), "d14": (10.4, 1.42), "d15": (13.0, 1.42),
+    "d24": (6.1, 1.42), "d25": (10.4, 1.42), "d35": (6.1, 1.42),
+}
+_TURN_D15_MAX = 8.0
+
+
+def _window_distances(coords: np.ndarray) -> dict[str, np.ndarray]:
+    """Vectorized window distances for residues i in [2, N-3]."""
+
+    def dist(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        diff = a - b
+        return np.sqrt((diff * diff).sum(axis=1))
+
+    j1 = coords[:-4]
+    j2 = coords[1:-3]
+    j3 = coords[2:-2]
+    j4 = coords[3:-1]
+    j5 = coords[4:]
+    return {
+        "d13": dist(j1, j3),
+        "d14": dist(j1, j4),
+        "d15": dist(j1, j5),
+        "d24": dist(j2, j4),
+        "d25": dist(j2, j5),
+        "d35": dist(j3, j5),
+    }
+
+
+def _match(dists: dict[str, np.ndarray], template: dict[str, tuple[float, float]]) -> np.ndarray:
+    ok = np.ones_like(dists["d13"], dtype=bool)
+    for key, (target, delta) in template.items():
+        ok &= np.abs(dists[key] - target) < delta
+    return ok
+
+
+def assign_secondary(coords: np.ndarray, counter=None) -> str:
+    """Per-residue secondary structure string (H/E/T/C).
+
+    The first/last two residues have incomplete windows and are coil,
+    exactly as in TM-align.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) coordinates, got {coords.shape}")
+    n = coords.shape[0]
+    if counter is not None:
+        counter.add("sec_res", n)
+    ss = np.full(n, SS_COIL, dtype="U1")
+    if n < 5:
+        return "".join(ss)
+    dists = _window_distances(coords)
+    helix = _match(dists, _HELIX)
+    strand = _match(dists, _STRAND)
+    turn = dists["d15"] < _TURN_D15_MAX
+    inner = slice(2, n - 2)
+    # precedence mirrors make_sec: helix, then strand, then turn.
+    ss_inner = np.full(n - 4, SS_COIL, dtype="U1")
+    ss_inner[turn] = SS_TURN
+    ss_inner[strand] = SS_STRAND
+    ss_inner[helix] = SS_HELIX
+    ss[inner] = ss_inner
+    return "".join(ss)

@@ -1,0 +1,162 @@
+"""Initial alignment generators (TM-align step 2).
+
+Three kinds, as described in the paper's §II: dynamic-programming
+secondary-structure alignment, gapless structure matching (threading),
+and a DP over a score matrix combining the previous two.  A fragment
+threading variant (half-length windows) is included as in the original's
+additional inits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.distances import cross_distances
+from repro.geometry.kabsch import kabsch
+from repro.tmalign.dp import nw_align
+from repro.tmalign.params import TMAlignParams
+from repro.tmalign.result import Alignment
+from repro.tmalign.tmscore import tm_score_from_distances
+
+__all__ = [
+    "gapless_threading",
+    "ss_alignment",
+    "combined_alignment",
+    "fragment_threading",
+]
+
+
+def _ss_codes(ss: str) -> np.ndarray:
+    return np.frombuffer(ss.encode("ascii"), dtype=np.uint8)
+
+
+def _gapless_alignment(shift: int, la: int, lb: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs for correspondence j = i - shift, clipped to bounds."""
+    i0 = max(0, shift)
+    i1 = min(la, lb + shift)
+    ai = np.arange(i0, i1, dtype=np.intp)
+    return ai, ai - shift
+
+
+def gapless_threading(
+    xa: np.ndarray,
+    ya: np.ndarray,
+    d0: float,
+    lnorm: int,
+    params: Optional[TMAlignParams] = None,
+    n_best: int = 2,
+    min_overlap: int = 5,
+    counter=None,
+) -> list[Alignment]:
+    """Slide chain A against chain B without gaps; keep the best shifts.
+
+    Each shift is scored by one Kabsch superposition of the corresponded
+    residues followed by a TM-score evaluation (the "GL score" of the
+    original, without its extra refinement iterations).
+    """
+    params = params or TMAlignParams()
+    la, lb = xa.shape[0], ya.shape[0]
+    min_overlap = min(min_overlap, la, lb)
+    scored: list[tuple[float, int]] = []
+    stride = max(1, params.threading_stride)
+    for shift in range(-(lb - min_overlap), la - min_overlap + 1, stride):
+        ai, aj = _gapless_alignment(shift, la, lb)
+        if ai.size < min_overlap:
+            continue
+        xf = kabsch(xa[ai], ya[aj], counter=counter)
+        diff = xf.apply(xa[ai]) - ya[aj]
+        d = np.sqrt((diff * diff).sum(axis=1))
+        tm = tm_score_from_distances(d, d0, lnorm, counter=counter)
+        scored.append((tm, shift))
+    scored.sort(key=lambda t: (-t[0], t[1]))
+    out = []
+    for tm, shift in scored[:n_best]:
+        ai, aj = _gapless_alignment(shift, la, lb)
+        out.append(Alignment(ai, aj, dp_score=tm))
+    return out
+
+
+def ss_alignment(
+    ss_a: str,
+    ss_b: str,
+    params: Optional[TMAlignParams] = None,
+    counter=None,
+) -> Alignment:
+    """DP alignment of secondary-structure strings (match=1, mismatch=0)."""
+    params = params or TMAlignParams()
+    ca = _ss_codes(ss_a)
+    cb = _ss_codes(ss_b)
+    score = (ca[:, None] == cb[None, :]).astype(np.float64)
+    return nw_align(score, params.ss_gap_open, counter=counter)
+
+
+def combined_alignment(
+    xa: np.ndarray,
+    ya: np.ndarray,
+    transform,
+    ss_a: str,
+    ss_b: str,
+    d0: float,
+    params: Optional[TMAlignParams] = None,
+    counter=None,
+) -> Alignment:
+    """DP over ``ss_mix * SS-match + (1-ss_mix) * TM distance score``.
+
+    The distance term uses the best superposition found so far
+    (``transform`` maps chain A onto chain B).
+    """
+    params = params or TMAlignParams()
+    d = cross_distances(transform.apply(xa), ya)
+    if counter is not None:
+        counter.add("score_pair", d.size)
+    dist_score = 1.0 / (1.0 + (d / d0) ** 2)
+    ca = _ss_codes(ss_a)
+    cb = _ss_codes(ss_b)
+    ss_score = (ca[:, None] == cb[None, :]).astype(np.float64)
+    score = params.ss_mix * ss_score + (1.0 - params.ss_mix) * dist_score
+    return nw_align(score, params.gap_open, counter=counter)
+
+
+def fragment_threading(
+    xa: np.ndarray,
+    ya: np.ndarray,
+    d0: float,
+    lnorm: int,
+    params: Optional[TMAlignParams] = None,
+    counter=None,
+) -> Optional[Alignment]:
+    """Gapless threading of an L/k window of the shorter chain.
+
+    Catches alignments where only a sub-domain matches; returns None when
+    the chains are too short to cut a meaningful fragment.
+    """
+    params = params or TMAlignParams()
+    la, lb = xa.shape[0], ya.shape[0]
+    swap = la > lb
+    short, long_ = (ya, xa) if swap else (xa, ya)
+    ls = short.shape[0]
+    flen = max(ls // params.fragment_fraction, params.min_seed_len)
+    if flen < params.min_seed_len or flen >= ls:
+        return None
+    best: tuple[float, int, int] | None = None
+    step = max(1, flen // 2)
+    for fstart in range(0, ls - flen + 1, step):
+        frag = short[fstart : fstart + flen]
+        for shift in range(0, long_.shape[0] - flen + 1, max(1, params.threading_stride)):
+            seg = long_[shift : shift + flen]
+            xf = kabsch(frag, seg, counter=counter)
+            diff = xf.apply(frag) - seg
+            d = np.sqrt((diff * diff).sum(axis=1))
+            tm = tm_score_from_distances(d, d0, lnorm, counter=counter)
+            if best is None or tm > best[0]:
+                best = (tm, fstart, shift)
+    if best is None:
+        return None
+    _, fstart, shift = best
+    idx_short = np.arange(fstart, fstart + flen, dtype=np.intp)
+    idx_long = np.arange(shift, shift + flen, dtype=np.intp)
+    if swap:
+        return Alignment(idx_long, idx_short, dp_score=best[0])
+    return Alignment(idx_short, idx_long, dp_score=best[0])

@@ -1,0 +1,106 @@
+"""Additional structural similarity scores: GDT-TS, GDT-HA, MaxSub.
+
+These are the other standard model-quality measures of the era; they
+reuse the TM-score superposition machinery and share its matched-pair
+conventions, rounding out the toolbox a PSC practitioner expects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.kabsch import kabsch
+from repro.structure.model import Chain
+from repro.tmalign.params import TMAlignParams
+from repro.tmalign.result import Alignment
+from repro.tmalign.tmscore import superposition_search
+
+__all__ = ["gdt_score", "gdt_ts", "gdt_ha", "maxsub_score"]
+
+_GDT_TS_CUTOFFS = (1.0, 2.0, 4.0, 8.0)
+_GDT_HA_CUTOFFS = (0.5, 1.0, 2.0, 4.0)
+
+
+def _matched_coords(
+    chain_a: Chain, chain_b: Chain, alignment: Optional[Alignment]
+) -> tuple[np.ndarray, np.ndarray, int]:
+    if alignment is None:
+        if len(chain_a) != len(chain_b):
+            raise ValueError("identity correspondence needs equal lengths")
+        pa, pb = chain_a.coords, chain_b.coords
+    else:
+        pa = chain_a.coords[alignment.ai]
+        pb = chain_b.coords[alignment.aj]
+    return pa, pb, len(chain_b)
+
+
+def _best_fraction_under(pa: np.ndarray, pb: np.ndarray, cutoff: float, lnorm: int) -> float:
+    """Max fraction of pairs within ``cutoff`` over superpositions seeded
+    the GDT way (fit on the close subset iteratively)."""
+    xf = kabsch(pa, pb)
+    best = 0.0
+    for _ in range(8):
+        d = np.sqrt(((xf.apply(pa) - pb) ** 2).sum(axis=1))
+        close = d < cutoff
+        frac = close.sum() / lnorm
+        best = max(best, float(frac))
+        if close.sum() < 3:
+            break
+        new_xf = kabsch(pa[close], pb[close])
+        if np.allclose(new_xf.rotation, xf.rotation, atol=1e-12) and np.allclose(
+            new_xf.translation, xf.translation, atol=1e-12
+        ):
+            break
+        xf = new_xf
+    return min(1.0, best)
+
+
+def gdt_score(
+    chain_a: Chain,
+    chain_b: Chain,
+    cutoffs: Sequence[float],
+    alignment: Optional[Alignment] = None,
+) -> float:
+    """Average best-fraction-under-cutoff over the given cutoffs,
+    normalised by the length of chain B (the reference), in [0, 1]."""
+    if not cutoffs or any(c <= 0 for c in cutoffs):
+        raise ValueError("cutoffs must be positive")
+    pa, pb, lnorm = _matched_coords(chain_a, chain_b, alignment)
+    if pa.shape[0] < 3:
+        raise ValueError("need at least 3 matched pairs")
+    fracs = [_best_fraction_under(pa, pb, c, lnorm) for c in cutoffs]
+    return float(np.mean(fracs))
+
+
+def gdt_ts(chain_a: Chain, chain_b: Chain, alignment: Optional[Alignment] = None) -> float:
+    """GDT total score (cutoffs 1, 2, 4, 8 Å)."""
+    return gdt_score(chain_a, chain_b, _GDT_TS_CUTOFFS, alignment)
+
+
+def gdt_ha(chain_a: Chain, chain_b: Chain, alignment: Optional[Alignment] = None) -> float:
+    """GDT high-accuracy score (cutoffs 0.5, 1, 2, 4 Å)."""
+    return gdt_score(chain_a, chain_b, _GDT_HA_CUTOFFS, alignment)
+
+
+def maxsub_score(
+    chain_a: Chain,
+    chain_b: Chain,
+    alignment: Optional[Alignment] = None,
+    d_cut: float = 3.5,
+    params: Optional[TMAlignParams] = None,
+) -> float:
+    """MaxSub: size of the largest superposable subset under ``d_cut``,
+    scored with the standard 1/(1+(d/d_cut)²) sum, normalised by the
+    reference length."""
+    pa, pb, lnorm = _matched_coords(chain_a, chain_b, alignment)
+    if pa.shape[0] < 3:
+        raise ValueError("need at least 3 matched pairs")
+    tm, xf = superposition_search(pa, pb, d_cut, lnorm, params=params)
+    d = np.sqrt(((xf.apply(pa) - pb) ** 2).sum(axis=1))
+    close = d < d_cut
+    if close.sum() < 3:
+        return float(tm)
+    score = (1.0 / (1.0 + (d[close] / d_cut) ** 2)).sum() / lnorm
+    return float(min(1.0, max(score, 0.0)))

@@ -1,0 +1,66 @@
+"""TM-align-style text report (mimics the original program's output)."""
+
+from __future__ import annotations
+
+from repro.structure.model import Chain
+from repro.tmalign.result import TMAlignResult
+
+__all__ = ["format_tmalign_report"]
+
+_BANNER = (
+    " *****************************************************************\n"
+    " * TM-align (repro): protein structure alignment by TM-score     *\n"
+    " * Reproduction of Zhang & Skolnick (2005) / Sharma et al. 2013  *\n"
+    " *****************************************************************\n"
+)
+
+
+def format_tmalign_report(
+    result: TMAlignResult, chain_a: Chain, chain_b: Chain, line_width: int = 60
+) -> str:
+    """Render a pairwise result in the layout of the original program.
+
+    ``chain_a``/``chain_b`` must be the chains the result came from
+    (their sequences are needed for the alignment block).
+    """
+    if chain_a.name != result.name_a or chain_b.name != result.name_b:
+        raise ValueError(
+            "chains do not match the result "
+            f"({chain_a.name!r}/{chain_b.name!r} vs "
+            f"{result.name_a!r}/{result.name_b!r})"
+        )
+    out = [_BANNER]
+    out.append(f"Name of Chain_1: {result.name_a}")
+    out.append(f"Name of Chain_2: {result.name_b}")
+    out.append(f"Length of Chain_1: {result.len_a} residues")
+    out.append(f"Length of Chain_2: {result.len_b} residues")
+    out.append("")
+    out.append(
+        f"Aligned length= {result.n_aligned}, RMSD= {result.rmsd:6.2f}, "
+        f"Seq_ID=n_identical/n_aligned= {result.seq_identity:.3f}"
+    )
+    out.append(
+        f"TM-score= {result.tm_norm_a:.5f} (if normalized by length of Chain_1)"
+    )
+    out.append(
+        f"TM-score= {result.tm_norm_b:.5f} (if normalized by length of Chain_2)"
+    )
+    out.append("")
+    rot = result.transform.rotation
+    tra = result.transform.translation
+    out.append("Rotation matrix to rotate Chain_1 to Chain_2:")
+    out.append(f"{'i':>2} {'t[i]':>12} {'u[i][0]':>10} {'u[i][1]':>10} {'u[i][2]':>10}")
+    for i in range(3):
+        out.append(
+            f"{i:>2} {tra[i]:>12.6f} {rot[i, 0]:>10.6f} "
+            f"{rot[i, 1]:>10.6f} {rot[i, 2]:>10.6f}"
+        )
+    out.append("")
+    out.append('(":" denotes identical residues, "." aligned residues)')
+    top, mark, bottom = result.alignment.strings(chain_a.sequence, chain_b.sequence)
+    for k in range(0, len(top), line_width):
+        out.append(top[k : k + line_width])
+        out.append(mark[k : k + line_width])
+        out.append(bottom[k : k + line_width])
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,121 @@
+"""Alignment and result containers for TM-align."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.geometry.transforms import RigidTransform
+
+__all__ = ["Alignment", "TMAlignResult"]
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A set of matched residue index pairs (both strictly increasing)."""
+
+    ai: np.ndarray  # indices into chain A
+    aj: np.ndarray  # indices into chain B
+    dp_score: float = 0.0
+
+    def __post_init__(self) -> None:
+        ai = np.asarray(self.ai, dtype=np.intp)
+        aj = np.asarray(self.aj, dtype=np.intp)
+        if ai.shape != aj.shape or ai.ndim != 1:
+            raise ValueError("ai/aj must be 1-D arrays of equal length")
+        if ai.size >= 2:
+            if not (np.diff(ai) > 0).all() or not (np.diff(aj) > 0).all():
+                raise ValueError("alignment indices must be strictly increasing")
+        object.__setattr__(self, "ai", ai)
+        object.__setattr__(self, "aj", aj)
+        ai.setflags(write=False)
+        aj.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.ai.size)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Alignment)
+            and self.ai.shape == other.ai.shape
+            and bool((self.ai == other.ai).all())
+            and bool((self.aj == other.aj).all())
+        )
+
+    def key(self) -> tuple:
+        """Hashable identity of the matching (ignores dp_score)."""
+        return (tuple(self.ai.tolist()), tuple(self.aj.tolist()))
+
+    def strings(self, seq_a: str, seq_b: str) -> tuple[str, str, str]:
+        """Gapped alignment strings plus a marker line (``:`` identical)."""
+        out_a: list[str] = []
+        out_b: list[str] = []
+        mark: list[str] = []
+        pa = pb = 0
+        for i, j in zip(self.ai.tolist(), self.aj.tolist()):
+            while pa < i:
+                out_a.append(seq_a[pa])
+                out_b.append("-")
+                mark.append(" ")
+                pa += 1
+            while pb < j:
+                out_a.append("-")
+                out_b.append(seq_b[pb])
+                mark.append(" ")
+                pb += 1
+            out_a.append(seq_a[i])
+            out_b.append(seq_b[j])
+            mark.append(":" if seq_a[i] == seq_b[j] else ".")
+            pa, pb = i + 1, j + 1
+        while pa < len(seq_a):
+            out_a.append(seq_a[pa])
+            out_b.append("-")
+            mark.append(" ")
+            pa += 1
+        while pb < len(seq_b):
+            out_a.append("-")
+            out_b.append(seq_b[pb])
+            mark.append(" ")
+            pb += 1
+        return "".join(out_a), "".join(mark), "".join(out_b)
+
+
+@dataclass(frozen=True)
+class TMAlignResult:
+    """Outcome of one pairwise TM-align comparison.
+
+    ``tm_norm_a``/``tm_norm_b`` are the TM-scores normalised by the
+    lengths of chains A and B respectively (both in [0, 1]; > ~0.5
+    indicates the same fold).
+    """
+
+    name_a: str
+    name_b: str
+    len_a: int
+    len_b: int
+    tm_norm_a: float
+    tm_norm_b: float
+    rmsd: float
+    n_aligned: int
+    seq_identity: float
+    alignment: Alignment
+    transform: RigidTransform
+    op_counts: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tm_max(self) -> float:
+        return max(self.tm_norm_a, self.tm_norm_b)
+
+    @property
+    def tm_min(self) -> float:
+        return min(self.tm_norm_a, self.tm_norm_b)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name_a} (L={self.len_a}) vs {self.name_b} (L={self.len_b}): "
+            f"TM={self.tm_norm_a:.4f}/{self.tm_norm_b:.4f} "
+            f"RMSD={self.rmsd:.2f} aligned={self.n_aligned} "
+            f"seq_id={self.seq_identity:.2f}"
+        )

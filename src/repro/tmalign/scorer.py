@@ -1,0 +1,62 @@
+"""TM-score of a *given* alignment (the standalone TM-score program).
+
+Useful on its own (e.g. scoring a model against a native structure with
+the identity correspondence) and as the scoring half of TM-align.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.structure.model import Chain
+from repro.tmalign.params import TMAlignParams, d0_from_length
+from repro.tmalign.result import Alignment
+from repro.tmalign.tmscore import superposition_search
+
+__all__ = ["tm_score_fixed_alignment"]
+
+
+def tm_score_fixed_alignment(
+    chain_a: Chain,
+    chain_b: Chain,
+    alignment: Optional[Alignment] = None,
+    normalize_by: str = "b",
+    params: Optional[TMAlignParams] = None,
+    counter=None,
+) -> float:
+    """TM-score of ``chain_a`` vs ``chain_b`` under a fixed correspondence.
+
+    With ``alignment=None`` the chains must have equal length and the
+    identity correspondence is used (the classic TM-score use case:
+    model vs native).  ``normalize_by`` picks the normalising length:
+    ``"a"``, ``"b"`` (default, like the TM-score program's reference) or
+    ``"min"``.
+    """
+    params = params or TMAlignParams()
+    if alignment is None:
+        if len(chain_a) != len(chain_b):
+            raise ValueError(
+                "identity correspondence needs equal-length chains; "
+                f"got {len(chain_a)} vs {len(chain_b)}"
+            )
+        idx = np.arange(len(chain_a), dtype=np.intp)
+        alignment = Alignment(idx, idx)
+    if normalize_by == "a":
+        lnorm = len(chain_a)
+    elif normalize_by == "b":
+        lnorm = len(chain_b)
+    elif normalize_by == "min":
+        lnorm = min(len(chain_a), len(chain_b))
+    else:
+        raise ValueError("normalize_by must be 'a', 'b' or 'min'")
+    tm, _ = superposition_search(
+        chain_a.coords[alignment.ai],
+        chain_b.coords[alignment.aj],
+        d0_from_length(lnorm),
+        lnorm,
+        params=params,
+        counter=counter,
+    )
+    return tm

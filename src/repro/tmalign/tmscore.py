@@ -1,0 +1,107 @@
+"""TM-score machinery: scoring and the iterative superposition search.
+
+The superposition search is TM-align's core optimisation: given a set of
+matched residue pairs, find the rigid transform maximising the TM-score.
+Following the original, the search seeds Kabsch superpositions from
+contiguous fragments of the correspondence (full length, L/2, L/4, ...),
+then iteratively re-superposes on the subset of pairs closer than a
+distance cutoff until the subset is stable, keeping the best-scoring
+transform seen anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.kabsch import kabsch
+from repro.geometry.transforms import RigidTransform
+from repro.tmalign.params import TMAlignParams
+
+__all__ = ["tm_score_from_distances", "superposition_search"]
+
+
+def tm_score_from_distances(
+    d: np.ndarray, d0: float, lnorm: int, counter=None
+) -> float:
+    """TM-score of matched pairs at distances ``d``: Σ 1/(1+(d/d0)²) / Lnorm."""
+    d = np.asarray(d, dtype=np.float64)
+    if lnorm < 1:
+        raise ValueError("lnorm must be >= 1")
+    if d0 <= 0:
+        raise ValueError("d0 must be positive")
+    if counter is not None:
+        counter.add("score_pair", d.size)
+    return float((1.0 / (1.0 + (d / d0) ** 2)).sum() / lnorm)
+
+
+def _pair_distances(moved: np.ndarray, target: np.ndarray) -> np.ndarray:
+    diff = moved - target
+    return np.sqrt((diff * diff).sum(axis=1))
+
+
+def superposition_search(
+    pa: np.ndarray,
+    pb: np.ndarray,
+    d0: float,
+    lnorm: int,
+    params: Optional[TMAlignParams] = None,
+    d0_search: Optional[float] = None,
+    seed_fractions: Optional[Sequence[int]] = None,
+    counter=None,
+) -> tuple[float, RigidTransform]:
+    """Maximise the TM-score over rigid motions of ``pa`` onto ``pb``.
+
+    ``pa``/``pb`` are the coordinates of *matched* residue pairs (same
+    length N ≥ 3).  Returns ``(best_tm, best_transform)`` with the score
+    normalised by ``lnorm`` using scale ``d0``.
+
+    ``d0_search`` is the initial pair-selection cutoff (defaults to the
+    clipped d0 per TM-align); ``seed_fractions`` overrides the fragment
+    seeding schedule (the refinement loop uses a cheaper schedule than
+    the final scoring pass).
+    """
+    params = params or TMAlignParams()
+    pa = np.asarray(pa, dtype=np.float64)
+    pb = np.asarray(pb, dtype=np.float64)
+    if pa.shape != pb.shape or pa.ndim != 2 or pa.shape[1] != 3:
+        raise ValueError(f"matched coordinate sets required, got {pa.shape}/{pb.shape}")
+    n = pa.shape[0]
+    if n < 3:
+        raise ValueError("need at least 3 matched pairs")
+    if d0_search is None:
+        d0_search = min(8.0, max(4.5, d0))
+    fractions = tuple(seed_fractions or params.n_seed_fractions)
+
+    best_tm = -1.0
+    best_xf = RigidTransform.identity()
+    seen_seeds: set[tuple[int, int]] = set()
+    for frac in fractions:
+        flen = max(n // frac, params.min_seed_len)
+        flen = min(flen, n)
+        step = max(flen // 2, 1)
+        for start in range(0, n - flen + 1, step):
+            if (start, flen) in seen_seeds:
+                continue
+            seen_seeds.add((start, flen))
+            xf = kabsch(pa[start : start + flen], pb[start : start + flen], counter=counter)
+            prev_sel: Optional[np.ndarray] = None
+            for _ in range(params.max_score_iters):
+                d = _pair_distances(xf.apply(pa), pb)
+                tm = tm_score_from_distances(d, d0, lnorm, counter=counter)
+                if tm > best_tm:
+                    best_tm = tm
+                    best_xf = xf
+                d_cut = d0_search
+                sel = d < d_cut
+                while sel.sum() < 3 and d_cut < 8.0:
+                    d_cut += 0.5
+                    sel = d < d_cut
+                if sel.sum() < 3:
+                    break  # hopeless seed: nothing is close
+                if prev_sel is not None and sel.size == prev_sel.size and (sel == prev_sel).all():
+                    break  # selection stable -> converged
+                prev_sel = sel
+                xf = kabsch(pa[sel], pb[sel], counter=counter)
+    return best_tm, best_xf

@@ -1,0 +1,52 @@
+"""Shared fixtures: seeded RNGs, small structures, mini datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.structure.model import Chain
+from repro.structure.synthetic import FoldSpec, generate_fold
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_fold_pair():
+    """Two related ~60-residue folds (parent + noisy copy)."""
+    from repro.structure.synthetic import perturb_chain
+
+    rng = np.random.default_rng(42)
+    spec = FoldSpec.of(("H", 12), ("C", 4), ("E", 7), ("C", 3), ("H", 10), ("C", 4), ("E", 6), ("C", 3), ("H", 9))
+    parent = generate_fold(spec, rng, name="parent", family="testfam")
+    child = perturb_chain(parent, rng, name="child", jitter=0.4, max_indel=3)
+    return parent, child
+
+
+@pytest.fixture(scope="session")
+def unrelated_fold(small_fold_pair):
+    """A fold unrelated to small_fold_pair."""
+    rng = np.random.default_rng(4242)
+    spec = FoldSpec.of(("E", 6), ("C", 3), ("E", 6), ("C", 3), ("E", 7), ("C", 4), ("E", 6), ("C", 5), ("E", 8))
+    return generate_fold(spec, rng, name="stranger", family="otherfam")
+
+
+@pytest.fixture(scope="session")
+def ck34_mini():
+    return load_dataset("ck34-mini")
+
+
+@pytest.fixture(scope="session")
+def ck34():
+    return load_dataset("ck34")
+
+
+@pytest.fixture
+def tiny_chain() -> Chain:
+    rng = np.random.default_rng(7)
+    coords = np.cumsum(rng.normal(0, 1, (12, 3)), axis=0) * 2.0
+    return Chain("tiny", coords, "ACDEFGHIKLMN")

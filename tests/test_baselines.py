@@ -1,0 +1,121 @@
+"""Serial and distributed (MCPC/NFS) baselines."""
+
+import pytest
+
+from repro.baselines.distributed import DistributedConfig, run_distributed
+from repro.baselines.serial import SerialConfig, run_serial
+from repro.cost.cpu import AMD_ATHLON_2400, P54C_800
+from repro.datasets import load_dataset
+from repro.psc.evaluator import JobEvaluator
+
+
+@pytest.fixture(scope="module")
+def mini():
+    ds = load_dataset("ck34-mini")
+    return ds, JobEvaluator(ds)
+
+
+class TestSerial:
+    def test_job_count(self, mini):
+        ds, ev = mini
+        rep = run_serial(SerialConfig(dataset=ds), evaluator=ev)
+        assert rep.n_jobs == len(ds) * (len(ds) - 1) // 2
+        assert len(rep.per_pair_seconds) == rep.n_jobs
+
+    def test_amd_beats_p54c(self, mini):
+        ds, ev = mini
+        slow = run_serial(SerialConfig(dataset=ds, cpu=P54C_800), evaluator=ev)
+        fast = run_serial(SerialConfig(dataset=ds, cpu=AMD_ATHLON_2400), evaluator=ev)
+        assert fast.total_seconds < slow.total_seconds
+
+    def test_total_is_load_plus_compute(self, mini):
+        ds, ev = mini
+        rep = run_serial(SerialConfig(dataset=ds), evaluator=ev)
+        assert rep.total_seconds == pytest.approx(
+            rep.load_seconds + rep.compute_seconds
+        )
+        assert rep.compute_seconds == pytest.approx(sum(rep.per_pair_seconds))
+
+    def test_table3_absolute_numbers(self):
+        """Full datasets must reproduce Table III within 1%."""
+        from repro.cost.calibration import TABLE3_SECONDS
+
+        for ds_name in ("ck34",):
+            ds = load_dataset(ds_name)
+            ev = JobEvaluator(ds)
+            for cpu, key in ((AMD_ATHLON_2400, "amd"), (P54C_800, "p54c")):
+                rep = run_serial(SerialConfig(dataset=ds, cpu=cpu), evaluator=ev)
+                want = TABLE3_SECONDS[key][ds_name]
+                assert rep.total_seconds == pytest.approx(want, rel=0.01)
+
+    def test_scores_present(self, mini):
+        ds, ev = mini
+        rep = run_serial(SerialConfig(dataset=ds), evaluator=ev)
+        assert len(rep.scores) == rep.n_jobs
+
+
+class TestDistributed:
+    def test_completes_all_jobs(self, mini):
+        ds, ev = mini
+        rep = run_distributed(DistributedConfig(dataset=ds, n_cores=4), evaluator=ev)
+        assert rep.n_jobs == len(ds) * (len(ds) - 1) // 2
+        assert sum(rep.per_core_jobs.values()) == rep.n_jobs
+
+    def test_slower_than_serial_on_same_core_count_one(self, mini):
+        """At one core the per-job spawn+NFS overhead must show."""
+        ds, ev = mini
+        serial = run_serial(SerialConfig(dataset=ds), evaluator=ev)
+        dist = run_distributed(DistributedConfig(dataset=ds, n_cores=1), evaluator=ev)
+        assert dist.total_seconds > serial.total_seconds * 1.5
+
+    def test_scales_with_cores(self, mini):
+        ds, ev = mini
+        t1 = run_distributed(DistributedConfig(dataset=ds, n_cores=1), evaluator=ev)
+        t4 = run_distributed(DistributedConfig(dataset=ds, n_cores=4), evaluator=ev)
+        assert 2.5 < t1.total_seconds / t4.total_seconds <= 4.2
+
+    def test_nfs_utilization_reported(self, mini):
+        ds, ev = mini
+        rep = run_distributed(DistributedConfig(dataset=ds, n_cores=4), evaluator=ev)
+        assert 0 < rep.nfs_utilization < 1
+
+    def test_nfs_contention_hurts_at_scale(self, mini):
+        """Starving the NFS bandwidth must slow the many-core run much
+        more than the single-core run."""
+        ds, ev = mini
+        slow_nfs = dict(nfs_bandwidth_bytes_per_s=2e6)
+        t1 = run_distributed(
+            DistributedConfig(dataset=ds, n_cores=1, **slow_nfs), evaluator=ev
+        )
+        t8 = run_distributed(
+            DistributedConfig(dataset=ds, n_cores=8, **slow_nfs), evaluator=ev
+        )
+        # with 8 cores the shared disk saturates: nowhere near 8x
+        assert t1.total_seconds / t8.total_seconds < 6.0
+
+    def test_zero_cores_rejected(self, mini):
+        ds, ev = mini
+        with pytest.raises(ValueError):
+            run_distributed(DistributedConfig(dataset=ds, n_cores=0), evaluator=ev)
+
+    def test_deterministic(self, mini):
+        ds, ev = mini
+        cfg = DistributedConfig(dataset=ds, n_cores=3)
+        assert (
+            run_distributed(cfg, evaluator=ev).total_seconds
+            == run_distributed(cfg, evaluator=ev).total_seconds
+        )
+
+
+class TestPaperComparison:
+    def test_rckalign_beats_distributed_everywhere(self, mini):
+        """The paper's headline Exp-I claim at mini scale."""
+        from repro.core.rckalign import RckAlignConfig, run_rckalign
+
+        ds, ev = mini
+        for n in (1, 4, 8):
+            rck = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=n), evaluator=ev)
+            dist = run_distributed(
+                DistributedConfig(dataset=ds, n_cores=n), evaluator=ev
+            )
+            assert rck.total_seconds < dist.total_seconds

@@ -1,0 +1,81 @@
+"""Table III calibration."""
+
+import pytest
+
+from repro.cost.calibration import (
+    TABLE3_SECONDS,
+    calibrate_two_class,
+    dataset_group_work,
+    group_work,
+    recalibrate_cpus,
+)
+from repro.cost.counters import CostCounter
+from repro.cost.cpu import AMD_ATHLON_2400, P54C_800
+
+
+class TestGroupWork:
+    def test_partitions_counts(self):
+        ctr = CostCounter({"dp_cell": 100, "align_fixed": 2})
+        work, ovh = group_work(ctr)
+        assert work == 100.0  # dp_cell base weight 1.0
+        assert ovh == 2 * 20000.0  # align_fixed base weight
+
+    def test_empty_counter_zero(self):
+        assert group_work(CostCounter()) == (0.0, 0.0)
+
+    def test_dataset_work_scales_with_size(self):
+        small = dataset_group_work([100] * 5)
+        big = dataset_group_work([100] * 10)
+        assert big[0] > small[0] and big[1] > small[1]
+
+
+class TestCalibrateTwoClass:
+    def test_exact_solution_recovered(self):
+        # construct a synthetic system with known scales
+        works = {"a": (1e9, 1e6), "b": (20e9, 12e6)}
+        want = (50.0, 1e5)
+        targets = {
+            d: (want[0] * w[0] + want[1] * w[1]) / 1e9 for d, w in works.items()
+        }
+        res = calibrate_two_class(works, targets, 1e9)
+        assert res.work_scale == pytest.approx(want[0])
+        assert res.overhead_scale == pytest.approx(want[1])
+        assert res.max_relative_error < 1e-9
+
+    def test_singular_system_rejected(self):
+        works = {"a": (1.0, 1.0), "b": (2.0, 2.0)}
+        with pytest.raises(ValueError):
+            calibrate_two_class(works, {"a": 1.0, "b": 2.0}, 1e9)
+
+    def test_negative_solution_rejected(self):
+        works = {"a": (1.0, 100.0), "b": (100.0, 1.0)}
+        # targets that force a negative scale
+        with pytest.raises(ValueError):
+            calibrate_two_class(works, {"a": 1e-9, "b": 1.0}, 1e9)
+
+    def test_needs_two_datasets(self):
+        with pytest.raises(ValueError):
+            calibrate_two_class({"a": (1, 1)}, {"a": 1.0}, 1e9)
+
+
+class TestBakedConstants:
+    def test_recalibration_matches_baked_scales(self):
+        """The constants in repro.cost.cpu must be what recalibration
+        produces for the bundled datasets (guards against drift)."""
+        res = recalibrate_cpus()
+        assert res["p54c"].work_scale == pytest.approx(P54C_800.work_scale, rel=0.02)
+        assert res["p54c"].overhead_scale == pytest.approx(
+            P54C_800.overhead_scale, rel=0.02
+        )
+        assert res["amd"].work_scale == pytest.approx(
+            AMD_ATHLON_2400.work_scale, rel=0.02
+        )
+        assert res["amd"].overhead_scale == pytest.approx(
+            AMD_ATHLON_2400.overhead_scale, rel=0.02
+        )
+
+    def test_predictions_hit_paper_numbers(self):
+        res = recalibrate_cpus()
+        for cpu in ("p54c", "amd"):
+            for ds, want in TABLE3_SECONDS[cpu].items():
+                assert res[cpu].predicted_seconds[ds] == pytest.approx(want, rel=1e-6)

@@ -1,0 +1,87 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for exp in ("table1", "table3", "exp1", "exp2", "table5", "ablations", "all"):
+            args = parser.parse_args([exp])
+            assert args.command == exp
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(["exp2", "--quick", "--dataset", "rs119"])
+        assert args.quick and args.dataset == "rs119"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp1", "--mode", "psychic"])
+
+    def test_tool_commands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["align", "a", "b", "--dataset", "ck34"])
+        assert args.chain_a == "a" and args.chain_b == "b"
+        args = parser.parse_args(["search", "q", "--method", "tmalign", "--top", "3"])
+        assert args.top == 3
+        args = parser.parse_args(["info", "--dataset", "rs119"])
+        assert args.dataset == "rs119"
+
+
+class TestMain:
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "6x4 mesh" in out
+
+    def test_table3_prints(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "AMD" in out and "P54C" in out
+
+    def test_exp2_quick_single_dataset(self, capsys):
+        assert main(["exp2", "--quick", "--dataset", "ck34"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "Figure 6" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "--dataset", "ck34-mini"]) == 0
+        assert "chains" in capsys.readouterr().out
+
+    def test_search_with_cheap_method(self, capsys):
+        assert main(
+            ["search", "ck_globin_00", "--dataset", "ck34-mini",
+             "--method", "sse_composition", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+
+    def test_align_by_name(self, capsys, tmp_path):
+        from repro.datasets import load_dataset
+        from repro.structure import write_pdb_file
+
+        ds = load_dataset("ck34-mini")
+        path = tmp_path / "q.pdb"
+        write_pdb_file(ds[0], path)
+        assert main(["align", str(path), ds[1].name, "--dataset", "ck34-mini"]) == 0
+        out = capsys.readouterr().out
+        assert "TM-score=" in out
+        assert "Rotation matrix" in out
+
+
+class TestMatrixCommand:
+    def test_matrix_export(self, capsys, tmp_path):
+        out_file = tmp_path / "m.csv"
+        assert main(
+            ["matrix", "--dataset", "ck34-mini", "--method", "sse_composition",
+             "--output", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+        assert "28 pair scores" in capsys.readouterr().out

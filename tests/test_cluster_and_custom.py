@@ -1,0 +1,97 @@
+"""Fold clustering and user-directory datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.custom import load_dataset_from_dir
+from repro.psc.cluster import (
+    adjusted_rand_index,
+    cluster_agreement,
+    cluster_families,
+)
+from repro.structure.pdbio import write_pdb_file
+
+
+class TestAdjustedRand:
+    def test_identical_clusterings(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == pytest.approx(1.0)
+
+    def test_independent_clusterings_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 400)
+        b = rng.integers(0, 4, 400)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([1], [1])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([1, 2], [1, 2, 3])
+
+
+class TestClusterFamilies:
+    @pytest.fixture(scope="class")
+    def tm_table(self):
+        """Measured TM-align all-vs-all over two full CK34 families."""
+        from repro.psc.methods import TMAlignMethod
+        from repro.psc.search import all_vs_all
+
+        ds = load_dataset("ck34").subset(12, "ck34-cluster")  # globins+tims
+        return ds, all_vs_all(ds, method=TMAlignMethod())
+
+    def test_recovers_families(self, tm_table):
+        ds, table = tm_table
+        clusters = cluster_families(table, "tm_norm_b", dataset=ds, threshold=0.5)
+        ari = cluster_agreement(clusters, ds)
+        assert ari > 0.9  # TM-score clustering nails the two families
+
+    def test_loose_threshold_merges(self, tm_table):
+        ds, table = tm_table
+        tight = cluster_families(table, "tm_norm_b", dataset=ds, threshold=0.8)
+        loose = cluster_families(table, "tm_norm_b", dataset=ds, threshold=0.05)
+        assert len(set(loose.values())) <= len(set(tight.values()))
+
+    def test_every_chain_labelled(self, tm_table):
+        ds, table = tm_table
+        clusters = cluster_families(table, "tm_norm_b", dataset=ds)
+        assert set(clusters) == {c.name for c in ds}
+
+    def test_bad_threshold(self, tm_table):
+        ds, table = tm_table
+        with pytest.raises(ValueError):
+            cluster_families(table, "tm_norm_b", dataset=ds, threshold=1.5)
+
+
+class TestLoadFromDir:
+    def test_roundtrip_directory(self, tmp_path, ck34_mini):
+        for chain in ck34_mini:
+            write_pdb_file(chain, tmp_path / f"{chain.name}.pdb")
+        ds = load_dataset_from_dir(tmp_path)
+        assert len(ds) == len(ck34_mini)
+        assert ds.name == tmp_path.name
+        original = {c.name: c for c in ck34_mini}
+        for chain in ds:
+            np.testing.assert_allclose(
+                chain.coords, original[chain.name].coords, atol=1e-3
+            )
+
+    def test_short_files_skipped(self, tmp_path, ck34_mini, tiny_chain):
+        write_pdb_file(ck34_mini[0], tmp_path / "good.pdb")
+        write_pdb_file(tiny_chain, tmp_path / "short.pdb")
+        ds = load_dataset_from_dir(tmp_path, min_residues=50)
+        assert len(ds) == 1
+        assert "skipped short" in ds.description
+
+    def test_missing_dir(self):
+        with pytest.raises(NotADirectoryError):
+            load_dataset_from_dir("/nonexistent/dir")
+
+    def test_empty_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_from_dir(tmp_path)
+
+    def test_all_short_rejected(self, tmp_path, tiny_chain):
+        write_pdb_file(tiny_chain, tmp_path / "t.pdb")
+        with pytest.raises(ValueError):
+            load_dataset_from_dir(tmp_path, min_residues=50)

@@ -1,0 +1,113 @@
+"""Consensus scoring over multiple PSC methods."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.psc.consensus import CONSENSUS_SCHEMES, consensus_scores
+from repro.psc.metrics import family_auc, roc_auc
+from repro.psc.methods import KabschRmsdMethod, SSECompositionMethod
+from repro.psc.search import all_vs_all
+
+
+class TestConsensusScores:
+    def _tables(self):
+        return {
+            "m1": {("a", "b"): 0.9, ("a", "c"): 0.2, ("b", "c"): 0.5},
+            "m2": {("a", "b"): 0.8, ("a", "c"): 0.1, ("b", "c"): 0.6},
+        }
+
+    @pytest.mark.parametrize("scheme", CONSENSUS_SCHEMES)
+    def test_agreeing_methods_preserve_order(self, scheme):
+        combined = consensus_scores(self._tables(), scheme)
+        assert combined[("a", "b")] > combined[("b", "c")] > combined[("a", "c")]
+
+    def test_single_method_is_monotone_identity(self):
+        table = {"m": {("a", "b"): 0.9, ("a", "c"): 0.1}}
+        combined = consensus_scores(table, "borda")
+        assert combined[("a", "b")] > combined[("a", "c")]
+
+    def test_disagreement_averages(self):
+        tables = {
+            "m1": {("x", "y"): 1.0, ("x", "z"): 0.0},
+            "m2": {("x", "y"): 0.0, ("x", "z"): 1.0},
+        }
+        combined = consensus_scores(tables, "borda")
+        assert combined[("x", "y")] == pytest.approx(combined[("x", "z")])
+
+    def test_mismatched_pair_sets_rejected(self):
+        tables = {
+            "m1": {("a", "b"): 1.0},
+            "m2": {("a", "c"): 1.0},
+        }
+        with pytest.raises(ValueError):
+            consensus_scores(tables)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_scores(self._tables(), "oracle")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_scores({})
+
+    def test_zscore_handles_constant_method(self):
+        tables = {
+            "flat": {("a", "b"): 0.5, ("a", "c"): 0.5},
+            "real": {("a", "b"): 0.9, ("a", "c"): 0.1},
+        }
+        combined = consensus_scores(tables, "zscore")
+        assert combined[("a", "b")] > combined[("a", "c")]
+
+
+class TestConsensusQuality:
+    def test_consensus_auc_at_least_weakest_member(self):
+        """On CK34, the consensus of two cheap methods should not be
+        dramatically worse than either member (and usually helps)."""
+        ds = load_dataset("ck34")
+        sse = all_vs_all(ds, method=SSECompositionMethod())
+        kr = all_vs_all(ds, method=KabschRmsdMethod())
+        tables = {
+            "sse": {k: v["similarity"] for k, v in sse.items()},
+            "kr": {k: v["similarity"] for k, v in kr.items()},
+        }
+        combined = consensus_scores(tables, "borda")
+        auc_combined = family_auc({k: {"s": v} for k, v in combined.items()}, ds, "s")
+        auc_sse = family_auc(sse, ds, "similarity")
+        auc_kr = family_auc(kr, ds, "similarity")
+        assert auc_combined >= min(auc_sse, auc_kr) - 0.02
+
+
+class TestConsensusFromMcPsc:
+    def test_end_to_end(self):
+        from repro.core.framework import McPscConfig, run_mcpsc
+        from repro.core.skeletons import FarmConfig
+        from repro.psc.consensus import consensus_from_mcpsc
+        from repro.psc.evaluator import EvalMode
+
+        ds = load_dataset("ck34-mini")
+        report = run_mcpsc(
+            McPscConfig(
+                dataset=ds,
+                methods=("kabsch_rmsd", "sse_composition"),
+                n_slaves=4,
+                mode=EvalMode.MEASURED,
+                farm=FarmConfig(slave_boot_seconds=0.0),
+            )
+        )
+        combined = consensus_from_mcpsc(
+            report,
+            {"kabsch_rmsd": "similarity", "sse_composition": "similarity"},
+            ds,
+        )
+        n = len(ds)
+        assert len(combined) == n * (n - 1) // 2
+
+    def test_no_overlap_rejected(self):
+        from repro.psc.consensus import consensus_from_mcpsc
+
+        class FakeReport:
+            per_method_results = {"x": []}
+
+        with pytest.raises(ValueError):
+            consensus_from_mcpsc(FakeReport(), {"other": "s"}, None)

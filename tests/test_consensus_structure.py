@@ -1,0 +1,68 @@
+"""Family medoid and consensus shape (Chew–Kedem closure)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.structure.consensus import consensus_structure, find_medoid
+from repro.tmalign import tm_align
+
+
+@pytest.fixture(scope="module")
+def family():
+    """Five globins from CK34 (parent ck_globin_00 + four perturbations)."""
+    ds = load_dataset("ck34")
+    return [ds.by_name(f"ck_globin_0{k}") for k in range(5)]
+
+
+class TestMedoid:
+    def test_medoid_is_a_member(self, family):
+        idx, means = find_medoid(family)
+        assert 0 <= idx < len(family)
+        assert means.shape == (len(family),)
+
+    def test_means_are_tm_scores(self, family):
+        _, means = find_medoid(family)
+        assert np.all((means >= 0) & (means <= 1))
+        assert means.mean() > 0.7  # it is a tight family
+
+    def test_needs_two_chains(self, family):
+        with pytest.raises(ValueError):
+            find_medoid(family[:1])
+
+
+class TestConsensus:
+    @pytest.fixture(scope="class")
+    def consensus(self, family):
+        return consensus_structure(family, name="globin_consensus")
+
+    def test_consensus_is_valid_chain(self, consensus, family):
+        chain, info = consensus
+        assert len(chain) >= 0.8 * min(len(c) for c in family)
+        assert chain.family == "globin"
+        assert info["n_residues"] == len(chain)
+
+    def test_consensus_close_to_every_member(self, consensus, family):
+        chain, _ = consensus
+        for member in family:
+            res = tm_align(chain, member)
+            assert res.tm_max > 0.75
+
+    def test_consensus_at_least_as_central_as_medoid(self, consensus, family):
+        """The averaged shape should explain the family about as well as
+        the best single member."""
+        chain, info = consensus
+        consensus_mean = np.mean(
+            [tm_align(chain, m).tm_norm_b for m in family]
+        )
+        medoid_mean = info["mean_tm"][info["medoid_index"]]
+        assert consensus_mean > medoid_mean - 0.05
+
+    def test_support_vector_sane(self, consensus, family):
+        _, info = consensus
+        support = info["support"]
+        assert np.all((support > 0) & (support <= 1))
+
+    def test_bad_support_rejected(self, family):
+        with pytest.raises(ValueError):
+            consensus_structure(family, min_support=0.0)

@@ -1,0 +1,55 @@
+"""Op counters."""
+
+import pytest
+
+from repro.cost.counters import OP_CLASSES, CostCounter
+
+
+class TestCostCounter:
+    def test_starts_at_zero(self):
+        ctr = CostCounter()
+        assert all(ctr[c] == 0 for c in OP_CLASSES)
+
+    def test_add_accumulates(self):
+        ctr = CostCounter()
+        ctr.add("dp_cell", 10)
+        ctr.add("dp_cell", 5)
+        assert ctr["dp_cell"] == 15
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            CostCounter().add("quantum_flop", 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostCounter().add("dp_cell", -1)
+
+    def test_merge(self):
+        a = CostCounter({"dp_cell": 3})
+        b = CostCounter({"dp_cell": 4, "kabsch": 1})
+        a.merge(b)
+        assert a["dp_cell"] == 7 and a["kabsch"] == 1
+
+    def test_copy_is_independent(self):
+        a = CostCounter({"kabsch": 2})
+        b = a.copy()
+        b.add("kabsch", 1)
+        assert a["kabsch"] == 2 and b["kabsch"] == 3
+
+    def test_total_with_subset(self):
+        ctr = CostCounter({"dp_cell": 5, "kabsch": 2})
+        assert ctr.total(["dp_cell"]) == 5
+        assert ctr.total() == 7
+
+    def test_equality(self):
+        assert CostCounter({"kabsch": 1}) == CostCounter({"kabsch": 1})
+        assert CostCounter({"kabsch": 1}) != CostCounter({"kabsch": 2})
+
+    def test_init_validates(self):
+        with pytest.raises(KeyError):
+            CostCounter({"bogus": 1})
+
+    def test_fractional_counts_allowed(self):
+        ctr = CostCounter()
+        ctr.add("align_fixed", 0.05)
+        assert ctr["align_fixed"] == pytest.approx(0.05)

@@ -1,0 +1,70 @@
+"""CPU models."""
+
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.cost.cpu import (
+    AMD_ATHLON_2400,
+    BASE_WEIGHTS,
+    CPU_MODELS,
+    MCPC_HOST,
+    OVERHEAD_GROUP,
+    P54C_800,
+    SCALE_GROUP,
+    CpuModel,
+)
+
+
+class TestCpuModel:
+    def test_cycles_linear_in_counts(self):
+        one = P54C_800.cycles({"dp_cell": 1})
+        many = P54C_800.cycles({"dp_cell": 1000})
+        assert many == pytest.approx(1000 * one)
+
+    def test_seconds_from_cycles(self):
+        assert P54C_800.seconds_from_cycles(800e6) == pytest.approx(1.0)
+
+    def test_counter_and_dict_agree(self):
+        ctr = CostCounter({"dp_cell": 10, "kabsch": 2})
+        assert P54C_800.cycles(ctr) == P54C_800.cycles({"dp_cell": 10, "kabsch": 2})
+
+    def test_overhead_vs_scale_groups_partition_ops(self):
+        assert set(OVERHEAD_GROUP) | set(SCALE_GROUP) == set(BASE_WEIGHTS)
+        assert not set(OVERHEAD_GROUP) & set(SCALE_GROUP)
+
+    def test_overhead_scale_used_for_align_fixed(self):
+        cheap = CpuModel("x", 1e9, work_scale=1.0, overhead_scale=1.0)
+        costly = CpuModel("y", 1e9, work_scale=1.0, overhead_scale=100.0)
+        counts = {"align_fixed": 1}
+        assert costly.cycles(counts) == pytest.approx(100 * cheap.cycles(counts))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuModel("bad", -1, 1, 1)
+        with pytest.raises(ValueError):
+            CpuModel("bad", 1e9, 0, 1)
+
+    def test_registry_complete(self):
+        assert set(CPU_MODELS) == {"p54c", "amd", "mcpc"}
+        assert CPU_MODELS["p54c"] is P54C_800
+
+
+class TestPaperRelationships:
+    def test_p54c_slower_than_amd_per_comparison(self):
+        """For a typical pair, the AMD must be faster overall."""
+        counts = {"dp_cell": 5e6, "score_pair": 5e6, "align_fixed": 1}
+        assert P54C_800.seconds(counts) > AMD_ATHLON_2400.seconds(counts)
+
+    def test_overhead_relatively_worse_on_p54c(self):
+        """The P54C's per-pair fixed overhead is disproportionately
+        expensive — the mechanism behind Table III's dataset-dependent
+        speed ratio (see repro.cost.cpu docstring)."""
+        ovh = {"align_fixed": 1}
+        work = {"dp_cell": 1e6}
+        ratio_ovh = P54C_800.seconds(ovh) / AMD_ATHLON_2400.seconds(ovh)
+        ratio_work = P54C_800.seconds(work) / AMD_ATHLON_2400.seconds(work)
+        assert ratio_ovh > ratio_work
+
+    def test_mcpc_is_fast(self):
+        counts = {"io_byte": 1e6}
+        assert MCPC_HOST.seconds(counts) < P54C_800.seconds(counts)

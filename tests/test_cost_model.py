@@ -1,0 +1,117 @@
+"""Pair cost model: fit quality, determinism, jitter."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.cost.model import (
+    DEFAULT_PAIR_COST_MODEL,
+    PairCostModel,
+    estimate_op_counts,
+    fit_pair_cost_model,
+    pair_seconds,
+)
+from repro.cost.cpu import P54C_800
+from repro.tmalign import tm_align
+
+
+class TestDefaults:
+    def test_counts_cover_all_classes(self):
+        counts = estimate_op_counts(100, 150)
+        from repro.cost.counters import OP_CLASSES
+
+        assert set(counts) == set(OP_CLASSES)
+
+    def test_counts_nonnegative(self):
+        for la, lb in ((60, 60), (60, 450), (450, 450), (100, 250)):
+            assert all(v >= 0 for v in estimate_op_counts(la, lb).values())
+
+    def test_bigger_pairs_cost_more(self):
+        small = P54C_800.cycles(estimate_op_counts(80, 80))
+        big = P54C_800.cycles(estimate_op_counts(300, 300))
+        assert big > small
+        # the scaling work (excluding the flat per-pair overhead) grows
+        # superlinearly with chain length
+        small_work = {k: v for k, v in estimate_op_counts(80, 80).items() if k != "align_fixed"}
+        big_work = {k: v for k, v in estimate_op_counts(300, 300).items() if k != "align_fixed"}
+        assert P54C_800.cycles(big_work) > 4 * P54C_800.cycles(small_work)
+
+    def test_sec_res_exact(self):
+        assert estimate_op_counts(77, 123)["sec_res"] == 200
+
+    def test_align_fixed_exactly_one(self):
+        assert estimate_op_counts(100, 100)["align_fixed"] == 1.0
+
+
+class TestJitter:
+    def test_deterministic_per_key(self):
+        a = estimate_op_counts(100, 150, "x|y")
+        b = estimate_op_counts(100, 150, "x|y")
+        assert a == b
+
+    def test_different_keys_differ(self):
+        a = estimate_op_counts(100, 150, "x|y")["dp_cell"]
+        b = estimate_op_counts(100, 150, "x|z")["dp_cell"]
+        assert a != b
+
+    def test_jitter_bounded(self):
+        base = estimate_op_counts(100, 150)["dp_cell"]
+        for key in (f"k{i}" for i in range(50)):
+            val = estimate_op_counts(100, 150, key)["dp_cell"]
+            assert abs(val / base - 1.0) <= DEFAULT_PAIR_COST_MODEL.jitter + 1e-9
+
+    def test_no_key_means_no_jitter(self):
+        noiseless = estimate_op_counts(100, 150)
+        model = PairCostModel(DEFAULT_PAIR_COST_MODEL.coeffs, jitter=0.0)
+        assert model.counts(100, 150, "any|key") == pytest.approx(noiseless)
+
+
+class TestFitQuality:
+    def test_default_model_tracks_measured_counts(self, ck34):
+        """The baked coefficients must predict real op counts within a
+        reasonable envelope on fresh pairs."""
+        rng = np.random.default_rng(99)
+        rel_errs = []
+        for _ in range(8):
+            i, j = sorted(rng.choice(len(ck34), 2, replace=False))
+            ctr = CostCounter()
+            tm_align(ck34[int(i)], ck34[int(j)], counter=ctr)
+            est = estimate_op_counts(len(ck34[int(i)]), len(ck34[int(j)]))
+            for op in ("dp_cell", "score_pair"):
+                rel_errs.append(abs(est[op] - ctr[op]) / ctr[op])
+        # per-pair refinement-iteration counts genuinely vary (family
+        # pairs converge early), so individual errors can be large; the
+        # model only needs to be centred
+        assert np.median(rel_errs) < 0.6
+
+    def test_refit_roundtrip(self, ck34_mini):
+        samples = []
+        for i in range(len(ck34_mini)):
+            for j in range(i + 1, min(i + 3, len(ck34_mini))):
+                ctr = CostCounter()
+                tm_align(ck34_mini[i], ck34_mini[j], counter=ctr)
+                samples.append((len(ck34_mini[i]), len(ck34_mini[j]), ctr))
+        model = fit_pair_cost_model(samples)
+        # in-sample prediction should be decent for the dominant class
+        errs = [
+            abs(model.counts(la, lb)["dp_cell"] - ctr["dp_cell"]) / ctr["dp_cell"]
+            for la, lb, ctr in samples
+        ]
+        assert np.median(errs) < 0.35
+
+    def test_fit_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            fit_pair_cost_model([(10, 10, CostCounter())])
+
+
+class TestValidation:
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError):
+            PairCostModel(coeffs={"dp_cell": (0, 0, 1)})
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            PairCostModel(DEFAULT_PAIR_COST_MODEL.coeffs, jitter=1.5)
+
+    def test_pair_seconds_positive(self):
+        assert pair_seconds(P54C_800, 150, 150) > 0

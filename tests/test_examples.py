@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run end to end.
+
+The slow measured-mode example (one_vs_all_search) is exercised through
+its main() on a reduced problem via monkeypatching where needed.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "TM-align result" in out
+        assert "Alignment" in out
+
+    def test_skeleton_playground(self, capsys):
+        load_example("skeleton_playground").main()
+        out = capsys.readouterr().out
+        assert "seq" in out and "farm" in out
+
+    def test_allvsall_scc_speedup(self, capsys):
+        load_example("allvsall_scc_speedup").main("ck34-mini")
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_mcpsc_partitioning(self, capsys):
+        load_example("mcpsc_partitioning").main()
+        out = capsys.readouterr().out
+        assert "partitioning" in out
+        assert "makespan" in out
+
+    def test_trace_gantt(self, capsys):
+        load_example("trace_gantt").main()
+        out = capsys.readouterr().out
+        assert "rck00" in out and "#" in out
+
+    def test_database_update(self, capsys):
+        load_example("database_update").main()
+        out = capsys.readouterr().out
+        assert "full all-vs-all" in out
+
+    @pytest.mark.slow
+    def test_one_vs_all_search(self, capsys):
+        """Measured-mode TM-align over 33 pairs: the slowest example
+        (~1-3 min); marked slow, run with `pytest -m slow`."""
+        load_example("one_vs_all_search").main()
+        out = capsys.readouterr().out
+        assert "same family" in out

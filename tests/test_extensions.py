@@ -1,0 +1,270 @@
+"""Extensions: contact method, RCCE collectives, tracing, report,
+streaming master, blocked pairs, frequency/memory ablations."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.datasets import load_dataset
+from repro.datasets.pairs import all_vs_all_pairs, blocked_pairs
+from repro.psc.contact import ContactProfileMethod
+from repro.scc.machine import SccMachine
+from repro.scc.rcce import Rcce
+from repro.scc.trace import Tracer, render_gantt
+
+
+class TestContactProfileMethod:
+    def test_self_similarity_high(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        m = ContactProfileMethod()
+        r = m.compare(parent, parent, CostCounter())
+        assert r["similarity"] > 0.9
+
+    def test_family_beats_stranger(self, small_fold_pair, unrelated_fold):
+        parent, child = small_fold_pair
+        m = ContactProfileMethod()
+        fam = m.compare(parent, child, CostCounter())["similarity"]
+        cross = m.compare(parent, unrelated_fold, CostCounter())["similarity"]
+        assert fam > cross
+
+    def test_cost_between_tmalign_and_sse(self):
+        from repro.cost.cpu import P54C_800
+        from repro.psc.methods import get_method
+
+        tm = P54C_800.cycles(dict(get_method("tmalign").estimate_counts(150, 150)))
+        cp = P54C_800.cycles(dict(ContactProfileMethod().estimate_counts(150, 150)))
+        sse = P54C_800.cycles(
+            dict(get_method("sse_composition").estimate_counts(150, 150))
+        )
+        assert sse < cp < tm
+
+    def test_registered(self):
+        from repro.psc import METHOD_REGISTRY, get_method
+
+        assert "contact_profile" in METHOD_REGISTRY
+        assert isinstance(get_method("contact_profile"), ContactProfileMethod)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContactProfileMethod(cutoff=-1)
+        with pytest.raises(ValueError):
+            ContactProfileMethod(smooth_window=4)
+
+
+class TestRcceCollectives:
+    def _run(self, programs):
+        m = SccMachine()
+        rcce = Rcce(m)
+        for core_id, prog in programs(rcce):
+            m.spawn(core_id, prog)
+        m.run()
+        return m
+
+    def test_scatter(self):
+        got = {}
+
+        def programs(rcce):
+            group = [0, 1, 2, 3]
+
+            def prog(core):
+                items = [10, 11, 12, 13] if core.id == 0 else None
+                mine = yield from rcce.scatter(core, 0, group, items)
+                got[core.id] = mine
+
+            return [(c, prog) for c in group]
+
+        self._run(programs)
+        assert got == {0: 10, 1: 11, 2: 12, 3: 13}
+
+    def test_scatter_needs_matching_items(self):
+        def programs(rcce):
+            def root(core):
+                yield from rcce.scatter(core, 0, [0, 1], [1, 2, 3])
+
+            def member(core):
+                yield from rcce.scatter(core, 0, [0, 1])
+
+            return [(0, root), (1, member)]
+
+        with pytest.raises(ValueError):
+            self._run(programs)
+
+    def test_gather(self):
+        got = {}
+
+        def programs(rcce):
+            group = [0, 1, 2]
+
+            def prog(core):
+                out = yield from rcce.gather(core, 0, group, core.id * 100)
+                got[core.id] = out
+
+            return [(c, prog) for c in group]
+
+        self._run(programs)
+        assert got[0] == [0, 100, 200]
+        assert got[1] is None and got[2] is None
+
+    def test_reduce_sum_and_custom_op(self):
+        got = {}
+
+        def programs(rcce):
+            group = [0, 1, 2, 3]
+
+            def prog(core):
+                total = yield from rcce.reduce(core, 0, group, core.id + 1)
+                got.setdefault("sum", total) if core.id == 0 else None
+                biggest = yield from rcce.reduce(core, 0, group, core.id, op=max)
+                if core.id == 0:
+                    got["max"] = biggest
+
+            return [(c, prog) for c in group]
+
+        self._run(programs)
+        assert got["sum"] == 10
+        assert got["max"] == 3
+
+
+class TestTracer:
+    def test_records_compute_intervals(self):
+        m = SccMachine()
+        tracer = Tracer(m)
+
+        def prog(core):
+            yield from core.compute_cycles(800e6)  # 1 s
+            yield core.env.timeout(1.0)  # idle second
+            yield from core.compute_cycles(400e6)  # 0.5 s
+
+        m.spawn(0, prog)
+        m.run()
+        ivs = tracer.core_intervals(0)
+        assert len(ivs) == 2
+        assert ivs[0].duration == pytest.approx(1.0)
+        assert ivs[1].duration == pytest.approx(0.5)
+        assert tracer.busy_fraction(0) == pytest.approx(1.5 / 2.5)
+
+    def test_gantt_renders(self):
+        m = SccMachine()
+        tracer = Tracer(m)
+
+        def prog(core):
+            yield from core.compute_cycles(800e6)
+
+        m.spawn(0, prog)
+        m.spawn(3, prog)
+        m.run()
+        chart = render_gantt(tracer)
+        assert "rck00" in chart and "rck03" in chart
+        assert "#" in chart
+
+    def test_empty_trace(self):
+        m = SccMachine()
+        tracer = Tracer(m)
+        assert "no simulated time" in render_gantt(tracer)
+
+
+class TestReportFormatter:
+    def test_report_layout(self, small_fold_pair):
+        from repro.tmalign import tm_align
+        from repro.tmalign.report import format_tmalign_report
+
+        parent, child = small_fold_pair
+        res = tm_align(parent, child)
+        text = format_tmalign_report(res, parent, child)
+        assert f"Name of Chain_1: {parent.name}" in text
+        assert "TM-score=" in text
+        assert "Rotation matrix" in text
+        assert parent.sequence[0] in text
+
+    def test_wrong_chains_rejected(self, small_fold_pair, unrelated_fold):
+        from repro.tmalign import tm_align
+        from repro.tmalign.report import format_tmalign_report
+
+        parent, child = small_fold_pair
+        res = tm_align(parent, child)
+        with pytest.raises(ValueError):
+            format_tmalign_report(res, parent, unrelated_fold)
+
+
+class TestBlockedPairs:
+    def test_same_pair_set_as_natural(self):
+        for n, block in ((10, 3), (7, 7), (12, 1), (5, 2)):
+            natural = set(all_vs_all_pairs(n))
+            blocked = list(blocked_pairs(n, block))
+            assert set(blocked) == natural
+            assert len(blocked) == len(natural)  # no duplicates
+
+    def test_locality(self):
+        """Within the stream, the working set of any window of block²
+        pairs touches at most ~2 blocks of structures."""
+        block = 4
+        pairs = list(blocked_pairs(16, block))
+        window = pairs[: block * block]
+        touched = {i for p in window for i in p}
+        assert len(touched) <= 2 * block
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            list(blocked_pairs(5, 0))
+
+
+class TestStreamingMaster:
+    def test_fault_counts_and_correctness(self):
+        from repro.core.rckalign import RckAlignConfig, run_rckalign
+        from repro.psc.evaluator import JobEvaluator
+
+        ds = load_dataset("ck34-mini")
+        ev = JobEvaluator(ds)
+        full = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=4), evaluator=ev)
+        stream = run_rckalign(
+            RckAlignConfig(
+                dataset=ds, n_slaves=4, memory_limit_chains=4, pair_order="blocked"
+            ),
+            evaluator=ev,
+        )
+        assert full.structure_faults == 0
+        assert stream.structure_faults >= len(ds)
+        assert len(stream.results) == len(full.results)
+
+    def test_blocked_order_reduces_faults(self):
+        from repro.core.rckalign import RckAlignConfig, run_rckalign
+        from repro.psc.evaluator import JobEvaluator
+
+        ds = load_dataset("ck34")
+        ev = JobEvaluator(ds)
+        nat = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=4, memory_limit_chains=8),
+            evaluator=ev,
+        )
+        blk = run_rckalign(
+            RckAlignConfig(
+                dataset=ds, n_slaves=4, memory_limit_chains=8, pair_order="blocked"
+            ),
+            evaluator=ev,
+        )
+        assert blk.structure_faults < nat.structure_faults / 1.5
+
+    def test_limit_too_small_rejected(self):
+        from repro.core.rckalign import RckAlignConfig, run_rckalign
+
+        with pytest.raises(ValueError):
+            run_rckalign(
+                RckAlignConfig(dataset="ck34-mini", n_slaves=2, memory_limit_chains=1)
+            )
+
+
+class TestNewAblations:
+    def test_frequency_scaling_reduces_efficiency(self):
+        from repro.experiments.ablations import run_ablation_frequency
+
+        res = run_ablation_frequency(dataset="ck34", n_slaves=47, multipliers=(1.0, 4.0))
+        eff = [row[4] for row in res.rows]
+        assert eff[1] < eff[0]  # faster cores -> lower efficiency
+
+    def test_memory_ablation_rows(self):
+        from repro.experiments.ablations import run_ablation_memory
+
+        res = run_ablation_memory(dataset="ck34-mini", n_slaves=4, limits=(4,))
+        assert len(res.rows) == 3  # preload + natural + blocked
+        preload_faults = res.rows[0][3]
+        assert preload_faults == 0

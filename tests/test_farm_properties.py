@@ -1,0 +1,101 @@
+"""Property-based invariants of the farm scheduler and simulation.
+
+These hold for ANY job mix, so hypothesis drives random workloads:
+* work conservation — every job runs exactly once, on exactly one slave;
+* makespan lower bounds — never beats total-work/n or the longest job;
+* greedy upper bound — never worse than the classic 2x-optimal LPT-type
+  bound plus the modelled overheads;
+* determinism — identical inputs give identical schedules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.skeletons import FarmConfig, Job, SkeletonRuntime
+from repro.scc.machine import SccMachine
+from repro.scc.rcce import Rcce
+
+FAST = FarmConfig(master_job_cycles=1e4, master_result_cycles=1e4, slave_boot_seconds=0.0)
+FREQ = 800e6
+
+
+def run_workload(durations_ms, n_slaves):
+    m = SccMachine()
+    rcce = Rcce(m)
+    rt = SkeletonRuntime(m, rcce, 0, list(range(1, 1 + n_slaves)), FAST)
+    jobs = [
+        Job(job_id=k, payload=float(ms), nbytes=64)
+        for k, ms in enumerate(durations_ms)
+    ]
+    box = {}
+
+    def master(core):
+        box["results"] = yield from rt.farm(core, jobs)
+
+    def handler(core, payload):
+        yield from core.compute_cycles(payload * 1e-3 * FREQ)
+        return payload, 64
+
+    m.spawn(0, master)
+    for s in rt.slave_ids:
+        m.spawn(s, rt.slave_loop, handler)
+    m.run()
+    return m, rt, box["results"]
+
+
+durations = st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+slave_counts = st.integers(min_value=1, max_value=8)
+
+
+class TestFarmInvariants:
+    @given(durations, slave_counts)
+    @settings(max_examples=25, deadline=None)
+    def test_work_conservation(self, ms, n):
+        _, _, results = run_workload(ms, n)
+        assert sorted(r.job_id for r in results) == list(range(len(ms)))
+        # every job ran on exactly one slave
+        assert len({(r.job_id,) for r in results}) == len(ms)
+
+    @given(durations, slave_counts)
+    @settings(max_examples=25, deadline=None)
+    def test_makespan_lower_bounds(self, ms, n):
+        m, _, _ = run_workload(ms, n)
+        total_s = sum(ms) * 1e-3
+        longest_s = max(ms) * 1e-3
+        assert m.now >= total_s / n - 1e-12
+        assert m.now >= longest_s - 1e-12
+
+    @given(durations, slave_counts)
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_upper_bound(self, ms, n):
+        """Greedy list scheduling is within (total/n + max) plus the
+        modelled per-job overheads (master service + comm)."""
+        m, _, _ = run_workload(ms, n)
+        total_s = sum(ms) * 1e-3
+        longest_s = max(ms) * 1e-3
+        overhead_per_job = 2e-3  # generous bound for master+comm per job
+        bound = total_s / n + longest_s + len(ms) * overhead_per_job + 0.01
+        assert m.now <= bound
+
+    @given(durations, slave_counts)
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, ms, n):
+        m1, _, r1 = run_workload(ms, n)
+        m2, _, r2 = run_workload(ms, n)
+        assert m1.now == m2.now
+        assert [(r.job_id, r.slave_id) for r in r1] == [
+            (r.job_id, r.slave_id) for r in r2
+        ]
+
+    @given(durations)
+    @settings(max_examples=10, deadline=None)
+    def test_more_slaves_never_slower(self, ms):
+        m2, _, _ = run_workload(ms, 2)
+        m6, _, _ = run_workload(ms, 6)
+        assert m6.now <= m2.now * 1.01  # tiny slack for extra poll costs

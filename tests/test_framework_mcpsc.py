@@ -1,0 +1,108 @@
+"""Multi-criteria PSC framework (paper §V extension)."""
+
+import pytest
+
+from repro.core.framework import McPscConfig, partition_slaves, run_mcpsc
+from repro.core.skeletons import FarmConfig
+
+FAST = FarmConfig(master_job_cycles=1e5, master_result_cycles=1e5, slave_boot_seconds=0.0)
+
+
+class TestPartitionSlaves:
+    def test_even_split(self):
+        parts = partition_slaves(list(range(1, 10)), {"a": 1, "b": 1, "c": 1}, "even")
+        assert [len(parts[m]) for m in ("a", "b", "c")] == [3, 3, 3]
+
+    def test_even_remainder(self):
+        parts = partition_slaves(list(range(1, 9)), {"a": 1, "b": 1, "c": 1}, "even")
+        assert sum(len(p) for p in parts.values()) == 8
+        assert all(len(p) >= 2 for p in parts.values())
+
+    def test_work_proportional(self):
+        parts = partition_slaves(
+            list(range(1, 13)), {"heavy": 90.0, "light": 10.0}, "work"
+        )
+        assert len(parts["heavy"]) >= 9
+        assert len(parts["light"]) >= 1
+
+    def test_every_method_gets_a_slave(self):
+        parts = partition_slaves(
+            list(range(1, 5)), {"a": 1000.0, "b": 0.001, "c": 0.001}, "work"
+        )
+        assert all(len(p) >= 1 for p in parts.values())
+        assert sum(len(p) for p in parts.values()) == 4
+
+    def test_disjoint_cover(self):
+        slaves = list(range(1, 11))
+        parts = partition_slaves(slaves, {"a": 3.0, "b": 2.0}, "work")
+        allocated = [s for p in parts.values() for s in p]
+        assert sorted(allocated) == slaves
+
+    def test_too_few_slaves_rejected(self):
+        with pytest.raises(ValueError):
+            partition_slaves([1], {"a": 1, "b": 1}, "even")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            partition_slaves([1, 2], {"a": 1}, "mystery")
+
+
+class TestRunMcPsc:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_mcpsc(
+            McPscConfig(dataset="ck34-mini", n_slaves=6, farm=FAST, partitioning="work")
+        )
+
+    def test_every_method_completes_all_pairs(self, report):
+        from repro.datasets import load_dataset
+
+        n = len(load_dataset("ck34-mini"))
+        want = n * (n - 1) // 2
+        assert all(v == want for v in report.per_method_jobs.values())
+        for method, results in report.per_method_results.items():
+            assert len(results) == want
+
+    def test_results_tagged_with_method(self, report):
+        for method, results in report.per_method_results.items():
+            assert all(r.payload["method"] == method for r in results)
+
+    def test_partitions_cover_pool(self, report):
+        assert sum(report.partitions.values()) == 6
+
+    def test_tmalign_gets_most_cores_under_work_partitioning(self, report):
+        assert report.partitions["tmalign"] == max(report.partitions.values())
+
+    def test_summary_mentions_partitions(self, report):
+        assert "tmalign" in report.summary()
+
+    def test_work_beats_even_for_skewed_methods(self):
+        even = run_mcpsc(
+            McPscConfig(dataset="ck34-mini", n_slaves=6, farm=FAST, partitioning="even")
+        )
+        work = run_mcpsc(
+            McPscConfig(dataset="ck34-mini", n_slaves=6, farm=FAST, partitioning="work")
+        )
+        assert work.total_seconds < even.total_seconds
+
+
+class TestFiveMethods:
+    def test_all_registered_methods_in_one_chip(self):
+        """All five PSC criteria (incl. contact profile and sequence
+        identity) farmed concurrently under one master."""
+        from repro.psc.methods import METHOD_REGISTRY
+
+        report = run_mcpsc(
+            McPscConfig(
+                dataset="ck34-mini",
+                methods=tuple(sorted(METHOD_REGISTRY)),
+                n_slaves=10,
+                farm=FAST,
+                partitioning="work",
+            )
+        )
+        assert set(report.partitions) == set(METHOD_REGISTRY)
+        want = 8 * 7 // 2
+        assert all(len(r) == want for r in report.per_method_results.values())
+        # tmalign still dominates the work split
+        assert report.partitions["tmalign"] == max(report.partitions.values())

@@ -1,0 +1,100 @@
+"""Distance-geometry helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distances import (
+    contact_map,
+    cross_distances,
+    pairwise_distances,
+    radius_of_gyration,
+    sequential_distances,
+)
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self):
+        pts = np.array([[0.0, 0, 0], [3.0, 4.0, 0], [0, 0, 1.0]])
+        d = pairwise_distances(pts)
+        assert np.isclose(d[0, 1], 5.0)
+        assert np.isclose(d[0, 2], 1.0)
+
+    def test_symmetric_zero_diagonal(self, rng):
+        pts = rng.normal(size=(9, 3))
+        d = pairwise_distances(pts)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((4, 2)))
+
+
+class TestCrossDistances:
+    def test_matches_pairwise_on_same_set(self, rng):
+        pts = rng.normal(size=(7, 3))
+        np.testing.assert_allclose(
+            cross_distances(pts, pts), pairwise_distances(pts), atol=1e-8
+        )
+
+    def test_shape(self, rng):
+        d = cross_distances(rng.normal(size=(4, 3)), rng.normal(size=(6, 3)))
+        assert d.shape == (4, 6)
+
+    def test_no_negative_under_cancellation(self):
+        # identical large-coordinate points stress the expanded formula
+        pts = np.full((3, 3), 1e6)
+        d = cross_distances(pts, pts)
+        assert (d >= 0).all()
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_agrees_with_direct_formula(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(5, 3)) * 10
+        b = rng.normal(size=(4, 3)) * 10
+        direct = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=-1)
+        np.testing.assert_allclose(cross_distances(a, b), direct, atol=1e-7)
+
+
+class TestContactMap:
+    def test_diagonal_excluded(self, rng):
+        pts = rng.normal(size=(6, 3))
+        cm = contact_map(pts, cutoff=100.0)
+        assert not cm.diagonal().any()
+
+    def test_cutoff_respected(self):
+        pts = np.array([[0.0, 0, 0], [0, 0, 7.0], [0, 0, 9.0]])
+        cm = contact_map(pts, cutoff=8.0)
+        assert cm[0, 1] and not cm[0, 2] and cm[1, 2]
+
+
+class TestRadiusOfGyration:
+    def test_zero_for_coincident_points(self):
+        assert radius_of_gyration(np.ones((5, 3))) == 0.0
+
+    def test_translation_invariant(self, rng):
+        pts = rng.normal(size=(11, 3))
+        assert np.isclose(
+            radius_of_gyration(pts), radius_of_gyration(pts + 100.0), atol=1e-9
+        )
+
+    def test_known_value(self):
+        pts = np.array([[1.0, 0, 0], [-1.0, 0, 0]])
+        assert np.isclose(radius_of_gyration(pts), 1.0)
+
+
+class TestSequentialDistances:
+    def test_consecutive(self):
+        pts = np.array([[0.0, 0, 0], [1.0, 0, 0], [1.0, 1.0, 0]])
+        np.testing.assert_allclose(sequential_distances(pts), [1.0, 1.0])
+
+    def test_offset_two(self):
+        pts = np.array([[0.0, 0, 0], [1.0, 0, 0], [2.0, 0, 0]])
+        np.testing.assert_allclose(sequential_distances(pts, offset=2), [2.0])
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            sequential_distances(np.zeros((3, 3)), offset=3)

@@ -1,0 +1,129 @@
+"""Kabsch superposition: exact recovery, optimality, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cost.counters import CostCounter
+from repro.geometry.kabsch import kabsch, rmsd, rmsd_superposed, superpose
+from repro.geometry.transforms import RigidTransform, random_rotation
+
+
+def _cloud(rng, n=20):
+    return rng.normal(size=(n, 3)) * 5.0
+
+
+class TestKabschExactRecovery:
+    def test_recovers_known_transform(self, rng):
+        pts = _cloud(rng)
+        true = RigidTransform(random_rotation(rng), rng.normal(size=3) * 10)
+        moved = true.apply(pts)
+        xf = kabsch(pts, moved)
+        np.testing.assert_allclose(xf.rotation, true.rotation, atol=1e-8)
+        np.testing.assert_allclose(xf.translation, true.translation, atol=1e-8)
+
+    def test_zero_rmsd_after_recovery(self, rng):
+        pts = _cloud(rng)
+        true = RigidTransform(random_rotation(rng), rng.normal(size=3))
+        assert rmsd_superposed(pts, true.apply(pts)) < 1e-9
+
+    def test_identity_for_same_points(self, rng):
+        pts = _cloud(rng)
+        xf = kabsch(pts, pts)
+        np.testing.assert_allclose(xf.rotation, np.eye(3), atol=1e-9)
+        np.testing.assert_allclose(xf.translation, 0.0, atol=1e-9)
+
+    def test_no_reflection_even_when_tempting(self, rng):
+        pts = _cloud(rng)
+        mirrored = pts * np.array([1.0, 1.0, -1.0])
+        xf = kabsch(pts, mirrored)
+        assert np.isclose(np.linalg.det(xf.rotation), 1.0, atol=1e-9)
+
+
+class TestKabschOptimality:
+    def test_beats_random_transforms(self, rng):
+        pts = _cloud(rng)
+        target = _cloud(rng)
+        best = rmsd_superposed(pts, target)
+        for _ in range(25):
+            xf = RigidTransform(random_rotation(rng), rng.normal(size=3))
+            assert rmsd(xf.apply(pts), target) >= best - 1e-9
+
+    def test_weighted_fit_prioritizes_heavy_points(self, rng):
+        pts = _cloud(rng, 10)
+        target = pts.copy()
+        target[0] += [5.0, 0, 0]  # outlier at index 0
+        w = np.ones(10)
+        w[0] = 1e-6
+        xf = kabsch(pts, target, weights=w)
+        moved = xf.apply(pts)
+        # non-outlier points should fit nearly perfectly
+        assert rmsd(moved[1:], target[1:]) < 1e-3
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_rotating_inputs_does_not_change_min_rmsd(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(8, 3))
+        b = rng.normal(size=(8, 3))
+        base = rmsd_superposed(a, b)
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3))
+        assert np.isclose(rmsd_superposed(xf.apply(a), b), base, atol=1e-8)
+        assert np.isclose(rmsd_superposed(a, xf.apply(b)), base, atol=1e-8)
+
+
+class TestKabschValidation:
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kabsch(rng.normal(size=(5, 3)), rng.normal(size=(6, 3)))
+
+    def test_non_3d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kabsch(rng.normal(size=(5, 2)), rng.normal(size=(5, 2)))
+
+    def test_negative_weights_rejected(self, rng):
+        pts = _cloud(rng, 5)
+        with pytest.raises(ValueError):
+            kabsch(pts, pts, weights=np.array([1, 1, -1, 1, 1.0]))
+
+    def test_all_zero_weights_rejected(self, rng):
+        pts = _cloud(rng, 4)
+        with pytest.raises(ValueError):
+            kabsch(pts, pts, weights=np.zeros(4))
+
+    def test_wrong_weight_length_rejected(self, rng):
+        pts = _cloud(rng, 4)
+        with pytest.raises(ValueError):
+            kabsch(pts, pts, weights=np.ones(3))
+
+
+class TestCounterCharging:
+    def test_kabsch_charges_counter(self, rng):
+        pts = _cloud(rng, 17)
+        ctr = CostCounter()
+        kabsch(pts, pts, counter=ctr)
+        assert ctr["kabsch"] == 1
+        assert ctr["kabsch_point"] == 17
+
+    def test_superpose_returns_moved_and_transform(self, rng):
+        a = _cloud(rng)
+        b = _cloud(rng)
+        moved, xf = superpose(a, b)
+        np.testing.assert_allclose(moved, xf.apply(a))
+
+
+class TestRmsd:
+    def test_zero_for_identical(self, rng):
+        pts = _cloud(rng)
+        assert rmsd(pts, pts) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 3))
+        b = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        assert np.isclose(rmsd(a, b), 1.0)
+
+    def test_symmetry(self, rng):
+        a, b = _cloud(rng), _cloud(rng)
+        assert np.isclose(rmsd(a, b), rmsd(b, a))

@@ -1,0 +1,107 @@
+"""Unit + property tests for rigid transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.transforms import (
+    RigidTransform,
+    random_rotation,
+    rotation_about_axis,
+)
+
+
+class TestRigidTransform:
+    def test_identity_is_noop(self, rng):
+        pts = rng.normal(size=(10, 3))
+        out = RigidTransform.identity().apply(pts)
+        np.testing.assert_allclose(out, pts)
+
+    def test_apply_single_point(self):
+        xf = RigidTransform(np.eye(3), np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(xf.apply(np.zeros(3)), [1.0, 2.0, 3.0])
+
+    def test_translation_applied_after_rotation(self):
+        rot = rotation_about_axis([0, 0, 1], np.pi / 2)
+        xf = RigidTransform(rot, np.array([1.0, 0.0, 0.0]))
+        out = xf.apply(np.array([[1.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(out, [[1.0, 1.0, 0.0]], atol=1e-12)
+
+    def test_compose_matches_sequential_application(self, rng):
+        a = RigidTransform(random_rotation(rng), rng.normal(size=3))
+        b = RigidTransform(random_rotation(rng), rng.normal(size=3))
+        pts = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(
+            a.compose(b).apply(pts), a.apply(b.apply(pts)), atol=1e-10
+        )
+
+    def test_inverse_roundtrip(self, rng):
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3))
+        pts = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(xf.inverse().apply(xf.apply(pts)), pts, atol=1e-10)
+
+    def test_is_proper_true_for_rotation(self, rng):
+        assert RigidTransform(random_rotation(rng), np.zeros(3)).is_proper()
+
+    def test_is_proper_false_for_reflection(self):
+        refl = np.diag([1.0, 1.0, -1.0])
+        assert not RigidTransform(refl, np.zeros(3)).is_proper()
+
+    def test_bad_rotation_shape_rejected(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(2), np.zeros(3))
+
+    def test_bad_translation_shape_rejected(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(3), np.zeros(2))
+
+    def test_immutable(self):
+        xf = RigidTransform.identity()
+        with pytest.raises(AttributeError):
+            xf.rotation = np.eye(3)
+
+
+class TestRotationAboutAxis:
+    def test_zero_angle_is_identity(self):
+        np.testing.assert_allclose(
+            rotation_about_axis([1, 1, 1], 0.0), np.eye(3), atol=1e-12
+        )
+
+    def test_quarter_turn_about_z(self):
+        rot = rotation_about_axis([0, 0, 1], np.pi / 2)
+        np.testing.assert_allclose(rot @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_axis_is_fixed(self, rng):
+        axis = rng.normal(size=3)
+        rot = rotation_about_axis(axis, 1.234)
+        unit = axis / np.linalg.norm(axis)
+        np.testing.assert_allclose(rot @ unit, unit, atol=1e-12)
+
+    def test_full_turn_is_identity(self):
+        rot = rotation_about_axis([1, 2, 3], 2 * np.pi)
+        np.testing.assert_allclose(rot, np.eye(3), atol=1e-12)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_about_axis([0, 0, 0], 1.0)
+
+    @given(st.floats(-np.pi, np.pi))
+    @settings(max_examples=30, deadline=None)
+    def test_always_proper_rotation(self, angle):
+        rot = rotation_about_axis([1.0, -2.0, 0.5], angle)
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+        assert np.isclose(np.linalg.det(rot), 1.0, atol=1e-10)
+
+
+class TestRandomRotation:
+    def test_proper(self, rng):
+        for _ in range(20):
+            rot = random_rotation(rng)
+            assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+            assert np.isclose(np.linalg.det(rot), 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = random_rotation(np.random.default_rng(5))
+        b = random_rotation(np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

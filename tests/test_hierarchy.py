@@ -1,0 +1,95 @@
+"""Hierarchical masters extension."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchicalFarmConfig, run_hierarchical_rckalign
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.core.skeletons import FarmConfig
+from repro.datasets import load_dataset
+from repro.psc.evaluator import JobEvaluator
+
+FAST = FarmConfig(master_job_cycles=1e6, master_result_cycles=1e6, slave_boot_seconds=0.0)
+
+
+@pytest.fixture(scope="module")
+def mini():
+    ds = load_dataset("ck34-mini")
+    return ds, JobEvaluator(ds)
+
+
+class TestHierarchicalRun:
+    def test_all_jobs_complete(self, mini):
+        ds, ev = mini
+        rep = run_hierarchical_rckalign(
+            HierarchicalFarmConfig(
+                base=RckAlignConfig(dataset=ds, n_slaves=8, farm=FAST),
+                n_submasters=2,
+            ),
+            evaluator=ev,
+        )
+        n = len(ds)
+        assert rep.n_jobs == n * (n - 1) // 2
+        assert len(rep.results) == rep.n_jobs
+
+    def test_pairs_unique(self, mini):
+        ds, ev = mini
+        rep = run_hierarchical_rckalign(
+            HierarchicalFarmConfig(
+                base=RckAlignConfig(dataset=ds, n_slaves=9, farm=FAST),
+                n_submasters=3,
+            ),
+            evaluator=ev,
+        )
+        pairs = {(r.payload["i"], r.payload["j"]) for r in rep.results}
+        assert len(pairs) == rep.n_jobs
+
+    def test_comparable_to_flat_at_small_scale(self, mini):
+        """With a cheap master, hierarchy wastes cores on sub-masters;
+        it must still be within ~2x of flat."""
+        ds, ev = mini
+        flat = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=8, farm=FAST), evaluator=ev
+        )
+        hier = run_hierarchical_rckalign(
+            HierarchicalFarmConfig(
+                base=RckAlignConfig(dataset=ds, n_slaves=8, farm=FAST),
+                n_submasters=2,
+            ),
+            evaluator=ev,
+        )
+        assert hier.total_seconds < 2 * flat.total_seconds
+
+    def test_helps_when_master_is_bottleneck(self):
+        """With an expensive master and many slaves, two sub-masters must
+        beat the single master (the paper's §V argument)."""
+        ds = load_dataset("ck34")
+        ev = JobEvaluator(ds)
+        costly = FarmConfig(
+            master_job_cycles=96e6, master_result_cycles=96e6, slave_boot_seconds=0.0
+        )
+        flat = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=40, farm=costly), evaluator=ev
+        )
+        hier = run_hierarchical_rckalign(
+            HierarchicalFarmConfig(
+                base=RckAlignConfig(dataset=ds, n_slaves=40, farm=costly),
+                n_submasters=4,
+            ),
+            evaluator=ev,
+        )
+        assert hier.total_seconds < flat.total_seconds
+
+    def test_validation(self, mini):
+        ds, ev = mini
+        with pytest.raises(ValueError):
+            HierarchicalFarmConfig(
+                base=RckAlignConfig(dataset=ds, n_slaves=8), n_submasters=0
+            )
+        with pytest.raises(ValueError):
+            run_hierarchical_rckalign(
+                HierarchicalFarmConfig(
+                    base=RckAlignConfig(dataset=ds, n_slaves=3, farm=FAST),
+                    n_submasters=2,
+                ),
+                evaluator=ev,
+            )

@@ -1,0 +1,97 @@
+"""Coverage for remaining small public APIs."""
+
+import numpy as np
+import pytest
+
+from repro.cost.cpu import P54C_800
+from repro.cost.model import dataset_total_seconds, pair_seconds
+from repro.datasets import load_dataset
+from repro.scc.machine import SccMachine
+
+
+class TestDatasetTotalSeconds:
+    def test_matches_pairwise_sum(self):
+        lengths = [100, 150, 200]
+        names = ["a", "b", "c"]
+        total = dataset_total_seconds(lengths, P54C_800, names)
+        manual = (
+            pair_seconds(P54C_800, 100, 150, "a|b")
+            + pair_seconds(P54C_800, 100, 200, "a|c")
+            + pair_seconds(P54C_800, 150, 200, "b|c")
+        )
+        assert total == pytest.approx(manual)
+
+    def test_matches_serial_baseline_compute(self):
+        from repro.baselines.serial import SerialConfig, run_serial
+
+        ds = load_dataset("ck34-mini")
+        rep = run_serial(SerialConfig(dataset=ds))
+        total = dataset_total_seconds(
+            [len(c) for c in ds], P54C_800, [c.name for c in ds]
+        )
+        assert rep.compute_seconds == pytest.approx(total, rel=1e-9)
+
+
+class TestCoreComputeSeconds:
+    def test_advances_clock_directly(self):
+        m = SccMachine()
+
+        def prog(core):
+            yield from core.compute_seconds(2.5)
+
+        m.spawn(0, prog)
+        m.run()
+        assert m.now == pytest.approx(2.5)
+        assert m.core(0).stats.compute_s == pytest.approx(2.5)
+
+    def test_negative_rejected(self):
+        m = SccMachine()
+
+        def prog(core):
+            yield from core.compute_seconds(-1.0)
+
+        m.spawn(0, prog)
+        with pytest.raises(ValueError):
+            m.run()
+
+
+class TestMemoryControllerValidation:
+    def test_negative_read_rejected(self):
+        from repro.noc.fabric import NocConfig, NocFabric
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        fabric = NocFabric(env, NocConfig())
+        with pytest.raises(ValueError):
+            next(fabric.memory_controllers[0].read(-1))
+
+
+class TestDatasetsMetadata:
+    def test_total_residues_and_mean(self, ck34_mini):
+        total = sum(len(c) for c in ck34_mini)
+        assert ck34_mini.total_residues == total
+        assert ck34_mini.mean_length == pytest.approx(total / len(ck34_mini))
+
+    def test_families_mapping_complete(self, ck34_mini):
+        fams = ck34_mini.families
+        assert sum(len(v) for v in fams.values()) == len(ck34_mini)
+
+
+class TestTracerBusyFraction:
+    def test_zero_horizon(self):
+        from repro.scc.trace import Tracer
+
+        m = SccMachine()
+        tracer = Tracer(m)
+        assert tracer.busy_fraction(0) == 0.0
+
+
+class TestAsciiPlotMultiSeries:
+    def test_many_series_distinct_marks(self):
+        from repro.experiments.common import ascii_plot
+
+        series = {f"s{k}": [(1.0, k + 1.0), (2.0, k + 2.0)] for k in range(7)}
+        out = ascii_plot(series)
+        assert "legend" in out
+        # marks cycle after 6
+        assert "o=s0" in out and "o=s6" in out

@@ -1,0 +1,147 @@
+"""NoC fabric: latency model, contention, memory controllers."""
+
+import pytest
+
+from repro.noc.fabric import NocConfig, NocFabric
+from repro.sim.engine import Environment
+
+
+def make_fabric(**kwargs):
+    env = Environment()
+    return env, NocFabric(env, NocConfig(**kwargs))
+
+
+class TestTransferLatency:
+    def test_local_transfer_pays_local_latency(self):
+        env, fabric = make_fabric()
+        done = env.process(fabric.transfer(0, 0, 1024))
+        env.run(done)
+        assert env.now == pytest.approx(fabric.config.local_latency_s)
+
+    def test_latency_grows_with_hops(self):
+        env1, fab1 = make_fabric()
+        p = env1.process(fab1.transfer(0, 1, 100))
+        env1.run(p)
+        one_hop = env1.now
+
+        env2, fab2 = make_fabric()
+        p = env2.process(fab2.transfer(0, 5, 100))
+        env2.run(p)
+        assert env2.now == pytest.approx(5 * one_hop)
+
+    def test_latency_grows_with_size(self):
+        env1, fab1 = make_fabric()
+        env1.run(env1.process(fab1.transfer(0, 1, 100)))
+        small = env1.now
+        env2, fab2 = make_fabric()
+        env2.run(env2.process(fab2.transfer(0, 1, 100_000)))
+        assert env2.now > small
+
+    def test_exact_formula_single_hop(self):
+        env, fabric = make_fabric()
+        nbytes = 4096
+        env.run(env.process(fabric.transfer(0, 1, nbytes)))
+        cfg = fabric.config
+        want = cfg.hop_latency_s + nbytes / cfg.link_bandwidth_bytes_per_s
+        assert env.now == pytest.approx(want)
+
+    def test_negative_bytes_rejected(self):
+        env, fabric = make_fabric()
+        with pytest.raises(ValueError):
+            next(fabric.transfer(0, 1, -1))
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        """Two simultaneous big messages over the same link take twice
+        as long as one."""
+        env, fabric = make_fabric()
+        ends = []
+
+        def send():
+            yield from fabric.transfer(0, 1, 1_000_000)
+            ends.append(env.now)
+
+        env.process(send())
+        env.process(send())
+        env.run()
+        assert ends[1] == pytest.approx(2 * ends[0], rel=1e-6)
+
+    def test_disjoint_paths_parallel(self):
+        env, fabric = make_fabric()
+        ends = []
+
+        def send(src, dst):
+            yield from fabric.transfer(src, dst, 1_000_000)
+            ends.append(env.now)
+
+        env.process(send(0, 1))  # row 0
+        env.process(send(6, 7))  # row 1 (disjoint links)
+        env.run()
+        assert ends[0] == pytest.approx(ends[1])
+
+    def test_utilization_instrumented(self):
+        env, fabric = make_fabric()
+        env.run(env.process(fabric.transfer(0, 2, 100)))
+        util = fabric.link_utilization()
+        used = [k for k, v in util.items() if v > 0]
+        assert len(used) == 2  # two hops
+
+    def test_message_stats(self):
+        env, fabric = make_fabric()
+        env.run(env.process(fabric.transfer(0, 3, 500)))
+        assert fabric.messages_sent == 1
+        assert fabric.bytes_sent == 500
+
+
+class TestMemoryControllers:
+    def test_dram_read_latency(self):
+        env, fabric = make_fabric()
+        env.run(env.process(fabric.dram_read(0, 0)))
+        # at least the DRAM latency plus the local hop
+        assert env.now >= fabric.config.dram_latency_s
+
+    def test_dram_bandwidth_limits(self):
+        env, fabric = make_fabric()
+        env.run(env.process(fabric.dram_read(0, 53_000_000)))
+        assert env.now >= 53_000_000 / fabric.config.dram_bandwidth_bytes_per_s
+
+    def test_nearest_controller_used(self):
+        env, fabric = make_fabric()
+        env.run(env.process(fabric.dram_read(0, 1000)))
+        served = [mc for mc in fabric.memory_controllers if mc.bytes_served > 0]
+        assert len(served) == 1
+        assert served[0].coord.x == 0 and served[0].coord.y == 0
+
+    def test_concurrent_reads_on_one_port_serialize(self):
+        env, fabric = make_fabric()
+        ends = []
+
+        def read():
+            yield from fabric.dram_read(0, 5_300_000)  # 1ms service
+            ends.append(env.now)
+
+        env.process(read())
+        env.process(read())
+        env.run()
+        assert ends[1] > ends[0] * 1.9
+
+
+class TestConfig:
+    def test_defaults_match_table1(self):
+        cfg = NocConfig()
+        assert (cfg.width, cfg.height) == (6, 4)
+        assert len(cfg.mc_coords) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NocConfig(mesh_freq_hz=-1)
+        with pytest.raises(ValueError):
+            NocConfig(router_latency_cycles=-1)
+
+    def test_bad_link_lookup(self):
+        env, fabric = make_fabric()
+        from repro.noc.mesh import TileCoord
+
+        with pytest.raises(ValueError):
+            fabric.link(TileCoord(0, 0), TileCoord(2, 0))

@@ -1,0 +1,90 @@
+"""Mesh topology and XY routing."""
+
+import pytest
+
+from repro.noc.mesh import Mesh, TileCoord
+
+
+class TestTopology:
+    def test_tile_count(self):
+        assert Mesh(6, 4).n_tiles == 24
+
+    def test_coord_roundtrip(self):
+        mesh = Mesh(6, 4)
+        for t in range(mesh.n_tiles):
+            assert mesh.tile_id(mesh.coord(t)) == t
+
+    def test_coord_layout_row_major(self):
+        mesh = Mesh(6, 4)
+        assert mesh.coord(0) == TileCoord(0, 0)
+        assert mesh.coord(5) == TileCoord(5, 0)
+        assert mesh.coord(6) == TileCoord(0, 1)
+        assert mesh.coord(23) == TileCoord(5, 3)
+
+    def test_out_of_range(self):
+        mesh = Mesh(6, 4)
+        with pytest.raises(ValueError):
+            mesh.coord(24)
+        with pytest.raises(ValueError):
+            mesh.tile_id(TileCoord(6, 0))
+
+    def test_neighbors_corner(self):
+        mesh = Mesh(6, 4)
+        nbs = set(mesh.neighbors(TileCoord(0, 0)))
+        assert nbs == {TileCoord(1, 0), TileCoord(0, 1)}
+
+    def test_neighbors_interior(self):
+        mesh = Mesh(6, 4)
+        assert len(list(mesh.neighbors(TileCoord(2, 2)))) == 4
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+
+
+class TestXYRouting:
+    def test_x_first(self):
+        mesh = Mesh(6, 4)
+        hops = mesh.xy_route(TileCoord(0, 0), TileCoord(3, 2))
+        # first 3 hops move in x, then 2 in y
+        assert [h[1].x - h[0].x for h in hops[:3]] == [1, 1, 1]
+        assert [h[1].y - h[0].y for h in hops[3:]] == [1, 1]
+
+    def test_hop_count_is_manhattan(self):
+        mesh = Mesh(6, 4)
+        for src, dst in [((0, 0), (5, 3)), ((2, 1), (2, 1)), ((4, 3), (1, 0))]:
+            s, d = TileCoord(*src), TileCoord(*dst)
+            assert len(mesh.xy_route(s, d)) == mesh.hop_count(s, d)
+
+    def test_self_route_empty(self):
+        mesh = Mesh(6, 4)
+        assert mesh.xy_route(TileCoord(1, 1), TileCoord(1, 1)) == []
+
+    def test_hops_adjacent(self):
+        mesh = Mesh(6, 4)
+        for a, b in mesh.xy_route(TileCoord(0, 3), TileCoord(5, 0)):
+            assert abs(a.x - b.x) + abs(a.y - b.y) == 1
+
+    def test_deterministic(self):
+        mesh = Mesh(6, 4)
+        r1 = mesh.xy_route(TileCoord(0, 0), TileCoord(5, 3))
+        r2 = mesh.xy_route(TileCoord(0, 0), TileCoord(5, 3))
+        assert r1 == r2
+
+    def test_route_validates_bounds(self):
+        mesh = Mesh(6, 4)
+        with pytest.raises(ValueError):
+            mesh.xy_route(TileCoord(0, 0), TileCoord(9, 9))
+
+
+class TestNetworkx:
+    def test_graph_shape(self):
+        g = Mesh(6, 4).to_networkx()
+        assert g.number_of_nodes() == 24
+        # grid graph edges: (w-1)*h + w*(h-1)
+        assert g.number_of_edges() == 5 * 4 + 6 * 3
+
+    def test_graph_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(Mesh(3, 3).to_networkx())

@@ -1,0 +1,121 @@
+"""Wormhole (pipelined) transfer fidelity."""
+
+import pytest
+
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets import load_dataset
+from repro.noc.fabric import NocConfig, NocFabric
+from repro.psc.evaluator import JobEvaluator
+from repro.scc.config import SccConfig
+from repro.sim.engine import Environment
+
+
+def run_transfer(fidelity, src, dst, nbytes):
+    env = Environment()
+    fabric = NocFabric(env, NocConfig(fidelity=fidelity))
+    env.run(env.process(fabric.transfer(src, dst, nbytes)))
+    return env.now, fabric
+
+
+class TestLatency:
+    def test_wormhole_formula(self):
+        t, fabric = run_transfer("wormhole", 0, 5, 64_000)
+        cfg = fabric.config
+        want = 5 * cfg.hop_latency_s + 64_000 / cfg.link_bandwidth_bytes_per_s
+        assert t == pytest.approx(want)
+
+    def test_wormhole_faster_for_big_messages(self):
+        t_sf, _ = run_transfer("store_forward", 0, 5, 1_000_000)
+        t_wh, _ = run_transfer("wormhole", 0, 5, 1_000_000)
+        assert t_wh < t_sf / 3
+
+    def test_single_hop_equal(self):
+        t_sf, _ = run_transfer("store_forward", 0, 1, 10_000)
+        t_wh, _ = run_transfer("wormhole", 0, 1, 10_000)
+        assert t_wh == pytest.approx(t_sf)
+
+    def test_local_transfer_unaffected(self):
+        t, fabric = run_transfer("wormhole", 3, 3, 999)
+        assert t == pytest.approx(fabric.config.local_latency_s)
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            NocConfig(fidelity="quantum")
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        env = Environment()
+        fabric = NocFabric(env, NocConfig(fidelity="wormhole"))
+        ends = []
+
+        def send():
+            yield from fabric.transfer(0, 1, 1_000_000)
+            ends.append(env.now)
+
+        env.process(send())
+        env.process(send())
+        env.run()
+        assert ends[1] == pytest.approx(2 * ends[0], rel=1e-6)
+
+    def test_no_deadlock_with_crossing_traffic(self):
+        """Many concurrent messages on crossing XY paths must drain."""
+        env = Environment()
+        fabric = NocFabric(env, NocConfig(fidelity="wormhole"))
+        done = []
+
+        def send(src, dst):
+            yield from fabric.transfer(src, dst, 50_000)
+            done.append((src, dst))
+
+        pairs = [(0, 23), (23, 0), (5, 18), (18, 5), (2, 21), (21, 2), (11, 12)]
+        for s, d in pairs:
+            env.process(send(s, d))
+        env.run()
+        assert len(done) == len(pairs)
+
+    def test_wormhole_holds_path(self):
+        """While a long message streams 0->2, a message crossing the
+        first link must wait for the whole stream (head-of-line)."""
+        env = Environment()
+        fabric = NocFabric(env, NocConfig(fidelity="wormhole"))
+        times = {}
+
+        def long_msg():
+            yield from fabric.transfer(0, 2, 10_000_000)
+            times["long"] = env.now
+
+        def short_msg():
+            yield env.timeout(1e-9)  # start just after
+            yield from fabric.transfer(0, 1, 64)
+            times["short"] = env.now
+
+        env.process(long_msg())
+        env.process(short_msg())
+        env.run()
+        assert times["short"] > times["long"] * 0.99
+
+
+class TestEndToEnd:
+    def test_rckalign_runs_under_wormhole(self):
+        ds = load_dataset("ck34-mini")
+        ev = JobEvaluator(ds)
+        scc = SccConfig(noc=NocConfig(fidelity="wormhole"))
+        rep = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=4, scc=scc), evaluator=ev
+        )
+        assert len(rep.results) == rep.n_jobs
+
+    def test_fidelity_barely_changes_makespan(self):
+        """Compute dominates communication in this workload, so the
+        fidelity choice must not move the headline numbers."""
+        ds = load_dataset("ck34-mini")
+        ev = JobEvaluator(ds)
+        base = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=6), evaluator=ev)
+        worm = run_rckalign(
+            RckAlignConfig(
+                dataset=ds, n_slaves=6, scc=SccConfig(noc=NocConfig(fidelity="wormhole"))
+            ),
+            evaluator=ev,
+        )
+        assert worm.total_seconds == pytest.approx(base.total_seconds, rel=0.02)

@@ -1,0 +1,87 @@
+"""SCC power/energy model."""
+
+import pytest
+
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets import load_dataset
+from repro.psc.evaluator import JobEvaluator
+from repro.scc.power import (
+    EnergyReport,
+    PowerConfig,
+    cpu_energy,
+    estimate_rckalign_energy,
+)
+
+
+class TestPowerConfig:
+    def test_published_envelope(self):
+        cfg = PowerConfig()
+        assert cfg.chip_power(0) == pytest.approx(25.0, abs=1.0)
+        assert cfg.chip_power(48) == pytest.approx(125.0, abs=2.0)
+
+    def test_power_monotone_in_busy_cores(self):
+        cfg = PowerConfig()
+        powers = [cfg.chip_power(n) for n in range(0, 49, 8)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_frequency_scaling_cubic(self):
+        base = PowerConfig(freq_multiplier=1.0)
+        double = PowerConfig(freq_multiplier=2.0)
+        assert double.active_core_w == pytest.approx(8 * base.active_core_w)
+
+    def test_linear_scaling_option(self):
+        double = PowerConfig(freq_multiplier=2.0, voltage_tracks_frequency=False)
+        base = PowerConfig()
+        assert double.active_core_w == pytest.approx(2 * base.active_core_w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerConfig(uncore_w=-1)
+        with pytest.raises(ValueError):
+            PowerConfig(freq_multiplier=0)
+        with pytest.raises(ValueError):
+            PowerConfig().chip_power(99)
+
+
+class TestEnergyEstimate:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        ds = load_dataset("ck34-mini")
+        ev = JobEvaluator(ds)
+        return {
+            n: run_rckalign(RckAlignConfig(dataset=ds, n_slaves=n), evaluator=ev)
+            for n in (1, 8)
+        }
+
+    def test_energy_positive_and_consistent(self, reports):
+        e = estimate_rckalign_energy(reports[8])
+        assert e.total_joules > 0
+        assert e.average_watts == pytest.approx(e.total_joules / e.makespan_s)
+
+    def test_average_power_within_envelope(self, reports):
+        for rep in reports.values():
+            e = estimate_rckalign_energy(rep)
+            assert 25.0 <= e.average_watts <= 125.0
+
+    def test_more_slaves_less_total_energy(self, reports):
+        """Shorter makespan means less uncore+idle energy."""
+        e1 = estimate_rckalign_energy(reports[1])
+        e8 = estimate_rckalign_energy(reports[8])
+        assert e8.total_joules < e1.total_joules
+        assert e8.energy_delay_product < e1.energy_delay_product
+
+    def test_busy_energy_invariant(self, reports):
+        """Total busy core-seconds are the same work regardless of slave
+        count (same jobs)."""
+        e1 = estimate_rckalign_energy(reports[1])
+        e8 = estimate_rckalign_energy(reports[8])
+        assert e1.busy_core_seconds == pytest.approx(e8.busy_core_seconds, rel=0.01)
+
+
+class TestCpuEnergy:
+    def test_simple_product(self):
+        assert cpu_energy(10.0, 65.0) == pytest.approx(650.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cpu_energy(-1, 65)

@@ -1,0 +1,83 @@
+"""Score-table persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.psc.io import (
+    read_score_table_csv,
+    read_score_table_json,
+    score_matrix,
+    write_score_table_csv,
+    write_score_table_json,
+)
+from repro.psc.methods import SSECompositionMethod
+from repro.psc.search import all_vs_all
+
+
+@pytest.fixture(scope="module")
+def table():
+    ds = load_dataset("ck34-mini")
+    return ds, all_vs_all(ds, method=SSECompositionMethod())
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, table, tmp_path):
+        ds, tab = table
+        path = tmp_path / "scores.csv"
+        write_score_table_csv(tab, path)
+        back = read_score_table_csv(path)
+        assert set(back) == set(tab)
+        for pair in tab:
+            assert back[pair]["similarity"] == pytest.approx(
+                tab[pair]["similarity"]
+            )
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_score_table_csv({}, tmp_path / "x.csv")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError):
+            read_score_table_csv(path)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip(self, table, tmp_path):
+        ds, tab = table
+        path = tmp_path / "scores.json"
+        write_score_table_json(tab, path)
+        back = read_score_table_json(path)
+        assert back.keys() == dict(tab).keys()
+        some_pair = next(iter(tab))
+        assert back[some_pair] == pytest.approx(dict(tab[some_pair]))
+
+
+class TestScoreMatrix:
+    def test_shape_and_symmetry(self, table):
+        ds, tab = table
+        mat, names = score_matrix(tab, "similarity", dataset=ds)
+        assert mat.shape == (len(ds), len(ds))
+        assert names == [c.name for c in ds]
+        np.testing.assert_allclose(mat, mat.T)
+
+    def test_diagonal_filled(self, table):
+        ds, tab = table
+        mat, _ = score_matrix(tab, "similarity", dataset=ds, diagonal=1.0)
+        np.testing.assert_allclose(np.diag(mat), 1.0)
+
+    def test_all_offdiagonal_present(self, table):
+        ds, tab = table
+        mat, _ = score_matrix(tab, "similarity", dataset=ds)
+        assert not np.isnan(mat).any()
+
+    def test_inferred_name_order(self, table):
+        _, tab = table
+        mat, names = score_matrix(tab, "similarity")
+        assert names == sorted(names)
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(KeyError):
+            score_matrix({("x", "y"): {"s": 1.0}}, "s", names=["x"])

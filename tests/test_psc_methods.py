@@ -1,0 +1,127 @@
+"""PSC methods and the evaluator."""
+
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.datasets import load_dataset
+from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.psc.methods import (
+    METHOD_REGISTRY,
+    KabschRmsdMethod,
+    SSECompositionMethod,
+    TMAlignMethod,
+    get_method,
+)
+
+
+class TestRegistry:
+    def test_all_methods_instantiable(self):
+        for name in METHOD_REGISTRY:
+            m = get_method(name)
+            assert m.name == name
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            get_method("foldseek")
+
+
+class TestMethodContracts:
+    @pytest.mark.parametrize("name", sorted(METHOD_REGISTRY))
+    def test_compare_returns_score_key(self, name, small_fold_pair):
+        parent, child = small_fold_pair
+        method = get_method(name)
+        ctr = CostCounter()
+        result = method.compare(parent, child, ctr)
+        assert method.score_key in result
+        assert 0 <= method.similarity(result) <= 1.0
+
+    @pytest.mark.parametrize("name", sorted(METHOD_REGISTRY))
+    def test_self_similarity_maximal(self, name, small_fold_pair, unrelated_fold):
+        parent, _ = small_fold_pair
+        method = get_method(name)
+        self_sim = method.similarity(method.compare(parent, parent, CostCounter()))
+        cross_sim = method.similarity(
+            method.compare(parent, unrelated_fold, CostCounter())
+        )
+        assert self_sim >= cross_sim
+
+    @pytest.mark.parametrize("name", sorted(METHOD_REGISTRY))
+    def test_estimate_counts_nonnegative(self, name):
+        method = get_method(name)
+        counts = method.estimate_counts(100, 200)
+        assert all(v >= 0 for v in counts.values())
+
+    def test_methods_have_distinct_costs(self):
+        """MC-PSC partitioning needs genuinely different complexities."""
+        from repro.cost.cpu import P54C_800
+
+        costs = {
+            name: P54C_800.cycles(dict(get_method(name).estimate_counts(150, 150)))
+            for name in METHOD_REGISTRY
+        }
+        assert costs["tmalign"] > 10 * costs["kabsch_rmsd"] > costs["sse_composition"]
+
+
+class TestKabschRmsd:
+    def test_identical_chains_perfect(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        result = KabschRmsdMethod().compare(parent, parent, CostCounter())
+        assert result["best_rmsd"] == pytest.approx(0.0, abs=1e-9)
+        assert result["similarity"] == pytest.approx(1.0)
+
+    def test_family_beats_stranger(self, small_fold_pair, unrelated_fold):
+        parent, child = small_fold_pair
+        m = KabschRmsdMethod()
+        fam = m.compare(parent, child, CostCounter())["similarity"]
+        cross = m.compare(parent, unrelated_fold, CostCounter())["similarity"]
+        assert fam > cross
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            KabschRmsdMethod(stride=0)
+
+
+class TestSseComposition:
+    def test_identical_composition_scores_one(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        r = SSECompositionMethod().compare(parent, parent, CostCounter())
+        assert r["similarity"] == pytest.approx(1.0)
+
+    def test_cheap(self, small_fold_pair):
+        parent, child = small_fold_pair
+        ctr = CostCounter()
+        SSECompositionMethod().compare(parent, child, ctr)
+        assert ctr["kabsch"] == 0
+        assert ctr["dp_cell"] == 0
+
+
+class TestJobEvaluator:
+    def test_model_mode_no_alignment(self, ck34_mini):
+        ev = JobEvaluator(ck34_mini, mode=EvalMode.MODEL)
+        scores, counts = ev.evaluate(0, 1)
+        assert counts["dp_cell"] > 0
+        assert "tm_norm_a" not in scores  # model mode prices only
+
+    def test_measured_mode_scores_and_cache(self, ck34_mini):
+        ev = JobEvaluator(ck34_mini, mode=EvalMode.MEASURED)
+        s1, c1 = ev.evaluate(0, 1)
+        s2, c2 = ev.evaluate(0, 1)
+        assert s1 == s2
+        assert c1.as_dict() == c2.as_dict()
+        assert 0 <= s1["tm_norm_a"] <= 1
+
+    def test_measured_counts_are_copies(self, ck34_mini):
+        ev = JobEvaluator(ck34_mini, mode=EvalMode.MEASURED)
+        _, c1 = ev.evaluate(0, 1)
+        c1.add("dp_cell", 999)
+        _, c2 = ev.evaluate(0, 1)
+        assert c2["dp_cell"] != c1["dp_cell"]
+
+    def test_job_bytes_reflect_chain_sizes(self, ck34_mini):
+        ev = JobEvaluator(ck34_mini)
+        expected = ck34_mini[0].nbytes_wire + ck34_mini[1].nbytes_wire + 64
+        assert ev.job_nbytes(0, 1) == expected
+
+    def test_bad_mode_rejected(self, ck34_mini):
+        with pytest.raises(ValueError):
+            JobEvaluator(ck34_mini, mode="quantum")

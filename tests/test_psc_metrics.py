@@ -1,0 +1,95 @@
+"""PSC quality metrics: ROC/AUC, precision@k, method benchmarking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load_dataset
+from repro.psc.metrics import (
+    evaluate_method_on_dataset,
+    family_auc,
+    precision_at_k,
+    roc_auc,
+)
+from repro.psc.methods import SSECompositionMethod
+from repro.psc.search import RankedHit, all_vs_all, one_vs_all
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [True, True, False, False]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [True, True, False, False]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(size=2000)
+        labels = rng.uniform(size=2000) < 0.5
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        assert roc_auc([0.5, 0.5], [True, False]) == pytest.approx(0.5)
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc([1.0, 2.0], [True, True])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_transform_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=30)
+        labels = rng.uniform(size=30) < 0.4
+        if labels.all() or not labels.any():
+            return
+        base = roc_auc(scores, labels)
+        assert roc_auc(np.exp(scores), labels) == pytest.approx(base)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            roc_auc([1.0], [True, False])
+
+
+class TestFamilyMetrics:
+    @pytest.fixture(scope="class")
+    def table(self):
+        ds = load_dataset("ck34")
+        return ds, all_vs_all(ds, method=SSECompositionMethod())
+
+    def test_family_auc_above_chance(self, table):
+        ds, tab = table
+        auc = family_auc(tab, ds, "similarity")
+        assert auc > 0.6  # even the crude SS method beats chance
+
+    def test_precision_at_k(self, table):
+        ds, _ = table
+        query = ds.by_name("ck_globin_00")
+        hits = one_vs_all(query, ds, method=SSECompositionMethod())
+        p7 = precision_at_k(hits, ds, "globin", 7)
+        assert 0.0 <= p7 <= 1.0
+
+    def test_precision_perfect_case(self):
+        ds = load_dataset("ck34")
+        hits = [RankedHit(f"ck_globin_0{k}", 1.0 - 0.01 * k, {}) for k in range(1, 5)]
+        assert precision_at_k(hits, ds, "globin", 4) == 1.0
+
+    def test_precision_k_validation(self):
+        ds = load_dataset("ck34-mini")
+        with pytest.raises(ValueError):
+            precision_at_k([], ds, "globin", 0)
+
+
+class TestMethodQualityOrdering:
+    def test_tmalign_auc_beats_sse_on_mini(self):
+        """TM-align must be the better fold detector — the reason it is
+        worth parallelizing at all."""
+        from repro.psc.methods import TMAlignMethod
+
+        # use a subset with 2 full families for a fast but meaningful AUC
+        ds = load_dataset("ck34").subset(12, "ck34-quality")
+        tm = evaluate_method_on_dataset(TMAlignMethod(), ds)
+        sse = evaluate_method_on_dataset(SSECompositionMethod(), ds)
+        assert tm.auc > 0.95
+        assert tm.auc >= sse.auc

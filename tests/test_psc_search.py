@@ -1,0 +1,55 @@
+"""One-vs-all ranked search and all-vs-all score tables."""
+
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.psc.methods import SSECompositionMethod, TMAlignMethod
+from repro.psc.search import all_vs_all, one_vs_all
+
+
+class TestOneVsAll:
+    def test_ranked_descending(self, ck34_mini):
+        hits = one_vs_all(ck34_mini[0], ck34_mini, method=SSECompositionMethod())
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_self_excluded(self, ck34_mini):
+        hits = one_vs_all(ck34_mini[0], ck34_mini)
+        assert ck34_mini[0].name not in [h.chain_name for h in hits]
+
+    def test_self_included_ranks_first(self, ck34_mini):
+        hits = one_vs_all(
+            ck34_mini[0], ck34_mini, method=SSECompositionMethod(), exclude_self=False
+        )
+        assert hits[0].chain_name == ck34_mini[0].name
+
+    def test_family_members_rank_high_with_tmalign(self, ck34):
+        """The paper's motivating use case: structurally similar proteins
+        rank higher."""
+        sub = ck34.subset(12, "ck34-search")  # globins + start of tim family
+        query = sub.by_name("ck_globin_01")
+        hits = one_vs_all(query, sub, method=TMAlignMethod())
+        top3 = [h.chain_name for h in hits[:3]]
+        assert all(name.startswith("ck_globin") for name in top3)
+
+    def test_counter_accumulates(self, ck34_mini):
+        ctr = CostCounter()
+        one_vs_all(ck34_mini[0], ck34_mini, method=SSECompositionMethod(), counter=ctr)
+        assert ctr["align_fixed"] > 0
+
+    def test_hit_details_preserved(self, ck34_mini):
+        hits = one_vs_all(ck34_mini[0], ck34_mini, method=SSECompositionMethod())
+        assert all("similarity" in h.details for h in hits)
+
+
+class TestAllVsAll:
+    def test_pair_count(self, ck34_mini):
+        table = all_vs_all(ck34_mini, method=SSECompositionMethod())
+        n = len(ck34_mini)
+        assert len(table) == n * (n - 1) // 2
+
+    def test_keys_are_name_pairs(self, ck34_mini):
+        table = all_vs_all(ck34_mini, method=SSECompositionMethod())
+        names = {c.name for c in ck34_mini}
+        for a, b in table:
+            assert a in names and b in names

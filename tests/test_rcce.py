@@ -1,0 +1,220 @@
+"""RCCE message passing: integrity, rendezvous semantics, collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scc.config import SccConfig
+from repro.scc.machine import SccMachine
+from repro.scc.rcce import Rcce
+
+
+def run_pair(payload, nbytes, src=0, dst=1):
+    m = SccMachine()
+    rcce = Rcce(m)
+    box = {}
+
+    def sender(core):
+        yield from rcce.send(core, dst, payload, nbytes=nbytes)
+
+    def receiver(core):
+        msg = yield from rcce.recv(core, src)
+        box["msg"] = msg
+
+    m.spawn(src, sender)
+    m.spawn(dst, receiver)
+    m.run()
+    return m, box["msg"]
+
+
+class TestPayloadIntegrity:
+    def test_object_delivered_unchanged(self):
+        payload = {"coords": [1, 2, 3], "name": "abc"}
+        _, msg = run_pair(payload, 1024)
+        assert msg.payload is payload
+        assert msg.source == 0
+        assert msg.nbytes == 1024
+
+    @given(st.integers(0, 200_000))
+    @settings(max_examples=20, deadline=None)
+    def test_any_size_delivered(self, nbytes):
+        _, msg = run_pair("data", nbytes)
+        assert msg.nbytes == nbytes
+
+    def test_zero_byte_message(self):
+        _, msg = run_pair("signal", 0)
+        assert msg.payload == "signal"
+
+
+class TestTimingSemantics:
+    def test_bigger_messages_take_longer(self):
+        m1, _ = run_pair("x", 100)
+        m2, _ = run_pair("x", 100_000)
+        assert m2.now > m1.now
+
+    def test_chunking_kicks_in_above_mpb_share(self):
+        cfg = SccConfig()
+        just_under = cfg.rcce_chunk_bytes
+        m1, _ = run_pair("x", just_under)
+        m2, _ = run_pair("x", just_under * 4)
+        # 4 chunks need 4 flag round-trips: more than 4x one-chunk time
+        assert m2.now > 2 * m1.now
+
+    def test_farther_cores_take_longer(self):
+        m_near, _ = run_pair("x", 8000, src=0, dst=2)  # next tile
+        m_far, _ = run_pair("x", 8000, src=0, dst=47)  # opposite corner
+        assert m_far.now > m_near.now
+
+    def test_send_blocks_until_receiver_arrives(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+        times = {}
+
+        def sender(core):
+            yield from rcce.send(core, 1, "hello", nbytes=64)
+            times["send_done"] = core.env.now
+
+        def late_receiver(core):
+            yield core.env.timeout(1.0)  # not ready for a full second
+            yield from rcce.recv(core, 0)
+
+        m.spawn(0, sender)
+        m.spawn(1, late_receiver)
+        m.run()
+        assert times["send_done"] > 1.0
+
+    def test_comm_time_accounted(self):
+        m, _ = run_pair("x", 50_000)
+        assert m.core(0).stats.comm_s > 0
+        assert m.core(1).stats.comm_s > 0
+
+
+class TestValidation:
+    def test_send_to_self_rejected(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+
+        def prog(core):
+            yield from rcce.send(core, 0, "x")
+
+        m.spawn(0, prog)
+        with pytest.raises(ValueError):
+            m.run()
+
+    def test_recv_from_self_rejected(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+
+        def prog(core):
+            yield from rcce.recv(core, 0)
+
+        m.spawn(0, prog)
+        with pytest.raises(ValueError):
+            m.run()
+
+
+class TestManyMessages:
+    def test_sequence_preserved(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+        received = []
+
+        def sender(core):
+            for k in range(10):
+                yield from rcce.send(core, 1, k, nbytes=64)
+
+        def receiver(core):
+            for _ in range(10):
+                msg = yield from rcce.recv(core, 0)
+                received.append(msg.payload)
+
+        m.spawn(0, sender)
+        m.spawn(1, receiver)
+        m.run()
+        assert received == list(range(10))
+
+    def test_bidirectional_no_deadlock(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+        log = []
+
+        def ping(core):
+            yield from rcce.send(core, 1, "ping", nbytes=64)
+            msg = yield from rcce.recv(core, 1)
+            log.append(msg.payload)
+
+        def pong(core):
+            msg = yield from rcce.recv(core, 0)
+            yield from rcce.send(core, 0, msg.payload + "-pong", nbytes=64)
+
+        m.spawn(0, ping)
+        m.spawn(1, pong)
+        m.run()
+        assert log == ["ping-pong"]
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+        group = [0, 1, 2, 3]
+        after = {}
+
+        def prog(core, delay):
+            yield core.env.timeout(delay)
+            yield from rcce.barrier(core, group)
+            after[core.id] = core.env.now
+
+        for k, c in enumerate(group):
+            m.spawn(c, prog, 0.25 * k)
+        m.run()
+        # nobody exits the barrier before the slowest member arrived
+        assert min(after.values()) >= 0.75
+
+    def test_barrier_requires_membership(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+
+        def prog(core):
+            yield from rcce.barrier(core, [1, 2])
+
+        m.spawn(0, prog)
+        with pytest.raises(ValueError):
+            m.run()
+
+    def test_bcast_delivers_to_all(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+        group = [0, 1, 2, 3, 4]
+        got = {}
+
+        def prog(core):
+            value = yield from rcce.bcast(core, 0, group, payload="cfg" if core.id == 0 else None, nbytes=256)
+            got[core.id] = value
+
+        for c in group:
+            m.spawn(c, prog)
+        m.run()
+        assert all(v == "cfg" for v in got.values())
+
+    def test_stats_counted(self):
+        m, _ = run_pair("x", 1000)
+        # header + data chunks counted once each via send()
+        pass  # statistics sanity below
+
+    def test_rcce_send_counter(self):
+        m = SccMachine()
+        rcce = Rcce(m)
+
+        def sender(core):
+            yield from rcce.send(core, 1, "x", nbytes=10)
+
+        def receiver(core):
+            yield from rcce.recv(core, 0)
+
+        m.spawn(0, sender)
+        m.spawn(1, receiver)
+        m.run()
+        assert rcce.sends == 1
+        assert rcce.bytes_total == 10

@@ -1,0 +1,155 @@
+"""rckAlign application on the simulated SCC."""
+
+import pytest
+
+from repro.baselines.serial import SerialConfig, run_serial
+from repro.core.rckalign import RckAlignConfig, build_jobs, run_rckalign
+from repro.core.skeletons import FarmConfig
+from repro.datasets import load_dataset
+from repro.psc.evaluator import EvalMode, JobEvaluator
+
+
+@pytest.fixture(scope="module")
+def ck_mini_eval():
+    ds = load_dataset("ck34-mini")
+    return ds, JobEvaluator(ds)
+
+
+class TestBasicRun:
+    def test_all_pairs_processed(self, ck_mini_eval):
+        ds, ev = ck_mini_eval
+        rep = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=4), evaluator=ev)
+        n = len(ds)
+        assert rep.n_jobs == n * (n - 1) // 2
+        assert len(rep.results) == rep.n_jobs
+        pairs = {(r.payload["i"], r.payload["j"]) for r in rep.results}
+        assert len(pairs) == rep.n_jobs
+
+    def test_report_fields(self, ck_mini_eval):
+        ds, ev = ck_mini_eval
+        rep = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=3), evaluator=ev)
+        assert rep.total_seconds > 0
+        assert rep.load_seconds > 0
+        assert rep.n_slaves == 3
+        assert sum(rep.slave_jobs.values()) == rep.n_jobs
+        assert 0 < rep.parallel_efficiency <= 1.0
+        assert rep.noc_messages > rep.n_jobs
+        assert "rckAlign" in rep.summary()
+
+    def test_deterministic(self, ck_mini_eval):
+        ds, ev = ck_mini_eval
+        cfg = RckAlignConfig(dataset=ds, n_slaves=5)
+        a = run_rckalign(cfg, evaluator=ev)
+        b = run_rckalign(cfg, evaluator=ev)
+        assert a.total_seconds == b.total_seconds
+        assert a.sim_events == b.sim_events
+
+
+class TestScaling:
+    def test_speedup_monotone(self, ck_mini_eval):
+        ds, ev = ck_mini_eval
+        times = [
+            run_rckalign(
+                RckAlignConfig(dataset=ds, n_slaves=n), evaluator=ev
+            ).total_seconds
+            for n in (1, 2, 4, 8)
+        ]
+        assert times[0] > times[1] > times[2] > times[3]
+
+    def test_near_linear_at_low_counts(self, ck_mini_eval):
+        ds, ev = ck_mini_eval
+        t1 = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=1), evaluator=ev)
+        t4 = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=4), evaluator=ev)
+        speedup = t1.total_seconds / t4.total_seconds
+        assert 3.2 < speedup <= 4.05
+
+    def test_one_slave_matches_serial_baseline(self, ck_mini_eval):
+        """Paper: rckAlign with 1 slave ~ the preloading serial run."""
+        ds, ev = ck_mini_eval
+        serial = run_serial(SerialConfig(dataset=ds), evaluator=ev)
+        rck = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=1), evaluator=ev)
+        assert rck.total_seconds == pytest.approx(serial.total_seconds, rel=0.05)
+
+
+class TestConsistencyWithBaselines:
+    def test_slave_compute_equals_serial_compute(self, ck_mini_eval):
+        """Total busy compute across slaves equals the serial compute
+        time — the identical evaluator guarantees comparable speedups."""
+        ds, ev = ck_mini_eval
+        serial = run_serial(SerialConfig(dataset=ds), evaluator=ev)
+        rck = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=4), evaluator=ev)
+        assert sum(rep for rep in rck.slave_busy_seconds.values()) == pytest.approx(
+            serial.compute_seconds, rel=1e-6
+        )
+
+
+class TestModes:
+    def test_measured_mode_returns_scores(self):
+        ds = load_dataset("ck34").subset(4, "ck34-tiny")
+        ev = JobEvaluator(ds, mode=EvalMode.MEASURED)
+        rep = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=2, mode=EvalMode.MEASURED),
+            evaluator=ev,
+        )
+        for r in rep.results:
+            assert "tm_norm_a" in r.payload
+            assert 0 <= r.payload["tm_norm_a"] <= 1
+
+    def test_measured_cache_reused_across_sweep(self):
+        ds = load_dataset("ck34").subset(4, "ck34-tiny2")
+        ev = JobEvaluator(ds, mode=EvalMode.MEASURED)
+        run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=2, mode=EvalMode.MEASURED),
+            evaluator=ev,
+        )
+        import time
+
+        t0 = time.time()
+        run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=3, mode=EvalMode.MEASURED),
+            evaluator=ev,
+        )
+        assert time.time() - t0 < 2.0  # cache hit: no realignment
+
+
+class TestConfigValidation:
+    def test_too_many_slaves_rejected(self):
+        with pytest.raises(ValueError):
+            run_rckalign(RckAlignConfig(dataset="ck34-mini", n_slaves=48))
+
+    def test_zero_slaves_rejected(self):
+        with pytest.raises(ValueError):
+            run_rckalign(RckAlignConfig(dataset="ck34-mini", n_slaves=0))
+
+    def test_foreign_evaluator_rejected(self, ck_mini_eval):
+        _, ev = ck_mini_eval
+        with pytest.raises(ValueError):
+            run_rckalign(RckAlignConfig(dataset="rs119-mini", n_slaves=2), evaluator=ev)
+
+    def test_ordered_pairs_doubles_jobs(self, ck_mini_eval):
+        ds, _ = ck_mini_eval
+        ev = JobEvaluator(ds)
+        unordered = build_jobs(ds, ev)
+        ordered = build_jobs(ds, ev, ordered=True)
+        assert len(ordered) == 2 * len(unordered)
+
+
+class TestBalancingIntegration:
+    def test_balanced_not_slower(self, ck_mini_eval):
+        ds, ev = ck_mini_eval
+        base = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=7, balancing="none"), evaluator=ev
+        )
+        lpt = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=7, balancing="longest_first"),
+            evaluator=ev,
+        )
+        assert lpt.total_seconds <= base.total_seconds * 1.05
+
+    def test_unknown_strategy_rejected(self, ck_mini_eval):
+        ds, ev = ck_mini_eval
+        with pytest.raises(KeyError):
+            run_rckalign(
+                RckAlignConfig(dataset=ds, n_slaves=2, balancing="magic"),
+                evaluator=ev,
+            )

@@ -1,0 +1,98 @@
+"""SCC configuration and machine."""
+
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.scc.config import SccConfig
+from repro.scc.machine import SccMachine
+
+
+class TestSccConfig:
+    def test_table1_defaults(self):
+        cfg = SccConfig()
+        assert cfg.n_tiles == 24
+        assert cfg.n_cores == 48
+        assert cfg.mpb_bytes_per_tile == 16 * 1024
+        assert cfg.mpb_bytes_per_core == 8 * 1024
+        assert cfg.core_cpu.freq_hz == 800e6
+
+    def test_tile_of_core(self):
+        cfg = SccConfig()
+        assert cfg.tile_of_core(0) == 0
+        assert cfg.tile_of_core(1) == 0
+        assert cfg.tile_of_core(2) == 1
+        assert cfg.tile_of_core(47) == 23
+
+    def test_tile_of_core_bounds(self):
+        with pytest.raises(ValueError):
+            SccConfig().tile_of_core(48)
+
+    def test_chunk_bytes_smaller_than_mpb_share(self):
+        cfg = SccConfig()
+        assert 0 < cfg.rcce_chunk_bytes < cfg.mpb_bytes_per_core
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SccConfig(cores_per_tile=0)
+
+
+class TestCoreExecution:
+    def test_compute_cycles_advances_clock(self):
+        m = SccMachine()
+
+        def prog(core):
+            yield from core.compute_cycles(800e6)  # 1 second at 800 MHz
+
+        m.spawn(0, prog)
+        m.run()
+        assert m.now == pytest.approx(1.0)
+        assert m.core(0).stats.compute_s == pytest.approx(1.0)
+
+    def test_compute_counts_uses_cpu_model(self):
+        m = SccMachine()
+        counts = CostCounter({"dp_cell": 1000})
+        want = m.config.core_cpu.seconds(counts)
+
+        def prog(core):
+            yield from core.compute_counts(counts)
+
+        m.spawn(5, prog)
+        m.run()
+        assert m.now == pytest.approx(want)
+
+    def test_cores_run_concurrently(self):
+        m = SccMachine()
+
+        def prog(core):
+            yield from core.compute_cycles(800e6)
+
+        for c in range(10):
+            m.spawn(c, prog)
+        m.run()
+        assert m.now == pytest.approx(1.0)  # parallel, not 10 s
+
+    def test_negative_cycles_rejected(self):
+        m = SccMachine()
+
+        def prog(core):
+            yield from core.compute_cycles(-5)
+
+        m.spawn(0, prog)
+        with pytest.raises(ValueError):
+            m.run()
+
+    def test_dram_read_counts_as_comm(self):
+        m = SccMachine()
+
+        def prog(core):
+            yield from core.dram_read(1_000_000)
+
+        m.spawn(3, prog)
+        m.run()
+        assert m.core(3).stats.comm_s > 0
+
+    def test_core_repr_and_tile(self):
+        m = SccMachine()
+        core = m.core(7)
+        assert core.tile == 3
+        assert "rck07" in repr(core)

@@ -1,0 +1,203 @@
+"""Sequence alignment: affine Gotoh DP vs brute force, BLOSUM62, modes."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seqalign.align import (
+    AffineParams,
+    affine_align,
+    align_sequences,
+)
+from repro.seqalign.matrices import AA_ORDER, BLOSUM62, substitution_score_matrix
+
+
+def brute_force_affine(score, go, ge, mode):
+    """Enumerate all monotone match sets; a gap run of length L costs
+    go + (L-1)*ge.  End handling per mode:
+
+    * global     — both end runs charged;
+    * semiglobal — classic overlap: a free prefix/suffix in ONE
+      sequence per end (the other, if also skipped, pays its run);
+    * local      — both ends free on both sequences (Smith–Waterman).
+    """
+    la, lb = score.shape
+
+    def run_cost(length):
+        return 0.0 if length == 0 else go + (length - 1) * ge
+
+    def gap_cost_between(p, q):
+        di, dj = q[0] - p[0] - 1, q[1] - p[1] - 1
+        return run_cost(di) + run_cost(dj)
+
+    cells = [(i, j) for i in range(la) for j in range(lb)]
+    if mode == "global":
+        best = run_cost(la) + run_cost(lb)  # empty: L-shaped all-gap path
+    else:
+        best = 0.0
+    for size in range(1, min(la, lb) + 1):
+        for combo in combinations(cells, size):
+            if not all(
+                combo[k][0] < combo[k + 1][0] and combo[k][1] < combo[k + 1][1]
+                for k in range(size - 1)
+            ):
+                continue
+            total = sum(score[c] for c in combo)
+            for k in range(size - 1):
+                total += gap_cost_between(combo[k], combo[k + 1])
+            ci0, cj0 = combo[0]
+            ci1, cj1 = combo[-1]
+            if mode == "global":
+                total += run_cost(ci0) + run_cost(cj0)
+                total += run_cost(la - 1 - ci1) + run_cost(lb - 1 - cj1)
+            elif mode == "semiglobal":
+                if ci0 > 0 and cj0 > 0:
+                    total += max(run_cost(ci0), run_cost(cj0))
+                ti, tj = la - 1 - ci1, lb - 1 - cj1
+                if ti > 0 and tj > 0:
+                    total += max(run_cost(ti), run_cost(tj))
+            # local: nothing charged at the ends
+            best = max(best, total)
+    return best
+
+
+class TestAffineVsBruteForce:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 4), st.integers(2, 4),
+           st.sampled_from(["global", "semiglobal", "local"]))
+    @settings(max_examples=60, deadline=None)
+    def test_score_matches_oracle(self, seed, la, lb, mode):
+        rng = np.random.default_rng(seed)
+        score = np.round(rng.uniform(-4, 4, (la, lb)), 2)
+        got, _ = affine_align(score, gap_open=-2.0, gap_extend=-0.5, mode=mode)
+        want = brute_force_affine(score, -2.0, -0.5, mode)
+        assert got == pytest.approx(want, abs=1e-9)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_alignment_consistent_with_score(self, seed):
+        """Re-scoring the returned alignment reproduces the DP score
+        (global mode, where all costs are explicit)."""
+        rng = np.random.default_rng(seed)
+        la, lb = int(rng.integers(2, 7)), int(rng.integers(2, 7))
+        score = np.round(rng.uniform(-4, 4, (la, lb)), 2)
+        go, ge = -2.0, -0.5
+        best, ali = affine_align(score, go, ge, "global")
+
+        def run_cost(length):
+            return 0.0 if length == 0 else go + (length - 1) * ge
+
+        total = 0.0
+        prev = (-1, -1)
+        for i, j in zip(ali.ai.tolist(), ali.aj.tolist()):
+            total += score[i, j]
+            total += run_cost(i - prev[0] - 1) + run_cost(j - prev[1] - 1)
+            prev = (i, j)
+        if len(ali):
+            total += run_cost(la - 1 - prev[0]) + run_cost(lb - 1 - prev[1])
+        else:
+            total = run_cost(la) + run_cost(lb)
+        assert total == pytest.approx(best, abs=1e-9)
+
+
+class TestModes:
+    def test_local_finds_embedded_motif(self):
+        a = "WWWW" + "ACDEFGHIKL" + "WWWW"
+        b = "PPPP" + "ACDEFGHIKL" + "PPPP"
+        res = align_sequences(a, b, mode="local")
+        assert res.identity == pytest.approx(1.0)
+        assert res.n_aligned >= 10
+
+    def test_global_aligns_everything(self):
+        res = align_sequences("ACDEFGHIKL", "ACDEFGHIKL", mode="global")
+        assert res.n_aligned == 10
+        assert res.identity == 1.0
+
+    def test_semiglobal_free_overhang(self):
+        short = "ACDEFGHIKL"
+        long_ = "MMMMM" + short + "MMMMM"
+        res = align_sequences(short, long_, mode="semiglobal")
+        assert res.identity == pytest.approx(1.0)
+        assert res.n_aligned == len(short)
+
+    def test_gap_run_cheaper_than_two_gaps(self):
+        """Affine gaps: long runs cost open once, so a 2-step shift beats the same shift priced as two opens."""
+        score = np.full((4, 6), 0.0)
+        for k in range(4):
+            score[k, k] = 5.0  # diagonal then 2-gap shift
+            if k >= 2:
+                score[k, k + 2] = 5.0
+        best_affine, _ = affine_align(score, -3.0, -0.5, "global")
+        best_linear, _ = affine_align(score, -3.0, -3.0, "global")
+        assert best_affine > best_linear
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            affine_align(np.ones((2, 2)), mode="diagonal")
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            AffineParams(gap_open=1.0)
+        with pytest.raises(ValueError):
+            AffineParams(gap_open=-1.0, gap_extend=-2.0)
+
+
+class TestBlosum:
+    def test_symmetric(self):
+        for a in AA_ORDER:
+            for b in AA_ORDER:
+                assert BLOSUM62[(a, b)] == BLOSUM62[(b, a)]
+
+    def test_diagonal_positive(self):
+        assert all(BLOSUM62[(a, a)] > 0 for a in AA_ORDER)
+
+    def test_known_values(self):
+        assert BLOSUM62[("W", "W")] == 11
+        assert BLOSUM62[("A", "A")] == 4
+        assert BLOSUM62[("W", "P")] == -4
+
+    def test_score_matrix_lookup(self):
+        mat = substitution_score_matrix("AW", "WA")
+        assert mat[0, 1] == 4  # A vs A
+        assert mat[1, 0] == 11  # W vs W
+        assert mat[0, 0] == -3  # A vs W
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(KeyError):
+            substitution_score_matrix("AA", "AA", "pam1000")
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            substitution_score_matrix("", "AA")
+
+
+class TestSequenceIdentityMethod:
+    def test_identical_chains_score_one(self, small_fold_pair):
+        from repro.cost.counters import CostCounter
+        from repro.seqalign.method import SequenceIdentityMethod
+
+        parent, _ = small_fold_pair
+        r = SequenceIdentityMethod().compare(parent, parent, CostCounter())
+        assert r["similarity"] == pytest.approx(1.0)
+
+    def test_family_beats_stranger(self, small_fold_pair, unrelated_fold):
+        """Family members share ~60% sequence identity by construction."""
+        from repro.cost.counters import CostCounter
+        from repro.seqalign.method import SequenceIdentityMethod
+
+        parent, child = small_fold_pair
+        m = SequenceIdentityMethod()
+        fam = m.compare(parent, child, CostCounter())["similarity"]
+        cross = m.compare(parent, unrelated_fold, CostCounter())["similarity"]
+        assert fam > cross
+
+    def test_counts_charged(self, small_fold_pair):
+        from repro.cost.counters import CostCounter
+        from repro.seqalign.method import SequenceIdentityMethod
+
+        parent, child = small_fold_pair
+        ctr = CostCounter()
+        SequenceIdentityMethod().compare(parent, child, ctr)
+        assert ctr["dp_cell"] == len(parent) * len(child)

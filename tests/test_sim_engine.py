@@ -1,0 +1,286 @@
+"""Discrete-event kernel: ordering, processes, waits, errors."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestClockAndOrdering:
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        log = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+
+        env.process(proc(3.0, "c"))
+        env.process(proc(1.0, "a"))
+        env.process(proc(2.0, "b"))
+        env.run()
+        assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_same_time_fifo(self):
+        env = Environment()
+        log = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        for tag in "abcd":
+            env.process(proc(tag))
+        env.run()
+        assert log == list("abcd")
+
+    def test_run_until_time(self):
+        env = Environment()
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run(until=4.5)
+        assert env.now == 4.5
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_event_count_tracked(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        assert env.event_count >= 2
+
+
+class TestProcesses:
+    def test_return_value_via_yield(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2.0)
+            return 42
+
+        result = {}
+
+        def parent():
+            result["value"] = yield env.process(child())
+
+        env.process(parent())
+        env.run()
+        assert result["value"] == 42
+
+    def test_nested_yield_from(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(1.0)
+            return "deep"
+
+        def outer():
+            value = yield from inner()
+            return value + "er"
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == "deeper"
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def boom():
+            yield env.timeout(1.0)
+            raise RuntimeError("bang")
+
+        caught = {}
+
+        def parent():
+            try:
+                yield env.process(boom())
+            except RuntimeError as exc:
+                caught["exc"] = str(exc)
+
+        env.process(parent())
+        env.run()
+        assert caught["exc"] == "bang"
+
+    def test_unhandled_exception_escapes_run(self):
+        env = Environment()
+
+        def boom():
+            yield env.timeout(1.0)
+            raise ValueError("unhandled")
+
+        env.process(boom())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_interrupt(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                log.append((env.now, i.cause))
+
+        def waker(victim):
+            yield env.timeout(2.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper())
+        env.process(waker(victim))
+        env.run()
+        assert log == [(2.0, "wake up")]
+
+
+class TestEvents:
+    def test_manual_event(self):
+        env = Environment()
+        ev = env.event()
+        got = {}
+
+        def waiter():
+            got["v"] = yield ev
+
+        def trigger():
+            yield env.timeout(5.0)
+            ev.succeed("hello")
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert got["v"] == "hello"
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(3.0)
+            return "done"
+
+        assert env.run(env.process(proc())) == "done"
+        assert env.now == 3.0
+
+    def test_deadlock_detected(self):
+        env = Environment()
+        ev = env.event()  # nobody will trigger it
+
+        def stuck():
+            yield ev
+
+        p = env.process(stuck())
+        with pytest.raises(SimulationError):
+            env.run(p)
+
+    def test_value_before_fire_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+
+class TestCombinators:
+    def test_all_of(self):
+        env = Environment()
+
+        def proc(d, v):
+            yield env.timeout(d)
+            return v
+
+        got = {}
+
+        def parent():
+            got["v"] = yield env.all_of(
+                [env.process(proc(2, "a")), env.process(proc(1, "b"))]
+            )
+
+        env.process(parent())
+        env.run()
+        assert got["v"] == ["a", "b"]
+        assert env.now == 2.0
+
+    def test_all_of_empty(self):
+        env = Environment()
+        ev = env.all_of([])
+        env.run()
+        assert ev.processed
+
+    def test_any_of_first_wins(self):
+        env = Environment()
+
+        def proc(d, v):
+            yield env.timeout(d)
+            return v
+
+        got = {}
+
+        def parent():
+            got["v"] = yield env.any_of(
+                [env.process(proc(5, "slow")), env.process(proc(1, "fast"))]
+            )
+
+        env.process(parent())
+        env.run()
+        assert got["v"] == (1, "fast")
+
+    def test_any_of_empty_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.any_of([])
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build():
+            env = Environment()
+            trace = []
+
+            def worker(k):
+                for step in range(3):
+                    yield env.timeout(0.5 * (k + 1))
+                    trace.append((round(env.now, 6), k, step))
+
+            for k in range(4):
+                env.process(worker(k))
+            env.run()
+            return trace
+
+        assert build() == build()

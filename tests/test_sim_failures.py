@@ -1,0 +1,127 @@
+"""Failure propagation and error injection through the stack."""
+
+import pytest
+
+from repro.core.skeletons import FarmConfig, Job, SkeletonRuntime
+from repro.scc.machine import SccMachine
+from repro.scc.rcce import Rcce
+from repro.sim.engine import Environment, SimulationError
+
+
+class TestCombinatorFailures:
+    def test_all_of_propagates_first_failure(self):
+        env = Environment()
+
+        def good():
+            yield env.timeout(1.0)
+            return "ok"
+
+        def bad():
+            yield env.timeout(0.5)
+            raise RuntimeError("child died")
+
+        caught = {}
+
+        def parent():
+            try:
+                yield env.all_of([env.process(good()), env.process(bad())])
+            except RuntimeError as exc:
+                caught["msg"] = str(exc)
+
+        env.process(parent())
+        env.run()
+        assert caught["msg"] == "child died"
+
+    def test_any_of_failure_propagates(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(0.5)
+            raise ValueError("boom")
+
+        def slow():
+            yield env.timeout(10.0)
+
+        caught = {}
+
+        def parent():
+            try:
+                yield env.any_of([env.process(bad()), env.process(slow())])
+            except ValueError:
+                caught["ok"] = True
+
+        env.process(parent())
+        env.run()
+        assert caught.get("ok")
+
+
+class TestFarmFailureInjection:
+    def test_crashing_handler_surfaces_at_run(self):
+        """A slave whose job function raises must abort the simulation
+        loudly, not hang or silently drop the job."""
+        m = SccMachine()
+        rcce = Rcce(m)
+        rt = SkeletonRuntime(
+            m, rcce, 0, [1, 2],
+            FarmConfig(master_job_cycles=1e3, master_result_cycles=1e3,
+                       slave_boot_seconds=0.0),
+        )
+
+        def master(core):
+            yield from rt.farm(core, [Job(k, k, 64) for k in range(4)])
+
+        def flaky_handler(core, payload):
+            yield from core.compute_cycles(1000)
+            if payload == 2:
+                raise RuntimeError("corrupt structure data")
+            return payload, 64
+
+        m.spawn(0, master)
+        for s in rt.slave_ids:
+            m.spawn(s, rt.slave_loop, flaky_handler)
+        with pytest.raises((RuntimeError, SimulationError)):
+            m.run()
+
+    def test_missing_slave_program_deadlocks_detectably(self):
+        """Forgetting to spawn a slave's loop stalls FARM in
+        check_ready; the kernel reports the deadlock instead of
+        spinning."""
+        m = SccMachine()
+        rcce = Rcce(m)
+        rt = SkeletonRuntime(
+            m, rcce, 0, [1, 2],
+            FarmConfig(slave_boot_seconds=0.0),
+        )
+
+        def master(core):
+            yield from rt.farm(core, [Job(0, 0, 64)])
+
+        done = m.spawn(0, master)
+        m.spawn(1, rt.slave_loop, lambda core, p: (yield core.env.timeout(0)) or (p, 64))
+        # slave 2 never spawned
+        with pytest.raises(SimulationError):
+            m.env.run(done)
+
+
+class TestEvaluatorErrors:
+    def test_model_mode_unknown_method_counts(self):
+        """A PSC method returning an unknown op class must fail fast."""
+        from repro.cost.counters import CostCounter
+        from repro.datasets import load_dataset
+        from repro.psc.base import PSCMethod
+        from repro.psc.evaluator import JobEvaluator
+
+        class BadMethod(PSCMethod):
+            name = "bad"
+            score_key = "s"
+
+            def compare(self, a, b, counter):
+                return {"s": 1.0}
+
+            def estimate_counts(self, la, lb, pair_key=None):
+                return {"quantum_flops": 1e9}
+
+        ds = load_dataset("ck34-mini")
+        ev = JobEvaluator(ds, BadMethod(), "model")
+        with pytest.raises(KeyError):
+            ev.evaluate(0, 1)

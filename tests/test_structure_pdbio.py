@@ -1,0 +1,113 @@
+"""PDB round-trip I/O."""
+
+import numpy as np
+import pytest
+
+from repro.structure.model import Chain
+from repro.structure.pdbio import (
+    chain_from_pdb,
+    chain_to_pdb,
+    read_pdb_file,
+    write_pdb_file,
+)
+
+
+def _chain(n=8, seed=3):
+    rng = np.random.default_rng(seed)
+    coords = np.round(np.cumsum(rng.normal(0, 2, (n, 3)), axis=0), 3)
+    seq = "ACDEFGHIKLMNPQRSTVWY"[:n]
+    return Chain("test", coords, seq, family="fam1")
+
+
+class TestRoundTrip:
+    def test_coords_survive(self):
+        c = _chain()
+        back = chain_from_pdb(chain_to_pdb(c), "test")
+        np.testing.assert_allclose(back.coords, c.coords, atol=1e-3)
+
+    def test_sequence_survives(self):
+        c = _chain()
+        back = chain_from_pdb(chain_to_pdb(c))
+        assert back.sequence == c.sequence
+
+    def test_family_survives_via_remark(self):
+        c = _chain()
+        back = chain_from_pdb(chain_to_pdb(c))
+        assert back.family == "fam1"
+
+    def test_file_roundtrip(self, tmp_path):
+        c = _chain(12)
+        path = tmp_path / "test.pdb"
+        write_pdb_file(c, path)
+        back = read_pdb_file(path)
+        np.testing.assert_allclose(back.coords, c.coords, atol=1e-3)
+        assert back.name == "test"
+
+
+class TestParserRobustness:
+    def test_ignores_non_ca_atoms(self):
+        text = (
+            "ATOM      1  N   ALA A   1       0.000   0.000   0.000  1.00  0.00\n"
+            "ATOM      2  CA  ALA A   1       1.000   0.000   0.000  1.00  0.00\n"
+            "ATOM      3  CA  GLY A   2       2.000   0.000   0.000  1.00  0.00\n"
+            "ATOM      4  CA  VAL A   3       3.000   0.000   0.000  1.00  0.00\n"
+            "END\n"
+        )
+        c = chain_from_pdb(text)
+        assert len(c) == 3
+        assert c.sequence == "AGV"
+
+    def test_first_chain_only(self):
+        lines = []
+        for i in range(1, 5):
+            lines.append(
+                f"ATOM  {i:5d}  CA  ALA A{i:4d}    {float(i):8.3f}{0.0:8.3f}{0.0:8.3f}"
+            )
+        lines.append(
+            f"ATOM  {9:5d}  CA  GLY B{1:4d}    {99.0:8.3f}{0.0:8.3f}{0.0:8.3f}"
+        )
+        c = chain_from_pdb("\n".join(lines))
+        assert len(c) == 4
+        assert "G" not in c.sequence
+
+    def test_first_model_only(self):
+        block = "\n".join(
+            f"ATOM  {i:5d}  CA  ALA A{i:4d}    {float(i):8.3f}{0.0:8.3f}{0.0:8.3f}"
+            for i in range(1, 5)
+        )
+        text = block + "\nENDMDL\n" + block + "\n"
+        assert len(chain_from_pdb(text)) == 4
+
+    def test_altloc_b_skipped(self):
+        text = (
+            "ATOM      1  CA  ALA A   1       0.000   0.000   0.000\n"
+            "ATOM      2  CA BALA A   1       9.000   9.000   9.000\n"
+            "ATOM      3  CA  ALA A   2       1.000   0.000   0.000\n"
+            "ATOM      4  CA  ALA A   3       2.000   0.000   0.000\n"
+        )
+        c = chain_from_pdb(text)
+        assert len(c) == 3
+
+    def test_too_few_atoms_rejected(self):
+        with pytest.raises(ValueError):
+            chain_from_pdb("ATOM      1  CA  ALA A   1       0.0     0.0     0.0\n")
+
+    def test_unknown_residue_becomes_alanine(self):
+        text = "\n".join(
+            f"ATOM  {i:5d}  CA  XYZ A{i:4d}    {float(i):8.3f}{0.0:8.3f}{0.0:8.3f}"
+            for i in range(1, 4)
+        )
+        assert chain_from_pdb(text).sequence == "AAA"
+
+
+class TestFormat:
+    def test_atom_lines_fixed_columns(self):
+        text = chain_to_pdb(_chain(3))
+        atom_lines = [l for l in text.splitlines() if l.startswith("ATOM")]
+        assert len(atom_lines) == 3
+        for line in atom_lines:
+            assert line[12:16].strip() == "CA"
+            float(line[30:38]), float(line[38:46]), float(line[46:54])
+
+    def test_ends_with_end(self):
+        assert chain_to_pdb(_chain()).rstrip().endswith("END")

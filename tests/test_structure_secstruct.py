@@ -1,0 +1,75 @@
+"""Secondary-structure assignment (TM-align make_sec port)."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.geometry.transforms import RigidTransform, random_rotation
+from repro.structure.secstruct import (
+    SS_COIL,
+    SS_HELIX,
+    SS_STRAND,
+    assign_secondary,
+)
+from repro.structure.synthetic import build_helix, build_strand, build_loop
+
+
+class TestIdealElements:
+    def test_ideal_helix_interior_is_helix(self):
+        ss = assign_secondary(build_helix(20))
+        assert set(ss[2:-2]) == {SS_HELIX}
+
+    def test_ideal_strand_interior_is_strand(self):
+        ss = assign_secondary(build_strand(15))
+        assert set(ss[2:-2]) == {SS_STRAND}
+
+    def test_termini_are_coil(self):
+        ss = assign_secondary(build_helix(12))
+        assert ss[:2] == SS_COIL * 2 and ss[-2:] == SS_COIL * 2
+
+    def test_loop_mostly_not_helix_or_strand(self):
+        rng = np.random.default_rng(11)
+        counts = []
+        for _ in range(5):
+            ss = assign_secondary(build_loop(30, rng) * 1.0)
+            counts.append(sum(c in "HE" for c in ss) / len(ss))
+        assert np.mean(counts) < 0.35
+
+
+class TestInvariances:
+    def test_rigid_motion_invariant(self, rng):
+        coords = build_helix(18)
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 50)
+        assert assign_secondary(coords) == assign_secondary(xf.apply(coords))
+
+    def test_output_length_matches_input(self):
+        for n in (3, 4, 5, 10, 33):
+            coords = build_helix(n)
+            assert len(assign_secondary(coords)) == n
+
+    def test_short_chain_all_coil(self):
+        assert assign_secondary(build_helix(4)) == SS_COIL * 4
+
+
+class TestPerturbationTolerance:
+    def test_small_jitter_keeps_helix(self, rng):
+        coords = build_helix(20) + rng.normal(0, 0.3, (20, 3))
+        ss = assign_secondary(coords)
+        frac = ss.count(SS_HELIX) / len(ss)
+        assert frac > 0.5
+
+    def test_large_noise_destroys_structure(self, rng):
+        coords = build_helix(20) + rng.normal(0, 5.0, (20, 3))
+        ss = assign_secondary(coords)
+        assert ss.count(SS_HELIX) / len(ss) < 0.3
+
+
+class TestApi:
+    def test_counter_charged_per_residue(self):
+        ctr = CostCounter()
+        assign_secondary(build_helix(25), counter=ctr)
+        assert ctr["sec_res"] == 25
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            assign_secondary(np.zeros((5, 2)))

@@ -1,0 +1,151 @@
+"""Synthetic fold generator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distances import radius_of_gyration, sequential_distances
+from repro.structure.synthetic import (
+    CA_STEP,
+    FoldSpec,
+    SSElement,
+    build_helix,
+    build_loop,
+    build_strand,
+    generate_family,
+    generate_fold,
+    mutate_sequence,
+    perturb_chain,
+    random_fold_spec,
+)
+
+
+class TestElements:
+    def test_helix_rise(self):
+        h = build_helix(10)
+        assert np.allclose(np.diff(h[:, 2]), 1.5)
+
+    def test_helix_ca_spacing_realistic(self):
+        d = sequential_distances(build_helix(15))
+        assert np.all((d > 3.3) & (d < 4.3))
+
+    def test_strand_spacing(self):
+        d = sequential_distances(build_strand(10))
+        assert np.all((d > 3.2) & (d < 4.2))
+
+    def test_loop_step_length(self, rng):
+        d = sequential_distances(build_loop(20, rng))
+        np.testing.assert_allclose(d, CA_STEP, atol=1e-9)
+
+
+class TestFoldSpec:
+    def test_length_sums(self):
+        spec = FoldSpec.of(("H", 10), ("C", 3), ("E", 6))
+        assert spec.length == 19
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FoldSpec(())
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SSElement("X", 5)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            SSElement("H", 0)
+
+
+class TestGenerateFold:
+    def test_length_matches_spec(self, rng):
+        spec = FoldSpec.of(("H", 12), ("C", 4), ("E", 8))
+        chain = generate_fold(spec, rng)
+        assert len(chain) == spec.length
+
+    def test_centered_at_origin(self, rng):
+        chain = generate_fold(FoldSpec.of(("H", 15), ("C", 5), ("H", 15)), rng)
+        np.testing.assert_allclose(chain.coords.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_deterministic_for_seed(self):
+        spec = FoldSpec.of(("H", 10), ("C", 4), ("E", 6))
+        a = generate_fold(spec, np.random.default_rng(3))
+        b = generate_fold(spec, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.coords, b.coords)
+        assert a.sequence == b.sequence
+
+    def test_compact_vs_extended(self):
+        spec = FoldSpec.of(*[("H", 10), ("C", 3)] * 6)
+        compact = generate_fold(spec, np.random.default_rng(1), compactness=0.9)
+        loose = generate_fold(spec, np.random.default_rng(1), compactness=0.0)
+        assert radius_of_gyration(compact.coords) < radius_of_gyration(loose.coords)
+
+    def test_family_label(self, rng):
+        chain = generate_fold(FoldSpec.of(("H", 12)), rng, family="globin")
+        assert chain.family == "globin"
+
+
+class TestPerturbChain:
+    def test_length_changes_bounded(self, small_fold_pair, rng):
+        parent, _ = small_fold_pair
+        child = perturb_chain(parent, rng, "kid", max_indel=4)
+        assert len(parent) - 8 <= len(child) <= len(parent)
+
+    def test_preserves_family(self, small_fold_pair, rng):
+        parent, _ = small_fold_pair
+        assert perturb_chain(parent, rng, "kid").family == parent.family
+
+    def test_zero_jitter_zero_hinge_is_truncation_only(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        rng = np.random.default_rng(9)
+        child = perturb_chain(
+            parent, rng, "kid", jitter=0.0, hinge_angle_deg=0.0, max_indel=0,
+            seq_identity=1.0,
+        )
+        np.testing.assert_allclose(child.coords, parent.coords)
+        assert child.sequence == parent.sequence
+
+
+class TestMutateSequence:
+    def test_identity_one_preserves(self, rng):
+        assert mutate_sequence("ACDEFG", 1.0, rng) == "ACDEFG"
+
+    def test_identity_fraction_roughly_respected(self, rng):
+        seq = "A" * 2000
+        mutated = mutate_sequence(seq, 0.7, rng)
+        conserved = sum(a == b for a, b in zip(seq, mutated)) / len(seq)
+        # mutations can hit the same letter by chance, so conserved >= 0.7
+        assert 0.68 < conserved < 0.80
+
+    def test_bad_identity_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mutate_sequence("AAA", 1.5, rng)
+
+
+class TestGenerateFamily:
+    def test_member_count_and_names(self, rng):
+        spec = FoldSpec.of(("H", 10), ("C", 3), ("E", 5))
+        fam = generate_family(spec, 4, rng, family="fam", name_prefix="f")
+        assert len(fam) == 4
+        assert [c.name for c in fam] == ["f_00", "f_01", "f_02", "f_03"]
+        assert all(c.family == "fam" for c in fam)
+
+    def test_zero_members_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_family(FoldSpec.of(("H", 10)), 0, rng, family="x")
+
+
+class TestRandomFoldSpec:
+    def test_target_length_approximate(self, rng):
+        for target in (50, 120, 300):
+            spec = random_fold_spec(rng, target)
+            assert target <= spec.length <= target + 25
+
+    def test_helix_fraction_extremes(self, rng):
+        all_h = random_fold_spec(rng, 200, helix_frac=1.0)
+        kinds = {e.kind for e in all_h.elements}
+        assert "E" not in kinds
+        all_e = random_fold_spec(rng, 200, helix_frac=0.0)
+        assert "H" not in {e.kind for e in all_e.elements}
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_fold_spec(rng, 5)

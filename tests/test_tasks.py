@@ -1,0 +1,101 @@
+"""rckskel task trees (SEQ/PAR hierarchy of tasks and jobs)."""
+
+import pytest
+
+from repro.core.skeletons import FarmConfig, Job, SkeletonRuntime
+from repro.core.tasks import TaskNode, count_jobs, execute_task, par_task, seq_task
+from repro.scc.machine import SccMachine
+from repro.scc.rcce import Rcce
+
+FAST = FarmConfig(master_job_cycles=1000, master_result_cycles=1000, slave_boot_seconds=0.0)
+
+
+def make_runtime(n_slaves=4):
+    m = SccMachine()
+    rcce = Rcce(m)
+    rt = SkeletonRuntime(m, rcce, 0, list(range(1, 1 + n_slaves)), FAST)
+    return m, rt
+
+
+def handler(core, payload):
+    yield from core.compute_cycles(8_000_000)  # 10 ms
+    return payload, 64
+
+
+def J(k):
+    return Job(job_id=k, payload=k, nbytes=64)
+
+
+def run_tree(tree, n_slaves=4):
+    m, rt = make_runtime(n_slaves)
+    box = {}
+
+    def master(core):
+        yield from rt.check_ready(core)
+        box["results"] = yield from execute_task(rt, core, tree)
+        yield from rt.shutdown(core)
+
+    m.spawn(0, master)
+    for s in rt.slave_ids:
+        m.spawn(s, rt.slave_loop, handler)
+    m.run()
+    return m, box["results"]
+
+
+class TestConstruction:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            TaskNode("parallel", (J(0),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskNode("seq", ())
+
+    def test_bad_child_type(self):
+        with pytest.raises(TypeError):
+            TaskNode("seq", ("job",))
+
+    def test_count_jobs(self):
+        tree = seq_task(J(0), par_task(J(1), J(2), seq_task(J(3))))
+        assert count_jobs(tree) == 4
+
+
+class TestExecution:
+    def test_flat_par_completes_all(self):
+        _, results = run_tree(par_task(*[J(k) for k in range(10)]))
+        assert sorted(r.payload for r in results) == list(range(10))
+
+    def test_flat_seq_ordered(self):
+        _, results = run_tree(seq_task(*[J(k) for k in range(6)]))
+        assert [r.payload for r in results] == list(range(6))
+
+    def test_nested_tree(self):
+        tree = seq_task(
+            par_task(*[J(k) for k in range(4)]),
+            par_task(*[J(k + 10) for k in range(4)]),
+        )
+        _, results = run_tree(tree)
+        payloads = [r.payload for r in results]
+        # first wave strictly precedes second wave
+        assert set(payloads[:4]) == {0, 1, 2, 3}
+        assert set(payloads[4:]) == {10, 11, 12, 13}
+
+    def test_seq_slower_than_par(self):
+        jobs = [J(k) for k in range(8)]
+        m_seq, _ = run_tree(seq_task(*jobs))
+        m_par, _ = run_tree(par_task(*jobs))
+        assert m_par.now < m_seq.now / 2
+
+    def test_ue_restriction(self):
+        tree = par_task(*[J(k) for k in range(8)], ue_ids=(1, 2))
+        m, results = run_tree(tree, n_slaves=4)
+        assert {r.slave_id for r in results} <= {1, 2}
+
+    def test_single_job_leaf(self):
+        _, results = run_tree(seq_task(J(42)))
+        assert [r.payload for r in results] == [42]
+
+    def test_mixed_jobs_and_subtasks_in_par(self):
+        tree = par_task(J(0), J(1), seq_task(J(2), J(3)))
+        _, results = run_tree(tree)
+        assert sorted(r.payload for r in results) == [0, 1, 2, 3]

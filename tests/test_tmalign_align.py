@@ -1,0 +1,190 @@
+"""Full TM-align integration behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.geometry.transforms import RigidTransform, random_rotation
+from repro.structure.model import Chain
+from repro.tmalign import TMAlignParams, tm_align
+
+
+class TestSelfAlignment:
+    def test_self_is_perfect(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        res = tm_align(parent, parent)
+        assert res.tm_norm_a == pytest.approx(1.0, abs=1e-6)
+        assert res.tm_norm_b == pytest.approx(1.0, abs=1e-6)
+        assert res.rmsd < 1e-6
+        assert res.n_aligned == len(parent)
+        assert res.seq_identity == 1.0
+
+    def test_rigid_motion_invariance(self, small_fold_pair, rng):
+        parent, _ = small_fold_pair
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 25)
+        res = tm_align(parent, parent.transformed(xf))
+        assert res.tm_norm_a == pytest.approx(1.0, abs=1e-5)
+        assert res.rmsd < 0.01
+
+    def test_recovered_transform_superposes(self, small_fold_pair, rng):
+        parent, _ = small_fold_pair
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 25)
+        moved = parent.transformed(xf)
+        res = tm_align(parent, moved)
+        diff = res.transform.apply(parent.coords) - moved.coords
+        assert np.sqrt((diff * diff).mean()) < 0.05
+
+
+class TestDiscrimination:
+    def test_family_pair_scores_high(self, small_fold_pair):
+        parent, child = small_fold_pair
+        res = tm_align(parent, child)
+        assert res.tm_max > 0.6
+
+    def test_unrelated_scores_lower_than_family(self, small_fold_pair, unrelated_fold):
+        parent, child = small_fold_pair
+        fam = tm_align(parent, child)
+        cross = tm_align(parent, unrelated_fold)
+        assert fam.tm_max > cross.tm_max
+
+    def test_ck34_within_vs_between_families(self, ck34):
+        fams = ck34.families
+        globins = fams["globin"][:3]
+        plastos = fams["plasto"][:2]
+        within = tm_align(globins[0], globins[1]).tm_max
+        between = tm_align(globins[0], plastos[0]).tm_max
+        assert within > 0.55
+        assert between < within
+
+
+class TestResultContract:
+    def test_scores_in_unit_interval(self, small_fold_pair, unrelated_fold):
+        parent, child = small_fold_pair
+        for a, b in ((parent, child), (parent, unrelated_fold)):
+            res = tm_align(a, b)
+            assert 0.0 <= res.tm_norm_a <= 1.0
+            assert 0.0 <= res.tm_norm_b <= 1.0
+
+    def test_norm_a_le_norm_b_when_a_longer(self, small_fold_pair):
+        """The TM-score normalised by the longer chain cannot exceed the
+        one normalised by the shorter chain."""
+        parent, child = small_fold_pair
+        res = tm_align(parent, child)
+        longer_norm = res.tm_norm_a if res.len_a >= res.len_b else res.tm_norm_b
+        shorter_norm = res.tm_norm_b if res.len_a >= res.len_b else res.tm_norm_a
+        # allow tiny slack: the two scores come from separate searches
+        assert longer_norm <= shorter_norm + 0.02
+
+    def test_alignment_indices_valid(self, small_fold_pair):
+        parent, child = small_fold_pair
+        res = tm_align(parent, child)
+        assert res.alignment.ai.max() < len(parent)
+        assert res.alignment.aj.max() < len(child)
+        assert res.n_aligned == len(res.alignment)
+
+    def test_quasi_symmetry(self, small_fold_pair):
+        """tm_align(a,b) and tm_align(b,a) must agree on the scores
+        (cross-normalised) within search tolerance."""
+        parent, child = small_fold_pair
+        ab = tm_align(parent, child)
+        ba = tm_align(child, parent)
+        assert ab.tm_norm_a == pytest.approx(ba.tm_norm_b, abs=0.05)
+        assert ab.tm_norm_b == pytest.approx(ba.tm_norm_a, abs=0.05)
+
+    def test_summary_contains_names(self, small_fold_pair):
+        parent, child = small_fold_pair
+        s = tm_align(parent, child).summary()
+        assert parent.name in s and child.name in s
+
+    def test_deterministic(self, small_fold_pair):
+        parent, child = small_fold_pair
+        r1 = tm_align(parent, child)
+        r2 = tm_align(parent, child)
+        assert r1.tm_norm_a == r2.tm_norm_a
+        assert r1.alignment == r2.alignment
+
+
+class TestOpCounting:
+    def test_op_counts_populated(self, small_fold_pair):
+        parent, child = small_fold_pair
+        res = tm_align(parent, child)
+        assert res.op_counts["align_fixed"] == 1
+        assert res.op_counts["dp_cell"] > len(parent) * len(child)
+        assert res.op_counts["kabsch"] > 10
+        assert res.op_counts["sec_res"] == len(parent) + len(child)
+
+    def test_external_counter_merged(self, small_fold_pair):
+        parent, child = small_fold_pair
+        ctr = CostCounter()
+        res = tm_align(parent, child, counter=ctr)
+        assert ctr.as_dict() == res.op_counts
+
+    def test_longer_chains_cost_more(self, ck34):
+        small = min(ck34, key=len)
+        big = max(ck34, key=len)
+        cheap = tm_align(small, small).op_counts["dp_cell"]
+        costly = tm_align(big, big).op_counts["dp_cell"]
+        assert costly > cheap
+
+
+class TestParams:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            TMAlignParams(gap_open=0.5)
+        with pytest.raises(ValueError):
+            TMAlignParams(max_refine_iters=0)
+        with pytest.raises(ValueError):
+            TMAlignParams(ss_mix=2.0)
+        with pytest.raises(ValueError):
+            TMAlignParams(n_seed_fractions=())
+
+    def test_fragment_init_can_be_disabled(self, small_fold_pair):
+        parent, child = small_fold_pair
+        params = TMAlignParams(use_fragment_init=False)
+        res = tm_align(parent, child, params=params)
+        assert res.tm_max > 0.5  # still works, maybe slightly worse
+
+    def test_fewer_iters_never_beats_more(self, small_fold_pair, unrelated_fold):
+        parent, _ = small_fold_pair
+        few = tm_align(
+            parent, unrelated_fold, params=TMAlignParams(max_refine_iters=1)
+        )
+        many = tm_align(
+            parent, unrelated_fold, params=TMAlignParams(max_refine_iters=20)
+        )
+        assert many.tm_max >= few.tm_max - 1e-9
+
+
+class TestInitToggles:
+    def test_single_init_variants_work(self, small_fold_pair):
+        parent, child = small_fold_pair
+        for kwargs in (
+            dict(use_ss_init=False, use_combined_init=False, use_fragment_init=False),
+            dict(use_threading_init=False, use_combined_init=False, use_fragment_init=False),
+            dict(use_threading_init=False, use_ss_init=False, use_fragment_init=False),
+        ):
+            res = tm_align(parent, child, params=TMAlignParams(**kwargs))
+            assert res.tm_max > 0.4  # any single init still lands the fold
+
+    def test_all_disabled_rejected(self, small_fold_pair):
+        parent, child = small_fold_pair
+        params = TMAlignParams(
+            use_threading_init=False,
+            use_ss_init=False,
+            use_combined_init=False,
+            use_fragment_init=False,
+        )
+        with pytest.raises(ValueError):
+            tm_align(parent, child, params=params)
+
+    def test_full_set_at_least_as_good(self, small_fold_pair, unrelated_fold):
+        parent, _ = small_fold_pair
+        full = tm_align(parent, unrelated_fold)
+        only_thread = tm_align(
+            parent,
+            unrelated_fold,
+            params=TMAlignParams(
+                use_ss_init=False, use_combined_init=False, use_fragment_init=False
+            ),
+        )
+        assert full.tm_max >= only_thread.tm_max - 1e-9

@@ -1,0 +1,174 @@
+"""Needleman–Wunsch DP: optimality vs brute force, structure, costs."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.counters import CostCounter
+from repro.tmalign.dp import nw_align, nw_score_only
+from repro.tmalign.result import Alignment
+
+
+def brute_force_oracle(score, gap_open):
+    """Exhaustive oracle mirroring the three-state gap model: each
+    interior gap run costs gap_open once (an L-shaped segment is two
+    runs); leading runs are free; trailing runs cost like interior ones
+    because the traceback ends at the corner.  The empty alignment is a
+    single all-gap run costing one open."""
+    la, lb = score.shape
+    best = gap_open  # empty alignment: one L-shaped run of pure gaps
+    cells = [(i, j) for i in range(la) for j in range(lb)]
+    from itertools import combinations
+
+    for size in range(1, min(la, lb) + 1):
+        for combo in combinations(cells, size):
+            ok = all(
+                combo[k][0] < combo[k + 1][0] and combo[k][1] < combo[k + 1][1]
+                for k in range(len(combo) - 1)
+            )
+            if not ok:
+                continue
+            total = sum(score[i, j] for i, j in combo)
+            runs = 0
+            for k in range(len(combo) - 1):
+                di = combo[k + 1][0] - combo[k][0]
+                dj = combo[k + 1][1] - combo[k][1]
+                if di > 1 and dj > 1:
+                    runs += 2  # vertical run + horizontal run
+                elif di > 1 or dj > 1:
+                    runs += 1
+            # trailing runs are charged (traceback ends at the corner)
+            runs += int(combo[-1][0] < la - 1) + int(combo[-1][1] < lb - 1)
+            total += gap_open * runs
+            best = max(best, total)
+    return best
+
+
+class TestOptimality:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 5), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_exhaustive_oracle(self, seed, la, lb):
+        rng = np.random.default_rng(seed)
+        score = rng.uniform(0, 1, (la, lb))
+        got = nw_score_only(score, -0.6)
+        want = brute_force_oracle(score, -0.6)
+        assert got == pytest.approx(want, abs=1e-9)
+
+    def test_alignment_score_consistent_with_dp_value(self, rng):
+        score = rng.uniform(0, 1, (8, 10))
+        ali = nw_align(score, -0.6)
+        assert ali.dp_score == pytest.approx(nw_score_only(score, -0.6))
+
+
+class TestAlignmentStructure:
+    def test_identity_on_diagonal_matrix(self):
+        score = np.eye(6)
+        ali = nw_align(score, -0.6)
+        np.testing.assert_array_equal(ali.ai, np.arange(6))
+        np.testing.assert_array_equal(ali.aj, np.arange(6))
+
+    def test_shifted_diagonal_found(self):
+        score = np.zeros((6, 9))
+        for k in range(6):
+            score[k, k + 3] = 1.0
+        ali = nw_align(score, -0.6)
+        np.testing.assert_array_equal(ali.ai, np.arange(6))
+        np.testing.assert_array_equal(ali.aj, np.arange(6) + 3)
+
+    def test_gap_opened_when_worth_it(self):
+        # two strong blocks separated by a bad row in A
+        score = np.zeros((5, 4))
+        score[0, 0] = score[1, 1] = 1.0
+        score[3, 2] = score[4, 3] = 1.0
+        ali = nw_align(score, -0.5)
+        pairs = set(zip(ali.ai.tolist(), ali.aj.tolist()))
+        assert {(0, 0), (1, 1), (3, 2), (4, 3)} <= pairs
+
+    def test_monotone_increasing(self, rng):
+        score = rng.uniform(0, 1, (20, 25))
+        ali = nw_align(score, -0.6)
+        assert (np.diff(ali.ai) > 0).all()
+        assert (np.diff(ali.aj) > 0).all()
+
+    def test_indices_in_bounds(self, rng):
+        score = rng.uniform(0, 1, (7, 13))
+        ali = nw_align(score, -0.6)
+        assert ali.ai.min() >= 0 and ali.ai.max() < 7
+        assert ali.aj.min() >= 0 and ali.aj.max() < 13
+
+    def test_leading_gaps_free_trailing_charged_once(self):
+        # a single huge score in the bottom-left corner: the 9 leading
+        # vertical gaps are free, the trailing horizontal run costs one
+        # open -> 5.0 - 0.6
+        score = np.zeros((10, 10))
+        score[9, 0] = 5.0
+        ali = nw_align(score, -0.6)
+        assert (9, 0) in set(zip(ali.ai.tolist(), ali.aj.tolist()))
+        assert ali.dp_score == pytest.approx(5.0 - 0.6)
+
+
+class TestEdgeCases:
+    def test_single_cell(self):
+        ali = nw_align(np.array([[2.0]]), -0.6)
+        assert len(ali) == 1 and ali.dp_score == pytest.approx(2.0)
+
+    def test_single_row(self):
+        score = np.array([[0.1, 0.9, 0.2]])
+        ali = nw_align(score, -0.6)
+        assert len(ali) == 1
+        assert ali.aj[0] == 1
+
+    def test_single_column(self):
+        score = np.array([[0.1], [0.9], [0.2]])
+        ali = nw_align(score, -0.6)
+        assert len(ali) == 1 and ali.ai[0] == 1
+
+    def test_all_zero_scores(self):
+        ali = nw_align(np.zeros((4, 4)), -0.6)
+        assert ali.dp_score == pytest.approx(0.0)
+
+    def test_positive_gap_rejected(self):
+        with pytest.raises(ValueError):
+            nw_align(np.zeros((3, 3)), 0.5)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            nw_align(np.zeros((0, 3)), -0.6)
+
+
+class TestCostCounting:
+    def test_dp_cells_charged(self, rng):
+        ctr = CostCounter()
+        nw_align(rng.uniform(size=(12, 17)), -0.6, counter=ctr)
+        assert ctr["dp_cell"] == 12 * 17
+
+    def test_score_only_charges_too(self, rng):
+        ctr = CostCounter()
+        nw_score_only(rng.uniform(size=(5, 6)), -0.6, counter=ctr)
+        assert ctr["dp_cell"] == 30
+
+
+class TestAlignmentContainer:
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(np.array([0, 2, 1]), np.array([0, 1, 2]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_equality_by_indices(self):
+        a = Alignment(np.array([0, 1]), np.array([2, 3]), dp_score=1.0)
+        b = Alignment(np.array([0, 1]), np.array([2, 3]), dp_score=9.0)
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_strings_render_gaps(self):
+        ali = Alignment(np.array([0, 2]), np.array([0, 1]))
+        sa, mark, sb = ali.strings("ABC", "AC")
+        assert sa == "ABC"
+        assert sb == "A-C"
+        assert mark == ": :"

@@ -1,0 +1,115 @@
+"""Initial alignment generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import RigidTransform, random_rotation
+from repro.structure.synthetic import build_helix, build_strand
+from repro.tmalign.initial import (
+    combined_alignment,
+    fragment_threading,
+    gapless_threading,
+    ss_alignment,
+)
+from repro.tmalign.params import TMAlignParams, d0_from_length
+
+
+class TestGaplessThreading:
+    def test_identity_shift_found_for_identical(self, rng):
+        pts = build_helix(30)
+        alis = gapless_threading(pts, pts, d0_from_length(30), 30)
+        best = alis[0]
+        np.testing.assert_array_equal(best.ai, best.aj)
+        assert len(best) == 30
+
+    def test_finds_known_offset(self, rng):
+        long_ = build_helix(50) + rng.normal(0, 0.05, (50, 3))
+        short = long_[12:34].copy()
+        alis = gapless_threading(short, long_, d0_from_length(22), 22)
+        best = alis[0]
+        assert best.aj[0] - best.ai[0] == 12
+
+    def test_rotation_invariant_choice(self, rng):
+        long_ = build_helix(40)
+        short = long_[5:25].copy()
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 10)
+        a1 = gapless_threading(short, long_, 3.0, 20)[0]
+        a2 = gapless_threading(xf.apply(short), long_, 3.0, 20)[0]
+        assert a1 == a2
+
+    def test_n_best_respected(self):
+        pts = build_helix(20)
+        alis = gapless_threading(pts, pts, 3.0, 20, n_best=3)
+        assert len(alis) <= 3
+
+    def test_alignments_are_gapless(self, rng):
+        a = rng.normal(size=(15, 3)) * 5
+        b = rng.normal(size=(22, 3)) * 5
+        for ali in gapless_threading(a, b, 3.0, 15):
+            assert (np.diff(ali.ai) == 1).all()
+            assert (np.diff(ali.aj) == 1).all()
+
+
+class TestSsAlignment:
+    def test_identical_strings_align_identity(self):
+        ali = ss_alignment("HHHHCCEEEE", "HHHHCCEEEE")
+        np.testing.assert_array_equal(ali.ai, np.arange(10))
+        np.testing.assert_array_equal(ali.aj, np.arange(10))
+
+    def test_shifted_motif_found(self):
+        a = "HHHHHH"
+        b = "CCCHHHHHHCC"
+        ali = ss_alignment(a, b)
+        match_js = ali.aj[np.array([a[i] == "H" for i in ali.ai.tolist()])]
+        assert set(match_js.tolist()) <= set(range(3, 9))
+
+    def test_empty_overlap_degrades_gracefully(self):
+        ali = ss_alignment("HHH", "EEE")
+        assert len(ali) >= 0  # may align with zero score, must not crash
+
+
+class TestCombinedAlignment:
+    def test_uses_transform_distance_signal(self, rng):
+        pts = build_helix(25)
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 5)
+        moved = xf.apply(pts)
+        ss = "C" * 25
+        ali = combined_alignment(pts, moved, xf, ss, ss, d0_from_length(25))
+        # under the correct transform the identity alignment dominates
+        assert len(ali) == 25
+        np.testing.assert_array_equal(ali.ai, ali.aj)
+
+    def test_ss_mix_extremes(self, rng):
+        pts = build_helix(20)
+        ss_a = "H" * 20
+        ss_b = "H" * 20
+        only_ss = combined_alignment(
+            pts, pts, RigidTransform.identity(), ss_a, ss_b, 3.0,
+            params=TMAlignParams(ss_mix=1.0),
+        )
+        assert len(only_ss) > 0
+
+
+class TestFragmentThreading:
+    def test_submatch_located(self, rng):
+        long_ = build_helix(60) + rng.normal(0, 0.05, (60, 3))
+        # short chain whose first half matches long_[20:35]
+        short = np.vstack([long_[20:35], rng.normal(0, 8, (15, 3)) + 50.0])
+        ali = fragment_threading(short, long_, 3.0, 30)
+        assert ali is not None
+        # the fragment window should overlap the true region
+        assert len(set(ali.aj.tolist()) & set(range(15, 40))) > 0
+
+    def test_none_for_tiny_chains(self, rng):
+        pts = rng.normal(size=(5, 3))
+        params = TMAlignParams(min_seed_len=4, fragment_fraction=2)
+        result = fragment_threading(pts, pts, 3.0, 5, params=params)
+        assert result is None or len(result) >= 2
+
+    def test_swapped_orientation_consistent(self, rng):
+        a = build_helix(20)
+        b = build_strand(35)
+        ali = fragment_threading(a, b, 3.0, 20)
+        if ali is not None:
+            assert ali.ai.max() < 20
+            assert ali.aj.max() < 35

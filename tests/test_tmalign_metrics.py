@@ -1,0 +1,127 @@
+"""GDT-TS / GDT-HA / MaxSub scores."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import RigidTransform, random_rotation
+from repro.tmalign import tm_align
+from repro.tmalign.metrics import gdt_ha, gdt_score, gdt_ts, maxsub_score
+
+
+class TestIdentity:
+    def test_self_scores_one(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        assert gdt_ts(parent, parent) == pytest.approx(1.0)
+        assert gdt_ha(parent, parent) == pytest.approx(1.0)
+        assert maxsub_score(parent, parent) == pytest.approx(1.0, abs=1e-6)
+
+    def test_rigid_motion_invariant(self, small_fold_pair, rng):
+        parent, _ = small_fold_pair
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 20)
+        moved = parent.transformed(xf)
+        assert gdt_ts(parent, moved) == pytest.approx(1.0)
+        assert maxsub_score(parent, moved) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestOrdering:
+    def test_ha_never_exceeds_ts(self, small_fold_pair):
+        parent, child = small_fold_pair
+        res = tm_align(parent, child)
+        ts = gdt_ts(parent, child, res.alignment)
+        ha = gdt_ha(parent, child, res.alignment)
+        assert ha <= ts + 1e-9
+
+    def test_family_beats_stranger(self, small_fold_pair, unrelated_fold):
+        parent, child = small_fold_pair
+        fam_ali = tm_align(parent, child).alignment
+        cross_ali = tm_align(parent, unrelated_fold).alignment
+        assert gdt_ts(parent, child, fam_ali) > gdt_ts(
+            parent, unrelated_fold, cross_ali
+        )
+        assert maxsub_score(parent, child, fam_ali) > maxsub_score(
+            parent, unrelated_fold, cross_ali
+        )
+
+    def test_scores_in_unit_interval(self, small_fold_pair, unrelated_fold):
+        parent, child = small_fold_pair
+        for a, b in ((parent, child), (parent, unrelated_fold)):
+            ali = tm_align(a, b).alignment
+            for fn in (gdt_ts, gdt_ha, maxsub_score):
+                val = fn(a, b, ali)
+                assert 0.0 <= val <= 1.0
+
+
+class TestValidation:
+    def test_unequal_lengths_need_alignment(self, small_fold_pair):
+        parent, child = small_fold_pair
+        if len(parent) == len(child):
+            pytest.skip("equal lengths")
+        with pytest.raises(ValueError):
+            gdt_ts(parent, child)
+
+    def test_bad_cutoffs(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        with pytest.raises(ValueError):
+            gdt_score(parent, parent, cutoffs=())
+        with pytest.raises(ValueError):
+            gdt_score(parent, parent, cutoffs=(1.0, -2.0))
+
+
+class TestScenarios:
+    def test_one_vs_all_scc(self):
+        from repro.core.scenarios import one_vs_all_pair_list, run_one_vs_all_scc
+        from repro.datasets import load_dataset
+        from repro.psc.evaluator import JobEvaluator
+
+        ds = load_dataset("ck34-mini")
+        ev = JobEvaluator(ds)
+        rep = run_one_vs_all_scc(ds, ds[0].name, n_slaves=4, evaluator=ev)
+        assert rep.n_jobs == len(ds) - 1
+        touched = {i for r in rep.results for i in (r.payload["i"], r.payload["j"])}
+        assert 0 in touched
+
+    def test_one_vs_all_pair_list_validation(self):
+        from repro.core.scenarios import one_vs_all_pair_list
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("ck34-mini")
+        with pytest.raises(KeyError):
+            one_vs_all_pair_list(ds, "missing")
+        with pytest.raises(IndexError):
+            one_vs_all_pair_list(ds, 99)
+
+    def test_database_update_counts(self):
+        from repro.core.scenarios import run_database_update_scc, update_pair_list
+        from repro.datasets import load_dataset
+        from repro.psc.evaluator import JobEvaluator
+
+        ds = load_dataset("ck34-mini")
+        n = len(ds)
+        pairs = update_pair_list(ds, 2)
+        # new chains j in {n-2, n-1}: (n-2) + (n-1) pairs
+        assert len(pairs) == (n - 2) + (n - 1)
+        ev = JobEvaluator(ds)
+        rep = run_database_update_scc(ds, n_new=2, n_slaves=4, evaluator=ev)
+        assert rep.n_jobs == len(pairs)
+
+    def test_update_cheaper_than_full(self):
+        from repro.core.rckalign import RckAlignConfig, run_rckalign
+        from repro.core.scenarios import run_database_update_scc
+        from repro.datasets import load_dataset
+        from repro.psc.evaluator import JobEvaluator
+
+        ds = load_dataset("ck34-mini")
+        ev = JobEvaluator(ds)
+        full = run_rckalign(RckAlignConfig(dataset=ds, n_slaves=4), evaluator=ev)
+        update = run_database_update_scc(ds, n_new=1, n_slaves=4, evaluator=ev)
+        assert update.total_seconds < full.total_seconds / 2
+
+    def test_update_validation(self):
+        from repro.core.scenarios import update_pair_list
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("ck34-mini")
+        with pytest.raises(ValueError):
+            update_pair_list(ds, 0)
+        with pytest.raises(ValueError):
+            update_pair_list(ds, len(ds))

@@ -1,0 +1,144 @@
+"""TM-score machinery and the superposition search."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.geometry.transforms import RigidTransform, random_rotation
+from repro.structure.synthetic import build_helix
+from repro.tmalign.params import TMAlignParams, d0_from_length, d0_search_bounds, d8_cutoff
+from repro.tmalign.tmscore import superposition_search, tm_score_from_distances
+
+
+class TestD0:
+    def test_published_formula(self):
+        # d0(100) = 1.24 * 85^(1/3) - 1.8
+        assert d0_from_length(100) == pytest.approx(1.24 * 85 ** (1 / 3) - 1.8)
+
+    def test_short_chains_clamped(self):
+        for n in (1, 5, 15, 21):
+            assert d0_from_length(n) == 0.5
+
+    def test_monotone_in_length(self):
+        vals = [d0_from_length(n) for n in range(22, 500, 25)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            d0_from_length(0)
+
+    def test_search_bounds_clipped(self):
+        lo, hi = d0_search_bounds(2.0)
+        assert lo == 4.5
+        lo, hi = d0_search_bounds(10.0)
+        assert hi == 8.0
+
+    def test_d8_grows_with_length(self):
+        assert d8_cutoff(300) > d8_cutoff(50)
+
+
+class TestTmScoreFromDistances:
+    def test_zero_distance_is_one(self):
+        d = np.zeros(10)
+        assert tm_score_from_distances(d, 2.0, 10) == pytest.approx(1.0)
+
+    def test_partial_normalisation(self):
+        d = np.zeros(5)
+        assert tm_score_from_distances(d, 2.0, 10) == pytest.approx(0.5)
+
+    def test_far_pairs_contribute_little(self):
+        d = np.full(10, 100.0)
+        assert tm_score_from_distances(d, 2.0, 10) < 0.01
+
+    def test_d0_scales_tolerance(self):
+        d = np.full(4, 3.0)
+        loose = tm_score_from_distances(d, 6.0, 4)
+        tight = tm_score_from_distances(d, 1.0, 4)
+        assert loose > tight
+
+    def test_counter_charged(self):
+        ctr = CostCounter()
+        tm_score_from_distances(np.zeros(7), 2.0, 7, counter=ctr)
+        assert ctr["score_pair"] == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tm_score_from_distances(np.zeros(3), -1.0, 3)
+        with pytest.raises(ValueError):
+            tm_score_from_distances(np.zeros(3), 2.0, 0)
+
+
+class TestSuperpositionSearch:
+    def test_perfect_match_scores_one(self, rng):
+        pts = build_helix(40)
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 10)
+        tm, found = superposition_search(pts, xf.apply(pts), d0_from_length(40), 40)
+        assert tm == pytest.approx(1.0, abs=1e-6)
+        np.testing.assert_allclose(found.rotation, xf.rotation, atol=1e-5)
+
+    def test_partial_match_found_through_fragment_seeds(self, rng):
+        """Only the first half matches; fragment seeding must lock onto it."""
+        n = 60
+        pa = build_helix(n)
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 5)
+        pb = xf.apply(pa).copy()
+        pb[n // 2 :] += rng.normal(0, 30.0, (n - n // 2, 3))  # ruin second half
+        tm, _ = superposition_search(pa, pb, d0_from_length(n), n)
+        assert 0.4 < tm < 0.75  # ~half the residues superpose
+
+    def test_score_bounded_by_one(self, rng):
+        pa = rng.normal(size=(20, 3)) * 8
+        pb = rng.normal(size=(20, 3)) * 8
+        tm, _ = superposition_search(pa, pb, 2.0, 20)
+        assert 0.0 < tm <= 1.0
+
+    def test_returns_proper_transform(self, rng):
+        pa = rng.normal(size=(15, 3)) * 5
+        pb = rng.normal(size=(15, 3)) * 5
+        _, xf = superposition_search(pa, pb, 2.0, 15)
+        assert xf.is_proper()
+
+    def test_at_least_as_good_as_plain_kabsch(self, rng):
+        from repro.geometry.kabsch import kabsch
+
+        pa = rng.normal(size=(25, 3)) * 6
+        pb = rng.normal(size=(25, 3)) * 6
+        d0 = d0_from_length(25)
+        xf0 = kabsch(pa, pb)
+        diff = xf0.apply(pa) - pb
+        base = tm_score_from_distances(np.sqrt((diff * diff).sum(axis=1)), d0, 25)
+        tm, _ = superposition_search(pa, pb, d0, 25)
+        assert tm >= base - 1e-9
+
+    def test_too_few_pairs_rejected(self, rng):
+        pts = rng.normal(size=(2, 3))
+        with pytest.raises(ValueError):
+            superposition_search(pts, pts, 2.0, 2)
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            superposition_search(
+                rng.normal(size=(5, 3)), rng.normal(size=(6, 3)), 2.0, 5
+            )
+
+    def test_counter_accumulates(self, rng):
+        pts = build_helix(30)
+        ctr = CostCounter()
+        superposition_search(pts, pts, 2.0, 30, counter=ctr)
+        assert ctr["kabsch"] >= 1
+        assert ctr["score_pair"] >= 30
+
+    def test_seed_fraction_override_reduces_work(self):
+        pts = build_helix(48)
+        full, cheap = CostCounter(), CostCounter()
+        superposition_search(pts, pts, 2.0, 48, counter=full)
+        superposition_search(pts, pts, 2.0, 48, seed_fractions=(1,), counter=cheap)
+        assert cheap["kabsch"] <= full["kabsch"]
+
+    def test_deterministic(self, rng):
+        pa = rng.normal(size=(20, 3)) * 5
+        pb = rng.normal(size=(20, 3)) * 5
+        tm1, xf1 = superposition_search(pa, pb, 2.0, 20)
+        tm2, xf2 = superposition_search(pa, pb, 2.0, 20)
+        assert tm1 == tm2
+        np.testing.assert_array_equal(xf1.rotation, xf2.rotation)

@@ -1,0 +1,55 @@
+"""Developer tool: refit the pair cost model and recalibrate CPU scales.
+
+Run after changing the aligner or the datasets; paste the printed
+constants into repro/cost/model.py (DEFAULT_PAIR_COST_MODEL) and
+repro/cost/cpu.py (P54C_800 / AMD_ATHLON_2400 scales).
+"""
+import numpy as np
+from repro.cost import CostCounter
+from repro.cost.model import fit_pair_cost_model, PairCostModel
+from repro.cost.calibration import (
+    dataset_group_work, calibrate_two_class, TABLE3_SECONDS)
+from repro.datasets import load_dataset
+from repro.tmalign import tm_align
+
+rng = np.random.default_rng(7)
+samples = []
+for ds_name in ("ck34", "rs119"):
+    ds = load_dataset(ds_name)
+    n = len(ds)
+    pairs = set()
+    while len(pairs) < 30:
+        i, j = rng.integers(0, n, 2)
+        if i < j:
+            pairs.add((int(i), int(j)))
+    for i, j in sorted(pairs):
+        ctr = CostCounter()
+        tm_align(ds[i], ds[j], counter=ctr)
+        samples.append((len(ds[i]), len(ds[j]), ctr))
+    print(f"measured {len(pairs)} pairs from {ds_name}")
+
+model = fit_pair_cost_model(samples, jitter=0.12)
+print("\nDEFAULT_PAIR_COST_MODEL coeffs:")
+for op, c in model.coeffs.items():
+    print(f'        "{op}": ({c[0]:.6g}, {c[1]:.6g}, {c[2]:.6g}),')
+
+# fit quality
+errs = []
+for la, lb, ctr in samples:
+    est = model.counts(la, lb)
+    for op in ("dp_cell", "score_pair", "kabsch_point"):
+        if ctr[op] > 0:
+            errs.append(abs(est[op] - ctr[op]) / ctr[op])
+print(f"median rel err on big classes: {np.median(errs):.3f}, p90 {np.quantile(errs, 0.9):.3f}")
+
+noj = PairCostModel(coeffs=model.coeffs, jitter=0.0)
+works = {}
+for ds_name in ("ck34", "rs119"):
+    ds = load_dataset(ds_name)
+    works[ds_name] = dataset_group_work([len(c) for c in ds], [c.name for c in ds], noj)
+    print(ds_name, "work (dp, irr):", works[ds_name], " ratio dp/irr: %.3f" % (works[ds_name][0]/works[ds_name][1]))
+
+for key, freq in (("p54c", 800e6), ("amd", 2.4e9)):
+    res = calibrate_two_class(works, TABLE3_SECONDS[key], freq, key)
+    print(f"{key}: work_scale={res.work_scale:.4g} overhead_scale={res.overhead_scale:.4g} "
+          f"pred={ {k: round(v,1) for k,v in res.predicted_seconds.items()} }")
