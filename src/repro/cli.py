@@ -11,6 +11,7 @@ Tool commands::
     python -m repro.cli align a.pdb b.pdb       # pairwise TM-align
     python -m repro.cli search query.pdb --dataset ck34 --top 10
     python -m repro.cli info --dataset rs119    # dataset summary
+    python -m repro.cli bench                   # hot-path wall-clock bench
 """
 
 from __future__ import annotations
@@ -167,6 +168,23 @@ def _cmd_matrix(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_bench(args) -> str:
+    from repro.experiments.bench import format_bench_report, run_bench
+
+    datasets = (args.dataset,) if args.dataset != "both" else ("ck34", "rs119")
+    report = run_bench(
+        datasets=datasets,
+        slave_counts=_grid(args),
+        mode=args.mode,
+        output=args.output,
+        micro=not args.no_micro,
+    )
+    text = format_bench_report(report)
+    if args.output:
+        text += f"\nwrote {args.output}"
+    return text
+
+
 def _cmd_info(args) -> str:
     from repro.datasets import load_dataset
 
@@ -238,6 +256,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="sse_composition")
     p.add_argument("--output", default="scores.csv")
     p.set_defaults(fn=_cmd_matrix)
+
+    p = sub.add_parser(
+        "bench", help="wall-clock benchmark of the simulator hot paths"
+    )
+    add_common(p)
+    p.add_argument(
+        "--output",
+        default="BENCH_hotpaths.json",
+        help="JSON artefact path ('' to skip writing)",
+    )
+    p.add_argument(
+        "--no-micro",
+        action="store_true",
+        help="skip the evaluator/NoC/RCCE micro-benchmarks",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("info", help="dataset summary")
     p.add_argument("--dataset", default="ck34")

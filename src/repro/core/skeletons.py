@@ -133,6 +133,11 @@ class SkeletonRuntime:
         self._signal: Optional[Event] = None
         self._ready_count = 0
         self._boot_loader = Resource(env, capacity=1)
+        # Poll-visit costs depend only on the (master, slave) tile pair
+        # and the NoC constants, so they are cached — the master walks
+        # the same poll ring thousands of times per farm.
+        self._visit_cost_cache: dict[tuple[int, int], float] = {}
+        self._order_cost_cache: dict[tuple[int, ...], tuple[list[float], float]] = {}
         # instrumentation
         self.poll_visits = 0
         self.results_collected = 0
@@ -194,18 +199,35 @@ class SkeletonRuntime:
         return self.machine.env
 
     def _poll_visit_seconds(self, master: Core, slave: int) -> float:
-        """Cost of one remote MPB flag read by the master."""
+        """Cost of one remote MPB flag read by the master (cached)."""
+        key = (master.id, slave)
+        cached = self._visit_cost_cache.get(key)
+        if cached is not None:
+            return cached
         cfg = self.machine.config
         hops = self.machine.fabric.mesh.hop_count(
             self.machine.fabric.mesh.coord(master.tile),
             self.machine.fabric.mesh.coord(cfg.tile_of_core(slave)),
         )
         noc = cfg.noc
-        return (
+        cost = (
             hops * noc.hop_latency_s
             + self.config.poll_flag_bytes / noc.link_bandwidth_bytes_per_s
             + noc.local_latency_s
         )
+        self._visit_cost_cache[key] = cost
+        return cost
+
+    def _order_costs(self, master: Core, order: Sequence[int]) -> tuple[list[float], float]:
+        """Per-visit costs along one poll ring plus their round-trip sum,
+        cached per (master, ring) — the ring is fixed for a whole farm."""
+        key = (master.id, *order)
+        cached = self._order_cost_cache.get(key)
+        if cached is None:
+            costs = [self._poll_visit_seconds(master, s) for s in order]
+            cached = (costs, sum(costs))
+            self._order_cost_cache[key] = cached
+        return cached
 
     def _pull_result(self, master: Core, slave: int, result: JobResult) -> Generator:
         """Move a posted result from the slave's MPB to the master."""
@@ -230,24 +252,20 @@ class SkeletonRuntime:
         Visits are charged as one lump timeout (see module docstring).
         """
         n = len(order)
-        visited = 0
+        costs, round_trip = self._order_costs(master, order)
+        outbox = self._outbox
         for k in range(n):
             slave = order[(start + k) % n]
-            visited += 1
-            ok, item = self._outbox[slave].try_get()
+            ok, item = outbox[slave].try_get()
             if ok:
+                visited = k + 1
                 self.poll_visits += visited
                 yield self._env.timeout(
-                    sum(
-                        self._poll_visit_seconds(master, order[(start + m) % n])
-                        for m in range(visited)
-                    )
+                    sum(costs[(start + m) % n] for m in range(visited))
                 )
                 return slave, item, (start + k + 1) % n
         self.poll_visits += n
-        yield self._env.timeout(
-            sum(self._poll_visit_seconds(master, s) for s in order)
-        )
+        yield self._env.timeout(round_trip)
         return None
 
     def _wait_signal(self) -> Generator:
@@ -366,7 +384,10 @@ class SkeletonRuntime:
         structures into the master's limited memory.
         """
         ues = list(ue_ids or self.slave_ids)
-        yield from self.check_ready(master, expected=len(self.slave_ids))
+        # Wait only for as many ready announcements as this farm uses:
+        # waiting on every runtime slave would deadlock when the caller
+        # farms over a subset and only that subset was spawned.
+        yield from self.check_ready(master, expected=len(ues))
         queue = deque(jobs)
         results: list[JobResult] = []
 
@@ -425,8 +446,10 @@ class SkeletonRuntime:
                 if ue not in self._outbox:
                     raise ValueError(f"slave {ue} is not part of this runtime")
                 slave_group[ue] = gname
-        yield from self.check_ready(master, expected=len(self.slave_ids))
         order = [s for s in self.slave_ids if s in slave_group]
+        # As in farm(): a grouped farm over a partition of the slaves
+        # must not wait for readiness of slaves outside the partition.
+        yield from self.check_ready(master, expected=len(order))
         results: dict[str, list[JobResult]] = {g: [] for g in groups}
         outstanding = 0
         for slave in order:

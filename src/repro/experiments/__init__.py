@@ -15,7 +15,14 @@ Every harness returns structured rows and renders the same table the
 paper prints; ``python -m repro.cli <exp>`` drives them.
 """
 
-from repro.experiments.common import SLAVE_GRID_FULL, SLAVE_GRID_QUICK, render_table
+from repro.experiments.bench import run_bench
+from repro.experiments.common import (
+    SLAVE_GRID_FULL,
+    SLAVE_GRID_QUICK,
+    clear_evaluator_pool,
+    render_table,
+    shared_evaluator,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table3 import run_table3
 from repro.experiments.exp1 import run_exp1
@@ -31,6 +38,9 @@ __all__ = [
     "SLAVE_GRID_FULL",
     "SLAVE_GRID_QUICK",
     "render_table",
+    "shared_evaluator",
+    "clear_evaluator_pool",
+    "run_bench",
     "run_table1",
     "run_table3",
     "run_exp1",

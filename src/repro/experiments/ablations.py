@@ -17,8 +17,8 @@ from repro.core.framework import McPscConfig, run_mcpsc
 from repro.core.hierarchy import HierarchicalFarmConfig, run_hierarchical_rckalign
 from repro.core.rckalign import RckAlignConfig, run_rckalign
 from repro.datasets.registry import load_dataset
-from repro.experiments.common import ExperimentResult
-from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.experiments.common import ExperimentResult, shared_evaluator
+from repro.psc.evaluator import EvalMode
 
 __all__ = [
     "run_ablation_balancing",
@@ -38,7 +38,7 @@ def run_ablation_balancing(
     mode: EvalMode | str = EvalMode.MODEL,
 ) -> ExperimentResult:
     ds = load_dataset(dataset)
-    evaluator = JobEvaluator(ds, mode=mode)
+    evaluator = shared_evaluator(ds, mode)
     rows = []
     for strategy in strategies or sorted(BALANCING_STRATEGIES):
         rep = run_rckalign(
@@ -71,7 +71,7 @@ def run_ablation_hierarchy(
     cores that could have been slaves — the real trade-off).
     """
     ds = load_dataset(dataset)
-    evaluator = JobEvaluator(ds, mode=mode)
+    evaluator = shared_evaluator(ds, mode)
     rows = []
     flat = run_rckalign(
         RckAlignConfig(dataset=ds, n_slaves=n_workers, mode=mode), evaluator=evaluator
@@ -128,7 +128,7 @@ def run_ablation_frequency(
     from repro.scc.config import SccConfig
 
     ds = load_dataset(dataset)
-    evaluator = JobEvaluator(ds, mode=mode)
+    evaluator = shared_evaluator(ds, mode)
     rows = []
     for mult in multipliers:
         cpu = dataclasses.replace(
@@ -172,7 +172,7 @@ def run_ablation_memory(
     resident structures, in natural vs blocked pair order.
     """
     ds = load_dataset(dataset)
-    evaluator = JobEvaluator(ds, mode=mode)
+    evaluator = shared_evaluator(ds, mode)
     rows = []
     base = run_rckalign(
         RckAlignConfig(dataset=ds, n_slaves=n_slaves, mode=mode), evaluator=evaluator
@@ -223,7 +223,7 @@ def run_ablation_energy(
     from repro.scc.power import PowerConfig, cpu_energy, estimate_rckalign_energy
 
     ds = load_dataset(dataset)
-    evaluator = JobEvaluator(ds, mode=mode)
+    evaluator = shared_evaluator(ds, mode)
     rows = []
     for n in slave_counts:
         rep = run_rckalign(

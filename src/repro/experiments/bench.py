@@ -1,0 +1,213 @@
+"""Hot-path benchmark harness: wall-clock of the simulation itself.
+
+Every other harness in this package reports *simulated* seconds; this
+one reports how long the simulator takes in *wall-clock* to produce
+them, so hot-path regressions (per-pair cost evaluation, poll-ring
+walks, mesh routing, DES kernel overhead) show up as numbers in a
+tracked artefact instead of as slow CI.
+
+``run_bench`` replays the Experiment II core-count sweep and records,
+per sweep point: wall seconds, processed DES events, events/second and
+simulated seconds.  Three micro-benchmarks isolate the costs the sweep
+aggregates — memoized pair evaluation, NoC transfers over cached XY
+routes, and RCCE rendezvous messaging.  The result is written to
+``BENCH_hotpaths.json`` (committed at the repo root; regenerate with
+``python -m repro.cli bench``) so the perf trajectory is tracked PR
+over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import SLAVE_GRID_FULL, render_table, shared_evaluator
+from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.scc.machine import SccMachine
+
+__all__ = ["run_bench", "DEFAULT_BENCH_OUTPUT", "PRE_OVERHAUL_SWEEP_WALL_S"]
+
+DEFAULT_BENCH_OUTPUT = "BENCH_hotpaths.json"
+
+# Full-grid exp2 sweep wall-clock measured on the reference container just
+# before the hot-path overhaul landed.  Kept so the artefact records the
+# speedup this harness was introduced to protect; refresh it whenever the
+# reference hardware changes.
+PRE_OVERHAUL_SWEEP_WALL_S = {"ck34": 4.22, "rs119": 57.94}
+
+
+def _bench_evaluator(evaluator: JobEvaluator, n_chains: int, calls: int = 20_000) -> Dict[str, float]:
+    """Micro: memoized ``evaluate`` hits per second (cache warmed first)."""
+    pairs = [(i, j) for i in range(n_chains) for j in range(i + 1, n_chains)]
+    for i, j in pairs:  # warm the per-pair cache
+        evaluator.evaluate(i, j)
+    t0 = time.perf_counter()
+    k = 0
+    while k < calls:
+        for i, j in pairs:
+            evaluator.evaluate(i, j)
+            k += 1
+            if k >= calls:
+                break
+    wall = time.perf_counter() - t0
+    return {"calls": float(calls), "wall_seconds": wall, "calls_per_second": calls / wall}
+
+
+def _bench_transfer(messages: int = 2_000, nbytes: int = 4096) -> Dict[str, float]:
+    """Micro: corner-to-corner NoC transfers per second (cached routes)."""
+    machine = SccMachine()
+    fabric = machine.fabric
+
+    def pump(core):
+        for _ in range(messages):
+            yield from fabric.transfer(0, machine.config.n_tiles - 1, nbytes)
+
+    machine.spawn(0, pump)
+    t0 = time.perf_counter()
+    machine.run()
+    wall = time.perf_counter() - t0
+    return {
+        "messages": float(messages),
+        "wall_seconds": wall,
+        "messages_per_second": messages / wall,
+        "events_per_second": machine.env.event_count / wall,
+    }
+
+
+def _bench_rcce(messages: int = 1_000, nbytes: int = 4096) -> Dict[str, float]:
+    """Micro: full RCCE rendezvous round-trips per second."""
+    from repro.scc.rcce import Rcce
+
+    machine = SccMachine()
+    rcce = Rcce(machine)
+
+    def sender(core):
+        for k in range(messages):
+            yield from rcce.send(core, 47, k, nbytes=nbytes)
+
+    def receiver(core):
+        for _ in range(messages):
+            yield from rcce.recv(core, 0)
+
+    machine.spawn(0, sender)
+    machine.spawn(47, receiver)
+    t0 = time.perf_counter()
+    machine.run()
+    wall = time.perf_counter() - t0
+    return {
+        "messages": float(messages),
+        "wall_seconds": wall,
+        "messages_per_second": messages / wall,
+        "events_per_second": machine.env.event_count / wall,
+    }
+
+
+def run_bench(
+    datasets: Sequence[str] = ("ck34",),
+    slave_counts: Optional[Sequence[int]] = None,
+    mode: EvalMode | str = EvalMode.MODEL,
+    output: Optional[str] = DEFAULT_BENCH_OUTPUT,
+    micro: bool = True,
+) -> dict:
+    """Benchmark the exp2 sweep's wall-clock and write the JSON artefact.
+
+    Returns the report dict; ``output=None`` skips writing the file.
+    """
+    counts = tuple(slave_counts or SLAVE_GRID_FULL)
+    report: dict = {
+        "schema": "repro-bench-hotpaths/1",
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "mode": EvalMode(mode).value,
+        "slave_counts": list(counts),
+        "sweeps": {},
+        "micro": {},
+    }
+    for name in datasets:
+        ds = load_dataset(name)
+        evaluator = shared_evaluator(ds, mode)
+        rows = []
+        sweep_wall = 0.0
+        sweep_events = 0
+        for n in counts:
+            t0 = time.perf_counter()
+            rep = run_rckalign(
+                RckAlignConfig(dataset=ds, n_slaves=n, mode=mode), evaluator=evaluator
+            )
+            wall = time.perf_counter() - t0
+            sweep_wall += wall
+            sweep_events += rep.sim_events
+            rows.append(
+                {
+                    "n_slaves": n,
+                    "wall_seconds": wall,
+                    "sim_events": rep.sim_events,
+                    "events_per_second": rep.sim_events / wall if wall else 0.0,
+                    "sim_seconds": rep.total_seconds,
+                    "n_jobs": rep.n_jobs,
+                    "poll_visits": rep.poll_visits,
+                    "noc_messages": rep.noc_messages,
+                }
+            )
+        sweep: dict = {
+            "points": rows,
+            "sweep_wall_seconds": sweep_wall,
+            "sweep_events_per_second": sweep_events / sweep_wall if sweep_wall else 0.0,
+            "evaluator_cached_pairs": evaluator.cache_len(),
+        }
+        pre = PRE_OVERHAUL_SWEEP_WALL_S.get(name)
+        if pre is not None and counts == tuple(SLAVE_GRID_FULL) and sweep_wall:
+            sweep["pre_overhaul_wall_seconds"] = pre
+            sweep["speedup_vs_pre_overhaul"] = pre / sweep_wall
+        report["sweeps"][name] = sweep
+    if micro:
+        first = load_dataset(datasets[0])
+        report["micro"] = {
+            "evaluate_memoized": _bench_evaluator(
+                shared_evaluator(first, mode), min(len(first), 16)
+            ),
+            "noc_transfer": _bench_transfer(),
+            "rcce_rendezvous": _bench_rcce(),
+        }
+    if output:
+        with open(output, "w", encoding="ascii") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_bench_report(report: dict) -> str:
+    """Human-readable summary of a ``run_bench`` report."""
+    parts = [
+        f"== bench: simulator hot-path wall-clock (mode={report['mode']}) ==",
+    ]
+    for name, sweep in report["sweeps"].items():
+        rows = [
+            (
+                p["n_slaves"],
+                p["wall_seconds"],
+                p["sim_events"],
+                p["events_per_second"],
+                p["sim_seconds"],
+            )
+            for p in sweep["points"]
+        ]
+        parts.append(f"-- {name}: exp2 sweep, {sweep['sweep_wall_seconds']:.2f}s wall total --")
+        parts.append(
+            render_table(
+                ("slaves", "wall (s)", "events", "events/s", "simulated (s)"), rows
+            )
+        )
+    micro = report.get("micro") or {}
+    if micro:
+        parts.append("-- micro --")
+        for key, m in micro.items():
+            rate = m.get("calls_per_second") or m.get("messages_per_second")
+            parts.append(f"{key:<20} {rate:>12.0f}/s  ({m['wall_seconds']:.3f}s)")
+    return "\n".join(parts)

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.datasets.registry import Dataset
+from repro.psc.evaluator import EvalMode, JobEvaluator
 
 __all__ = [
     "SLAVE_GRID_FULL",
@@ -11,11 +14,37 @@ __all__ = [
     "render_table",
     "ascii_plot",
     "ExperimentResult",
+    "shared_evaluator",
+    "clear_evaluator_pool",
 ]
 
 # The paper varies active slaves over the odd counts 1..47.
 SLAVE_GRID_FULL: tuple[int, ...] = tuple(range(1, 48, 2))
 SLAVE_GRID_QUICK: tuple[int, ...] = (1, 3, 11, 23, 47)
+
+
+# Process-wide evaluator pool, keyed by (dataset identity, eval mode).
+# One JobEvaluator per dataset+mode means every experiment harness — and
+# repeated harness invocations, e.g. `cli all` running exp1 then exp2 on
+# the same dataset — share one memoized per-pair cost cache instead of
+# re-estimating ~170k pair costs per sweep.  The evaluator holds a strong
+# reference to its dataset, so the id() key stays valid while pooled.
+_EVALUATOR_POOL: Dict[Tuple[int, str], JobEvaluator] = {}
+
+
+def shared_evaluator(dataset: Dataset, mode: EvalMode | str = EvalMode.MODEL) -> JobEvaluator:
+    """Return the pooled default-method evaluator for ``(dataset, mode)``."""
+    key = (id(dataset), EvalMode(mode).value)
+    evaluator = _EVALUATOR_POOL.get(key)
+    if evaluator is None:
+        evaluator = JobEvaluator(dataset, mode=mode)
+        _EVALUATOR_POOL[key] = evaluator
+    return evaluator
+
+
+def clear_evaluator_pool() -> None:
+    """Drop all pooled evaluators (tests / memory reclamation)."""
+    _EVALUATOR_POOL.clear()
 
 
 @dataclass

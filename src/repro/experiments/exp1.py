@@ -17,6 +17,7 @@ from repro.experiments.common import (
     SLAVE_GRID_FULL,
     ExperimentResult,
     ascii_plot,
+    shared_evaluator,
 )
 from repro.psc.evaluator import EvalMode, JobEvaluator
 
@@ -37,9 +38,15 @@ def run_exp1(
     dataset: str = "ck34",
     slave_counts: Optional[Sequence[int]] = None,
     mode: EvalMode | str = EvalMode.MODEL,
+    evaluator: Optional[JobEvaluator] = None,
 ) -> ExperimentResult:
+    """Regenerate Table II / Figure 5.
+
+    The per-pair cost evaluator defaults to the process-wide pool, so
+    exp1 and exp2 sweeps over the same dataset share one memoized cache.
+    """
     ds = load_dataset(dataset)
-    evaluator = JobEvaluator(ds, mode=mode)
+    evaluator = evaluator or shared_evaluator(ds, mode)
     counts = tuple(slave_counts or SLAVE_GRID_FULL)
     rows = []
     rck_series = []

@@ -8,8 +8,8 @@ from repro.baselines.serial import SerialConfig, run_serial
 from repro.core.rckalign import RckAlignConfig, run_rckalign
 from repro.cost.cpu import AMD_ATHLON_2400, P54C_800
 from repro.datasets.registry import load_dataset
-from repro.experiments.common import ExperimentResult
-from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.experiments.common import ExperimentResult, shared_evaluator
+from repro.psc.evaluator import EvalMode
 
 __all__ = ["run_table5", "PAPER_TABLE5"]
 
@@ -25,7 +25,7 @@ def run_table5(
     rows = []
     for name in datasets:
         ds = load_dataset(name)
-        evaluator = JobEvaluator(ds, mode=mode)
+        evaluator = shared_evaluator(ds, mode)
         amd = run_serial(
             SerialConfig(dataset=ds, cpu=AMD_ATHLON_2400, mode=mode), evaluator=evaluator
         )

@@ -83,8 +83,10 @@ class MemoryController:
         """Coroutine: serve a read of ``nbytes`` (latency + serialization)."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        req = self._port.request()
-        yield req
+        hold = self._port.try_acquire()
+        if hold is None:
+            hold = self._port.request()
+            yield hold
         try:
             service = (
                 self.config.dram_latency_s
@@ -93,7 +95,7 @@ class MemoryController:
             yield self.env.timeout(service)
             self.bytes_served += nbytes
         finally:
-            self._port.release(req)
+            self._port.release(hold)
 
 
 class NocFabric:
@@ -113,6 +115,8 @@ class NocFabric:
             MemoryController(env, self.config, TileCoord(x, y))
             for (x, y) in self.config.mc_coords
         ]
+        # per-(src, dst) cache of the link objects along the XY route
+        self._routes: dict[tuple[int, int], list[Resource]] = {}
         # instrumentation
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -138,29 +142,51 @@ class NocFabric:
             raise ValueError("nbytes must be non-negative")
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        src = self.mesh.coord(src_tile)
-        dst = self.mesh.coord(dst_tile)
-        if src == dst:
+        if src_tile == dst_tile:
+            self.mesh.coord(src_tile)  # bounds check
             yield self.env.timeout(self.config.local_latency_s)
             return
-        path = self.mesh.xy_route(src, dst)
+        path = self._route(src_tile, dst_tile)
         if self.config.fidelity == "wormhole":
             yield from self._transfer_wormhole(path, nbytes)
         else:
             yield from self._transfer_store_forward(path, nbytes)
 
+    def _route(self, src_tile: int, dst_tile: int):
+        """Hop list for a (src, dst) tile pair, cached per pair."""
+        cached = self._routes.get((src_tile, dst_tile))
+        if cached is None:
+            cached = [
+                self._links[hop]
+                for hop in self.mesh.xy_route(
+                    self.mesh.coord(src_tile), self.mesh.coord(dst_tile)
+                )
+            ]
+            self._routes[(src_tile, dst_tile)] = cached
+        return cached
+
     def _transfer_store_forward(self, path, nbytes: int) -> Generator:
         """Per-hop: acquire link, pay router latency + full message
-        serialization, release, advance."""
-        serialization = nbytes / self.config.link_bandwidth_bytes_per_s
-        for hop_src, hop_dst in path:
-            link = self._links[(hop_src, hop_dst)]
-            req = link.request()
-            yield req
+        serialization, release, advance.
+
+        An immediately-granted (uncontended) link request is already
+        processed, so the yield back into the kernel is skipped — the
+        hold window [t, t + hop time] is identical either way.
+        """
+        hop_time = (
+            self.config.hop_latency_s
+            + nbytes / self.config.link_bandwidth_bytes_per_s
+        )
+        timeout = self.env.timeout
+        for link in path:
+            hold = link.try_acquire()
+            if hold is None:
+                hold = link.request()
+                yield hold
             try:
-                yield self.env.timeout(self.config.hop_latency_s + serialization)
+                yield timeout(hop_time)
             finally:
-                link.release(req)
+                link.release(hold)
 
     def _transfer_wormhole(self, path, nbytes: int) -> Generator:
         """Pipelined: the head acquires links hop by hop (router latency
@@ -173,11 +199,12 @@ class NocFabric:
         """
         held = []
         try:
-            for hop_src, hop_dst in path:
-                link = self._links[(hop_src, hop_dst)]
-                req = link.request()
-                yield req
-                held.append((link, req))
+            for link in path:
+                hold = link.try_acquire()
+                if hold is None:
+                    hold = link.request()
+                    yield hold
+                held.append((link, hold))
                 yield self.env.timeout(self.config.hop_latency_s)
             yield self.env.timeout(nbytes / self.config.link_bandwidth_bytes_per_s)
         finally:

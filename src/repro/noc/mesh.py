@@ -34,6 +34,13 @@ class Mesh:
             raise ValueError("mesh dimensions must be >= 1")
         self.width = width
         self.height = height
+        # Tile coordinates and XY routes are pure functions of the
+        # (immutable) geometry, so both are cached: coord() sits on the
+        # per-poll-visit hot path and xy_route() on every transfer.
+        self._coords = tuple(
+            TileCoord(t % width, t // width) for t in range(width * height)
+        )
+        self._route_cache: dict[tuple[TileCoord, TileCoord], tuple[tuple[TileCoord, TileCoord], ...]] = {}
 
     @property
     def n_tiles(self) -> int:
@@ -42,7 +49,7 @@ class Mesh:
     def coord(self, tile_id: int) -> TileCoord:
         if not 0 <= tile_id < self.n_tiles:
             raise ValueError(f"tile id {tile_id} out of range [0, {self.n_tiles})")
-        return TileCoord(tile_id % self.width, tile_id // self.width)
+        return self._coords[tile_id]
 
     def tile_id(self, coord: TileCoord) -> int:
         if not (0 <= coord.x < self.width and 0 <= coord.y < self.height):
@@ -59,8 +66,11 @@ class Mesh:
         if coord.y < self.height - 1:
             yield TileCoord(coord.x, coord.y + 1)
 
-    def xy_route(self, src: TileCoord, dst: TileCoord) -> list[tuple[TileCoord, TileCoord]]:
+    def xy_route(self, src: TileCoord, dst: TileCoord) -> tuple[tuple[TileCoord, TileCoord], ...]:
         """Directed hops from ``src`` to ``dst``: x-dimension first, then y."""
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         for c in (src, dst):
             if not (0 <= c.x < self.width and 0 <= c.y < self.height):
                 raise ValueError(f"coordinate {c} outside mesh")
@@ -76,7 +86,9 @@ class Mesh:
             nxt = TileCoord(cur.x, cur.y + step_y)
             hops.append((cur, nxt))
             cur = nxt
-        return hops
+        route = tuple(hops)
+        self._route_cache[(src, dst)] = route
+        return route
 
     def hop_count(self, src: TileCoord, dst: TileCoord) -> int:
         """Manhattan distance (number of router-to-router hops)."""

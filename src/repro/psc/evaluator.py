@@ -7,8 +7,13 @@ meaningful, so they all evaluate pairs through one :class:`JobEvaluator`:
 * ``model`` mode (default for timing sweeps): op counts come from the
   method's analytic estimate; no structures are actually aligned.
 * ``measured`` mode: the real method runs and its measured op counts
-  are used; results are memoized per pair so that parameter sweeps pay
-  the Python cost once.
+  are used.
+
+Both modes memoize per pair, so a core-count sweep that replays the
+same job list at every point pays the Python cost (analytic estimate or
+real alignment) exactly once per pair; callers receive fresh copies of
+the cached scores/counters, so the cache cannot be mutated from
+outside.
 """
 
 from __future__ import annotations
@@ -48,22 +53,27 @@ class JobEvaluator:
 
     def evaluate(self, i: int, j: int) -> tuple[Dict[str, float], CostCounter]:
         """Return ``(scores, op_counts)`` for comparing chains i and j."""
-        if self.mode is EvalMode.MODEL:
-            counts = CostCounter()
-            est = self.method.estimate_counts(
-                len(self.dataset[i]), len(self.dataset[j]), self.pair_key(i, j)
-            )
-            for op, v in est.items():
-                counts.add(op, v)
-            scores = {"estimated": 1.0}
-            return scores, counts
         key = (i, j)
-        if key not in self._cache:
+        cached = self._cache.get(key)
+        if cached is None:
             counter = CostCounter()
-            scores = self.method.compare(self.dataset[i], self.dataset[j], counter)
-            self._cache[key] = (scores, counter)
-        scores, counter = self._cache[key]
+            if self.mode is EvalMode.MODEL:
+                est = self.method.estimate_counts(
+                    len(self.dataset[i]), len(self.dataset[j]), self.pair_key(i, j)
+                )
+                for op, v in est.items():
+                    counter.add(op, v)
+                scores: Dict[str, float] = {"estimated": 1.0}
+            else:
+                scores = self.method.compare(self.dataset[i], self.dataset[j], counter)
+            cached = (scores, counter)
+            self._cache[key] = cached
+        scores, counter = cached
         return dict(scores), counter.copy()
+
+    def cache_len(self) -> int:
+        """Number of memoized pairs (bench/diagnostic instrumentation)."""
+        return len(self._cache)
 
     def job_nbytes(self, i: int, j: int) -> int:
         """Wire size of the job the master ships (both structures)."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional, Sequence
 
 from repro.scc.machine import Core, SccMachine
+from repro.sim.engine import SimulationError
 from repro.sim.resources import Store
 
 __all__ = ["Rcce", "Message"]
@@ -128,7 +129,10 @@ class Rcce:
         yield from fabric.transfer(core.tile, src_tile, cfg.rcce_flag_bytes)
         ch.ready.put(None)
         kind, _ = yield ch.done.get()
-        assert kind == "header", f"protocol error: expected header, got {kind}"
+        if kind != "header":
+            raise SimulationError(
+                f"RCCE protocol error: expected header, got {kind!r}"
+            )
 
         while True:
             yield from fabric.transfer(core.tile, src_tile, cfg.rcce_flag_bytes)
@@ -137,7 +141,10 @@ class Rcce:
             if kind == "last":
                 core.stats.comm_s += env.now - t0
                 return value
-            assert kind == "chunk"
+            if kind != "chunk":
+                raise SimulationError(
+                    f"RCCE protocol error: expected chunk, got {kind!r}"
+                )
 
     # ------------------------------------------------------------------
     def barrier(self, core: Core, group: Sequence[int]) -> Generator:

@@ -98,6 +98,24 @@ class Event:
         self.env._schedule(self, delay)
         return self
 
+    def succeed_now(self, value: Any = None) -> "Event":
+        """Complete this event synchronously, bypassing the event queue.
+
+        The event becomes triggered *and* processed immediately, so a
+        later ``yield`` on it resumes the waiter without a queue
+        round-trip.  Only valid for events that fire at the current
+        simulated time with no waiters yet registered through the
+        scheduler; the fast paths in :mod:`repro.sim.resources` use it
+        to avoid flooding the queue with zero-delay completions.
+        """
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        self._scheduled = True
+        self._value = value
+        self._ok = True
+        self._run_callbacks()
+        return self
+
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
         """Schedule this event to fire as a failure carrying ``exc``."""
         if self._scheduled:
@@ -205,10 +223,7 @@ class Process(Event):
                 )
             else:
                 exc = event._value
-                if isinstance(exc, Interrupt):
-                    target = self._generator.throw(exc)
-                else:
-                    target = self._generator.throw(type(exc), exc, None)
+                target = self._generator.throw(exc)
         except StopIteration as stop:
             self.env._active_process = None
             self.succeed(stop.value)

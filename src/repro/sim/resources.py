@@ -50,7 +50,7 @@ class Resource:
             raise ValueError("capacity must be >= 1")
         self.env = env
         self.capacity = capacity
-        self._users: set[Request] = set()
+        self._users: set[object] = set()  # Request events and fast-path tokens
         self._waiters: deque[Request] = deque()
         # instrumentation
         self.total_grants = 0
@@ -68,13 +68,31 @@ class Resource:
     def request(self) -> Request:
         req = Request(self.env, self)
         if len(self._users) < self.capacity:
-            self._grant(req)
+            # Uncontended fast path: grant synchronously so the waiter
+            # resumes without a zero-delay trip through the event queue.
+            self._users.add(req)
+            self.total_grants += 1
+            req.succeed_now(req)
         else:
             self._waiters.append(req)
             self.peak_queue_len = max(self.peak_queue_len, len(self._waiters))
         return req
 
-    def release(self, req: Request) -> None:
+    def try_acquire(self) -> Optional[object]:
+        """Non-blocking acquire: an opaque hold token when the resource
+        is free, else ``None``.  Pass the token to :meth:`release`.
+
+        Equivalent to an immediately-granted :meth:`request` but without
+        building an :class:`Event`, for hot paths that would discard it.
+        """
+        if len(self._users) < self.capacity and self.queue_len == 0:
+            token = object()
+            self._users.add(token)
+            self.total_grants += 1
+            return token
+        return None
+
+    def release(self, req: "Request | object") -> None:
         if req not in self._users:
             raise SimulationError("releasing a request that does not hold the resource")
         self._users.discard(req)
@@ -82,6 +100,8 @@ class Resource:
             self._grant(self._waiters.popleft())
 
     def _grant(self, req: Request) -> None:
+        """Hand a queued request the resource (asynchronously: the waiter
+        is suspended mid-yield, so it must resume through the queue)."""
         self._users.add(req)
         self.total_grants += 1
         req.succeed(req)
@@ -102,7 +122,9 @@ class PriorityResource(Resource):
     def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
         req = Request(self.env, self)
         if len(self._users) < self.capacity and not self._pq:
-            self._grant(req)
+            self._users.add(req)
+            self.total_grants += 1
+            req.succeed_now(req)
         else:
             heapq.heappush(self._pq, (priority, self._pq_seq, req))
             self._pq_seq += 1
@@ -149,14 +171,17 @@ class Store:
         else:
             self._items.append(item)
             self.peak_depth = max(self.peak_depth, len(self._items))
+        # The completion token never blocks; complete it synchronously so
+        # fire-and-forget puts don't each leave a dead event in the queue.
         done = Event(self.env)
-        done.succeed(item)
+        done.succeed_now(item)
         return done
 
     def get(self) -> Event:
         ev = Event(self.env)
         if self._items:
-            ev.succeed(self._items.popleft())
+            # Item already available: complete synchronously (see put()).
+            ev.succeed_now(self._items.popleft())
         else:
             self._getters.append(ev)
         return ev

@@ -1,0 +1,160 @@
+"""Hot-path optimizations must not move simulated time by one ULP.
+
+The performance overhaul (memoized pair costs, cached poll/route costs,
+synchronous uncontended resource grants) is only admissible if the
+simulation produces bit-identical results.  This module pins that:
+
+* golden values captured from the unoptimised code path (commit
+  1f722f2) for the quick CK34 sweep — ``repr`` equality, so even a
+  last-bit float drift fails;
+* a determinism regression: the same config run twice, with a fresh and
+  a pre-warmed evaluator, must agree on every report field;
+* the subset-farm fix: ``farm(ue_ids=<subset>)`` completes when only
+  that subset of the runtime's slaves was ever spawned.
+"""
+
+import pytest
+
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.core.skeletons import FarmConfig, Job, SkeletonRuntime
+from repro.datasets.registry import load_dataset
+from repro.psc.evaluator import JobEvaluator
+from repro.scc.machine import SccMachine
+from repro.scc.rcce import Rcce
+
+# Captured from the pre-overhaul simulator: quick-grid CK34 MODEL sweep,
+# one evaluator shared across the sweep, grid order as listed.
+# n_slaves -> (repr(total_seconds), n_jobs, noc_bytes, noc_messages,
+#              poll_visits)
+GOLDEN_CK34_QUICK = {
+    1: ("2063.1343003291277", 561, 6088305, 3656, 1122),
+    3: ("689.0384921194933", 561, 6088625, 3664, 2272),
+    11: ("192.64560718230547", 561, 6089905, 3696, 6050),
+    23: ("97.14207901750682", 561, 6091825, 3744, 10294),
+    47: ("57.45974631907288", 561, 6095665, 3840, 9684),
+}
+GOLDEN_LOAD_SECONDS = "0.03782438916037736"
+
+
+def test_zero_drift_against_pre_overhaul_goldens():
+    ds = load_dataset("ck34")
+    evaluator = JobEvaluator(ds)
+    for n, (total_repr, n_jobs, noc_bytes, noc_messages, poll_visits) in (
+        GOLDEN_CK34_QUICK.items()
+    ):
+        rep = run_rckalign(
+            RckAlignConfig(dataset=ds, n_slaves=n), evaluator=evaluator
+        )
+        assert repr(rep.total_seconds) == total_repr, f"n_slaves={n}"
+        assert rep.n_jobs == n_jobs
+        assert rep.noc_bytes == noc_bytes
+        assert rep.noc_messages == noc_messages
+        assert rep.poll_visits == poll_visits
+        assert repr(rep.load_seconds) == GOLDEN_LOAD_SECONDS
+
+
+def _report_fields(rep):
+    return (
+        rep.total_seconds,
+        rep.load_seconds,
+        rep.n_jobs,
+        rep.poll_visits,
+        rep.noc_messages,
+        rep.noc_bytes,
+        rep.sim_events,
+        rep.master_compute_seconds,
+        rep.slave_busy_seconds,
+        rep.slave_jobs,
+        sorted((r.job_id, r.slave_id, r.finished_at) for r in rep.results),
+    )
+
+
+def test_repeated_runs_are_bit_identical():
+    ds = load_dataset("ck34-mini")
+    cfg = RckAlignConfig(dataset=ds, n_slaves=7)
+    first = run_rckalign(cfg, evaluator=JobEvaluator(ds))
+    # second run with a pre-warmed memo cache must not diverge either
+    warmed = JobEvaluator(ds)
+    for i in range(len(ds)):
+        for j in range(i + 1, len(ds)):
+            warmed.evaluate(i, j)
+    second = run_rckalign(cfg, evaluator=warmed)
+    assert _report_fields(first) == _report_fields(second)
+
+
+def test_farm_subset_completes_with_only_subset_spawned():
+    """farm(ue_ids=subset) must not wait for slaves that never boot."""
+    machine = SccMachine()
+    rcce = Rcce(machine)
+    runtime = SkeletonRuntime(
+        machine,
+        rcce,
+        0,
+        [1, 2, 3, 4],
+        FarmConfig(
+            master_job_cycles=1000, master_result_cycles=1000, slave_boot_seconds=0.0
+        ),
+    )
+
+    def handler(core, payload):
+        yield from core.compute_cycles(1000)
+        return payload, 64
+
+    done = {}
+
+    def master(core):
+        done["results"] = yield from runtime.farm(
+            core,
+            [Job(job_id=k, payload=k, nbytes=128) for k in range(6)],
+            ue_ids=[1, 2],
+        )
+
+    machine.spawn(0, master)
+    # slaves 3 and 4 exist in the runtime but are never spawned
+    machine.spawn(1, runtime.slave_loop, handler)
+    machine.spawn(2, runtime.slave_loop, handler)
+    machine.run()
+
+    results = done["results"]
+    assert sorted(r.job_id for r in results) == list(range(6))
+    assert {r.slave_id for r in results} == {1, 2}
+
+
+def test_farm_grouped_partition_completes_with_only_partition_spawned():
+    machine = SccMachine()
+    rcce = Rcce(machine)
+    runtime = SkeletonRuntime(
+        machine,
+        rcce,
+        0,
+        [1, 2, 3, 4],
+        FarmConfig(
+            master_job_cycles=1000, master_result_cycles=1000, slave_boot_seconds=0.0
+        ),
+    )
+
+    def handler(core, payload):
+        yield from core.compute_cycles(1000)
+        return payload, 64
+
+    done = {}
+
+    def master(core):
+        done["results"] = yield from runtime.farm_grouped(
+            core,
+            {
+                "a": ([Job(job_id=k, payload=k, nbytes=128) for k in range(4)], [1]),
+                "b": ([Job(job_id=4 + k, payload=k, nbytes=128) for k in range(4)], [2]),
+            },
+            terminate=False,
+        )
+        yield from runtime.shutdown(core, [1, 2])
+
+    machine.spawn(0, master)
+    machine.spawn(1, runtime.slave_loop, handler)
+    machine.spawn(2, runtime.slave_loop, handler)
+    machine.run()
+
+    results = done["results"]
+    assert sorted(r.job_id for r in results["a"]) == [0, 1, 2, 3]
+    assert sorted(r.job_id for r in results["b"]) == [4, 5, 6, 7]

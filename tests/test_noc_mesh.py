@@ -58,7 +58,7 @@ class TestXYRouting:
 
     def test_self_route_empty(self):
         mesh = Mesh(6, 4)
-        assert mesh.xy_route(TileCoord(1, 1), TileCoord(1, 1)) == []
+        assert mesh.xy_route(TileCoord(1, 1), TileCoord(1, 1)) == ()
 
     def test_hops_adjacent(self):
         mesh = Mesh(6, 4)
