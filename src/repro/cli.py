@@ -136,7 +136,13 @@ def _cmd_search(args) -> str:
 
     dataset = load_dataset(args.dataset)
     query = _load_chain(args.query, args.dataset)
-    hits = one_vs_all(query, dataset, method=get_method(args.method))
+    hits = one_vs_all(
+        query,
+        dataset,
+        method=get_method(args.method),
+        workers=args.workers,
+        chunk=args.chunk,
+    )
     lines = [
         f"query {query.name} ({len(query)} residues) vs {dataset.name} "
         f"({len(dataset)} chains) using {args.method}:",
@@ -148,22 +154,39 @@ def _cmd_search(args) -> str:
 
 
 def _cmd_matrix(args) -> str:
-    """All-vs-all score matrix for a dataset, written to CSV."""
+    """All-vs-all score matrix for a dataset, streamed to CSV."""
     from repro.datasets import load_dataset
+    from repro.datasets.pairs import all_vs_all_pairs
+    from repro.parallel import FarmStats, ParallelConfig, iter_pair_results
     from repro.psc import get_method
-    from repro.psc.io import score_matrix, write_score_table_csv
-    from repro.psc.search import all_vs_all
+    from repro.psc.io import stream_score_table_csv
 
     dataset = load_dataset(args.dataset)
     method = get_method(args.method)
-    table = all_vs_all(dataset, method=method)
-    write_score_table_csv(table, args.output)
-    mat, names = score_matrix(table, method.score_key, dataset=dataset)
+    pairs = list(all_vs_all_pairs(len(dataset)))
+    stats = FarmStats()
+    results = iter_pair_results(
+        dataset,
+        pairs,
+        method,
+        config=ParallelConfig(workers=args.workers, chunk=args.chunk),
+        stats=stats,
+    )
+    acc = {"sum": 0.0}
+
+    def rows():
+        # rows go to the CSV as they drain from the farm; only the running
+        # score mean is kept in memory, never the table
+        for i, j, scores, _ in results:
+            acc["sum"] += scores[method.score_key]
+            yield dataset[i].name, dataset[j].name, scores
+
+    n_rows = stream_score_table_csv(rows(), args.output)
     lines = [
-        f"wrote {len(table)} pair scores to {args.output}",
-        f"matrix {mat.shape[0]}x{mat.shape[1]}, "
-        f"mean off-diagonal {method.score_key} = "
-        f"{(mat.sum() - mat.trace()) / (mat.size - len(names)):.4f}",
+        f"wrote {n_rows} pair scores to {args.output} (streamed, "
+        f"workers={stats.workers}, chunk={stats.chunk_size})",
+        f"wall {stats.wall_seconds:.1f}s, {stats.pairs_per_second:.2f} pairs/s; "
+        f"mean off-diagonal {method.score_key} = {acc['sum'] / max(1, n_rows):.4f}",
     ]
     return "\n".join(lines)
 
@@ -180,6 +203,25 @@ def _cmd_bench(args) -> str:
         micro=not args.no_micro,
     )
     text = format_bench_report(report)
+    if args.output:
+        text += f"\nwrote {args.output}"
+    return text
+
+
+def _cmd_bench_parallel(args) -> str:
+    from repro.experiments.bench import (
+        format_parallel_bench_report,
+        run_parallel_bench,
+    )
+
+    workers = tuple(int(w) for w in args.workers_grid.split(","))
+    report = run_parallel_bench(
+        dataset=args.dataset,
+        workers_grid=workers,
+        chunk=args.chunk,
+        output=args.output,
+    )
+    text = format_parallel_bench_report(report)
     if args.output:
         text += f"\nwrote {args.output}"
     return text
@@ -244,17 +286,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", default="ck34")
     p.set_defaults(fn=_cmd_align)
 
+    def add_farm(p) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="process-pool size (0/1 = serial in-process)",
+        )
+        p.add_argument(
+            "--chunk",
+            type=int,
+            default=0,
+            help="pairs per scheduling chunk (0 = auto)",
+        )
+
     p = sub.add_parser("search", help="one-vs-all ranked search")
     p.add_argument("query", help="PDB file path or chain name in --dataset")
     p.add_argument("--dataset", default="ck34")
     p.add_argument("--method", default="tmalign")
     p.add_argument("--top", type=int, default=10)
+    add_farm(p)
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser("matrix", help="all-vs-all score matrix to CSV")
     p.add_argument("--dataset", default="ck34-mini")
     p.add_argument("--method", default="sse_composition")
     p.add_argument("--output", default="scores.csv")
+    add_farm(p)
     p.set_defaults(fn=_cmd_matrix)
 
     p = sub.add_parser(
@@ -272,6 +330,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the evaluator/NoC/RCCE micro-benchmarks",
     )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "bench-parallel",
+        help="measured-mode all-vs-all wall-clock vs worker count",
+    )
+    p.add_argument("--dataset", default="ck34")
+    p.add_argument(
+        "--workers-grid",
+        default="1,2,4,8",
+        help="comma-separated worker counts to sweep",
+    )
+    p.add_argument("--chunk", type=int, default=0, help="pairs per chunk (0 = auto)")
+    p.add_argument(
+        "--output",
+        default="BENCH_parallel.json",
+        help="JSON artefact path ('' to skip writing)",
+    )
+    p.set_defaults(fn=_cmd_bench_parallel)
 
     p = sub.add_parser("info", help="dataset summary")
     p.add_argument("--dataset", default="ck34")

@@ -30,15 +30,29 @@ from repro.experiments.common import SLAVE_GRID_FULL, render_table, shared_evalu
 from repro.psc.evaluator import EvalMode, JobEvaluator
 from repro.scc.machine import SccMachine
 
-__all__ = ["run_bench", "DEFAULT_BENCH_OUTPUT", "PRE_OVERHAUL_SWEEP_WALL_S"]
+__all__ = [
+    "run_bench",
+    "run_parallel_bench",
+    "format_parallel_bench_report",
+    "DEFAULT_BENCH_OUTPUT",
+    "DEFAULT_PARALLEL_BENCH_OUTPUT",
+    "PRE_OVERHAUL_SWEEP_WALL_S",
+    "SEED_KERNEL_PAIRS_PER_SECOND",
+]
 
 DEFAULT_BENCH_OUTPUT = "BENCH_hotpaths.json"
+DEFAULT_PARALLEL_BENCH_OUTPUT = "BENCH_parallel.json"
 
 # Full-grid exp2 sweep wall-clock measured on the reference container just
 # before the hot-path overhaul landed.  Kept so the artefact records the
 # speedup this harness was introduced to protect; refresh it whenever the
 # reference hardware changes.
 PRE_OVERHAUL_SWEEP_WALL_S = {"ck34": 4.22, "rs119": 57.94}
+
+# Single-pair TM-align kernel throughput measured on the reference
+# container just before the kernel hot-path optimisation (PR 2): the
+# 45-pair micro below over the first 10 CK34 chains ran at this rate.
+SEED_KERNEL_PAIRS_PER_SECOND = 10.15
 
 
 def _bench_evaluator(evaluator: JobEvaluator, n_chains: int, calls: int = 20_000) -> Dict[str, float]:
@@ -180,6 +194,132 @@ def run_bench(
             json.dump(report, fh, indent=1, sort_keys=True)
             fh.write("\n")
     return report
+
+
+def _bench_kernel_micro(dataset) -> Dict[str, float]:
+    """Micro: real single-pair TM-align throughput (the kernel path)."""
+    from repro.tmalign import tm_align
+
+    n = min(len(dataset), 10)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    for i, j in pairs[:5]:  # warm numpy/SS caches
+        tm_align(dataset[i], dataset[j])
+    t0 = time.perf_counter()
+    for i, j in pairs:
+        tm_align(dataset[i], dataset[j])
+    wall = time.perf_counter() - t0
+    rate = len(pairs) / wall if wall else 0.0
+    out = {
+        "pairs": float(len(pairs)),
+        "wall_seconds": wall,
+        "pairs_per_second": rate,
+    }
+    if dataset.name == "ck34":
+        out["seed_pairs_per_second"] = SEED_KERNEL_PAIRS_PER_SECOND
+        out["speedup_vs_seed"] = rate / SEED_KERNEL_PAIRS_PER_SECOND
+    return out
+
+
+def run_parallel_bench(
+    dataset: str = "ck34",
+    workers_grid: Sequence[int] = (1, 2, 4, 8),
+    chunk: int = 0,
+    output: Optional[str] = DEFAULT_PARALLEL_BENCH_OUTPUT,
+) -> dict:
+    """Measured-mode all-vs-all wall-clock across worker counts.
+
+    Runs the real TM-align workload (every pair is a full aligner run)
+    serially first, then once per worker count through the process-pool
+    farm, verifying every configuration reproduces the serial score
+    table bit-for-bit.  The committed artefact tracks the speedup curve
+    PR over PR the way ``BENCH_hotpaths.json`` tracks the simulator.
+    """
+    import os
+
+    from repro.parallel import FarmStats, ParallelConfig, parallel_all_vs_all
+    from repro.psc.methods import TMAlignMethod
+    from repro.psc.search import all_vs_all
+
+    ds = load_dataset(dataset)
+    method = TMAlignMethod()
+    report: dict = {
+        "schema": "repro-bench-parallel/1",
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "dataset": ds.name,
+        "n_chains": len(ds),
+        "mode": "measured",
+        "points": [],
+    }
+    t0 = time.perf_counter()
+    serial_table = all_vs_all(ds, method=method)
+    serial_wall = time.perf_counter() - t0
+    n_pairs = len(serial_table)
+    report["n_pairs"] = n_pairs
+    report["serial"] = {
+        "wall_seconds": serial_wall,
+        "pairs_per_second": n_pairs / serial_wall if serial_wall else 0.0,
+    }
+    for w in workers_grid:
+        stats = FarmStats()
+        t0 = time.perf_counter()
+        table = parallel_all_vs_all(
+            ds, method, config=ParallelConfig(workers=w, chunk=chunk), stats=stats
+        )
+        wall = time.perf_counter() - t0
+        report["points"].append(
+            {
+                "workers": w,
+                "chunk": stats.chunk_size,
+                "n_chunks": stats.n_chunks,
+                "wall_seconds": wall,
+                "pairs_per_second": n_pairs / wall if wall else 0.0,
+                "speedup_vs_serial": serial_wall / wall if wall else 0.0,
+                "bit_identical_to_serial": table == serial_table,
+            }
+        )
+    report["kernel_micro"] = _bench_kernel_micro(ds)
+    if output:
+        with open(output, "w", encoding="ascii") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_parallel_bench_report(report: dict) -> str:
+    """Human-readable summary of a ``run_parallel_bench`` report."""
+    parts = [
+        f"== bench: parallel all-vs-all, {report['dataset']} measured mode "
+        f"({report['n_pairs']} pairs, {report['cpu_count']} CPUs) ==",
+        f"serial: {report['serial']['wall_seconds']:.2f}s "
+        f"({report['serial']['pairs_per_second']:.2f} pairs/s)",
+        render_table(
+            ("workers", "chunk", "wall (s)", "pairs/s", "speedup", "identical"),
+            [
+                (
+                    p["workers"],
+                    p["chunk"],
+                    p["wall_seconds"],
+                    p["pairs_per_second"],
+                    p["speedup_vs_serial"],
+                    "yes" if p["bit_identical_to_serial"] else "NO",
+                )
+                for p in report["points"]
+            ],
+        ),
+    ]
+    km = report.get("kernel_micro")
+    if km:
+        line = (
+            f"kernel micro: {km['pairs_per_second']:.2f} single-pair aligns/s "
+            f"({km['wall_seconds']:.2f}s for {km['pairs']:.0f} pairs)"
+        )
+        if "speedup_vs_seed" in km:
+            line += f", {km['speedup_vs_seed']:.2f}x vs seed kernel"
+        parts.append(line)
+    return "\n".join(parts)
 
 
 def format_bench_report(report: dict) -> str:

@@ -16,6 +16,37 @@ from repro.geometry.transforms import RigidTransform
 
 __all__ = ["kabsch", "superpose", "rmsd", "rmsd_superposed"]
 
+# The determinant correction only ever scales the last singular vector by
+# +/-1; both diagonal matrices are constant, so they are hoisted out of the
+# per-call path (kabsch runs ~10k times per pairwise TM-align).
+_DIAG_KEEP = np.diag([1.0, 1.0, 1.0])
+_DIAG_FLIP = np.diag([1.0, 1.0, -1.0])
+_DIAG_KEEP.setflags(write=False)
+_DIAG_FLIP.setflags(write=False)
+
+# np.linalg.svd spends more time in its Python wrapper than in LAPACK for a
+# 3x3 input; the underlying gufunc (full_matrices variant) runs the exact
+# same dgesdd call.  Guarded import: fall back to the public API if the
+# private module moves.
+try:  # pragma: no cover - exercised implicitly by every kabsch call
+    from numpy.linalg import _umath_linalg as _ul
+
+    _svd3 = _ul.svd_f
+except (ImportError, AttributeError):  # pragma: no cover
+    _svd3 = np.linalg.svd
+
+
+def _det3_sign(m: np.ndarray) -> float:
+    """Sign of a 3x3 determinant via the closed-form expansion.
+
+    Only used on products of orthogonal matrices, whose determinant is
+    +/-1 up to rounding, so the sign is unambiguous under any correctly
+    rounded evaluation order.
+    """
+    (a, b, c), (d, e, f), (g, h, i) = m.tolist()
+    det = a * (e * i - f * h) - b * (d * i - f * g) + c * (d * h - e * g)
+    return 0.0 if det == 0.0 else (1.0 if det > 0.0 else -1.0)
+
 
 def _check_pair(mobile: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     mobile = np.asarray(mobile, dtype=np.float64)
@@ -66,18 +97,25 @@ def kabsch(
         pt = target - mu_t
         cov = (pm * w[:, None]).T @ pt
     else:
-        mu_m = mobile.mean(axis=0)
-        mu_t = target.mean(axis=0)
+        # np.add.reduce + divide is exactly what ndarray.mean computes,
+        # without the _methods.py dispatch overhead.
+        mu_m = np.add.reduce(mobile, axis=0) / n
+        mu_t = np.add.reduce(target, axis=0) / n
         pm = mobile - mu_m
         pt = target - mu_t
         cov = pm.T @ pt
 
-    u, _, vt = np.linalg.svd(cov)
-    d = np.sign(np.linalg.det(vt.T @ u.T))
-    diag = np.array([1.0, 1.0, d])
-    rot = vt.T @ np.diag(diag) @ u.T
+    u, _, vt = _svd3(cov)
+    d = _det3_sign(vt.T @ u.T)
+    if d > 0:
+        diag = _DIAG_KEEP
+    elif d < 0:
+        diag = _DIAG_FLIP
+    else:  # degenerate (rank-deficient) covariance
+        diag = np.diag([1.0, 1.0, 0.0])
+    rot = vt.T @ diag @ u.T
     tra = mu_t - rot @ mu_m
-    return RigidTransform(rotation=rot, translation=tra)
+    return RigidTransform.from_trusted(rot, tra)
 
 
 def superpose(

@@ -34,6 +34,19 @@ class RigidTransform:
     def identity(cls) -> "RigidTransform":
         return cls()
 
+    @classmethod
+    def from_trusted(cls, rotation: np.ndarray, translation: np.ndarray) -> "RigidTransform":
+        """Construct without validation (hot-path internal).
+
+        Callers must pass float64 arrays of the right shapes; the Kabsch
+        kernel builds thousands of transforms per pairwise alignment and
+        the dataclass ``__post_init__`` checks dominate its Python cost.
+        """
+        xf = object.__new__(cls)
+        object.__setattr__(xf, "rotation", rotation)
+        object.__setattr__(xf, "translation", translation)
+        return xf
+
     def apply(self, coords: np.ndarray) -> np.ndarray:
         """Transform an ``(N, 3)`` coordinate array (or a single point)."""
         coords = np.asarray(coords, dtype=np.float64)

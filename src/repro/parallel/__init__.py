@@ -1,0 +1,32 @@
+"""Real-hardware master–slaves farm for all-vs-all PSC workloads.
+
+The simulator packages (`repro.core`, `repro.scc`) model the paper's
+rckAlign farm on a *simulated* SCC; this package runs the same
+master–slaves design on the actual machine: a process pool whose workers
+are initialised once with the dataset, fed dynamically with chunks of
+(i, j) comparison jobs, and drained in deterministic job order.
+
+See :mod:`repro.parallel.farm` for the public API.
+"""
+
+from repro.parallel.farm import (
+    DEFAULT_CHUNK,
+    FarmStats,
+    ParallelConfig,
+    WorkerCrash,
+    auto_chunk,
+    iter_pair_results,
+    parallel_all_vs_all,
+    parallel_one_vs_all,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "FarmStats",
+    "ParallelConfig",
+    "WorkerCrash",
+    "auto_chunk",
+    "iter_pair_results",
+    "parallel_all_vs_all",
+    "parallel_one_vs_all",
+]

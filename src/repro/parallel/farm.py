@@ -1,0 +1,278 @@
+"""Master-side process-pool farm over pairwise comparison jobs.
+
+This is the paper's rckAlign master–slaves design mapped onto a real
+machine instead of the simulated SCC:
+
+* **pickle-once workers** — each pool process is initialised exactly once
+  with the dataset (registry rebuild, or a single unpickle; copy-on-write
+  pages under ``fork``), so jobs are bare ``(i, j)`` index tuples, not
+  shipped structures;
+* **dynamic chunked scheduling** — the job list is cut into chunks of
+  ``chunk`` pairs submitted to a shared queue; whichever worker frees up
+  first takes the next chunk (the paper's dynamic farm, with the chunk
+  size as the granularity/overhead dial);
+* **ordered collection** — results are consumed in job order regardless
+  of worker arrival order, so score tables, merged cost counters and
+  streamed CSV rows are byte-identical to the serial path;
+* **failure surfacing** — a worker-side exception or a dead worker
+  process raises :class:`WorkerCrash` on the master with the failing pair
+  and the remote traceback, instead of hanging the pool.
+
+Scores are bit-identical across any worker/chunk configuration: each pair
+is an independent computation with no accumulation across jobs, and
+counters are merged in job order on the master.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+from repro.cost.counters import CostCounter
+from repro.datasets.pairs import all_vs_all_pairs
+from repro.datasets.registry import Dataset
+from repro.parallel import worker as _worker
+from repro.psc.base import PSCMethod
+from repro.psc.evaluator import EvalMode
+from repro.structure.model import Chain
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "FarmStats",
+    "ParallelConfig",
+    "WorkerCrash",
+    "auto_chunk",
+    "iter_pair_results",
+    "parallel_all_vs_all",
+    "parallel_one_vs_all",
+]
+
+#: default scheduling granularity when ``chunk`` is left at 0 and the job
+#: list is too small for the auto heuristic to matter
+DEFAULT_CHUNK = 8
+
+#: (i, j, scores, op_counts) for one evaluated pair
+PairResult = tuple[int, int, Dict[str, float], Dict[str, float]]
+
+
+class WorkerCrash(RuntimeError):
+    """A farm worker failed; carries the failing pair and remote traceback."""
+
+    def __init__(self, pair: tuple[int, int], remote_traceback: str) -> None:
+        self.pair = pair
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"parallel farm worker failed on pair {pair}:\n{remote_traceback}"
+        )
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the process-pool farm.
+
+    ``workers <= 1`` runs the jobs serially in-process (no pool at all);
+    ``chunk = 0`` picks a size via :func:`auto_chunk`; ``start_method``
+    defaults to ``fork`` where available (shared copy-on-write dataset
+    pages) and ``spawn`` elsewhere.
+    """
+
+    workers: int = 0
+    chunk: int = 0
+    start_method: str = ""
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.chunk < 0:
+            raise ValueError("chunk must be >= 0")
+        if self.start_method and self.start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"unknown start method {self.start_method!r}; "
+                f"available: {multiprocessing.get_all_start_methods()}"
+            )
+
+    def resolved_start_method(self) -> str:
+        if self.start_method:
+            return self.start_method
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass
+class FarmStats:
+    """Throughput accounting for one farm run."""
+
+    n_jobs: int = 0
+    n_chunks: int = 0
+    workers: int = 0
+    chunk_size: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def pairs_per_second(self) -> float:
+        return self.n_jobs / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def auto_chunk(n_jobs: int, workers: int) -> int:
+    """Chunk size balancing dispatch overhead against load balance.
+
+    Aim for ~4 chunks per worker (dynamic scheduling can then absorb a
+    4x per-pair cost spread), capped at 32 pairs so one straggler chunk
+    cannot dominate the tail, floored at 1.
+    """
+    if workers <= 1:
+        return max(1, n_jobs)
+    target = -(-n_jobs // (workers * 4))  # ceil division
+    return max(1, min(32, target, n_jobs))
+
+
+def _chunked(pairs: Sequence[tuple[int, int]], size: int) -> list[list[tuple[int, int]]]:
+    return [list(pairs[k : k + size]) for k in range(0, len(pairs), size)]
+
+
+def _serial_results(
+    dataset: Dataset,
+    pairs: Iterable[tuple[int, int]],
+    method: PSCMethod,
+    mode: EvalMode,
+    query: Optional[Chain],
+) -> Iterator[PairResult]:
+    """In-process evaluation, identical op-for-op to the worker path."""
+    for i, j in pairs:
+        chain_a = query if i == _worker.QUERY_INDEX else dataset[i]
+        chain_b = dataset[j]
+        counter = CostCounter()
+        if mode is EvalMode.MODEL:
+            est = method.estimate_counts(
+                len(chain_a), len(chain_b), f"{chain_a.name}|{chain_b.name}"
+            )
+            for op, v in est.items():
+                counter.add(op, v)
+            scores: Dict[str, float] = {"estimated": 1.0}
+        else:
+            scores = method.compare(chain_a, chain_b, counter)
+        yield (i, j, dict(scores), counter.as_dict())
+
+
+def iter_pair_results(
+    dataset: Dataset,
+    pairs: Sequence[tuple[int, int]],
+    method: PSCMethod,
+    mode: EvalMode | str = EvalMode.MEASURED,
+    config: Optional[ParallelConfig] = None,
+    query: Optional[Chain] = None,
+    stats: Optional[FarmStats] = None,
+) -> Iterator[PairResult]:
+    """Evaluate ``pairs`` over the farm, yielding results in job order.
+
+    The generator streams: the master holds at most the in-flight chunks,
+    never the whole result table, so callers can write rows to disk as
+    they arrive.  ``stats``, when given, is filled in place (wall time
+    covers the full drain).  Worker failures raise :class:`WorkerCrash`.
+    """
+    config = config or ParallelConfig()
+    mode = EvalMode(mode)
+    pairs = list(pairs)
+    n_jobs = len(pairs)
+    chunk = config.chunk or auto_chunk(n_jobs, config.workers)
+    if stats is not None:
+        stats.n_jobs = n_jobs
+        stats.workers = config.workers
+        stats.chunk_size = chunk
+    t0 = time.perf_counter()
+    try:
+        if config.workers <= 1 or n_jobs == 0:
+            if stats is not None:
+                stats.n_chunks = -(-n_jobs // chunk) if n_jobs else 0
+            yield from _serial_results(dataset, pairs, method, mode, query)
+            return
+        chunks = _chunked(pairs, chunk)
+        if stats is not None:
+            stats.n_chunks = len(chunks)
+        ctx = multiprocessing.get_context(config.resolved_start_method())
+        spec = _worker.dataset_spec(dataset)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=config.workers,
+                mp_context=ctx,
+                initializer=_worker.init_worker,
+                initargs=(spec, method, mode, query),
+            ) as pool:
+                for status, payload, remote_tb in pool.map(_worker.eval_chunk, chunks):
+                    if status != "ok":
+                        raise WorkerCrash(tuple(payload), remote_tb or "")
+                    yield from payload
+        except BrokenProcessPool as exc:
+            raise WorkerCrash(
+                (-2, -2),
+                f"a worker process died abruptly ({exc}); "
+                "jobs after the last drained chunk were not evaluated",
+            ) from exc
+    finally:
+        if stats is not None:
+            stats.wall_seconds = time.perf_counter() - t0
+
+
+def _merge_counts(counter: Optional[CostCounter], counts: Dict[str, float]) -> None:
+    if counter is not None:
+        for op, v in counts.items():
+            if v:
+                counter.add(op, v)
+
+
+def parallel_all_vs_all(
+    dataset: Dataset,
+    method: PSCMethod,
+    counter: Optional[CostCounter] = None,
+    mode: EvalMode | str = EvalMode.MEASURED,
+    config: Optional[ParallelConfig] = None,
+    stats: Optional[FarmStats] = None,
+) -> Dict[tuple[str, str], Dict[str, float]]:
+    """All unordered pairs (i < j) of the dataset, farmed over workers.
+
+    Returns the same score table as :func:`repro.psc.search.all_vs_all`
+    (bit-identical in any configuration); ``counter`` accumulates op
+    counts merged in job order.
+    """
+    pairs = list(all_vs_all_pairs(len(dataset)))
+    out: Dict[tuple[str, str], Dict[str, float]] = {}
+    for i, j, scores, counts in iter_pair_results(
+        dataset, pairs, method, mode=mode, config=config, stats=stats
+    ):
+        _merge_counts(counter, counts)
+        out[(dataset[i].name, dataset[j].name)] = scores
+    return out
+
+
+def parallel_one_vs_all(
+    query: Chain,
+    dataset: Dataset,
+    method: PSCMethod,
+    counter: Optional[CostCounter] = None,
+    exclude_self: bool = True,
+    config: Optional[ParallelConfig] = None,
+    stats: Optional[FarmStats] = None,
+) -> list[tuple[str, Dict[str, float]]]:
+    """Compare ``query`` against every dataset chain over the farm.
+
+    Returns ``(chain_name, scores)`` in dataset order; ranking is the
+    caller's concern (see :func:`repro.psc.search.one_vs_all`).
+    """
+    pairs = [
+        (_worker.QUERY_INDEX, j)
+        for j in range(len(dataset))
+        if not (exclude_self and dataset[j].name == query.name)
+    ]
+    out: list[tuple[str, Dict[str, float]]] = []
+    for _, j, scores, counts in iter_pair_results(
+        dataset, pairs, method, mode=EvalMode.MEASURED, config=config,
+        query=query, stats=stats,
+    ):
+        _merge_counts(counter, counts)
+        out.append((dataset[j].name, scores))
+    return out

@@ -1,0 +1,108 @@
+"""Worker-process side of the parallel farm.
+
+Mirrors the paper's slave design: each worker is initialised exactly once
+with the full dataset (rebuilt from the registry when possible, unpickled
+once otherwise — never shipped per job), then serves chunks of (i, j)
+comparison jobs until the pool drains.
+
+Everything in this module must stay importable under both the ``fork``
+and ``spawn`` start methods, so the worker state lives in module globals
+set by :func:`init_worker` (the pool initializer) and the job function
+:func:`eval_chunk` is a plain top-level callable.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Optional, Sequence
+
+from repro.cost.counters import CostCounter
+from repro.psc.base import PSCMethod
+from repro.psc.evaluator import EvalMode
+from repro.structure.model import Chain
+
+__all__ = ["init_worker", "eval_chunk", "dataset_spec", "QUERY_INDEX"]
+
+#: sentinel chain index meaning "the farm's query chain" (one-vs-all jobs)
+QUERY_INDEX = -1
+
+# Per-process worker state, set once by init_worker.
+_DATASET = None
+_METHOD: Optional[PSCMethod] = None
+_MODE: EvalMode = EvalMode.MEASURED
+_QUERY: Optional[Chain] = None
+
+
+def dataset_spec(dataset) -> tuple:
+    """Smallest pickle describing ``dataset`` for worker initialisation.
+
+    Registry datasets are deterministic synthetic builds, so shipping the
+    registry *name* and rebuilding in the worker beats pickling ~100
+    coordinate arrays; ad-hoc datasets (subsets, PDB loads) fall back to
+    pickling the Dataset object once per worker.  Under the ``fork``
+    start method either spec is effectively free: the parent's dataset
+    pages are shared copy-on-write.
+    """
+    from repro.datasets.registry import DATASET_BUILDERS, _CACHE
+
+    for name, built in _CACHE.items():
+        if built is dataset and name in DATASET_BUILDERS:
+            return ("registry", name)
+    return ("pickle", dataset)
+
+
+def init_worker(
+    spec: tuple,
+    method: PSCMethod,
+    mode: EvalMode | str,
+    query: Optional[Chain] = None,
+) -> None:
+    """Pool initializer: build the worker's dataset/method state once."""
+    global _DATASET, _METHOD, _MODE, _QUERY
+    kind, payload = spec
+    if kind == "registry":
+        from repro.datasets.registry import load_dataset
+
+        _DATASET = load_dataset(payload)
+    elif kind == "pickle":
+        _DATASET = payload
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown dataset spec kind {kind!r}")
+    _METHOD = method
+    _MODE = EvalMode(mode)
+    _QUERY = query
+
+
+def _evaluate(i: int, j: int) -> tuple[dict, dict]:
+    chain_a = _QUERY if i == QUERY_INDEX else _DATASET[i]
+    chain_b = _DATASET[j]
+    counter = CostCounter()
+    if _MODE is EvalMode.MODEL:
+        est = _METHOD.estimate_counts(
+            len(chain_a), len(chain_b), f"{chain_a.name}|{chain_b.name}"
+        )
+        for op, v in est.items():
+            counter.add(op, v)
+        scores: dict = {"estimated": 1.0}
+    else:
+        scores = _METHOD.compare(chain_a, chain_b, counter)
+    return dict(scores), counter.as_dict()
+
+
+def eval_chunk(pairs: Sequence[tuple[int, int]]) -> tuple[str, list, Optional[str]]:
+    """Evaluate one chunk of jobs; never raises.
+
+    Returns ``("ok", results, None)`` with one ``(i, j, scores, counts)``
+    per pair, or ``("error", [i, j], traceback_text)`` identifying the
+    first failing pair so the master can surface the worker-side stack.
+    """
+    if _DATASET is None or _METHOD is None:
+        return ("error", [-2, -2], "worker not initialised (init_worker missing)")
+    out = []
+    for i, j in pairs:
+        try:
+            scores, counts = _evaluate(i, j)
+        except Exception:
+            return ("error", [i, j], traceback.format_exc())
+        out.append((i, j, scores, counts))
+    return ("ok", out, None)

@@ -19,7 +19,7 @@ outside.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.cost.counters import CostCounter
 from repro.datasets.registry import Dataset
@@ -74,6 +74,41 @@ class JobEvaluator:
     def cache_len(self) -> int:
         """Number of memoized pairs (bench/diagnostic instrumentation)."""
         return len(self._cache)
+
+    def prewarm(
+        self,
+        pairs: Optional[Iterable[Tuple[int, int]]] = None,
+        workers: int = 0,
+        chunk: int = 0,
+    ) -> int:
+        """Fill the per-pair memo cache up front, optionally in parallel.
+
+        With ``workers > 1`` the uncached pairs are farmed over a process
+        pool (the real win in MEASURED mode, where every pair is a full
+        aligner run); the cached entries are bit-identical to what
+        :meth:`evaluate` would have produced serially, so a simulation
+        replaying the warmed cache is unaffected.  Returns the number of
+        pairs actually computed.
+        """
+        from repro.datasets.pairs import all_vs_all_pairs
+
+        wanted = list(pairs) if pairs is not None else list(
+            all_vs_all_pairs(len(self.dataset))
+        )
+        todo = [key for key in wanted if key not in self._cache]
+        if not todo:
+            return 0
+        from repro.parallel import ParallelConfig, iter_pair_results
+
+        for i, j, scores, counts in iter_pair_results(
+            self.dataset,
+            todo,
+            self.method,
+            mode=self.mode,
+            config=ParallelConfig(workers=workers, chunk=chunk),
+        ):
+            self._cache[(i, j)] = (scores, CostCounter(counts))
+        return len(todo)
 
     def job_nbytes(self, i: int, j: int) -> int:
         """Wire size of the job the master ships (both structures)."""

@@ -9,6 +9,7 @@ them into dense matrices for clustering tools.
 from __future__ import annotations
 
 import csv
+import itertools
 import json
 import os
 from typing import Dict, Mapping, Optional, Sequence
@@ -19,6 +20,7 @@ from repro.datasets.registry import Dataset
 
 __all__ = [
     "write_score_table_csv",
+    "stream_score_table_csv",
     "read_score_table_csv",
     "write_score_table_json",
     "read_score_table_json",
@@ -39,6 +41,40 @@ def write_score_table_csv(table: Table, path: str | os.PathLike) -> None:
         writer.writerow(["chain_a", "chain_b", *keys])
         for (a, b), result in sorted(table.items()):
             writer.writerow([a, b, *(format(result.get(k, ""), "") for k in keys)])
+
+
+def stream_score_table_csv(
+    rows, path: str | os.PathLike
+) -> int:
+    """Write ``(chain_a, chain_b, scores)`` rows to CSV as they arrive.
+
+    Unlike :func:`write_score_table_csv` this never materialises the
+    table: each row is written (and flushed from memory) as the iterator
+    produces it, so an all-vs-all run over a large dataset streams
+    straight to disk.  The column set is taken from the first row —
+    every method emits a fixed score mapping, and a row with different
+    keys raises.  Rows are written in arrival order (the parallel farm
+    already yields them in job order).  Returns the number of rows.
+    """
+    rows = iter(rows)
+    try:
+        first = next(rows)
+    except StopIteration:
+        raise ValueError("empty score table") from None
+    keys = sorted(first[2])
+    n = 0
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["chain_a", "chain_b", *keys])
+        for a, b, result in itertools.chain([first], rows):
+            if sorted(result) != keys:
+                raise ValueError(
+                    f"row ({a}, {b}) has score keys {sorted(result)}, "
+                    f"expected {keys}"
+                )
+            writer.writerow([a, b, *(format(result[k], "") for k in keys)])
+            n += 1
+    return n
 
 
 def read_score_table_csv(path: str | os.PathLike) -> Dict[PairKey, Dict[str, float]]:

@@ -1,9 +1,13 @@
-"""Serial PSC task APIs: one-vs-all ranked search and all-vs-all matrix.
+"""Serial and parallel PSC task APIs: one-vs-all search, all-vs-all matrix.
 
 These are the *algorithmic* (non-simulated) entry points a
 bioinformatician would call directly; the paper's motivating task is the
 ranked one-vs-all search ("retrieve a ranked list of proteins, where
 structurally similar proteins are ranked higher").
+
+Both tasks accept ``workers``/``chunk``: with ``workers > 1`` the pairs
+are farmed over a process pool (see :mod:`repro.parallel`) with
+bit-identical results; the default is the plain serial loop.
 """
 
 from __future__ import annotations
@@ -35,18 +39,36 @@ def one_vs_all(
     method: Optional[PSCMethod] = None,
     counter: Optional[CostCounter] = None,
     exclude_self: bool = True,
+    workers: int = 0,
+    chunk: int = 0,
 ) -> list[RankedHit]:
     """Compare ``query`` against every dataset chain; rank by similarity."""
     method = method or TMAlignMethod()
     hits: list[RankedHit] = []
-    for chain in dataset:
-        if exclude_self and chain.name == query.name:
-            continue
-        ctr = CostCounter()
-        scores = method.compare(query, chain, ctr)
-        if counter is not None:
-            counter.merge(ctr)
-        hits.append(RankedHit(chain.name, method.similarity(scores), dict(scores)))
+    if workers > 1:
+        from repro.parallel import ParallelConfig, parallel_one_vs_all
+
+        rows = parallel_one_vs_all(
+            query,
+            dataset,
+            method,
+            counter=counter,
+            exclude_self=exclude_self,
+            config=ParallelConfig(workers=workers, chunk=chunk),
+        )
+        hits = [
+            RankedHit(name, method.similarity(scores), dict(scores))
+            for name, scores in rows
+        ]
+    else:
+        for chain in dataset:
+            if exclude_self and chain.name == query.name:
+                continue
+            ctr = CostCounter()
+            scores = method.compare(query, chain, ctr)
+            if counter is not None:
+                counter.merge(ctr)
+            hits.append(RankedHit(chain.name, method.similarity(scores), dict(scores)))
     hits.sort(key=lambda h: (-h.score, h.chain_name))
     return hits
 
@@ -55,9 +77,24 @@ def all_vs_all(
     dataset: Dataset,
     method: Optional[PSCMethod] = None,
     counter: Optional[CostCounter] = None,
+    workers: int = 0,
+    chunk: int = 0,
 ) -> Dict[tuple[str, str], Dict[str, float]]:
-    """All unordered pairs (i<j) of the dataset; returns a score table."""
+    """All unordered pairs (i<j) of the dataset; returns a score table.
+
+    ``workers > 1`` farms the pairs over a process pool; scores and the
+    merged ``counter`` are bit-identical to the serial loop.
+    """
     method = method or TMAlignMethod()
+    if workers > 1:
+        from repro.parallel import ParallelConfig, parallel_all_vs_all
+
+        return parallel_all_vs_all(
+            dataset,
+            method,
+            counter=counter,
+            config=ParallelConfig(workers=workers, chunk=chunk),
+        )
     out: Dict[tuple[str, str], Dict[str, float]] = {}
     n = len(dataset)
     for i in range(n):

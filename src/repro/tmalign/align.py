@@ -67,8 +67,12 @@ def _refine(
                 break
         d = cross_distances(xf.apply(xa), ya)
         counter.add("score_pair", d.size)
-        score = 1.0 / (1.0 + (d / d0) ** 2)
-        nxt = nw_align(score, params.gap_open, counter=counter)
+        # score = 1 / (1 + (d/d0)^2), computed in place over d
+        np.divide(d, d0, out=d)
+        np.multiply(d, d, out=d)
+        np.add(d, 1.0, out=d)
+        np.divide(1.0, d, out=d)
+        nxt = nw_align(d, params.gap_open, counter=counter)
         if nxt.key() in seen:
             break
         seen.add(nxt.key())

@@ -32,35 +32,70 @@ __all__ = ["nw_align", "nw_score_only"]
 
 NEG = -1e18  # effectively -inf, but arithmetic-safe
 
+# Reusable DP workspace.  The three state matrices (plus two scratch rows)
+# are grown to the largest (la+1, lb+1) seen by this process and sliced per
+# call, so the refinement loop stops paying one large allocation triple per
+# nw_align invocation.  The buffers are only valid until the next _forward
+# call, which is fine: nw_align/nw_score_only never nest.
+_WS_BUFS: list = [np.empty((0, 0))] * 3 + [np.empty(0)] * 2
+
+
+def _workspace(la: int, lb: int):
+    ra, rb = la + 1, lb + 1
+    ca, cb = _WS_BUFS[0].shape
+    if ra > ca or rb > cb:
+        ca, cb = max(ra, ca), max(rb, cb)
+        _WS_BUFS[0] = np.empty((ca, cb))
+        _WS_BUFS[1] = np.empty((ca, cb))
+        _WS_BUFS[2] = np.empty((ca, cb))
+        _WS_BUFS[3] = np.empty(cb)
+        _WS_BUFS[4] = np.empty(cb)
+    return (
+        _WS_BUFS[0][:ra, :rb],
+        _WS_BUFS[1][:ra, :rb],
+        _WS_BUFS[2][:ra, :rb],
+        _WS_BUFS[3][: rb - 1],
+        _WS_BUFS[4][: rb - 1],
+    )
+
 
 def _forward(
     score: np.ndarray, gap_open: float
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Fill the three DP matrices; returns (M, Ix, Iy) of shape (la+1, lb+1)."""
+    """Fill the three DP matrices; returns (M, Ix, Iy) of shape (la+1, lb+1).
+
+    The returned matrices are views into a shared workspace; they are
+    consumed (traceback / corner read) before the next call.  Only the
+    boundary cells need initialisation — every interior cell is written
+    by the row sweep below.
+    """
     la, lb = score.shape
-    M = np.full((la + 1, lb + 1), NEG)
-    Ix = np.full((la + 1, lb + 1), NEG)
-    Iy = np.full((la + 1, lb + 1), NEG)
+    M, Ix, Iy, t1, t2 = _workspace(la, lb)
+    M[0].fill(NEG)
+    M[1:, 0].fill(NEG)
     M[0, 0] = 0.0
+    Ix[0].fill(NEG)
     Ix[0, 0] = 0.0  # lets a leading vertical gap terminate cleanly
-    Iy[0, 0] = 0.0
-    Ix[1:, 0] = 0.0  # free leading gaps
-    Iy[0, 1:] = 0.0
+    Ix[1:, 0].fill(0.0)  # free leading gaps
+    Iy[0].fill(0.0)
+    Iy[1:, 0].fill(NEG)
 
     for i in range(1, la + 1):
         m_prev = M[i - 1]
         ix_prev = Ix[i - 1]
         iy_prev = Iy[i - 1]
         # M[i, j] = score[i-1, j-1] + max over states at (i-1, j-1)
-        best_prev = np.maximum(np.maximum(m_prev[:-1], ix_prev[:-1]), iy_prev[:-1])
-        M[i, 1:] = score[i - 1] + best_prev
+        np.maximum(m_prev[:-1], ix_prev[:-1], out=t1)
+        np.maximum(t1, iy_prev[:-1], out=t1)
+        np.add(score[i - 1], t1, out=M[i, 1:])
         # Ix[i, j]: vertical gap (consume A row) — open from M/Iy or extend
-        Ix[i, 1:] = np.maximum(
-            np.maximum(m_prev[1:], iy_prev[1:]) + gap_open, ix_prev[1:]
-        )
+        np.maximum(m_prev[1:], iy_prev[1:], out=t1)
+        np.add(t1, gap_open, out=t1)
+        np.maximum(t1, ix_prev[1:], out=Ix[i, 1:])
         # Iy[i, j]: horizontal gap — running max of openers to the left
-        openers = np.maximum(M[i, :-1], Ix[i, :-1]) + gap_open
-        Iy[i, 1:] = np.maximum.accumulate(openers)
+        np.maximum(M[i, :-1], Ix[i, :-1], out=t2)
+        np.add(t2, gap_open, out=t2)
+        np.maximum.accumulate(t2, out=Iy[i, 1:])
     return M, Ix, Iy
 
 

@@ -18,7 +18,7 @@ from repro.geometry.kabsch import kabsch
 from repro.tmalign.dp import nw_align
 from repro.tmalign.params import TMAlignParams
 from repro.tmalign.result import Alignment
-from repro.tmalign.tmscore import tm_score_from_distances
+from repro.tmalign.tmscore import _moved_tm_score, tm_score_from_distances
 
 __all__ = [
     "gapless_threading",
@@ -61,14 +61,25 @@ def gapless_threading(
     min_overlap = min(min_overlap, la, lb)
     scored: list[tuple[float, int]] = []
     stride = max(1, params.threading_stride)
+    # the correspondence of a shift is contiguous in both chains, so the
+    # coordinate subsets are plain views (no fancy-index copies); scoring
+    # scratch is shared across shifts
+    nmax = min(la, lb)
+    work = np.empty((nmax, 3))
+    dist = np.empty(nmax)
+    sbuf = np.empty(nmax)
     for shift in range(-(lb - min_overlap), la - min_overlap + 1, stride):
-        ai, aj = _gapless_alignment(shift, la, lb)
-        if ai.size < min_overlap:
+        i0 = max(0, shift)
+        i1 = min(la, lb + shift)
+        m = i1 - i0
+        if m < min_overlap:
             continue
-        xf = kabsch(xa[ai], ya[aj], counter=counter)
-        diff = xf.apply(xa[ai]) - ya[aj]
-        d = np.sqrt((diff * diff).sum(axis=1))
-        tm = tm_score_from_distances(d, d0, lnorm, counter=counter)
+        sa = xa[i0:i1]
+        sb = ya[i0 - shift : i1 - shift]
+        xf = kabsch(sa, sb, counter=counter)
+        tm = _moved_tm_score(
+            sa, sb, xf, d0, lnorm, work[:m], dist[:m], sbuf[:m], counter=counter
+        )
         scored.append((tm, shift))
     scored.sort(key=lambda t: (-t[0], t[1]))
     out = []
@@ -142,14 +153,17 @@ def fragment_threading(
         return None
     best: tuple[float, int, int] | None = None
     step = max(1, flen // 2)
+    work = np.empty((flen, 3))
+    dist = np.empty(flen)
+    sbuf = np.empty(flen)
     for fstart in range(0, ls - flen + 1, step):
         frag = short[fstart : fstart + flen]
         for shift in range(0, long_.shape[0] - flen + 1, max(1, params.threading_stride)):
             seg = long_[shift : shift + flen]
             xf = kabsch(frag, seg, counter=counter)
-            diff = xf.apply(frag) - seg
-            d = np.sqrt((diff * diff).sum(axis=1))
-            tm = tm_score_from_distances(d, d0, lnorm, counter=counter)
+            tm = _moved_tm_score(
+                frag, seg, xf, d0, lnorm, work, dist, sbuf, counter=counter
+            )
             if best is None or tm > best[0]:
                 best = (tm, fstart, shift)
     if best is None:

@@ -41,6 +41,40 @@ def _pair_distances(moved: np.ndarray, target: np.ndarray) -> np.ndarray:
     return np.sqrt((diff * diff).sum(axis=1))
 
 
+def _moved_tm_score(
+    pa: np.ndarray,
+    pb: np.ndarray,
+    xf: RigidTransform,
+    d0: float,
+    lnorm: int,
+    work: np.ndarray,
+    dist: np.ndarray,
+    sbuf: np.ndarray,
+    counter=None,
+) -> float:
+    """TM-score of ``xf.apply(pa)`` against ``pb`` using caller buffers.
+
+    Computes exactly ``tm_score_from_distances(_pair_distances(
+    xf.apply(pa), pb), d0, lnorm)`` — same operations in the same order —
+    but every intermediate lands in ``work``/``dist``/``sbuf`` instead of
+    a fresh allocation.  ``dist`` is left holding the pair distances for
+    callers that reselect pairs on them.
+    """
+    np.matmul(pa, xf.rotation.T, out=work)
+    work += xf.translation
+    np.subtract(work, pb, out=work)
+    np.multiply(work, work, out=work)
+    np.add.reduce(work, axis=1, out=dist)
+    np.sqrt(dist, out=dist)
+    if counter is not None:
+        counter.add("score_pair", dist.size)
+    np.divide(dist, d0, out=sbuf)
+    np.multiply(sbuf, sbuf, out=sbuf)
+    np.add(sbuf, 1.0, out=sbuf)
+    np.divide(1.0, sbuf, out=sbuf)
+    return float(sbuf.sum() / lnorm)
+
+
 def superposition_search(
     pa: np.ndarray,
     pb: np.ndarray,
@@ -77,6 +111,10 @@ def superposition_search(
     best_tm = -1.0
     best_xf = RigidTransform.identity()
     seen_seeds: set[tuple[int, int]] = set()
+    # scratch reused across every seed/iteration of this search
+    work = np.empty((n, 3))
+    dist = np.empty(n)
+    sbuf = np.empty(n)
     for frac in fractions:
         flen = max(n // frac, params.min_seed_len)
         flen = min(flen, n)
@@ -88,19 +126,20 @@ def superposition_search(
             xf = kabsch(pa[start : start + flen], pb[start : start + flen], counter=counter)
             prev_sel: Optional[np.ndarray] = None
             for _ in range(params.max_score_iters):
-                d = _pair_distances(xf.apply(pa), pb)
-                tm = tm_score_from_distances(d, d0, lnorm, counter=counter)
+                tm = _moved_tm_score(
+                    pa, pb, xf, d0, lnorm, work, dist, sbuf, counter=counter
+                )
                 if tm > best_tm:
                     best_tm = tm
                     best_xf = xf
                 d_cut = d0_search
-                sel = d < d_cut
+                sel = dist < d_cut
                 while sel.sum() < 3 and d_cut < 8.0:
                     d_cut += 0.5
-                    sel = d < d_cut
+                    sel = dist < d_cut
                 if sel.sum() < 3:
                     break  # hopeless seed: nothing is close
-                if prev_sel is not None and sel.size == prev_sel.size and (sel == prev_sel).all():
+                if prev_sel is not None and (sel == prev_sel).all():
                     break  # selection stable -> converged
                 prev_sel = sel
                 xf = kabsch(pa[sel], pb[sel], counter=counter)

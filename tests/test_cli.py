@@ -85,3 +85,36 @@ class TestMatrixCommand:
         ) == 0
         assert out_file.exists()
         assert "28 pair scores" in capsys.readouterr().out
+
+    def test_matrix_reports_throughput(self, capsys, tmp_path):
+        out_file = tmp_path / "m.csv"
+        assert main(
+            ["matrix", "--dataset", "ck34-mini", "--method", "sse_composition",
+             "--output", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out
+        assert "pairs/s" in out
+        assert "wall " in out
+
+    def test_matrix_parallel_csv_byte_identical(self, capsys, tmp_path):
+        serial = tmp_path / "serial.csv"
+        farmed = tmp_path / "farmed.csv"
+        common = ["matrix", "--dataset", "ck34-mini", "--method",
+                  "sse_composition"]
+        assert main([*common, "--output", str(serial)]) == 0
+        assert main([*common, "--output", str(farmed),
+                     "--workers", "2", "--chunk", "5"]) == 0
+        capsys.readouterr()
+        assert farmed.read_bytes() == serial.read_bytes()
+
+    def test_farm_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["matrix", "--workers", "4", "--chunk", "16"])
+        assert args.workers == 4 and args.chunk == 16
+        args = parser.parse_args(["search", "q", "--workers", "2"])
+        assert args.workers == 2 and args.chunk == 0
+        args = parser.parse_args(
+            ["bench-parallel", "--workers-grid", "1,2", "--output", ""]
+        )
+        assert args.workers_grid == "1,2"

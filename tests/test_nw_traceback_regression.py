@@ -1,0 +1,142 @@
+"""Traceback robustness of nw_align under ties and near-equal floats.
+
+The traceback recovers predecessor states by *exact float equality* on
+propagated DP values, which is correct only if every comparison re-uses
+the same float expression the forward pass evaluated.  These tests feed
+it the adversarial inputs where that contract is easiest to break:
+matrices full of exact ties (many cells with identical values, so every
+equality test matches several predecessors), values that are inexact in
+binary (0.1, 1/3), and cells separated by a single ulp.  In every case
+the traceback must terminate with a structurally valid alignment whose
+recomputed score equals the DP optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tmalign.dp import nw_align, nw_score_only
+
+
+def alignment_score(ali, score, gap_open):
+    """Score of a traced alignment under the DP's own gap model:
+    matched cells plus one ``gap_open`` per interior gap run (an
+    L-shaped jump is two runs); leading runs free, trailing runs
+    charged (the traceback starts at the corner)."""
+    ai = ali.ai.tolist()
+    aj = ali.aj.tolist()
+    la, lb = score.shape
+    if not ai:  # empty alignment = one all-gap L-run
+        return gap_open
+    total = sum(score[i, j] for i, j in zip(ai, aj))
+    runs = 0
+    for k in range(len(ai) - 1):
+        di = ai[k + 1] - ai[k]
+        dj = aj[k + 1] - aj[k]
+        if di > 1 and dj > 1:
+            runs += 2
+        elif di > 1 or dj > 1:
+            runs += 1
+    runs += int(ai[-1] < la - 1) + int(aj[-1] < lb - 1)
+    return total + gap_open * runs
+
+
+def check(score, gap_open):
+    """The three invariants the traceback must uphold on ANY input."""
+    score = np.asarray(score, dtype=np.float64)
+    ali = nw_align(score, gap_open)
+    la, lb = score.shape
+    # structurally valid: strictly increasing, in bounds
+    if len(ali) >= 2:
+        assert (np.diff(ali.ai) > 0).all()
+        assert (np.diff(ali.aj) > 0).all()
+    if len(ali):
+        assert 0 <= ali.ai.min() and ali.ai.max() < la
+        assert 0 <= ali.aj.min() and ali.aj.max() < lb
+    # the traced path achieves the DP optimum
+    assert ali.dp_score == nw_score_only(score, gap_open)
+    assert alignment_score(ali, score, gap_open) == pytest.approx(
+        ali.dp_score, abs=1e-9
+    )
+    return ali
+
+
+class TestExactTies:
+    def test_all_equal_cells_exact_value(self):
+        check(np.full((9, 9), 0.5), -0.6)
+
+    def test_all_equal_cells_inexact_value(self):
+        # 0.1 is inexact in binary: any traceback that *recomputes*
+        # instead of re-adding the forward expression drifts here
+        ali = check(np.full((8, 11), 0.1), -0.6)
+        assert len(ali) == 8  # ties must not shorten the alignment
+
+    def test_all_zeros_square_and_ragged(self):
+        check(np.zeros((6, 6)), -0.6)
+        check(np.zeros((3, 12)), -0.6)
+        check(np.zeros((12, 3)), -0.6)
+
+    def test_two_valued_checkerboard(self):
+        score = np.zeros((10, 10))
+        score[::2, ::2] = 0.1
+        score[1::2, 1::2] = 0.1
+        check(score, -0.1)  # gap penalty exactly equal to a cell value
+
+    def test_gap_open_ties_with_match_gain(self):
+        # match gain == gap cost: M-vs-gap states tie everywhere
+        check(np.full((7, 7), 0.6), -0.6)
+
+    def test_inexact_gap_open(self):
+        check(np.full((6, 9), 1.0 / 3.0), -1.0 / 3.0)
+
+
+class TestNearEqualFloats:
+    def test_one_ulp_apart_cells(self):
+        base = 0.7
+        score = np.full((8, 8), base)
+        score[3, 3] = np.nextafter(base, 1.0)  # one ulp larger
+        score[5, 2] = np.nextafter(base, 0.0)  # one ulp smaller
+        check(score, -0.6)
+
+    def test_sums_that_collide_after_rounding(self):
+        # a + b == c + d after rounding though (a, b) != (c, d):
+        # equality-based predecessor recovery must still pick a
+        # consistent path
+        score = np.array(
+            [
+                [0.1, 0.3, 0.2],
+                [0.2, 0.2, 0.1],
+                [0.3, 0.1, 0.3],
+            ]
+        )
+        check(score, -0.2)
+
+    def test_tiny_magnitudes(self):
+        check(np.full((5, 7), 1e-300), -1e-300)
+
+
+class TestRandomTieHeavy:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(2, 12),
+        st.integers(2, 12),
+        st.sampled_from([-0.6, -0.1, -1.0 / 3.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_small_alphabet_matrices(self, seed, la, lb, gap_open):
+        # cells drawn from {0, 0.1, 0.2}: collisions everywhere
+        rng = np.random.default_rng(seed)
+        score = rng.choice([0.0, 0.1, 0.2], size=(la, lb))
+        check(score, gap_open)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicated_rows_and_columns(self, seed, n):
+        rng = np.random.default_rng(seed)
+        row = rng.choice([0.0, 0.25, 0.5], size=n)
+        score = np.tile(row, (n, 1))  # every row identical
+        check(score, -0.3)
+        check(score.T.copy(), -0.3)

@@ -1,0 +1,269 @@
+"""The process-pool farm: bit-identical results in any configuration.
+
+The farm's whole contract is that parallelism is *invisible* in the
+numbers: the same score table, the same merged cost counters, the same
+CSV bytes as the serial loop, for any worker count and chunk size.  The
+measured-mode goldens below were captured from the pre-farm serial code
+path, so they also pin the optimised TM-align kernel to the seed's
+bit-exact output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cost.counters import CostCounter
+from repro.parallel import (
+    DEFAULT_CHUNK,
+    FarmStats,
+    ParallelConfig,
+    WorkerCrash,
+    auto_chunk,
+    iter_pair_results,
+    parallel_all_vs_all,
+    parallel_one_vs_all,
+)
+from repro.parallel.worker import QUERY_INDEX, dataset_spec
+from repro.psc import all_vs_all, get_method, one_vs_all
+from repro.psc.evaluator import EvalMode, JobEvaluator
+from repro.psc.methods import SSECompositionMethod
+
+# Measured-mode TM-align scores for ck34-mini pairs, captured as repr()
+# from the serial pre-farm code path (the PR-2 seed).  repr round-trips
+# doubles exactly, so equality here means bit-identical floats.
+GOLDEN_MINI = {
+    "ck_globin_00|ck_globin_01": {
+        "n_aligned": "142.0",
+        "rmsd": "0.7499474535489062",
+        "seq_identity": "0.6197183098591549",
+        "tm_norm_a": "0.9281806935058299",
+        "tm_norm_b": "0.9726556580806811",
+    },
+    "ck_globin_00|ck_globin_06": {
+        "n_aligned": "144.0",
+        "rmsd": "0.8177780938484748",
+        "seq_identity": "0.5486111111111112",
+        "tm_norm_a": "0.9367403515375622",
+        "tm_norm_b": "0.968213007489395",
+    },
+    "ck_globin_01|ck_globin_05": {
+        "n_aligned": "142.0",
+        "rmsd": "1.048441118881122",
+        "seq_identity": "0.3732394366197183",
+        "tm_norm_a": "0.9485783927397259",
+        "tm_norm_b": "0.9179409688497665",
+    },
+    "ck_globin_02|ck_globin_05": {
+        "n_aligned": "140.0",
+        "rmsd": "1.123331429030768",
+        "seq_identity": "0.4",
+        "tm_norm_a": "0.9409182560096342",
+        "tm_norm_b": "0.8986666497200446",
+    },
+    "ck_globin_03|ck_globin_06": {
+        "n_aligned": "142.0",
+        "rmsd": "1.1556817455108057",
+        "seq_identity": "0.29577464788732394",
+        "tm_norm_a": "0.9144192703161471",
+        "tm_norm_b": "0.9263441094396094",
+    },
+    "ck_globin_06|ck_globin_07": {
+        "n_aligned": "144.0",
+        "rmsd": "1.2309751359816556",
+        "seq_identity": "0.2916666666666667",
+        "tm_norm_a": "0.932748657479765",
+        "tm_norm_b": "0.9091816790922987",
+    },
+}
+
+
+class ExplodingMethod(SSECompositionMethod):
+    """Raises on one specific pair — exercises worker-failure surfacing.
+
+    Defined at module top level so the pool can pickle it by reference.
+    """
+
+    name = "exploding"
+
+    def __init__(self, poison_b: str) -> None:
+        self.poison_b = poison_b
+
+    def compare(self, chain_a, chain_b, counter):
+        if chain_b.name == self.poison_b:
+            raise RuntimeError(f"boom on {chain_a.name}|{chain_b.name}")
+        return super().compare(chain_a, chain_b, counter)
+
+
+class SuicidalMethod(SSECompositionMethod):
+    """Kills its own worker process — exercises dead-pool detection."""
+
+    name = "suicidal"
+
+    def compare(self, chain_a, chain_b, counter):
+        os._exit(17)
+
+
+class TestDeterminism:
+    """Scores bit-identical across worker counts and chunk sizes."""
+
+    @pytest.fixture(scope="class")
+    def serial_table(self, ck34_mini):
+        counter = CostCounter()
+        table = all_vs_all(ck34_mini, get_method("tmalign"), counter=counter)
+        return table, counter
+
+    def test_serial_matches_pre_farm_golden(self, serial_table):
+        table, _ = serial_table
+        for pair_key, want in GOLDEN_MINI.items():
+            a, b = pair_key.split("|")
+            got = table[(a, b)]
+            for field, want_repr in want.items():
+                assert repr(got[field]) == want_repr, (pair_key, field)
+
+    @pytest.mark.parametrize("workers,chunk", [(1, 1), (2, 7), (8, 64)])
+    def test_tmalign_bit_identical_across_farm_configs(
+        self, ck34_mini, serial_table, workers, chunk
+    ):
+        want_table, want_counter = serial_table
+        counter = CostCounter()
+        table = all_vs_all(
+            ck34_mini, get_method("tmalign"), counter=counter,
+            workers=workers, chunk=chunk,
+        )
+        assert table == want_table  # dict equality on floats = bit equality
+        assert counter.as_dict() == want_counter.as_dict()
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("chunk", [1, 7, 64])
+    def test_full_workers_chunk_cross(self, ck34_mini, workers, chunk):
+        # cheap method so the full 3x3 (workers, chunk) cross stays fast
+        method = get_method("sse_composition")
+        want = all_vs_all(ck34_mini, method)
+        counter = CostCounter()
+        got = all_vs_all(
+            ck34_mini, method, counter=counter, workers=workers, chunk=chunk
+        )
+        assert got == want
+        assert counter["sec_res"] > 0
+
+    def test_one_vs_all_parity(self, ck34_mini):
+        method = get_method("sse_composition")
+        query = ck34_mini[2]
+        want_ctr, got_ctr = CostCounter(), CostCounter()
+        want = one_vs_all(query, ck34_mini, method, counter=want_ctr)
+        got = one_vs_all(
+            query, ck34_mini, method, counter=got_ctr, workers=2, chunk=3
+        )
+        assert got == want
+        assert got_ctr.as_dict() == want_ctr.as_dict()
+        assert all(h.chain_name != query.name for h in got)
+
+    def test_query_pairs_use_sentinel(self, ck34_mini):
+        rows = parallel_one_vs_all(
+            ck34_mini[0], ck34_mini, get_method("sse_composition"),
+            config=ParallelConfig(workers=0),
+        )
+        assert len(rows) == len(ck34_mini) - 1
+        assert QUERY_INDEX == -1
+
+
+class TestFailureSurfacing:
+    def test_worker_exception_raises_workercrash(self, ck34_mini):
+        method = ExplodingMethod(poison_b=ck34_mini[3].name)
+        with pytest.raises(WorkerCrash) as err:
+            parallel_all_vs_all(
+                ck34_mini, method, config=ParallelConfig(workers=2, chunk=2)
+            )
+        assert err.value.pair == (0, 3)
+        assert "boom on" in err.value.remote_traceback
+        assert "RuntimeError" in err.value.remote_traceback
+
+    def test_serial_path_raises_the_original_error(self, ck34_mini):
+        method = ExplodingMethod(poison_b=ck34_mini[3].name)
+        with pytest.raises(RuntimeError, match="boom on"):
+            parallel_all_vs_all(ck34_mini, method, config=ParallelConfig(workers=1))
+
+    def test_dead_worker_process_detected(self, ck34_mini):
+        with pytest.raises(WorkerCrash, match="died abruptly"):
+            parallel_all_vs_all(
+                ck34_mini, SuicidalMethod(),
+                config=ParallelConfig(workers=2, chunk=4),
+            )
+
+
+class TestScheduling:
+    def test_auto_chunk_serial_takes_everything(self):
+        assert auto_chunk(100, 1) == 100
+        assert auto_chunk(0, 1) == 1
+
+    def test_auto_chunk_targets_four_chunks_per_worker(self):
+        assert auto_chunk(64, 4) == 4  # 64 / (4*4)
+        assert auto_chunk(7021, 8) == 32  # capped
+        assert auto_chunk(3, 8) == 1  # floored, never exceeds n_jobs
+
+    def test_auto_chunk_bounds(self):
+        for n_jobs in (1, 5, 33, 561, 7021):
+            for workers in (2, 3, 8, 16):
+                c = auto_chunk(n_jobs, workers)
+                assert 1 <= c <= min(32, n_jobs)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(start_method="quantum")
+        assert ParallelConfig().resolved_start_method() in ("fork", "spawn")
+
+    def test_stats_filled(self, ck34_mini):
+        stats = FarmStats()
+        list(
+            iter_pair_results(
+                ck34_mini,
+                [(0, 1), (0, 2), (1, 2)],
+                get_method("sse_composition"),
+                config=ParallelConfig(workers=2, chunk=2),
+                stats=stats,
+            )
+        )
+        assert stats.n_jobs == 3
+        assert stats.n_chunks == 2
+        assert stats.chunk_size == 2
+        assert stats.wall_seconds > 0
+        assert stats.pairs_per_second > 0
+
+    def test_default_chunk_positive(self):
+        assert DEFAULT_CHUNK >= 1
+
+    def test_dataset_spec_prefers_registry_name(self, ck34_mini):
+        kind, payload = dataset_spec(ck34_mini)
+        assert (kind, payload) == ("registry", "ck34-mini")
+
+    def test_dataset_spec_falls_back_to_pickle(self, ck34_mini):
+        subset = ck34_mini.subset(3, name="adhoc")
+        kind, payload = dataset_spec(subset)
+        assert kind == "pickle"
+        assert payload is subset
+
+
+class TestEvaluatorPrewarm:
+    def test_prewarm_matches_serial_evaluate(self, ck34_mini):
+        serial = JobEvaluator(ck34_mini, mode=EvalMode.MEASURED)
+        warmed = JobEvaluator(ck34_mini, mode=EvalMode.MEASURED)
+        pairs = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        assert warmed.prewarm(pairs, workers=2, chunk=1) == len(pairs)
+        assert warmed.cache_len() == len(pairs)
+        for i, j in pairs:
+            s_scores, s_ctr = serial.evaluate(i, j)
+            w_scores, w_ctr = warmed.evaluate(i, j)
+            assert w_scores == s_scores
+            assert w_ctr.as_dict() == s_ctr.as_dict()
+
+    def test_prewarm_is_idempotent(self, ck34_mini):
+        ev = JobEvaluator(ck34_mini, mode=EvalMode.MODEL)
+        n = len(ck34_mini) * (len(ck34_mini) - 1) // 2
+        assert ev.prewarm(workers=2) == n
+        assert ev.prewarm(workers=2) == 0

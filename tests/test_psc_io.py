@@ -8,6 +8,7 @@ from repro.psc.io import (
     read_score_table_csv,
     read_score_table_json,
     score_matrix,
+    stream_score_table_csv,
     write_score_table_csv,
     write_score_table_json,
 )
@@ -42,6 +43,51 @@ class TestCsvRoundTrip:
         path.write_text("foo,bar\n1,2\n")
         with pytest.raises(ValueError):
             read_score_table_csv(path)
+
+
+class TestStreamedCsv:
+    def test_matches_bulk_writer_bytes(self, table, tmp_path):
+        ds, tab = table
+        bulk = tmp_path / "bulk.csv"
+        streamed = tmp_path / "streamed.csv"
+        write_score_table_csv(tab, bulk)
+        # the bulk writer sorts pairs; feed the same order to the stream
+        rows = ((a, b, tab[(a, b)]) for a, b in sorted(tab))
+        assert stream_score_table_csv(rows, streamed) == len(tab)
+        assert streamed.read_bytes() == bulk.read_bytes()
+
+    def test_rows_hit_disk_incrementally(self, tmp_path):
+        # a producer that dies mid-stream must leave the rows it already
+        # yielded on disk — proof nothing is being buffered into a table
+        path = tmp_path / "partial.csv"
+
+        def rows():
+            yield "a", "b", {"s": 1.0}
+            yield "a", "c", {"s": 2.0}
+            raise RuntimeError("producer died")
+
+        with pytest.raises(RuntimeError, match="producer died"):
+            stream_score_table_csv(rows(), path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "chain_a,chain_b,s"
+        assert len(lines) == 3
+
+    def test_roundtrips_through_reader(self, tmp_path):
+        path = tmp_path / "s.csv"
+        rows = [("a", "b", {"x": 0.5, "y": 1.5}), ("a", "c", {"x": 0.25, "y": 2.5})]
+        assert stream_score_table_csv(iter(rows), path) == 2
+        back = read_score_table_csv(path)
+        assert back[("a", "b")] == {"x": 0.5, "y": 1.5}
+        assert back[("a", "c")] == {"x": 0.25, "y": 2.5}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            stream_score_table_csv(iter(()), tmp_path / "x.csv")
+
+    def test_inconsistent_keys_rejected(self, tmp_path):
+        rows = [("a", "b", {"s": 1.0}), ("a", "c", {"t": 2.0})]
+        with pytest.raises(ValueError, match="score keys"):
+            stream_score_table_csv(iter(rows), tmp_path / "x.csv")
 
 
 class TestJsonRoundTrip:

@@ -1,0 +1,113 @@
+"""Golden pins for the optimised TM-align kernel.
+
+The PR-2 hot-loop work (DP workspace reuse, scoring-buffer reuse, the
+gufunc SVD path in Kabsch) is only allowed to remove overhead, never to
+change a float operation — so four representative ck34 comparisons are
+pinned here bit-for-bit against the pre-optimisation serial code.  The
+expected values are ``repr()`` strings (repr round-trips doubles
+exactly); op counts and the residue correspondence are pinned too, so a
+change to the *search trajectory* (not just the final scores) fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tmalign import tm_align
+
+# (name_a, name_b) -> pinned fields captured from the seed kernel.
+# ai/aj are summarised as (len, sum, first, last): enough to catch any
+# trajectory change without embedding 140-element index lists.
+GOLDEN = {
+    ("ck_globin_00", "ck_globin_01"): {
+        "tm_norm_a": "0.9281806935058299",
+        "tm_norm_b": "0.9726556580806811",
+        "rmsd": "0.7499474535489062",
+        "seq_identity": "0.6197183098591549",
+        "n_aligned": 142,
+        "ai": (142, 10579, 4, 145),
+        "aj": (142, 10011, 0, 141),
+        "op_counts": {
+            "align_fixed": "1.0",
+            "dp_cell": "232738.0",
+            "io_byte": "0.0",
+            "kabsch": "656.0",
+            "kabsch_point": "52711.0",
+            "score_pair": "268289.0",
+            "sec_res": "291.0",
+        },
+    },
+    ("ck_globin_00", "ck_plasto_02"): {
+        "tm_norm_a": "0.27123424328628587",
+        "tm_norm_b": "0.34886211905167747",
+        "rmsd": "7.2269270014283675",
+        "seq_identity": "0.0449438202247191",
+        "n_aligned": 89,
+        "ai": (89, 5929, 0, 148),
+        "aj": (89, 4309, 1, 93),
+        "op_counts": {
+            "align_fixed": "1.0",
+            "dp_cell": "322138.0",
+            "io_byte": "0.0",
+            "kabsch": "1172.0",
+            "kabsch_point": "47273.0",
+            "score_pair": "391748.0",
+            "sec_res": "243.0",
+        },
+    },
+    ("ck_globin_05", "ck_ferredoxin_00"): {
+        "tm_norm_a": "0.38113050045252456",
+        "tm_norm_b": "0.45441980151592615",
+        "rmsd": "7.325010591141995",
+        "seq_identity": "0.037037037037037035",
+        "n_aligned": 108,
+        "ai": (108, 8697, 2, 146),
+        "aj": (108, 6034, 0, 111),
+        "op_counts": {
+            "align_fixed": "1.0",
+            "dp_cell": "279888.0",
+            "io_byte": "0.0",
+            "kabsch": "1035.0",
+            "kabsch_point": "53470.0",
+            "score_pair": "346196.0",
+            "sec_res": "259.0",
+        },
+    },
+    ("ck_tim_04", "ck_ferredoxin_05"): {
+        "tm_norm_a": "0.29455571204021125",
+        "tm_norm_b": "0.45493357568367454",
+        "rmsd": "6.263360000664827",
+        "seq_identity": "0.029411764705882353",
+        "n_aligned": 102,
+        "ai": (102, 12639, 4, 211),
+        "aj": (102, 5551, 0, 111),
+        "op_counts": {
+            "align_fixed": "1.0",
+            "dp_cell": "427392.0",
+            "io_byte": "0.0",
+            "kabsch": "1314.0",
+            "kabsch_point": "71651.0",
+            "score_pair": "506937.0",
+            "sec_res": "324.0",
+        },
+    },
+}
+
+
+def _index_summary(idx) -> tuple[int, int, int, int]:
+    lst = idx.tolist()
+    return (len(lst), sum(lst), lst[0], lst[-1])
+
+
+@pytest.mark.parametrize("pair", sorted(GOLDEN), ids="|".join)
+def test_kernel_bit_identical_to_seed(ck34, pair):
+    name_a, name_b = pair
+    want = GOLDEN[pair]
+    result = tm_align(ck34.by_name(name_a), ck34.by_name(name_b))
+    for field in ("tm_norm_a", "tm_norm_b", "rmsd", "seq_identity"):
+        assert repr(getattr(result, field)) == want[field], field
+    assert result.n_aligned == want["n_aligned"]
+    assert _index_summary(result.alignment.ai) == want["ai"]
+    assert _index_summary(result.alignment.aj) == want["aj"]
+    got_counts = {k: repr(float(v)) for k, v in sorted(result.op_counts.items())}
+    assert got_counts == want["op_counts"]
