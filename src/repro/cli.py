@@ -29,6 +29,7 @@ from repro.experiments import (
     run_ablation_mcpsc,
     run_exp1,
     run_exp2,
+    run_exp_resilience,
     run_table1,
     run_table3,
     run_table5,
@@ -86,6 +87,16 @@ def _cmd_ablations(args) -> str:
     return "\n\n".join(parts)
 
 
+def _cmd_exp_resilience(args) -> str:
+    dataset = args.dataset if args.dataset != "both" else "ck34"
+    return run_exp_resilience(
+        dataset=dataset,
+        n_slaves=11 if args.quick else 23,
+        failed_counts=(0, 1, 3),
+        mode=args.mode,
+    ).to_text()
+
+
 def _cmd_all(args) -> str:
     out = []
     for name in ("table1", "table3", "exp1", "exp2", "table5", "ablations"):
@@ -100,6 +111,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "table3": _cmd_table3,
     "exp1": _cmd_exp1,
     "exp2": _cmd_exp2,
+    "exp-resilience": _cmd_exp_resilience,
     "table5": _cmd_table5,
     "ablations": _cmd_ablations,
     "all": _cmd_all,
@@ -130,19 +142,64 @@ def _cmd_align(args) -> str:
     return format_tmalign_report(result, chain_a, chain_b)
 
 
+def _retry_from_args(args):
+    from repro.parallel import RetryPolicy
+
+    if args.retries <= 0 and args.chunk_timeout <= 0:
+        return None
+    return RetryPolicy(
+        max_retries=max(args.retries, 1 if args.chunk_timeout > 0 else 0),
+        backoff_seconds=args.backoff,
+        chunk_timeout_seconds=args.chunk_timeout,
+    )
+
+
+def _faults_from_args(args):
+    from repro.faults import FarmFaultPlan
+
+    return FarmFaultPlan.parse(args.inject) if args.inject else None
+
+
+def _run_store(args):
+    from repro.runs import RunStore
+
+    return RunStore(args.runs_dir)
+
+
 def _cmd_search(args) -> str:
     from repro.datasets import load_dataset
     from repro.psc import get_method, one_vs_all
+    from repro.runs import RunManifest
 
     dataset = load_dataset(args.dataset)
     query = _load_chain(args.query, args.dataset)
-    hits = one_vs_all(
-        query,
-        dataset,
-        method=get_method(args.method),
-        workers=args.workers,
-        chunk=args.chunk,
+    store = _run_store(args)
+    manifest = RunManifest.for_task(
+        run_id=store.new_run_id("search"),
+        command="search",
+        dataset=dataset,
+        method_name=args.method,
+        n_pairs=len(dataset),
+        params={
+            "query": query.name,
+            "top": args.top,
+            "workers": args.workers,
+            "chunk": args.chunk,
+        },
     )
+    run = store.create(manifest)
+    try:
+        hits = one_vs_all(
+            query,
+            dataset,
+            method=get_method(args.method),
+            workers=args.workers,
+            chunk=args.chunk,
+            retry=_retry_from_args(args),
+        )
+    except BaseException:
+        run.mark("interrupted")
+        raise
     lines = [
         f"query {query.name} ({len(query)} residues) vs {dataset.name} "
         f"({len(dataset)} chains) using {args.method}:",
@@ -150,81 +207,215 @@ def _cmd_search(args) -> str:
     ]
     for rank, hit in enumerate(hits[: args.top], start=1):
         lines.append(f"{rank:>4}  {hit.chain_name:<20} {hit.score:>8.4f}")
-    return "\n".join(lines)
+    text = "\n".join(lines)
+    from repro.runs.manifest import atomic_write_text
+
+    atomic_write_text(run.artifact_path("result.txt"), text + "\n")
+    run.mark("complete")
+    return text + f"\n[run {run.run_id} recorded in {args.runs_dir}]"
 
 
 def _cmd_matrix(args) -> str:
-    """All-vs-all score matrix for a dataset, streamed to CSV."""
+    """All-vs-all score matrix, journaled to a run directory and
+    streamed to CSV (atomic finalize; resumable after interruption)."""
     from repro.datasets import load_dataset
-    from repro.datasets.pairs import all_vs_all_pairs
-    from repro.parallel import FarmStats, ParallelConfig, iter_pair_results
+    from repro.faults import InjectedFault
+    from repro.parallel import ParallelConfig, WorkerCrash
     from repro.psc import get_method
-    from repro.psc.io import stream_score_table_csv
+    from repro.runs import matrix_run
 
     dataset = load_dataset(args.dataset)
     method = get_method(args.method)
-    pairs = list(all_vs_all_pairs(len(dataset)))
-    stats = FarmStats()
-    results = iter_pair_results(
-        dataset,
-        pairs,
-        method,
-        config=ParallelConfig(workers=args.workers, chunk=args.chunk),
-        stats=stats,
+    config = ParallelConfig(
+        workers=args.workers, chunk=args.chunk, retry=_retry_from_args(args)
     )
-    acc = {"sum": 0.0}
-
-    def rows():
-        # rows go to the CSV as they drain from the farm; only the running
-        # score mean is kept in memory, never the table
-        for i, j, scores, _ in results:
-            acc["sum"] += scores[method.score_key]
-            yield dataset[i].name, dataset[j].name, scores
-
-    n_rows = stream_score_table_csv(rows(), args.output)
+    store = _run_store(args)
+    try:
+        result = matrix_run(
+            dataset,
+            method,
+            args.output,
+            store,
+            run_id=args.run_id or None,
+            resume=args.resume or None,
+            config=config,
+            faults=_faults_from_args(args),
+        )
+    except (WorkerCrash, InjectedFault) as exc:
+        run_id = args.resume or args.run_id
+        hint = (
+            f" — completed pairs are journaled; continue with "
+            f"`matrix --resume {run_id} --runs-dir {args.runs_dir}`"
+            if run_id
+            else " — completed pairs are journaled (see the `runs` command)"
+        )
+        raise SystemExit(f"matrix run failed: {exc}{hint}") from exc
+    stats = result.stats
     lines = [
-        f"wrote {n_rows} pair scores to {args.output} (streamed, "
-        f"workers={stats.workers}, chunk={stats.chunk_size})",
-        f"wall {stats.wall_seconds:.1f}s, {stats.pairs_per_second:.2f} pairs/s; "
-        f"mean off-diagonal {method.score_key} = {acc['sum'] / max(1, n_rows):.4f}",
+        f"wrote {result.n_rows} pair scores to {result.output} (streamed, "
+        f"workers={stats.workers}, chunk={stats.chunk_size}; "
+        f"run {result.run_id})",
     ]
+    if result.n_journaled:
+        lines.append(
+            f"resumed: {result.n_journaled} pairs taken from the journal, "
+            f"{result.n_computed} computed now"
+        )
+    if stats.retries or stats.pool_restarts or stats.chunk_timeouts:
+        lines.append(
+            f"absorbed faults: {stats.retries} chunk retries, "
+            f"{stats.pool_restarts} pool restarts, "
+            f"{stats.chunk_timeouts} stall re-dispatches"
+        )
+    lines.append(
+        f"wall {stats.wall_seconds:.1f}s, {stats.pairs_per_second:.2f} pairs/s; "
+        f"mean off-diagonal {result.score_key} = "
+        f"{result.score_sum / max(1, result.n_pairs):.4f}"
+    )
     return "\n".join(lines)
+
+
+def _cmd_runs(args) -> str:
+    """List durable runs under --runs-dir."""
+    store = _run_store(args)
+    runs = store.list_runs()
+    if not runs:
+        return f"no runs under {args.runs_dir}"
+    lines = [f"{'run':<34} {'command':<14} {'status':<12} {'done':>11}  dataset"]
+    for run in runs:
+        m = run.manifest
+        done = len(run.load_journal()) if m.command == "matrix" else m.n_pairs
+        lines.append(
+            f"{m.run_id:<34} {m.command:<14} {m.status:<12} "
+            f"{done:>5}/{m.n_pairs:<5}  {m.dataset}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_trace(args) -> str:
+    """Trace a simulated rckAlign farm; optionally export Chrome JSON."""
+    from repro.core.rckalign import RckAlignConfig, run_rckalign
+    from repro.faults import SimFaultPlan
+    from repro.scc.trace import Tracer, chrome_trace, render_gantt
+
+    plan = None
+    if args.kill:
+        plan = SimFaultPlan.kill_n(
+            args.kill, list(range(1, args.slaves + 1)), seed=args.seed
+        )
+    box = {}
+    report = run_rckalign(
+        RckAlignConfig(
+            dataset=args.dataset,
+            n_slaves=args.slaves,
+            mode=args.mode,
+            fault_plan=plan,
+        ),
+        on_machine=lambda machine: box.update(tracer=Tracer(machine)),
+    )
+    tracer = box["tracer"]
+    lines = [report.summary()]
+    if report.failures_detected:
+        lines.append(
+            f"failures: {report.failures_detected} slave(s) died "
+            f"({', '.join(f'rck{s:02d}' for s in report.failed_slaves)}), "
+            f"{report.jobs_reassigned} job(s) reassigned"
+        )
+    if args.chrome:
+        with open(args.chrome, "w", encoding="ascii") as fh:
+            fh.write(chrome_trace(tracer))
+        lines.append(
+            f"wrote {len(tracer.intervals)} intervals to {args.chrome} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+    if args.gantt:
+        lines.append(render_gantt(tracer))
+    return "\n".join(lines)
+
+
+def _bench_output(args) -> tuple[Optional[str], str]:
+    """Resolve the bench artefact path from --output/--no-output.
+
+    Returns ``(path_or_None, note)``; the empty-string form of --output
+    still works but is deprecated in favour of --no-output.
+    """
+    note = ""
+    if args.no_output:
+        return None, note
+    if args.output == "":
+        note = (
+            "note: `--output \"\"` is deprecated; use --no-output to skip "
+            "the JSON artefact"
+        )
+        return None, note
+    return args.output, note
 
 
 def _cmd_bench(args) -> str:
     from repro.experiments.bench import format_bench_report, run_bench
 
+    output, note = _bench_output(args)
     datasets = (args.dataset,) if args.dataset != "both" else ("ck34", "rs119")
     report = run_bench(
         datasets=datasets,
         slave_counts=_grid(args),
         mode=args.mode,
-        output=args.output,
+        output=output,
         micro=not args.no_micro,
     )
     text = format_bench_report(report)
-    if args.output:
-        text += f"\nwrote {args.output}"
+    if output:
+        text += f"\nwrote {output}"
+    if note:
+        text += f"\n{note}"
     return text
 
 
 def _cmd_bench_parallel(args) -> str:
+    from repro.datasets import load_dataset
     from repro.experiments.bench import (
         format_parallel_bench_report,
         run_parallel_bench,
     )
+    from repro.runs import RunManifest
+    from repro.runs.manifest import atomic_write_text
 
+    output, note = _bench_output(args)
     workers = tuple(int(w) for w in args.workers_grid.split(","))
-    report = run_parallel_bench(
-        dataset=args.dataset,
-        workers_grid=workers,
-        chunk=args.chunk,
-        output=args.output,
+    dataset = load_dataset(args.dataset)
+    store = _run_store(args)
+    run = store.create(
+        RunManifest.for_task(
+            run_id=store.new_run_id("bench-parallel"),
+            command="bench-parallel",
+            dataset=dataset,
+            method_name="tmalign",
+            n_pairs=len(dataset) * (len(dataset) - 1) // 2,
+            params={"workers_grid": list(workers), "chunk": args.chunk},
+        )
     )
+    try:
+        report = run_parallel_bench(
+            dataset=args.dataset,
+            workers_grid=workers,
+            chunk=args.chunk,
+            output=output,
+        )
+    except BaseException:
+        run.mark("interrupted")
+        raise
     text = format_parallel_bench_report(report)
-    if args.output:
-        text += f"\nwrote {args.output}"
-    return text
+    import json as _json
+
+    atomic_write_text(
+        run.artifact_path("result.json"), _json.dumps(report, indent=1, default=str)
+    )
+    run.mark("complete")
+    if output:
+        text += f"\nwrote {output}"
+    if note:
+        text += f"\n{note}"
+    return text + f"\n[run {run.run_id} recorded in {args.runs_dir}]"
 
 
 def _cmd_info(args) -> str:
@@ -300,20 +491,104 @@ def build_parser() -> argparse.ArgumentParser:
             help="pairs per scheduling chunk (0 = auto)",
         )
 
+    def add_resilience(p) -> None:
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="re-dispatches allowed per failed chunk (0 = fail fast)",
+        )
+        p.add_argument(
+            "--backoff",
+            type=float,
+            default=0.05,
+            help="base exponential-backoff delay between retries (s)",
+        )
+        p.add_argument(
+            "--chunk-timeout",
+            type=float,
+            default=0.0,
+            help="seconds before a stalled chunk gets a duplicate dispatch "
+            "(0 = no stall detection)",
+        )
+        p.add_argument(
+            "--inject",
+            default="",
+            help="deterministic fault plan for the farm workers, e.g. "
+            "'kill@0-3', 'raise@1-2#0|1', 'stall:1.5@2-4' (comma-separated)",
+        )
+
+    def add_runs_dir(p) -> None:
+        p.add_argument(
+            "--runs-dir",
+            default="runs",
+            help="root directory of the durable run store",
+        )
+
     p = sub.add_parser("search", help="one-vs-all ranked search")
     p.add_argument("query", help="PDB file path or chain name in --dataset")
     p.add_argument("--dataset", default="ck34")
     p.add_argument("--method", default="tmalign")
     p.add_argument("--top", type=int, default=10)
     add_farm(p)
+    add_resilience(p)
+    add_runs_dir(p)
     p.set_defaults(fn=_cmd_search)
 
-    p = sub.add_parser("matrix", help="all-vs-all score matrix to CSV")
+    p = sub.add_parser(
+        "matrix",
+        help="all-vs-all score matrix to CSV (journaled; resumable)",
+    )
     p.add_argument("--dataset", default="ck34-mini")
     p.add_argument("--method", default="sse_composition")
     p.add_argument("--output", default="scores.csv")
+    p.add_argument(
+        "--run-id",
+        default="",
+        help="name the fresh run directory (default: auto-generated)",
+    )
+    p.add_argument(
+        "--resume",
+        default="",
+        help="continue an interrupted run by id; journaled pairs are "
+        "never recomputed",
+    )
     add_farm(p)
+    add_resilience(p)
+    add_runs_dir(p)
     p.set_defaults(fn=_cmd_matrix)
+
+    p = sub.add_parser("runs", help="list durable runs and their status")
+    add_runs_dir(p)
+    p.set_defaults(fn=_cmd_runs)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace a simulated rckAlign farm (Gantt / Chrome JSON)",
+    )
+    p.add_argument("--dataset", default="ck34-mini")
+    p.add_argument("--slaves", type=int, default=5)
+    p.add_argument(
+        "--mode", default="model", choices=("model", "measured")
+    )
+    p.add_argument(
+        "--kill",
+        type=int,
+        default=0,
+        help="kill this many slaves mid-farm (seeded fault plan)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument(
+        "--chrome",
+        default="",
+        help="write the trace as Chrome tracing JSON to this path",
+    )
+    p.add_argument(
+        "--gantt",
+        action="store_true",
+        help="also print the fixed-width utilization chart",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
         "bench", help="wall-clock benchmark of the simulator hot paths"
@@ -322,7 +597,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output",
         default="BENCH_hotpaths.json",
-        help="JSON artefact path ('' to skip writing)",
+        help="JSON artefact path",
+    )
+    p.add_argument(
+        "--no-output",
+        action="store_true",
+        help="skip writing the JSON artefact",
     )
     p.add_argument(
         "--no-micro",
@@ -345,8 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output",
         default="BENCH_parallel.json",
-        help="JSON artefact path ('' to skip writing)",
+        help="JSON artefact path",
     )
+    p.add_argument(
+        "--no-output",
+        action="store_true",
+        help="skip writing the JSON artefact",
+    )
+    add_runs_dir(p)
     p.set_defaults(fn=_cmd_bench_parallel)
 
     p = sub.add_parser("info", help="dataset summary")

@@ -19,6 +19,7 @@ from repro.cost.cpu import CpuModel
 from collections import OrderedDict
 
 from repro.datasets.pairs import all_vs_all_pairs, blocked_pairs
+from repro.faults.sim import SimFaultPlan
 from repro.datasets.registry import Dataset, load_dataset
 from repro.psc.base import PSCMethod
 from repro.psc.evaluator import EvalMode, JobEvaluator
@@ -60,6 +61,10 @@ class RckAlignConfig:
     # When set, farm exactly these (i, j) pairs instead of all-vs-all —
     # used by the one-vs-all and database-update scenarios.
     explicit_pairs: Optional[tuple[tuple[int, int], ...]] = None
+    # Planned slave failures/degradations for resilience experiments
+    # (fail-stop kills with bounded detection, or slowed cores); the
+    # master reassigns jobs lost to killed slaves.
+    fault_plan: Optional[SimFaultPlan] = None
 
     def resolve_dataset(self) -> Dataset:
         if isinstance(self.dataset, Dataset):
@@ -86,6 +91,9 @@ class RckAlignReport:
     noc_bytes: int
     sim_events: int
     structure_faults: int = 0  # streaming mode: on-demand loads
+    failures_detected: int = 0  # killed slaves the master discovered
+    jobs_reassigned: int = 0  # jobs re-dispatched after a slave death
+    failed_slaves: tuple[int, ...] = ()
 
     @property
     def parallel_efficiency(self) -> float:
@@ -133,11 +141,14 @@ def _dataset_pdb_bytes(dataset: Dataset) -> int:
 def run_rckalign(
     config: RckAlignConfig,
     evaluator: Optional[JobEvaluator] = None,
+    on_machine=None,
 ) -> RckAlignReport:
     """Simulate one full rckAlign execution and return its report.
 
     Pass a shared ``evaluator`` to reuse the measured-mode cache across
-    the core-count sweep of Experiment II.
+    the core-count sweep of Experiment II.  ``on_machine``, when given,
+    is called with the :class:`SccMachine` before any program is spawned
+    — the hook the CLI uses to attach a :class:`repro.scc.trace.Tracer`.
     """
     dataset = config.resolve_dataset()
     if config.n_slaves < 1:
@@ -152,12 +163,30 @@ def run_rckalign(
         raise ValueError("evaluator is bound to a different dataset")
 
     machine = SccMachine(config=config.scc)
+    if on_machine is not None:
+        on_machine(machine)
     rcce = Rcce(machine)
     master_id = config.master_core
     slave_ids = [c for c in range(config.scc.n_cores) if c != master_id][
         : config.n_slaves
     ]
-    runtime = SkeletonRuntime(machine, rcce, master_id, slave_ids, config.farm)
+    if config.fault_plan is not None:
+        unknown = [
+            f.slave_id
+            for f in config.fault_plan.faults
+            if f.slave_id not in slave_ids
+        ]
+        if unknown:
+            raise ValueError(
+                f"fault plan targets non-slave cores {unknown}; "
+                f"slaves are {slave_ids}"
+            )
+        if config.fault_plan.n_kills >= len(slave_ids):
+            raise ValueError("fault plan would kill every slave")
+    runtime = SkeletonRuntime(
+        machine, rcce, master_id, slave_ids, config.farm,
+        fault_plan=config.fault_plan,
+    )
 
     cpu: CpuModel = config.scc.core_cpu
     limit = config.memory_limit_chains
@@ -253,4 +282,7 @@ def run_rckalign(
         noc_bytes=machine.fabric.bytes_sent,
         sim_events=machine.env.event_count,
         structure_faults=report_box.get("structure_faults", 0),
+        failures_detected=runtime.failures_detected,
+        jobs_reassigned=runtime.jobs_reassigned,
+        failed_slaves=tuple(runtime.failed_slaves),
     )

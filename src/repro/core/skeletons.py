@@ -25,12 +25,20 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Mapping, Optional, Sequence
 
+from repro.faults.sim import SimFaultPlan
 from repro.scc.machine import Core, SccMachine
 from repro.scc.rcce import Rcce
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, SimulationError
 from repro.sim.resources import Resource, Store
 
-__all__ = ["Job", "JobResult", "FarmConfig", "SkeletonRuntime", "TERMINATE"]
+__all__ = [
+    "FarmConfig",
+    "Job",
+    "JobFailure",
+    "JobResult",
+    "SkeletonRuntime",
+    "TERMINATE",
+]
 
 
 class _Terminate:
@@ -67,6 +75,27 @@ class JobResult:
     slave_id: int
     nbytes: int
     finished_at: float
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Tombstone a dying slave leaves in place of a result.
+
+    Fail-stop model with bounded detection: a killed slave stops after
+    ``detect_seconds`` of simulated time and this marker is what the
+    master's round-robin poll finds instead of a result flag.  It carries
+    the job the slave was holding so the master can re-dispatch it to a
+    survivor.
+    """
+
+    job: Job
+    slave_id: int
+    detected_at: float
+    nbytes: int = 32
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
 
 
 @dataclass(frozen=True)
@@ -114,6 +143,7 @@ class SkeletonRuntime:
         master_id: int,
         slave_ids: Sequence[int],
         config: Optional[FarmConfig] = None,
+        fault_plan: Optional[SimFaultPlan] = None,
     ) -> None:
         slave_ids = list(slave_ids)
         if master_id in slave_ids:
@@ -138,9 +168,13 @@ class SkeletonRuntime:
         # the same poll ring thousands of times per farm.
         self._visit_cost_cache: dict[tuple[int, int], float] = {}
         self._order_cost_cache: dict[tuple[int, ...], tuple[list[float], float]] = {}
+        self.fault_plan = fault_plan
         # instrumentation
         self.poll_visits = 0
         self.results_collected = 0
+        self.failures_detected = 0
+        self.jobs_reassigned = 0
+        self.failed_slaves: list[int] = []
 
     # -- slave side --------------------------------------------------------
     def slave_loop(self, core: Core, handler: SlaveHandler) -> Generator:
@@ -150,7 +184,20 @@ class SkeletonRuntime:
         announces readiness, then blocks receiving jobs from the master,
         executes ``handler`` on each, posts the result, and exits on
         TERMINATE.
+
+        With a fault plan attached, a ``kill`` fault makes the slave
+        fail-stop while holding its ``after_jobs``-th job: after
+        ``detect_seconds`` the failure becomes visible as a
+        :class:`JobFailure` tombstone in the slave's MPB (where the
+        master's poll expects a result flag) and the slave never runs
+        again.  A ``slow`` fault degrades the core's effective frequency
+        from that point on — jobs still complete, just late.
         """
+        fault = (
+            self.fault_plan.for_slave(core.id)
+            if self.fault_plan is not None
+            else None
+        )
         if self.config.slave_boot_seconds > 0:
             req = self._boot_loader.request()
             yield req
@@ -159,14 +206,27 @@ class SkeletonRuntime:
             finally:
                 self._boot_loader.release(req)
         yield from self._post_ready(core)
+        completed = 0
         while True:
             msg = yield from self.rcce.recv(core, self.master_id)
             if isinstance(msg.payload, _Terminate):
                 return
             job: Job = msg.payload
+            if fault is not None and completed >= fault.after_jobs:
+                if fault.kind == "kill":
+                    # Fail-stop mid-job.  The detection bound covers the
+                    # master noticing the stuck flag / missed heartbeat.
+                    yield self._env.timeout(fault.detect_seconds)
+                    self._outbox[core.id].put(
+                        JobFailure(job, core.id, core.env.now)
+                    )
+                    self._fire_signal()
+                    return
+                core.freq_scale = 1.0 / fault.slow_factor  # 'slow'
             out = yield from handler(core, job.payload)
             result_payload, result_nbytes = out
             core.stats.jobs_done += 1
+            completed += 1
             yield from self._post_result(
                 core,
                 JobResult(
@@ -237,7 +297,8 @@ class SkeletonRuntime:
             result.nbytes + self.config.poll_flag_bytes,
         )
         yield from master.compute_cycles(self.config.master_result_cycles)
-        self.results_collected += 1
+        if not isinstance(result, JobFailure):
+            self.results_collected += 1
 
     def _dispatch(self, master: Core, slave: int, job: Job) -> Generator:
         yield from master.compute_cycles(self.config.master_job_cycles)
@@ -382,6 +443,12 @@ class SkeletonRuntime:
         ``on_dispatch`` is an optional master-side coroutine run before
         each job is sent — e.g. the streaming loader that faults
         structures into the master's limited memory.
+
+        Failure handling: when the poll finds a :class:`JobFailure`
+        tombstone instead of a result, the master permanently removes
+        that slave from its poll ring, re-enqueues the lost job at the
+        front of the queue, and hands it to the next slave that frees up
+        — so a dead core costs its share of throughput, never a job.
         """
         ues = list(ue_ids or self.slave_ids)
         # Wait only for as many ready announcements as this farm uses:
@@ -396,27 +463,50 @@ class SkeletonRuntime:
                 yield from on_dispatch(master, job)
             yield from self._dispatch(master, slave, job)
 
-        outstanding = 0
-        for slave in ues:
+        live = list(ues)
+        busy: set[int] = set()
+        for slave in live:
             if not queue:
                 break
             yield from dispatch(slave, queue.popleft())
-            outstanding += 1
+            busy.add(slave)
         pos = 0
-        while outstanding:
-            found = yield from self._scan_for_result(master, ues, pos)
+        while busy or queue:
+            if queue and len(busy) < len(live):
+                # Idle live slaves with queued work: only reachable after
+                # a failure handed a job back, so re-prime immediately.
+                for slave in live:
+                    if not queue:
+                        break
+                    if slave not in busy:
+                        yield from dispatch(slave, queue.popleft())
+                        busy.add(slave)
+            found = yield from self._scan_for_result(master, live, pos)
             if found is None:
                 yield from self._wait_signal()
                 continue
             slave, result, pos = found
             yield from self._pull_result(master, slave, result)
+            if isinstance(result, JobFailure):
+                self.failures_detected += 1
+                self.jobs_reassigned += 1
+                self.failed_slaves.append(slave)
+                busy.discard(slave)
+                live.remove(slave)
+                queue.appendleft(result.job)
+                if not live:
+                    raise SimulationError(
+                        f"all farm slaves failed; {len(queue)} jobs stranded"
+                    )
+                pos %= len(live)
+                continue
             if collector is not None:
                 collector(result)
             results.append(result)
-            outstanding -= 1
+            busy.discard(slave)
             if queue:
                 yield from dispatch(slave, queue.popleft())
-                outstanding += 1
+                busy.add(slave)
         if terminate:
             yield from self.shutdown(master, ues)
         return results
@@ -479,6 +569,12 @@ class SkeletonRuntime:
         return results
 
     def shutdown(self, master: Core, ue_ids: Optional[Sequence[int]] = None) -> Generator:
-        """Send TERMINATE to the given (default: all) slaves."""
+        """Send TERMINATE to the given (default: all) surviving slaves.
+
+        Failed slaves are skipped: a rendezvous send to a core that will
+        never post a receive flag would block the master forever.
+        """
         for slave in ue_ids or self.slave_ids:
+            if slave in self.failed_slaves:
+                continue
             yield from self.rcce.send(master, slave, TERMINATE, nbytes=0)

@@ -9,6 +9,8 @@ exp id      regenerates
 ``exp2``    Table IV + Figure 6 — rckAlign speedup vs slave count
 ``table5``  Table V   — cross-system summary
 ``ablations`` A1 (balancing), A2 (hierarchical masters), A3 (MC-PSC)
+``exp_resilience`` Experiment R — degraded-mode scaling under
+            injected slave failures (beyond the paper)
 ==========  =========================================================
 
 Every harness returns structured rows and renders the same table the
@@ -28,6 +30,7 @@ from repro.experiments.table3 import run_table3
 from repro.experiments.exp1 import run_exp1
 from repro.experiments.exp2 import run_exp2
 from repro.experiments.table5 import run_table5
+from repro.experiments.resilience import run_exp_resilience
 from repro.experiments.ablations import (
     run_ablation_balancing,
     run_ablation_hierarchy,
@@ -45,6 +48,7 @@ __all__ = [
     "run_table3",
     "run_exp1",
     "run_exp2",
+    "run_exp_resilience",
     "run_table5",
     "run_ablation_balancing",
     "run_ablation_hierarchy",

@@ -1,0 +1,131 @@
+"""Experiment R: degraded-mode scaling of the simulated rckAlign farm.
+
+The paper's farm assumes all 47 slaves survive the sweep; this harness
+quantifies what the dynamic master–slaves design buys when they don't.
+Seeded fail-stop fault plans kill 0, 1, 3, ... slaves mid-run; the
+master detects each death (bounded-detection tombstone), removes the
+core from its poll ring and re-dispatches the lost job, so every run
+still completes the full all-vs-all sweep.  Reported speedups are
+relative to the same single-core serial baseline as Experiment II, which
+makes rows directly comparable to Table IV: killing k of n slaves should
+cost roughly the k/n throughput share the dead cores carried, plus the
+detection/reassignment overhead — the gap between the measured and the
+ideal ``(n-k)/n`` column is that overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.serial import SerialConfig, run_serial
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import ExperimentResult, shared_evaluator
+from repro.faults.sim import SimFaultPlan
+from repro.psc.evaluator import EvalMode, JobEvaluator
+
+__all__ = ["run_exp_resilience"]
+
+
+def run_exp_resilience(
+    dataset: str = "ck34",
+    n_slaves: int = 23,
+    failed_counts: Sequence[int] = (0, 1, 3),
+    mode: EvalMode | str = EvalMode.MODEL,
+    seed: int = 0,
+    after_jobs: int = 1,
+    detect_seconds: float = 0.25,
+    evaluator: Optional[JobEvaluator] = None,
+) -> ExperimentResult:
+    """Sweep killed-slave counts and report degraded-mode speedup.
+
+    Every run completes the full job list (the acceptance bar: a dead
+    slave may cost time, never results); ``jobs reassigned`` counts the
+    re-dispatches that made that true.
+    """
+    if any(k < 0 for k in failed_counts):
+        raise ValueError("failed_counts must be non-negative")
+    if max(failed_counts) >= n_slaves:
+        raise ValueError(
+            f"cannot kill {max(failed_counts)} of {n_slaves} slaves "
+            "and still finish the sweep"
+        )
+    ds = load_dataset(dataset)
+    evaluator = evaluator or shared_evaluator(ds, mode)
+    base = run_serial(SerialConfig(dataset=ds, mode=mode), evaluator=evaluator)
+
+    # Fault plans target real slave core ids: master is core 0, slaves
+    # are the next n_slaves cores (run_rckalign's layout).
+    slave_ids = list(range(1, n_slaves + 1))
+
+    rows = []
+    fault_free_seconds: Optional[float] = None
+    for k in failed_counts:
+        plan = (
+            SimFaultPlan.kill_n(
+                k,
+                slave_ids,
+                seed=seed,
+                after_jobs=after_jobs,
+                detect_seconds=detect_seconds,
+            )
+            if k
+            else None
+        )
+        rep = run_rckalign(
+            RckAlignConfig(
+                dataset=ds, n_slaves=n_slaves, mode=mode, fault_plan=plan
+            ),
+            evaluator=evaluator,
+        )
+        if rep.failures_detected != k:
+            raise RuntimeError(
+                f"planned {k} slave deaths but master detected "
+                f"{rep.failures_detected}"
+            )
+        if len(rep.results) != rep.n_jobs:
+            raise RuntimeError(
+                f"degraded run lost results: {len(rep.results)}/{rep.n_jobs}"
+            )
+        if fault_free_seconds is None:
+            # first row of the sweep; with the default grid this is k=0
+            fault_free_seconds = rep.total_seconds
+        speedup = base.total_seconds / rep.total_seconds
+        retained = fault_free_seconds / rep.total_seconds
+        ideal = (n_slaves - k) / n_slaves
+        rows.append(
+            (
+                k,
+                n_slaves - k,
+                rep.total_seconds,
+                speedup,
+                retained,
+                ideal,
+                rep.jobs_reassigned,
+            )
+        )
+
+    return ExperimentResult(
+        exp_id="exp_resilience",
+        title=(
+            f"Experiment R: rckAlign under slave failures "
+            f"({dataset}, {n_slaves} slaves, seed {seed})"
+        ),
+        columns=(
+            "failed slaves",
+            "live slaves",
+            "time (s)",
+            "speedup",
+            "throughput kept",
+            "ideal kept",
+            "jobs reassigned",
+        ),
+        rows=rows,
+        notes=(
+            "speedup is vs the single-core serial baseline (as Table IV); "
+            "'throughput kept' is fault-free time / degraded time, to be "
+            "read against the ideal (n-k)/n column — the gap is "
+            "detection + reassignment overhead."
+        ),
+        extras={"baseline_seconds": base.total_seconds, "seed": seed},
+    )

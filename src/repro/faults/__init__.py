@@ -1,0 +1,32 @@
+"""Deterministic, seedable fault injection for both farm backends.
+
+Two injectors share one philosophy — failures are *planned data*, not
+ambient randomness, so every chaos run is reproducible:
+
+* :mod:`repro.faults.farm` targets the real process-pool farm
+  (:mod:`repro.parallel`): worker-side exceptions, SIGKILL'd worker
+  processes and stalled chunks, driving the retry/backoff/timeout
+  machinery.
+* :mod:`repro.faults.sim` targets the simulated SCC farm
+  (:mod:`repro.core.skeletons`): fail-stop slave cores with bounded
+  failure detection and frequency-degraded ("slow") cores, driving the
+  master's job-reassignment logic and the ``exp_resilience`` harness.
+"""
+
+from repro.faults.farm import (
+    FAULT_KINDS,
+    FarmFaultPlan,
+    InjectedFault,
+    WorkerFault,
+)
+from repro.faults.sim import SIM_FAULT_KINDS, SimFaultPlan, SlaveFault
+
+__all__ = [
+    "FAULT_KINDS",
+    "SIM_FAULT_KINDS",
+    "FarmFaultPlan",
+    "InjectedFault",
+    "SimFaultPlan",
+    "SlaveFault",
+    "WorkerFault",
+]

@@ -1,0 +1,138 @@
+"""Deterministic fault injection for the real process-pool farm.
+
+A :class:`FarmFaultPlan` is a picklable, seedable description of
+failures to inject into :mod:`repro.parallel` workers.  It is shipped to
+every pool process through the worker initializer; workers consult it
+before evaluating each ``(i, j)`` pair and, when a fault matches, do one
+of:
+
+* ``raise`` — raise :class:`InjectedFault` (exercises the error-status
+  path and retry/backoff),
+* ``kill``  — SIGKILL their own process (exercises BrokenProcessPool
+  detection, pool restart and pair-level re-dispatch),
+* ``stall`` — sleep for ``stall_seconds`` before working (exercises
+  chunk timeouts and duplicate re-dispatch).
+
+Faults are keyed on the pair and the *attempt number* the master stamps
+on every dispatched chunk, so a fault restricted to ``attempts=(0,)``
+fires exactly once and the retried evaluation succeeds — deterministic
+chaos, byte-identical results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["FAULT_KINDS", "FarmFaultPlan", "InjectedFault", "WorkerFault"]
+
+FAULT_KINDS = ("raise", "kill", "stall")
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure fired by a fault plan (never a real bug)."""
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One planned failure: what to do, on which pair, on which attempts."""
+
+    kind: str
+    pair: Tuple[int, int]
+    attempts: Tuple[int, ...] = (0,)
+    stall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.kind == "stall" and self.stall_seconds <= 0:
+            raise ValueError("stall faults need stall_seconds > 0")
+        if any(a < 0 for a in self.attempts):
+            raise ValueError("attempt numbers must be non-negative")
+
+    def matches(self, i: int, j: int, attempt: int) -> bool:
+        return (i, j) == tuple(self.pair) and attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FarmFaultPlan:
+    """An ordered collection of worker faults (picklable, deterministic)."""
+
+    faults: Tuple[WorkerFault, ...] = ()
+
+    def should_fire(self, i: int, j: int, attempt: int) -> Optional[WorkerFault]:
+        for fault in self.faults:
+            if fault.matches(i, j, attempt):
+                return fault
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def single(
+        cls,
+        kind: str,
+        pair: Tuple[int, int],
+        attempts: Sequence[int] = (0,),
+        stall_seconds: float = 0.0,
+    ) -> "FarmFaultPlan":
+        return cls(
+            (WorkerFault(kind, tuple(pair), tuple(attempts), stall_seconds),)
+        )
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        pairs: Sequence[Tuple[int, int]],
+        n_faults: int = 1,
+        kind: str = "raise",
+        attempts: Sequence[int] = (0,),
+        stall_seconds: float = 1.0,
+    ) -> "FarmFaultPlan":
+        """Seeded choice of ``n_faults`` distinct victim pairs."""
+        if n_faults > len(pairs):
+            raise ValueError(f"cannot pick {n_faults} faults from {len(pairs)} pairs")
+        rng = random.Random(seed)
+        chosen = rng.sample(list(pairs), n_faults)
+        return cls(
+            tuple(
+                WorkerFault(kind, tuple(p), tuple(attempts), stall_seconds)
+                for p in chosen
+            )
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FarmFaultPlan":
+        """Parse a CLI fault spec.
+
+        Grammar: comma-separated ``kind[:seconds]@i-j[#a0|a1|...]`` terms,
+        e.g. ``kill@0-3`` (SIGKILL the worker evaluating pair (0, 3) on
+        attempt 0), ``raise@1-2#0|1`` (raise on the first two attempts),
+        ``stall:1.5@2-4`` (sleep 1.5 s before evaluating (2, 4)).
+        """
+        faults = []
+        for term in filter(None, (t.strip() for t in spec.split(","))):
+            try:
+                head, _, tail = term.partition("@")
+                kind, _, seconds = head.partition(":")
+                pair_text, _, attempts_text = tail.partition("#")
+                i_text, _, j_text = pair_text.partition("-")
+                pair = (int(i_text), int(j_text))
+                attempts = (
+                    tuple(int(a) for a in attempts_text.split("|"))
+                    if attempts_text
+                    else (0,)
+                )
+                stall = float(seconds) if seconds else 0.0
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault term {term!r} (expected kind[:sec]@i-j[#a|...])"
+                ) from exc
+            faults.append(WorkerFault(kind, pair, attempts, stall))
+        if not faults:
+            raise ValueError(f"fault spec {spec!r} contains no faults")
+        return cls(tuple(faults))

@@ -1,0 +1,140 @@
+"""Fault injection for the *simulated* SCC farm (rckskel/rckAlign).
+
+The model is fail-stop with bounded detection: a slave core scheduled to
+die does so while holding a job; after ``detect_seconds`` of simulated
+time the failure is discovered (the flag the master's round-robin poll
+finds is a tombstone instead of a result) and the master permanently
+removes the slave from its poll ring and re-dispatches the lost job to a
+surviving slave.  ``slow`` faults model thermally/voltage-degraded cores
+that keep running at a fraction of nominal frequency — jobs complete,
+just late, which stresses the dynamic farm's load balancing instead of
+its reassignment path.
+
+Everything is deterministic: plans are explicit slave lists or seeded
+samples, and the simulator itself has no randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["SIM_FAULT_KINDS", "SimFaultPlan", "SlaveFault"]
+
+SIM_FAULT_KINDS = ("kill", "slow")
+
+
+@dataclass(frozen=True)
+class SlaveFault:
+    """One planned slave failure on the simulated chip.
+
+    ``after_jobs`` counts jobs the slave completes before the fault
+    fires: a kill fault strikes while the slave works on job number
+    ``after_jobs`` (0-based), a slow fault degrades every job from that
+    point on.
+    """
+
+    slave_id: int
+    kind: str = "kill"
+    after_jobs: int = 1
+    slow_factor: float = 4.0
+    detect_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in SIM_FAULT_KINDS:
+            raise ValueError(
+                f"unknown sim fault kind {self.kind!r}; known: {SIM_FAULT_KINDS}"
+            )
+        if self.after_jobs < 0:
+            raise ValueError("after_jobs must be non-negative")
+        if self.kind == "slow" and self.slow_factor <= 1.0:
+            raise ValueError("slow faults need slow_factor > 1")
+        if self.detect_seconds < 0:
+            raise ValueError("detect_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class SimFaultPlan:
+    """Per-slave fault assignments for one simulated run."""
+
+    faults: Tuple[SlaveFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        ids = [f.slave_id for f in self.faults]
+        if len(set(ids)) != len(ids):
+            raise ValueError("at most one fault per slave")
+
+    def for_slave(self, slave_id: int) -> Optional[SlaveFault]:
+        for fault in self.faults:
+            if fault.slave_id == slave_id:
+                return fault
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @property
+    def n_kills(self) -> int:
+        return sum(1 for f in self.faults if f.kind == "kill")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def kill_n(
+        cls,
+        n: int,
+        slave_ids: Sequence[int],
+        seed: int = 0,
+        after_jobs: int = 1,
+        detect_seconds: float = 0.25,
+        stagger_jobs: int = 2,
+    ) -> "SimFaultPlan":
+        """Seeded plan killing ``n`` of the given slaves mid-run.
+
+        Victims are a seeded sample; their death points are staggered by
+        ``stagger_jobs`` completed jobs so failures arrive spread over
+        the sweep instead of as one synchronized burst.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n > len(slave_ids):
+            raise ValueError(f"cannot kill {n} of {len(slave_ids)} slaves")
+        rng = random.Random(seed)
+        victims = rng.sample(list(slave_ids), n)
+        return cls(
+            tuple(
+                SlaveFault(
+                    slave_id=s,
+                    kind="kill",
+                    after_jobs=after_jobs + k * stagger_jobs,
+                    detect_seconds=detect_seconds,
+                )
+                for k, s in enumerate(victims)
+            )
+        )
+
+    @classmethod
+    def slow_n(
+        cls,
+        n: int,
+        slave_ids: Sequence[int],
+        seed: int = 0,
+        after_jobs: int = 0,
+        slow_factor: float = 4.0,
+    ) -> "SimFaultPlan":
+        """Seeded plan degrading ``n`` slaves to ``1/slow_factor`` speed."""
+        if n > len(slave_ids):
+            raise ValueError(f"cannot slow {n} of {len(slave_ids)} slaves")
+        rng = random.Random(seed)
+        victims = rng.sample(list(slave_ids), n)
+        return cls(
+            tuple(
+                SlaveFault(
+                    slave_id=s,
+                    kind="slow",
+                    after_jobs=after_jobs,
+                    slow_factor=slow_factor,
+                )
+                for s in victims
+            )
+        )

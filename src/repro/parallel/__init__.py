@@ -13,6 +13,7 @@ from repro.parallel.farm import (
     DEFAULT_CHUNK,
     FarmStats,
     ParallelConfig,
+    RetryPolicy,
     WorkerCrash,
     auto_chunk,
     iter_pair_results,
@@ -24,6 +25,7 @@ __all__ = [
     "DEFAULT_CHUNK",
     "FarmStats",
     "ParallelConfig",
+    "RetryPolicy",
     "WorkerCrash",
     "auto_chunk",
     "iter_pair_results",

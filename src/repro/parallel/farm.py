@@ -16,19 +16,29 @@ machine instead of the simulated SCC:
   streamed CSV rows are byte-identical to the serial path;
 * **failure surfacing** — a worker-side exception or a dead worker
   process raises :class:`WorkerCrash` on the master with the failing pair
-  and the remote traceback, instead of hanging the pool.
+  and the remote traceback, instead of hanging the pool;
+* **failure absorption** — with a :class:`~repro.parallel.retry.
+  RetryPolicy` attached, failed chunks are re-dispatched with exponential
+  backoff, an abruptly dead worker triggers a pool rebuild plus pair-level
+  re-dispatch of every in-flight chunk, and chunks stalled past the
+  timeout get a duplicate dispatch (first result wins) — so a transient
+  fault costs wall-clock time, never correctness or completed work.
 
-Scores are bit-identical across any worker/chunk configuration: each pair
-is an independent computation with no accumulation across jobs, and
-counters are merged in job order on the master.
+Scores are bit-identical across any worker/chunk/retry configuration:
+each pair is an independent computation with no accumulation across
+jobs, counters are merged in job order on the master, and a re-dispatch
+recomputes exactly the same values a first attempt would have.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Sequence
@@ -36,7 +46,9 @@ from typing import Dict, Iterable, Iterator, Optional, Sequence
 from repro.cost.counters import CostCounter
 from repro.datasets.pairs import all_vs_all_pairs
 from repro.datasets.registry import Dataset
+from repro.faults.farm import FarmFaultPlan, InjectedFault
 from repro.parallel import worker as _worker
+from repro.parallel.retry import RetryPolicy
 from repro.psc.base import PSCMethod
 from repro.psc.evaluator import EvalMode
 from repro.structure.model import Chain
@@ -45,6 +57,7 @@ __all__ = [
     "DEFAULT_CHUNK",
     "FarmStats",
     "ParallelConfig",
+    "RetryPolicy",
     "WorkerCrash",
     "auto_chunk",
     "iter_pair_results",
@@ -78,12 +91,15 @@ class ParallelConfig:
     ``workers <= 1`` runs the jobs serially in-process (no pool at all);
     ``chunk = 0`` picks a size via :func:`auto_chunk`; ``start_method``
     defaults to ``fork`` where available (shared copy-on-write dataset
-    pages) and ``spawn`` elsewhere.
+    pages) and ``spawn`` elsewhere.  ``retry`` (None = fail fast, the
+    historical behaviour) arms re-dispatch with backoff for failed,
+    killed and stalled chunks.
     """
 
     workers: int = 0
     chunk: int = 0
     start_method: str = ""
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -105,13 +121,16 @@ class ParallelConfig:
 
 @dataclass
 class FarmStats:
-    """Throughput accounting for one farm run."""
+    """Throughput and resilience accounting for one farm run."""
 
     n_jobs: int = 0
     n_chunks: int = 0
     workers: int = 0
     chunk_size: int = 0
     wall_seconds: float = 0.0
+    retries: int = 0  # chunk re-dispatches after worker-side errors
+    pool_restarts: int = 0  # rebuilds after an abrupt worker death
+    chunk_timeouts: int = 0  # duplicate dispatches of stalled chunks
 
     @property
     def pairs_per_second(self) -> float:
@@ -135,28 +154,207 @@ def _chunked(pairs: Sequence[tuple[int, int]], size: int) -> list[list[tuple[int
     return [list(pairs[k : k + size]) for k in range(0, len(pairs), size)]
 
 
+def _fire_serial_fault(
+    faults: FarmFaultPlan, i: int, j: int, attempt: int
+) -> None:
+    """In-process fault firing: kills degrade to raises (suicide would
+    take the caller down), stalls sleep for real."""
+    fault = faults.should_fire(i, j, attempt)
+    if fault is None:
+        return
+    if fault.kind == "stall":
+        time.sleep(fault.stall_seconds)
+        return
+    raise InjectedFault(
+        f"injected {fault.kind} on pair ({i}, {j}) attempt {attempt}"
+    )
+
+
 def _serial_results(
     dataset: Dataset,
     pairs: Iterable[tuple[int, int]],
     method: PSCMethod,
     mode: EvalMode,
     query: Optional[Chain],
+    faults: Optional[FarmFaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    stats: Optional[FarmStats] = None,
 ) -> Iterator[PairResult]:
     """In-process evaluation, identical op-for-op to the worker path."""
     for i, j in pairs:
-        chain_a = query if i == _worker.QUERY_INDEX else dataset[i]
-        chain_b = dataset[j]
-        counter = CostCounter()
-        if mode is EvalMode.MODEL:
-            est = method.estimate_counts(
-                len(chain_a), len(chain_b), f"{chain_a.name}|{chain_b.name}"
-            )
-            for op, v in est.items():
-                counter.add(op, v)
-            scores: Dict[str, float] = {"estimated": 1.0}
-        else:
-            scores = method.compare(chain_a, chain_b, counter)
+        attempt = 0
+        while True:
+            try:
+                if faults is not None:
+                    _fire_serial_fault(faults, i, j, attempt)
+                chain_a = query if i == _worker.QUERY_INDEX else dataset[i]
+                chain_b = dataset[j]
+                counter = CostCounter()
+                if mode is EvalMode.MODEL:
+                    est = method.estimate_counts(
+                        len(chain_a), len(chain_b), f"{chain_a.name}|{chain_b.name}"
+                    )
+                    for op, v in est.items():
+                        counter.add(op, v)
+                    scores: Dict[str, float] = {"estimated": 1.0}
+                else:
+                    scores = method.compare(chain_a, chain_b, counter)
+                break
+            except Exception:
+                if retry is None or attempt >= retry.max_retries:
+                    raise
+                time.sleep(retry.backoff(attempt))
+                attempt += 1
+                if stats is not None:
+                    stats.retries += 1
         yield (i, j, dict(scores), counter.as_dict())
+
+
+def _resilient_farm(
+    dataset: Dataset,
+    chunks: list[list[tuple[int, int]]],
+    method: PSCMethod,
+    mode: EvalMode,
+    query: Optional[Chain],
+    config: ParallelConfig,
+    faults: Optional[FarmFaultPlan],
+    stats: Optional[FarmStats],
+) -> Iterator[PairResult]:
+    """Submit-based farm drain with retry, restart and stall handling.
+
+    Chunks are dispatched through a bounded in-flight window so stall
+    deadlines start close to actual execution; results are buffered per
+    chunk index and yielded strictly in job order.
+    """
+    retry = config.retry
+    max_retries = retry.max_retries if retry is not None else 0
+    timeout_s = retry.chunk_timeout_seconds if retry is not None else 0.0
+    ctx = multiprocessing.get_context(config.resolved_start_method())
+    initargs = (_worker.dataset_spec(dataset), method, mode, query, faults)
+
+    n = len(chunks)
+    attempts = [0] * n  # latest attempt number dispatched per chunk
+    done: Dict[int, list] = {}
+    next_yield = 0
+    pending: deque[int] = deque(range(n))
+    inflight: Dict = {}  # Future -> (chunk_idx, attempt)
+    deadlines: Dict = {}  # Future -> monotonic stall deadline
+    restarts = 0
+    window = max(2 * config.workers, 4)
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=config.workers,
+            mp_context=ctx,
+            initializer=_worker.init_worker,
+            initargs=initargs,
+        )
+
+    pool = make_pool()
+
+    def submit(idx: int) -> None:
+        fut = pool.submit(_worker.eval_chunk, chunks[idx], attempts[idx])
+        inflight[fut] = (idx, attempts[idx])
+        deadlines[fut] = (
+            time.monotonic() + timeout_s if timeout_s > 0 else math.inf
+        )
+
+    try:
+        while next_yield < n:
+            while pending and len(inflight) < window:
+                submit(pending.popleft())
+            while next_yield in done:
+                yield from done.pop(next_yield)
+                next_yield += 1
+            if next_yield >= n:
+                break
+            wait_timeout = None
+            if timeout_s > 0:
+                wait_timeout = max(
+                    0.0, min(deadlines.values()) - time.monotonic()
+                )
+            ready, _ = _futures_wait(
+                list(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            if not ready:
+                # Stall deadline expired: dispatch one duplicate per
+                # overdue chunk (at most once per dispatched future);
+                # whichever attempt finishes first supplies the result.
+                now = time.monotonic()
+                for fut in [f for f, dl in deadlines.items() if dl <= now]:
+                    idx, _att = inflight[fut]
+                    deadlines[fut] = math.inf
+                    if idx in done:
+                        continue
+                    if attempts[idx] >= max_retries:
+                        raise WorkerCrash(
+                            tuple(chunks[idx][0]),
+                            f"chunk {idx} stalled past "
+                            f"{timeout_s}s on every allowed attempt",
+                        )
+                    attempts[idx] += 1
+                    if stats is not None:
+                        stats.chunk_timeouts += 1
+                    submit(idx)
+                continue
+
+            broken_idx: list[int] = []
+            pool_broken = False
+            for fut in ready:
+                idx, att = inflight.pop(fut)
+                deadlines.pop(fut, None)
+                try:
+                    status, payload, remote_tb = fut.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    broken_idx.append(idx)
+                    continue
+                if idx in done or idx < next_yield:
+                    continue  # duplicate result of a timed-out chunk
+                if status == "ok":
+                    done[idx] = payload
+                    continue
+                pair = tuple(payload)
+                if att < attempts[idx]:
+                    continue  # a newer attempt is already in flight
+                if attempts[idx] >= max_retries:
+                    raise WorkerCrash(pair, remote_tb or "")
+                time.sleep(retry.backoff(attempts[idx]))
+                attempts[idx] += 1
+                if stats is not None:
+                    stats.retries += 1
+                submit(idx)
+
+            if pool_broken:
+                # The executor is permanently broken: every in-flight
+                # chunk is lost.  Rebuild the pool and re-dispatch all of
+                # them (pair-level re-dispatch — completed chunks stay
+                # completed, nothing is ever recomputed).
+                if retry is None or restarts >= max_retries:
+                    raise WorkerCrash(
+                        (-2, -2),
+                        "a worker process died abruptly; jobs in flight "
+                        "were not evaluated (enable a RetryPolicy to "
+                        "absorb worker deaths)",
+                    )
+                restarts += 1
+                if stats is not None:
+                    stats.pool_restarts += 1
+                redo = sorted(
+                    set(broken_idx)
+                    | {idx for idx, _att in inflight.values()}
+                )
+                inflight.clear()
+                deadlines.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                time.sleep(retry.backoff(restarts - 1))
+                pool = make_pool()
+                for idx in redo:
+                    if idx not in done and idx >= next_yield:
+                        attempts[idx] += 1
+                        pending.appendleft(idx)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def iter_pair_results(
@@ -167,13 +365,17 @@ def iter_pair_results(
     config: Optional[ParallelConfig] = None,
     query: Optional[Chain] = None,
     stats: Optional[FarmStats] = None,
+    faults: Optional[FarmFaultPlan] = None,
 ) -> Iterator[PairResult]:
     """Evaluate ``pairs`` over the farm, yielding results in job order.
 
     The generator streams: the master holds at most the in-flight chunks,
     never the whole result table, so callers can write rows to disk as
     they arrive.  ``stats``, when given, is filled in place (wall time
-    covers the full drain).  Worker failures raise :class:`WorkerCrash`.
+    covers the full drain).  Worker failures raise :class:`WorkerCrash`
+    unless ``config.retry`` absorbs them; ``faults`` ships a
+    deterministic :class:`~repro.faults.farm.FarmFaultPlan` to the
+    workers (and the serial path) for resilience testing.
     """
     config = config or ParallelConfig()
     mode = EvalMode(mode)
@@ -189,11 +391,19 @@ def iter_pair_results(
         if config.workers <= 1 or n_jobs == 0:
             if stats is not None:
                 stats.n_chunks = -(-n_jobs // chunk) if n_jobs else 0
-            yield from _serial_results(dataset, pairs, method, mode, query)
+            yield from _serial_results(
+                dataset, pairs, method, mode, query,
+                faults=faults, retry=config.retry, stats=stats,
+            )
             return
         chunks = _chunked(pairs, chunk)
         if stats is not None:
             stats.n_chunks = len(chunks)
+        if config.retry is not None or faults is not None:
+            yield from _resilient_farm(
+                dataset, chunks, method, mode, query, config, faults, stats
+            )
+            return
         ctx = multiprocessing.get_context(config.resolved_start_method())
         spec = _worker.dataset_spec(dataset)
         try:
@@ -232,6 +442,7 @@ def parallel_all_vs_all(
     mode: EvalMode | str = EvalMode.MEASURED,
     config: Optional[ParallelConfig] = None,
     stats: Optional[FarmStats] = None,
+    faults: Optional[FarmFaultPlan] = None,
 ) -> Dict[tuple[str, str], Dict[str, float]]:
     """All unordered pairs (i < j) of the dataset, farmed over workers.
 
@@ -242,7 +453,8 @@ def parallel_all_vs_all(
     pairs = list(all_vs_all_pairs(len(dataset)))
     out: Dict[tuple[str, str], Dict[str, float]] = {}
     for i, j, scores, counts in iter_pair_results(
-        dataset, pairs, method, mode=mode, config=config, stats=stats
+        dataset, pairs, method, mode=mode, config=config, stats=stats,
+        faults=faults,
     ):
         _merge_counts(counter, counts)
         out[(dataset[i].name, dataset[j].name)] = scores
@@ -257,6 +469,7 @@ def parallel_one_vs_all(
     exclude_self: bool = True,
     config: Optional[ParallelConfig] = None,
     stats: Optional[FarmStats] = None,
+    faults: Optional[FarmFaultPlan] = None,
 ) -> list[tuple[str, Dict[str, float]]]:
     """Compare ``query`` against every dataset chain over the farm.
 
@@ -271,7 +484,7 @@ def parallel_one_vs_all(
     out: list[tuple[str, Dict[str, float]]] = []
     for _, j, scores, counts in iter_pair_results(
         dataset, pairs, method, mode=EvalMode.MEASURED, config=config,
-        query=query, stats=stats,
+        query=query, stats=stats, faults=faults,
     ):
         _merge_counts(counter, counts)
         out.append((dataset[j].name, scores))

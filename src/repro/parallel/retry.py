@@ -1,0 +1,46 @@
+"""Retry/backoff policy for the process-pool farm.
+
+One small value object shared by the master-side scheduler: how many
+times a failed or stalled chunk may be re-dispatched, how long to back
+off between attempts (exponential with a cap), and how long a chunk may
+run before the master treats it as stalled and dispatches a duplicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the farm's failure-absorption machinery.
+
+    ``max_retries`` bounds re-dispatches per chunk *and* pool restarts
+    after an abrupt worker death.  ``chunk_timeout_seconds = 0`` disables
+    stall detection (chunks may run forever).
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 2.0
+    chunk_timeout_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.chunk_timeout_seconds < 0:
+            raise ValueError("chunk_timeout_seconds must be non-negative")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before re-dispatching after failed attempt ``attempt``."""
+        return min(
+            self.max_backoff_seconds,
+            self.backoff_seconds * self.backoff_factor ** max(0, attempt),
+        )

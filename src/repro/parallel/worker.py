@@ -9,14 +9,24 @@ Everything in this module must stay importable under both the ``fork``
 and ``spawn`` start methods, so the worker state lives in module globals
 set by :func:`init_worker` (the pool initializer) and the job function
 :func:`eval_chunk` is a plain top-level callable.
+
+Fault injection: when the master ships a :class:`~repro.faults.farm.
+FarmFaultPlan`, the worker consults it before evaluating each pair and
+may raise, SIGKILL its own process, or stall — keyed on the pair and the
+attempt number the master stamps on every dispatched chunk, so injected
+chaos is deterministic and retry-once semantics hold.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 import traceback
 from typing import Optional, Sequence
 
 from repro.cost.counters import CostCounter
+from repro.faults.farm import FarmFaultPlan, InjectedFault
 from repro.psc.base import PSCMethod
 from repro.psc.evaluator import EvalMode
 from repro.structure.model import Chain
@@ -31,6 +41,7 @@ _DATASET = None
 _METHOD: Optional[PSCMethod] = None
 _MODE: EvalMode = EvalMode.MEASURED
 _QUERY: Optional[Chain] = None
+_FAULTS: Optional[FarmFaultPlan] = None
 
 
 def dataset_spec(dataset) -> tuple:
@@ -56,9 +67,10 @@ def init_worker(
     method: PSCMethod,
     mode: EvalMode | str,
     query: Optional[Chain] = None,
+    faults: Optional[FarmFaultPlan] = None,
 ) -> None:
     """Pool initializer: build the worker's dataset/method state once."""
-    global _DATASET, _METHOD, _MODE, _QUERY
+    global _DATASET, _METHOD, _MODE, _QUERY, _FAULTS
     kind, payload = spec
     if kind == "registry":
         from repro.datasets.registry import load_dataset
@@ -71,6 +83,29 @@ def init_worker(
     _METHOD = method
     _MODE = EvalMode(mode)
     _QUERY = query
+    _FAULTS = faults
+
+
+def maybe_inject_fault(i: int, j: int, attempt: int) -> None:
+    """Fire the planned fault for ``(i, j, attempt)``, if any.
+
+    ``raise`` faults raise :class:`InjectedFault` (caught by the normal
+    worker error path), ``kill`` faults SIGKILL the worker process (the
+    master sees BrokenProcessPool), ``stall`` faults sleep before
+    letting the evaluation proceed.
+    """
+    if _FAULTS is None:
+        return
+    fault = _FAULTS.should_fire(i, j, attempt)
+    if fault is None:
+        return
+    if fault.kind == "raise":
+        raise InjectedFault(
+            f"injected failure on pair ({i}, {j}) attempt {attempt}"
+        )
+    if fault.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(fault.stall_seconds)  # 'stall'
 
 
 def _evaluate(i: int, j: int) -> tuple[dict, dict]:
@@ -89,18 +124,23 @@ def _evaluate(i: int, j: int) -> tuple[dict, dict]:
     return dict(scores), counter.as_dict()
 
 
-def eval_chunk(pairs: Sequence[tuple[int, int]]) -> tuple[str, list, Optional[str]]:
+def eval_chunk(
+    pairs: Sequence[tuple[int, int]], attempt: int = 0
+) -> tuple[str, list, Optional[str]]:
     """Evaluate one chunk of jobs; never raises.
 
     Returns ``("ok", results, None)`` with one ``(i, j, scores, counts)``
     per pair, or ``("error", [i, j], traceback_text)`` identifying the
     first failing pair so the master can surface the worker-side stack.
+    ``attempt`` is the master's re-dispatch count for this chunk, used
+    only to key fault injection.
     """
     if _DATASET is None or _METHOD is None:
         return ("error", [-2, -2], "worker not initialised (init_worker missing)")
     out = []
     for i, j in pairs:
         try:
+            maybe_inject_fault(i, j, attempt)
             scores, counts = _evaluate(i, j)
         except Exception:
             return ("error", [i, j], traceback.format_exc())

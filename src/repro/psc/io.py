@@ -55,6 +55,11 @@ def stream_score_table_csv(
     every method emits a fixed score mapping, and a row with different
     keys raises.  Rows are written in arrival order (the parallel farm
     already yields them in job order).  Returns the number of rows.
+
+    The write is atomic: rows stream into a same-directory temp file
+    that is moved over ``path`` only after the iterator is exhausted and
+    the data is fsynced, so a crash mid-run never leaves a partial table
+    at the destination (a pre-existing file there survives untouched).
     """
     rows = iter(rows)
     try:
@@ -63,17 +68,26 @@ def stream_score_table_csv(
         raise ValueError("empty score table") from None
     keys = sorted(first[2])
     n = 0
-    with open(path, "w", newline="", encoding="ascii") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(["chain_a", "chain_b", *keys])
-        for a, b, result in itertools.chain([first], rows):
-            if sorted(result) != keys:
-                raise ValueError(
-                    f"row ({a}, {b}) has score keys {sorted(result)}, "
-                    f"expected {keys}"
-                )
-            writer.writerow([a, b, *(format(result[k], "") for k in keys)])
-            n += 1
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", newline="", encoding="ascii") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["chain_a", "chain_b", *keys])
+            for a, b, result in itertools.chain([first], rows):
+                if sorted(result) != keys:
+                    raise ValueError(
+                        f"row ({a}, {b}) has score keys {sorted(result)}, "
+                        f"expected {keys}"
+                    )
+                writer.writerow([a, b, *(format(result[k], "") for k in keys)])
+                n += 1
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return n
 
 

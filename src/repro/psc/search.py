@@ -7,19 +7,24 @@ structurally similar proteins are ranked higher").
 
 Both tasks accept ``workers``/``chunk``: with ``workers > 1`` the pairs
 are farmed over a process pool (see :mod:`repro.parallel`) with
-bit-identical results; the default is the plain serial loop.
+bit-identical results; the default is the plain serial loop.  A
+``retry`` policy (see :class:`repro.parallel.RetryPolicy`) makes the
+farm absorb worker failures instead of aborting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.cost.counters import CostCounter
 from repro.datasets.registry import Dataset
 from repro.psc.base import PSCMethod
 from repro.psc.methods import TMAlignMethod
 from repro.structure.model import Chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel import RetryPolicy
 
 __all__ = ["RankedHit", "one_vs_all", "all_vs_all"]
 
@@ -41,6 +46,7 @@ def one_vs_all(
     exclude_self: bool = True,
     workers: int = 0,
     chunk: int = 0,
+    retry: Optional["RetryPolicy"] = None,
 ) -> list[RankedHit]:
     """Compare ``query`` against every dataset chain; rank by similarity."""
     method = method or TMAlignMethod()
@@ -54,7 +60,7 @@ def one_vs_all(
             method,
             counter=counter,
             exclude_self=exclude_self,
-            config=ParallelConfig(workers=workers, chunk=chunk),
+            config=ParallelConfig(workers=workers, chunk=chunk, retry=retry),
         )
         hits = [
             RankedHit(name, method.similarity(scores), dict(scores))
@@ -79,6 +85,7 @@ def all_vs_all(
     counter: Optional[CostCounter] = None,
     workers: int = 0,
     chunk: int = 0,
+    retry: Optional["RetryPolicy"] = None,
 ) -> Dict[tuple[str, str], Dict[str, float]]:
     """All unordered pairs (i<j) of the dataset; returns a score table.
 
@@ -93,7 +100,7 @@ def all_vs_all(
             dataset,
             method,
             counter=counter,
-            config=ParallelConfig(workers=workers, chunk=chunk),
+            config=ParallelConfig(workers=workers, chunk=chunk, retry=retry),
         )
     out: Dict[tuple[str, str], Dict[str, float]] = {}
     n = len(dataset)

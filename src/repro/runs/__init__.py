@@ -1,0 +1,25 @@
+"""Durable run store: manifests, checksummed journals, resumable runs.
+
+Long all-vs-all sweeps must survive worker crashes and master kills
+without losing completed work.  This package gives every ``matrix`` /
+``search`` / ``bench-parallel`` invocation a run directory holding a
+manifest (dataset fingerprint, method, params), an append-only journal
+of completed pairs with per-row checksums, and atomically finalized
+artifacts — so ``matrix --resume <run>`` recomputes zero finished pairs
+and still produces a byte-identical CSV.
+"""
+
+from repro.runs.manifest import RunManifest, dataset_fingerprint
+from repro.runs.matrix import MatrixRunResult, matrix_run
+from repro.runs.store import Run, RunJournal, RunStore, RunStoreError
+
+__all__ = [
+    "Run",
+    "RunJournal",
+    "RunManifest",
+    "RunStore",
+    "RunStoreError",
+    "MatrixRunResult",
+    "dataset_fingerprint",
+    "matrix_run",
+]

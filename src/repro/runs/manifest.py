@@ -1,0 +1,120 @@
+"""Run manifests: what a durable run is, and how to recognise its inputs.
+
+A manifest pins everything that determines a run's output — dataset
+(by name *and* content fingerprint), method, evaluation mode, and the
+task parameters — so a later ``--resume`` can refuse to graft new
+results onto a journal that was produced from different inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.datasets.registry import Dataset
+
+__all__ = ["RunManifest", "dataset_fingerprint", "atomic_write_text"]
+
+#: manifest schema version, bumped on incompatible layout changes
+MANIFEST_VERSION = 1
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Content hash of a dataset: chain names, sequences and coordinates.
+
+    Two datasets with the same fingerprint produce bit-identical pair
+    scores, so a journal recorded against one can be resumed against the
+    other (in practice: the same registry dataset rebuilt in a new
+    process).
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode())
+    for chain in dataset:
+        digest.update(chain.name.encode())
+        digest.update(chain.sequence.encode())
+        digest.update(chain.coords.tobytes())
+    return digest.hexdigest()
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + rename."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="ascii") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass
+class RunManifest:
+    """Identity and progress metadata of one durable run."""
+
+    run_id: str
+    command: str  # 'matrix' | 'search' | 'bench-parallel'
+    dataset: str
+    dataset_hash: str
+    method: str
+    mode: str = "measured"
+    n_pairs: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+    status: str = "running"  # 'running' | 'interrupted' | 'complete'
+    created_at: float = field(default_factory=time.time)
+    version: int = MANIFEST_VERSION
+
+    @classmethod
+    def for_task(
+        cls,
+        run_id: str,
+        command: str,
+        dataset: Dataset,
+        method_name: str,
+        mode: str = "measured",
+        n_pairs: int = 0,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "RunManifest":
+        return cls(
+            run_id=run_id,
+            command=command,
+            dataset=dataset.name,
+            dataset_hash=dataset_fingerprint(dataset),
+            method=method_name,
+            mode=mode,
+            n_pairs=n_pairs,
+            params=dict(params or {}),
+        )
+
+    def check_inputs(self, dataset: Dataset, method_name: str) -> None:
+        """Raise if the given inputs cannot continue this run."""
+        if self.method != method_name:
+            raise ValueError(
+                f"run {self.run_id!r} was recorded with method "
+                f"{self.method!r}, cannot resume with {method_name!r}"
+            )
+        fp = dataset_fingerprint(dataset)
+        if self.dataset_hash != fp:
+            raise ValueError(
+                f"run {self.run_id!r} was recorded against dataset "
+                f"{self.dataset!r} (hash {self.dataset_hash[:12]}...); the "
+                f"dataset supplied now hashes to {fp[:12]}... — refusing to "
+                "mix results"
+            )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        payload = json.loads(text)
+        version = payload.get("version", 0)
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest version {version} not supported "
+                f"(expected {MANIFEST_VERSION})"
+            )
+        return cls(**payload)

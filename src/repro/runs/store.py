@@ -1,0 +1,317 @@
+"""Durable run store: run directories, checksummed journals, finalization.
+
+Layout under the store root::
+
+    <root>/<run_id>/manifest.json    # RunManifest (atomic rewrite on status change)
+    <root>/<run_id>/journal.csv      # append-only completed-pair records
+    <root>/<run_id>/<artifacts>      # command-specific outputs (result.txt, ...)
+
+The journal is the crash-safety mechanism: one line per completed pair,
+flushed as it is appended, each line carrying a CRC32 of its own
+content.  A process killed mid-write leaves at most one truncated or
+corrupt trailing line, which :meth:`Run.load_journal` drops; every line
+before it is trusted and never recomputed on ``--resume``.
+
+Score values are journaled as the exact ``format(value, "")`` strings
+the CSV writers emit, so a finalized CSV rebuilt from the journal is
+byte-identical to one streamed by an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import zlib
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runs.manifest import RunManifest, atomic_write_text
+
+__all__ = ["RunStore", "Run", "RunJournal", "RunStoreError"]
+
+_JOURNAL_NAME = "journal.csv"
+_MANIFEST_NAME = "manifest.json"
+
+
+class RunStoreError(RuntimeError):
+    """A run directory is missing, malformed, or incompatible."""
+
+
+def _crc(text: str) -> str:
+    return format(zlib.crc32(text.encode("ascii")) & 0xFFFFFFFF, "08x")
+
+
+def _encode_row(i: int, j: int, values: Sequence[str]) -> str:
+    buf = io.StringIO()
+    csv.writer(buf, lineterminator="").writerow([i, j, *values])
+    body = buf.getvalue()
+    return f"{body},{_crc(body)}\n"
+
+
+class RunJournal:
+    """Append-only writer for completed-pair records.
+
+    The first appended row fixes the score-key set (written as a header
+    line); later rows with different keys are rejected.  Every append is
+    flushed so rows survive a SIGKILL of the writing process.
+    """
+
+    def __init__(self, path: str, keys: Optional[Sequence[str]] = None) -> None:
+        self.path = path
+        self.keys: Optional[Tuple[str, ...]] = tuple(keys) if keys else None
+        # A resumed run reopens an existing journal: adopt its key header
+        # instead of writing a second one mid-file.
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            with open(path, encoding="ascii", newline="") as fh:
+                first = fh.readline()
+            if first.startswith("#keys="):
+                found = tuple(
+                    k for k in first[len("#keys=") :].rstrip("\n").split(",") if k
+                )
+                if self.keys is not None and self.keys != found:
+                    raise RunStoreError(
+                        f"journal {path} has keys {list(found)}, "
+                        f"caller expects {list(self.keys)}"
+                    )
+                self.keys = found
+        self._fh = open(path, "a", encoding="ascii", newline="")
+        if self.keys is not None and self._fh.tell() == 0:
+            self._write_header()
+
+    def _write_header(self) -> None:
+        self._fh.write("#keys=" + ",".join(self.keys) + "\n")
+        self._fh.flush()
+
+    def append(self, i: int, j: int, scores: Mapping[str, float]) -> None:
+        keys = tuple(sorted(scores))
+        if self.keys is None:
+            self.keys = keys
+            self._write_header()
+        elif keys != self.keys:
+            raise RunStoreError(
+                f"pair ({i}, {j}) has score keys {list(keys)}, journal "
+                f"expects {list(self.keys)}"
+            )
+        values = [format(scores[k], "") for k in self.keys]
+        self._fh.write(_encode_row(i, j, values))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Run:
+    """One run directory: manifest + journal + artifacts."""
+
+    def __init__(self, directory: str, manifest: RunManifest) -> None:
+        self.directory = directory
+        self.manifest = manifest
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.run_id
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, _JOURNAL_NAME)
+
+    def artifact_path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    # -- manifest ----------------------------------------------------------
+    def save_manifest(self) -> None:
+        atomic_write_text(
+            os.path.join(self.directory, _MANIFEST_NAME), self.manifest.to_json()
+        )
+
+    def mark(self, status: str) -> None:
+        self.manifest.status = status
+        self.save_manifest()
+
+    # -- journal -----------------------------------------------------------
+    def journal(self) -> RunJournal:
+        """Open the journal for appending (creates it on first use)."""
+        return RunJournal(self.journal_path)
+
+    def load_journal(self) -> "JournalState":
+        """Read back every intact journal record.
+
+        Corrupt or truncated trailing lines (the signature of a process
+        killed mid-append) are dropped; a corrupt line followed by
+        intact ones indicates real damage and raises.
+        """
+        state = JournalState()
+        if not os.path.exists(self.journal_path):
+            return state
+        bad_at: Optional[int] = None
+        with open(self.journal_path, encoding="ascii", newline="") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if lineno == 1 and line.startswith("#keys="):
+                    state.keys = tuple(
+                        k for k in line[len("#keys=") :].rstrip("\n").split(",") if k
+                    )
+                    continue
+                record = _decode_row(line)
+                if record is None:
+                    bad_at = lineno
+                    state.dropped += 1
+                    continue
+                if bad_at is not None:
+                    raise RunStoreError(
+                        f"journal {self.journal_path} has a corrupt record at "
+                        f"line {bad_at} followed by intact ones — the file is "
+                        "damaged, not merely truncated"
+                    )
+                i, j, values = record
+                if state.keys is not None and len(values) != len(state.keys):
+                    raise RunStoreError(
+                        f"journal record ({i}, {j}) has {len(values)} values "
+                        f"for {len(state.keys)} keys"
+                    )
+                state.rows[(i, j)] = values
+        return state
+
+    # -- finalization ------------------------------------------------------
+    def finalize_csv(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        names: Sequence[str],
+        path: str | os.PathLike,
+    ) -> int:
+        """Build the final score CSV from the journal, atomically.
+
+        Rows are emitted in ``pairs`` order (the same job order an
+        uninterrupted streamed run would have used), written to a
+        same-directory temp file and moved into place with
+        ``os.replace`` — the destination never holds a partial table.
+        Returns the number of rows written.
+        """
+        state = self.load_journal()
+        if state.keys is None or not state.rows:
+            raise RunStoreError(f"run {self.run_id!r} has an empty journal")
+        missing = [p for p in pairs if p not in state.rows]
+        if missing:
+            raise RunStoreError(
+                f"run {self.run_id!r} is incomplete: {len(missing)} of "
+                f"{len(pairs)} pairs missing (first: {missing[0]}); "
+                "resume it before finalizing"
+            )
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        n = 0
+        try:
+            with open(tmp, "w", newline="", encoding="ascii") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(["chain_a", "chain_b", *state.keys])
+                for i, j in pairs:
+                    writer.writerow([names[i], names[j], *state.rows[(i, j)]])
+                    n += 1
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - error cleanup
+                os.unlink(tmp)
+        return n
+
+
+class JournalState:
+    """Decoded journal content: score keys + per-pair formatted values."""
+
+    def __init__(self) -> None:
+        self.keys: Optional[Tuple[str, ...]] = None
+        self.rows: Dict[Tuple[int, int], List[str]] = {}
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        return pair in self.rows
+
+    def scores(self, pair: Tuple[int, int]) -> Dict[str, float]:
+        """Numeric view of one journaled record."""
+        if self.keys is None:
+            raise RunStoreError("journal has no key header")
+        return {k: float(v) for k, v in zip(self.keys, self.rows[pair])}
+
+
+def _decode_row(line: str) -> Optional[Tuple[int, int, List[str]]]:
+    line = line.rstrip("\n")
+    if not line:
+        return None
+    body, sep, crc = line.rpartition(",")
+    if not sep or _crc(body) != crc:
+        return None
+    try:
+        fields = next(csv.reader([body]))
+        i, j = int(fields[0]), int(fields[1])
+    except (StopIteration, IndexError, ValueError):
+        return None
+    return i, j, fields[2:]
+
+
+class RunStore:
+    """Collection of run directories under one root."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+
+    def run_dir(self, run_id: str) -> str:
+        if not run_id or "/" in run_id or run_id.startswith("."):
+            raise RunStoreError(f"illegal run id {run_id!r}")
+        return os.path.join(self.root, run_id)
+
+    def exists(self, run_id: str) -> bool:
+        return os.path.exists(os.path.join(self.run_dir(run_id), _MANIFEST_NAME))
+
+    def new_run_id(self, prefix: str) -> str:
+        """A fresh, human-sortable run id unique within this store."""
+        import time
+
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        base = f"{prefix}-{stamp}-{os.getpid() % 100000:05d}"
+        run_id, k = base, 0
+        while self.exists(run_id):
+            k += 1
+            run_id = f"{base}.{k}"
+        return run_id
+
+    def create(self, manifest: RunManifest) -> Run:
+        directory = self.run_dir(manifest.run_id)
+        if self.exists(manifest.run_id):
+            raise RunStoreError(f"run {manifest.run_id!r} already exists")
+        os.makedirs(directory, exist_ok=True)
+        run = Run(directory, manifest)
+        run.save_manifest()
+        return run
+
+    def open(self, run_id: str) -> Run:
+        directory = self.run_dir(run_id)
+        manifest_path = os.path.join(directory, _MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise RunStoreError(
+                f"no run {run_id!r} under {self.root!r} "
+                f"(known: {sorted(self.list_ids())})"
+            )
+        with open(manifest_path, encoding="ascii") as fh:
+            manifest = RunManifest.from_json(fh.read())
+        return Run(directory, manifest)
+
+    def list_ids(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for entry in sorted(os.listdir(self.root)):
+            if os.path.exists(os.path.join(self.root, entry, _MANIFEST_NAME)):
+                yield entry
+
+    def list_runs(self) -> List[Run]:
+        return [self.open(run_id) for run_id in self.list_ids()]

@@ -39,6 +39,9 @@ class Core:
         self.tile = machine.config.tile_of_core(core_id)
         self.cpu = machine.config.core_cpu
         self.stats = CoreStats()
+        #: effective-frequency multiplier; fault injection sets this below
+        #: 1.0 to model a thermally/voltage-degraded ("slow") core
+        self.freq_scale = 1.0
 
     def __repr__(self) -> str:
         return f"Core(rck{self.id:02d}, tile {self.tile})"
@@ -51,7 +54,9 @@ class Core:
         """Coroutine: burn ``cycles`` of core time."""
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
-        dt = cycles / self.cpu.freq_hz
+        if self.freq_scale <= 0:
+            raise ValueError("freq_scale must be positive")
+        dt = cycles / (self.cpu.freq_hz * self.freq_scale)
         self.stats.compute_s += dt
         yield self.env.timeout(dt)
 
@@ -72,6 +77,7 @@ class Core:
         t0 = self.env.now
         yield from self.machine.fabric.dram_read(self.tile, nbytes)
         self.stats.comm_s += self.env.now - t0
+        self.machine.record_comm(self.id, t0, self.env.now)
 
 
 class SccMachine:
@@ -85,6 +91,14 @@ class SccMachine:
         self.fabric = NocFabric(self.env, self.config.noc)
         self.cores = [Core(self, i) for i in range(self.config.n_cores)]
         self._processes: list[Process] = []
+        #: optional ``(core_id, start, end, kind)`` callback; installed by
+        #: :class:`repro.scc.trace.Tracer` to record comm intervals
+        self.trace_hook: Optional[Callable[[int, float, float, str], None]] = None
+
+    def record_comm(self, core_id: int, start: float, end: float) -> None:
+        """Report a communication interval to the tracer, if attached."""
+        if self.trace_hook is not None and end > start:
+            self.trace_hook(core_id, start, end, "comm")
 
     def core(self, core_id: int) -> Core:
         return self.cores[core_id]

@@ -113,6 +113,7 @@ class Rcce:
                 ch.done.put(("last", Message(core.id, payload, nbytes)))
                 break
         core.stats.comm_s += env.now - t0
+        self.machine.record_comm(core.id, t0, env.now)
 
     def recv(self, core: Core, src: int) -> Generator:
         """Coroutine: blocking receive from ``src``; returns a Message."""
@@ -140,6 +141,7 @@ class Rcce:
             kind, value = yield ch.done.get()
             if kind == "last":
                 core.stats.comm_s += env.now - t0
+                self.machine.record_comm(core.id, t0, env.now)
                 return value
             if kind != "chunk":
                 raise SimulationError(

@@ -1,19 +1,24 @@
 """Execution tracing: per-core busy intervals and a text Gantt chart.
 
 Attach a :class:`Tracer` to a machine before spawning programs; every
-``compute_*`` burst is recorded as an interval.  ``render_gantt`` draws
-a fixed-width utilization chart, handy for eyeballing master-bottleneck
-and tail-imbalance effects in simulated runs.
+``compute_*`` burst is recorded as an interval, and every communication
+burst (RCCE send/recv, DRAM reads) is reported through the machine's
+``trace_hook`` and recorded as a ``comm`` interval.  ``render_gantt``
+draws a fixed-width utilization chart, handy for eyeballing
+master-bottleneck and tail-imbalance effects in simulated runs;
+``chrome_trace`` exports the same intervals in the Chrome tracing JSON
+format (load in ``chrome://tracing`` or Perfetto, one track per core).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.scc.machine import Core, SccMachine
 
-__all__ = ["Interval", "Tracer", "render_gantt"]
+__all__ = ["Interval", "Tracer", "chrome_trace", "render_gantt"]
 
 
 @dataclass(frozen=True)
@@ -29,7 +34,8 @@ class Interval:
 
 
 class Tracer:
-    """Records compute bursts by wrapping ``Core.compute_cycles``."""
+    """Records compute bursts by wrapping ``Core.compute_cycles`` and
+    comm bursts via the machine's ``trace_hook``."""
 
     def __init__(self, machine: SccMachine) -> None:
         self.machine = machine
@@ -52,6 +58,11 @@ class Tracer:
             # bind per-core wrapper (instance attribute shadows method)
             core.compute_cycles = traced  # type: ignore[method-assign]
 
+        def comm_hook(core_id: int, start: float, end: float, kind: str) -> None:
+            tracer.intervals.append(Interval(core_id, start, end, kind))
+
+        self.machine.trace_hook = comm_hook
+
     def busy_fraction(self, core_id: int, until: Optional[float] = None) -> float:
         horizon = until if until is not None else self.machine.now
         if horizon <= 0:
@@ -63,6 +74,49 @@ class Tracer:
 
     def core_intervals(self, core_id: int) -> list[Interval]:
         return [iv for iv in self.intervals if iv.core_id == core_id]
+
+    def kind_intervals(self, core_id: int, kind: str) -> list[Interval]:
+        return [
+            iv
+            for iv in self.intervals
+            if iv.core_id == core_id and iv.kind == kind
+        ]
+
+
+def chrome_trace(tracer: Tracer, indent: Optional[int] = None) -> str:
+    """Serialize the trace as Chrome tracing JSON ("trace event format").
+
+    One complete event (``ph: "X"``) per interval: timestamps/durations in
+    microseconds of simulated time, one thread track per core, the
+    interval kind as event name and category.  Viewable in
+    ``chrome://tracing`` and https://ui.perfetto.dev.
+    """
+    events = [
+        {
+            "name": iv.kind,
+            "cat": iv.kind,
+            "ph": "X",
+            "ts": iv.start * 1e6,
+            "dur": iv.duration * 1e6,
+            "pid": 0,
+            "tid": iv.core_id,
+        }
+        for iv in sorted(
+            tracer.intervals, key=lambda iv: (iv.core_id, iv.start, iv.end)
+        )
+    ]
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": cid,
+            "args": {"name": f"rck{cid:02d}"},
+        }
+        for cid in sorted({iv.core_id for iv in tracer.intervals})
+    ]
+    doc = {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+    return json.dumps(doc, indent=indent)
 
 
 def render_gantt(

@@ -1,14 +1,18 @@
 """CLI entry point."""
 
+import argparse
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _bench_output, build_parser, main
 
 
 class TestParser:
     def test_known_experiments(self):
         parser = build_parser()
-        for exp in ("table1", "table3", "exp1", "exp2", "table5", "ablations", "all"):
+        for exp in ("table1", "table3", "exp1", "exp2", "table5", "ablations",
+                    "exp-resilience", "all"):
             args = parser.parse_args([exp])
             assert args.command == exp
 
@@ -33,6 +37,62 @@ class TestParser:
         args = parser.parse_args(["info", "--dataset", "rs119"])
         assert args.dataset == "rs119"
 
+    def test_resilience_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["matrix", "--retries", "3", "--backoff", "0.2",
+             "--chunk-timeout", "5", "--inject", "kill@0-3",
+             "--run-id", "r1", "--runs-dir", "store"]
+        )
+        assert args.retries == 3 and args.backoff == 0.2
+        assert args.chunk_timeout == 5.0 and args.inject == "kill@0-3"
+        assert args.run_id == "r1" and args.runs_dir == "store"
+        args = parser.parse_args(["matrix", "--resume", "r1"])
+        assert args.resume == "r1"
+        args = parser.parse_args(["search", "q", "--retries", "1"])
+        assert args.retries == 1
+
+    def test_trace_and_runs_commands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["trace", "--slaves", "7", "--kill", "2", "--seed", "5",
+             "--chrome", "t.json", "--gantt"]
+        )
+        assert args.slaves == 7 and args.kill == 2 and args.seed == 5
+        assert args.chrome == "t.json" and args.gantt
+        args = parser.parse_args(["runs", "--runs-dir", "elsewhere"])
+        assert args.runs_dir == "elsewhere"
+
+
+class TestBenchOutputFlag:
+    def args(self, **kw):
+        return argparse.Namespace(
+            output=kw.get("output", "bench.json"),
+            no_output=kw.get("no_output", False),
+        )
+
+    def test_default_keeps_path(self):
+        assert _bench_output(self.args()) == ("bench.json", "")
+
+    def test_no_output_flag(self):
+        path, note = _bench_output(self.args(no_output=True))
+        assert path is None and note == ""
+
+    def test_empty_output_still_works_but_warns(self):
+        path, note = _bench_output(self.args(output=""))
+        assert path is None
+        assert "deprecated" in note and "--no-output" in note
+
+    def test_both_commands_expose_no_output(self):
+        parser = build_parser()
+        assert parser.parse_args(["bench", "--no-output"]).no_output
+        assert parser.parse_args(["bench-parallel", "--no-output"]).no_output
+        # the legacy escape hatch keeps parsing
+        args = parser.parse_args(
+            ["bench-parallel", "--workers-grid", "1,2", "--output", ""]
+        )
+        assert args.workers_grid == "1,2" and args.output == ""
+
 
 class TestMain:
     def test_table1_prints(self, capsys):
@@ -51,17 +111,27 @@ class TestMain:
         assert "speedup" in out
         assert "Figure 6" in out
 
+    def test_exp_resilience_quick(self, capsys):
+        # full ck34: a staggered kill plan needs enough jobs per slave
+        # for every planned death point to actually be reached
+        assert main(["exp-resilience", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "failed slaves" in out
+        assert "jobs reassigned" in out
+
     def test_info(self, capsys):
         assert main(["info", "--dataset", "ck34-mini"]) == 0
         assert "chains" in capsys.readouterr().out
 
-    def test_search_with_cheap_method(self, capsys):
+    def test_search_with_cheap_method(self, capsys, tmp_path):
         assert main(
             ["search", "ck_globin_00", "--dataset", "ck34-mini",
-             "--method", "sse_composition", "--top", "3"]
+             "--method", "sse_composition", "--top", "3",
+             "--runs-dir", str(tmp_path / "runs")]
         ) == 0
         out = capsys.readouterr().out
         assert "rank" in out
+        assert "[run search-" in out and "recorded in" in out
 
     def test_align_by_name(self, capsys, tmp_path):
         from repro.datasets import load_dataset
@@ -75,23 +145,36 @@ class TestMain:
         assert "TM-score=" in out
         assert "Rotation matrix" in out
 
+    def test_trace_with_kill_and_chrome_export(self, capsys, tmp_path):
+        chrome = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--dataset", "ck34-mini", "--slaves", "5",
+             "--kill", "1", "--chrome", str(chrome), "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 slave(s) died" in out
+        assert "rck" in out and "#" in out  # the Gantt chart rendered
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert any(e.get("name") == "comm" for e in doc["traceEvents"])
+
 
 class TestMatrixCommand:
+    def run(self, tmp_path, *extra):
+        return main(
+            ["matrix", "--dataset", "ck34-mini", "--method", "sse_composition",
+             "--runs-dir", str(tmp_path / "runs"), *extra]
+        )
+
     def test_matrix_export(self, capsys, tmp_path):
         out_file = tmp_path / "m.csv"
-        assert main(
-            ["matrix", "--dataset", "ck34-mini", "--method", "sse_composition",
-             "--output", str(out_file)]
-        ) == 0
+        assert self.run(tmp_path, "--output", str(out_file)) == 0
         assert out_file.exists()
         assert "28 pair scores" in capsys.readouterr().out
 
     def test_matrix_reports_throughput(self, capsys, tmp_path):
         out_file = tmp_path / "m.csv"
-        assert main(
-            ["matrix", "--dataset", "ck34-mini", "--method", "sse_composition",
-             "--output", str(out_file)]
-        ) == 0
+        assert self.run(tmp_path, "--output", str(out_file)) == 0
         out = capsys.readouterr().out
         assert "streamed" in out
         assert "pairs/s" in out
@@ -100,13 +183,50 @@ class TestMatrixCommand:
     def test_matrix_parallel_csv_byte_identical(self, capsys, tmp_path):
         serial = tmp_path / "serial.csv"
         farmed = tmp_path / "farmed.csv"
-        common = ["matrix", "--dataset", "ck34-mini", "--method",
-                  "sse_composition"]
-        assert main([*common, "--output", str(serial)]) == 0
-        assert main([*common, "--output", str(farmed),
-                     "--workers", "2", "--chunk", "5"]) == 0
+        assert self.run(tmp_path, "--output", str(serial)) == 0
+        assert self.run(tmp_path, "--output", str(farmed),
+                        "--workers", "2", "--chunk", "5") == 0
         capsys.readouterr()
         assert farmed.read_bytes() == serial.read_bytes()
+
+    def test_matrix_absorbs_injected_fault_with_retries(self, capsys, tmp_path):
+        serial = tmp_path / "serial.csv"
+        chaos = tmp_path / "chaos.csv"
+        assert self.run(tmp_path, "--output", str(serial)) == 0
+        assert self.run(tmp_path, "--output", str(chaos),
+                        "--workers", "2", "--chunk", "2",
+                        "--retries", "2", "--inject", "raise@0-3") == 0
+        out = capsys.readouterr().out
+        assert "absorbed faults: 1 chunk retries" in out
+        assert chaos.read_bytes() == serial.read_bytes()
+
+    def test_matrix_interrupt_then_resume_byte_identical(self, capsys, tmp_path):
+        serial = tmp_path / "serial.csv"
+        resumed = tmp_path / "resumed.csv"
+        assert self.run(tmp_path, "--output", str(serial)) == 0
+        with pytest.raises(SystemExit) as err:
+            self.run(tmp_path, "--output", str(resumed),
+                     "--run-id", "broken", "--inject", "raise@2-5")
+        assert "matrix run failed" in str(err.value)
+        assert "--resume broken" in str(err.value)  # the hint names the run
+        assert not resumed.exists()  # atomic finalize: no partial CSV
+        assert self.run(tmp_path, "--output", str(resumed),
+                        "--resume", "broken") == 0
+        out = capsys.readouterr().out
+        assert "resumed: 15 pairs taken from the journal, 13 computed now" in out
+        assert resumed.read_bytes() == serial.read_bytes()
+
+    def test_runs_command_lists_store(self, capsys, tmp_path):
+        assert main(["runs", "--runs-dir", str(tmp_path / "runs")]) == 0
+        assert "no runs under" in capsys.readouterr().out
+        assert self.run(tmp_path, "--output", str(tmp_path / "m.csv"),
+                        "--run-id", "my-run") == 0
+        capsys.readouterr()
+        assert main(["runs", "--runs-dir", str(tmp_path / "runs")]) == 0
+        out = capsys.readouterr().out
+        assert "my-run" in out
+        assert "complete" in out
+        assert "28/28" in out
 
     def test_farm_flags_parse(self):
         parser = build_parser()

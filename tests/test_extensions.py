@@ -162,6 +162,79 @@ class TestTracer:
         tracer = Tracer(m)
         assert "no simulated time" in render_gantt(tracer)
 
+    def test_comm_intervals_recorded_for_rcce_traffic(self):
+        from repro.scc.rcce import Rcce
+
+        m = SccMachine()
+        tracer = Tracer(m)
+        rcce = Rcce(m)
+
+        def sender(core):
+            yield from rcce.send(core, 1, payload="ping", nbytes=4096)
+
+        def receiver(core):
+            yield from rcce.recv(core, 0)
+
+        m.spawn(0, sender)
+        m.spawn(1, receiver)
+        m.run()
+        assert tracer.kind_intervals(0, "comm")
+        assert tracer.kind_intervals(1, "comm")
+        assert tracer.kind_intervals(0, "compute") == []
+
+    def test_dram_reads_traced_as_comm(self):
+        m = SccMachine()
+        tracer = Tracer(m)
+
+        def prog(core):
+            yield from core.dram_read(1 << 20)
+
+        m.spawn(0, prog)
+        m.run()
+        ivs = tracer.kind_intervals(0, "comm")
+        assert len(ivs) == 1
+        assert ivs[0].duration > 0
+
+    def test_compute_only_program_has_no_comm_intervals(self):
+        # the pre-existing contract: a pure-compute program records
+        # exactly its compute bursts, nothing else
+        m = SccMachine()
+        tracer = Tracer(m)
+
+        def prog(core):
+            yield from core.compute_cycles(800e6)
+
+        m.spawn(0, prog)
+        m.run()
+        assert len(tracer.intervals) == 1
+        assert tracer.intervals[0].kind == "compute"
+
+    def test_chrome_trace_export(self):
+        import json
+
+        from repro.scc.trace import chrome_trace
+
+        m = SccMachine()
+        tracer = Tracer(m)
+
+        def prog(core):
+            yield from core.compute_cycles(800e6)
+            yield from core.dram_read(1 << 20)
+
+        m.spawn(0, prog)
+        m.spawn(3, prog)
+        m.run()
+        doc = json.loads(chrome_trace(tracer))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["tid"] for e in events} == {0, 3}
+        assert {e["name"] for e in events} == {"compute", "comm"}
+        assert {m_["args"]["name"] for m_ in meta} == {"rck00", "rck03"}
+        compute = next(e for e in events if e["name"] == "compute")
+        assert compute["dur"] == pytest.approx(1e6)  # 1 s in microseconds
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+
 
 class TestReportFormatter:
     def test_report_layout(self, small_fold_pair):

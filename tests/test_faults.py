@@ -1,0 +1,185 @@
+"""Fault plans (real farm + simulated SCC) and degraded-mode runs.
+
+Injection *semantics* on the real pool live in test_parallel_farm.py
+(TestRetryPath); this module covers the plan data model — validation,
+the CLI parse grammar, seeded sampling — and the simulator side: a
+killed slave is detected, its job reassigned, and the sweep still
+completes with every result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rckalign import RckAlignConfig, run_rckalign
+from repro.faults import (
+    FAULT_KINDS,
+    SIM_FAULT_KINDS,
+    FarmFaultPlan,
+    SimFaultPlan,
+    SlaveFault,
+    WorkerFault,
+)
+from repro.psc.evaluator import EvalMode
+
+
+class TestWorkerFaultPlan:
+    def test_kind_validation(self):
+        assert set(FAULT_KINDS) == {"raise", "kill", "stall"}
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            WorkerFault("explode", (0, 1))
+        with pytest.raises(ValueError, match="stall_seconds"):
+            WorkerFault("stall", (0, 1))  # stall needs a duration
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerFault("raise", (0, 1), attempts=(-1,))
+
+    def test_matching(self):
+        fault = WorkerFault("raise", (0, 3), attempts=(0, 2))
+        assert fault.matches(0, 3, 0)
+        assert fault.matches(0, 3, 2)
+        assert not fault.matches(0, 3, 1)
+        assert not fault.matches(0, 4, 0)
+        plan = FarmFaultPlan((fault,))
+        assert plan.should_fire(0, 3, 2) is fault
+        assert plan.should_fire(1, 2, 0) is None
+        assert plan and not FarmFaultPlan()
+
+    def test_parse_grammar(self):
+        plan = FarmFaultPlan.parse("kill@0-3, raise@1-2#0|1, stall:1.5@2-4")
+        kinds = [f.kind for f in plan.faults]
+        assert kinds == ["kill", "raise", "stall"]
+        assert plan.faults[0].pair == (0, 3)
+        assert plan.faults[1].attempts == (0, 1)
+        assert plan.faults[2].stall_seconds == 1.5
+
+    @pytest.mark.parametrize(
+        "bad", ["", "kill", "kill@x-y", "kill@0", "stall@1-2", "boom@0-1"]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            FarmFaultPlan.parse(bad)
+
+    def test_sample_is_seeded(self):
+        pairs = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        a = FarmFaultPlan.sample(7, pairs, n_faults=3)
+        b = FarmFaultPlan.sample(7, pairs, n_faults=3)
+        c = FarmFaultPlan.sample(8, pairs, n_faults=3)
+        assert a == b
+        assert a != c
+        assert len({f.pair for f in a.faults}) == 3
+        with pytest.raises(ValueError, match="cannot pick"):
+            FarmFaultPlan.sample(0, pairs[:2], n_faults=3)
+
+
+class TestSlaveFaultPlan:
+    def test_kind_validation(self):
+        assert set(SIM_FAULT_KINDS) == {"kill", "slow"}
+        with pytest.raises(ValueError, match="unknown sim fault kind"):
+            SlaveFault(1, kind="melt")
+        with pytest.raises(ValueError, match="slow_factor"):
+            SlaveFault(1, kind="slow", slow_factor=1.0)
+        with pytest.raises(ValueError, match="after_jobs"):
+            SlaveFault(1, after_jobs=-1)
+        with pytest.raises(ValueError, match="detect_seconds"):
+            SlaveFault(1, detect_seconds=-0.1)
+
+    def test_one_fault_per_slave(self):
+        with pytest.raises(ValueError, match="one fault per slave"):
+            SimFaultPlan((SlaveFault(1), SlaveFault(1, kind="slow")))
+        plan = SimFaultPlan((SlaveFault(1), SlaveFault(2, kind="slow")))
+        assert plan.for_slave(1).kind == "kill"
+        assert plan.for_slave(2).kind == "slow"
+        assert plan.for_slave(3) is None
+        assert plan.n_kills == 1
+
+    def test_kill_n_seeded_and_staggered(self):
+        ids = list(range(1, 12))
+        a = SimFaultPlan.kill_n(3, ids, seed=1)
+        assert a == SimFaultPlan.kill_n(3, ids, seed=1)
+        assert a != SimFaultPlan.kill_n(3, ids, seed=2)
+        assert a.n_kills == 3
+        assert sorted(f.after_jobs for f in a.faults) == [1, 3, 5]
+        with pytest.raises(ValueError, match="cannot kill"):
+            SimFaultPlan.kill_n(4, ids[:3])
+        assert not SimFaultPlan.kill_n(0, ids)
+
+    def test_slow_n(self):
+        plan = SimFaultPlan.slow_n(2, range(1, 6), seed=0, slow_factor=3.0)
+        assert plan.n_kills == 0
+        assert all(f.kind == "slow" and f.slow_factor == 3.0 for f in plan.faults)
+
+
+class TestSimulatedFailures:
+    def report(self, plan, n_slaves=5, dataset="ck34-mini"):
+        return run_rckalign(
+            RckAlignConfig(
+                dataset=dataset,
+                n_slaves=n_slaves,
+                mode=EvalMode.MODEL,
+                fault_plan=plan,
+            )
+        )
+
+    def test_killed_slaves_detected_and_jobs_reassigned(self):
+        plan = SimFaultPlan((SlaveFault(2), SlaveFault(4, after_jobs=3)))
+        rep = self.report(plan)
+        assert rep.failures_detected == 2
+        assert rep.jobs_reassigned == 2
+        assert sorted(rep.failed_slaves) == [2, 4]
+        assert len(rep.results) == rep.n_jobs == 28  # nothing lost
+        assert sorted((r.payload["i"], r.payload["j"]) for r in rep.results) == [
+            (i, j) for i in range(8) for j in range(i + 1, 8)
+        ]
+        # dead slaves stop accumulating work
+        assert rep.slave_jobs[2] == 1
+        assert rep.slave_jobs[4] == 3
+
+    def test_fault_free_run_unchanged_by_empty_plan(self):
+        want = self.report(None)
+        got = self.report(SimFaultPlan())
+        assert got.total_seconds == want.total_seconds
+        assert got.failures_detected == 0
+        assert got.failed_slaves == ()
+
+    def test_killed_run_is_slower_but_complete(self):
+        clean = self.report(None)
+        degraded = self.report(SimFaultPlan((SlaveFault(3),)))
+        assert degraded.total_seconds > clean.total_seconds
+        assert len(degraded.results) == clean.n_jobs
+
+    def test_slow_slave_stretches_makespan(self):
+        clean = self.report(None)
+        slowed = self.report(
+            SimFaultPlan((SlaveFault(3, kind="slow", slow_factor=8.0),))
+        )
+        assert slowed.failures_detected == 0
+        assert len(slowed.results) == clean.n_jobs
+        assert slowed.total_seconds > clean.total_seconds
+
+    def test_fault_plan_must_target_slaves(self):
+        with pytest.raises(ValueError, match="non-slave"):
+            self.report(SimFaultPlan((SlaveFault(40),)), n_slaves=5)
+        with pytest.raises(ValueError, match="every slave"):
+            self.report(
+                SimFaultPlan(tuple(SlaveFault(s) for s in (1, 2))), n_slaves=2
+            )
+
+
+class TestExperimentResilience:
+    def test_rows_and_invariants(self):
+        from repro.experiments import run_exp_resilience
+
+        result = run_exp_resilience(
+            dataset="ck34-mini", n_slaves=5, failed_counts=(0, 1, 2)
+        )
+        assert result.exp_id == "exp_resilience"
+        assert [r[0] for r in result.rows] == [0, 1, 2]
+        assert [r[1] for r in result.rows] == [5, 4, 3]
+        times = result.column("time (s)")
+        assert times[0] < times[1] < times[2]  # more deaths, longer sweep
+        kept = result.column("throughput kept")
+        assert kept[0] == pytest.approx(1.0)
+        assert all(0 < v <= 1.0 for v in kept[1:])
+        assert result.column("jobs reassigned") == [0, 1, 2]
+        text = result.to_text()
+        assert "Experiment R" in text and "failed slaves" in text

@@ -15,10 +15,12 @@ import os
 import pytest
 
 from repro.cost.counters import CostCounter
+from repro.faults import FarmFaultPlan, InjectedFault, WorkerFault
 from repro.parallel import (
     DEFAULT_CHUNK,
     FarmStats,
     ParallelConfig,
+    RetryPolicy,
     WorkerCrash,
     auto_chunk,
     iter_pair_results,
@@ -92,6 +94,23 @@ class ExplodingMethod(SSECompositionMethod):
 
     def compare(self, chain_a, chain_b, counter):
         if chain_b.name == self.poison_b:
+            raise RuntimeError(f"boom on {chain_a.name}|{chain_b.name}")
+        return super().compare(chain_a, chain_b, counter)
+
+
+class PairPoisonMethod(SSECompositionMethod):
+    """Raises on exactly one (a, b) name pair — unlike ExplodingMethod,
+    only a single chunk can ever fail, so retry-exhaustion tests are
+    deterministic regardless of result arrival order."""
+
+    name = "pair_poison"
+
+    def __init__(self, poison_a: str, poison_b: str) -> None:
+        self.poison_a = poison_a
+        self.poison_b = poison_b
+
+    def compare(self, chain_a, chain_b, counter):
+        if (chain_a.name, chain_b.name) == (self.poison_a, self.poison_b):
             raise RuntimeError(f"boom on {chain_a.name}|{chain_b.name}")
         return super().compare(chain_a, chain_b, counter)
 
@@ -209,6 +228,24 @@ class TestScheduling:
                 c = auto_chunk(n_jobs, workers)
                 assert 1 <= c <= min(32, n_jobs)
 
+    def test_auto_chunk_more_workers_than_jobs(self):
+        # chunk must stay 1 so every worker can get at least one pair
+        assert auto_chunk(1, 16) == 1
+        assert auto_chunk(2, 8) == 1
+        assert auto_chunk(3, 4) == 1
+        assert auto_chunk(7, 8) == 1
+
+    def test_auto_chunk_cap_and_target_boundaries(self):
+        assert auto_chunk(16, 4) == 1  # exactly 4 chunks/worker at size 1
+        assert auto_chunk(17, 4) == 2  # first size that rounds up
+        assert auto_chunk(512, 4) == 32  # lands exactly on the cap
+        assert auto_chunk(513, 4) == 32  # stays capped past it
+        assert auto_chunk(0, 4) == 1  # empty job list still legal
+
+    def test_auto_chunk_zero_workers_is_serial(self):
+        assert auto_chunk(5, 0) == 5
+        assert auto_chunk(0, 0) == 1
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             ParallelConfig(workers=-1)
@@ -247,6 +284,117 @@ class TestScheduling:
         kind, payload = dataset_spec(subset)
         assert kind == "pickle"
         assert payload is subset
+
+
+class TestRetryPath:
+    """Retry/backoff absorbs injected failures; exhaustion still points
+    at the failing pair."""
+
+    RETRY = RetryPolicy(max_retries=2, backoff_seconds=0.01)
+
+    def test_injected_raise_absorbed_bit_identical(self, ck34_mini):
+        method = get_method("sse_composition")
+        want = all_vs_all(ck34_mini, method)
+        stats = FarmStats()
+        got = parallel_all_vs_all(
+            ck34_mini, method,
+            config=ParallelConfig(workers=2, chunk=2, retry=self.RETRY),
+            stats=stats,
+            faults=FarmFaultPlan.single("raise", (0, 3)),
+        )
+        assert got == want
+        assert stats.retries == 1
+        assert stats.pool_restarts == 0
+
+    def test_injected_kill_pool_restart_bit_identical(self, ck34_mini):
+        method = get_method("sse_composition")
+        want = all_vs_all(ck34_mini, method)
+        stats = FarmStats()
+        got = parallel_all_vs_all(
+            ck34_mini, method,
+            config=ParallelConfig(workers=2, chunk=2, retry=self.RETRY),
+            stats=stats,
+            faults=FarmFaultPlan.single("kill", (1, 2)),
+        )
+        assert got == want
+        assert stats.pool_restarts >= 1
+
+    def test_stalled_chunk_redispatched(self, ck34_mini):
+        method = get_method("sse_composition")
+        want = all_vs_all(ck34_mini, method)
+        retry = RetryPolicy(
+            max_retries=2, backoff_seconds=0.01, chunk_timeout_seconds=0.4
+        )
+        stats = FarmStats()
+        got = parallel_all_vs_all(
+            ck34_mini, method,
+            config=ParallelConfig(workers=2, chunk=4, retry=retry),
+            stats=stats,
+            faults=FarmFaultPlan.single("stall", (0, 1), stall_seconds=2.0),
+        )
+        assert got == want
+        assert stats.chunk_timeouts >= 1
+
+    def test_workercrash_carries_pair_through_retry_path(self, ck34_mini):
+        # the method fails on *every* attempt, so retries exhaust — the
+        # surfaced WorkerCrash must still name the poisoned pair
+        method = PairPoisonMethod(ck34_mini[0].name, ck34_mini[3].name)
+        stats = FarmStats()
+        with pytest.raises(WorkerCrash) as err:
+            parallel_all_vs_all(
+                ck34_mini, method,
+                config=ParallelConfig(workers=2, chunk=2, retry=self.RETRY),
+                stats=stats,
+            )
+        assert err.value.pair == (0, 3)
+        assert "boom on" in err.value.remote_traceback
+        assert stats.retries == self.RETRY.max_retries
+
+    def test_fault_without_retry_names_pair(self, ck34_mini):
+        with pytest.raises(WorkerCrash) as err:
+            parallel_all_vs_all(
+                ck34_mini, get_method("sse_composition"),
+                config=ParallelConfig(workers=2, chunk=2),
+                faults=FarmFaultPlan.single(
+                    "raise", (2, 5), attempts=(0, 1, 2, 3)
+                ),
+            )
+        assert err.value.pair == (2, 5)
+        assert "InjectedFault" in err.value.remote_traceback
+
+    def test_serial_path_retries_in_process(self, ck34_mini):
+        method = get_method("sse_composition")
+        want = all_vs_all(ck34_mini, method)
+        stats = FarmStats()
+        got = parallel_all_vs_all(
+            ck34_mini, method,
+            config=ParallelConfig(workers=0, retry=self.RETRY),
+            stats=stats,
+            faults=FarmFaultPlan.single("raise", (0, 3)),
+        )
+        assert got == want
+        assert stats.retries == 1
+
+    def test_serial_path_without_retry_raises_injected(self, ck34_mini):
+        with pytest.raises(InjectedFault):
+            parallel_all_vs_all(
+                ck34_mini, get_method("sse_composition"),
+                config=ParallelConfig(workers=0),
+                faults=FarmFaultPlan.single("raise", (0, 3)),
+            )
+
+    def test_one_vs_all_retry_parity(self, ck34_mini):
+        method = get_method("sse_composition")
+        query = ck34_mini[2]
+        want = parallel_one_vs_all(
+            query, ck34_mini, method, config=ParallelConfig(workers=0)
+        )
+        got = parallel_one_vs_all(
+            query, ck34_mini, method,
+            config=ParallelConfig(workers=2, chunk=3, retry=self.RETRY),
+            faults=FarmFaultPlan.single("raise", (QUERY_INDEX, 4)),
+        )
+        assert got == want
 
 
 class TestEvaluatorPrewarm:

@@ -1,5 +1,7 @@
 """Score-table persistence."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -56,10 +58,32 @@ class TestStreamedCsv:
         assert stream_score_table_csv(rows, streamed) == len(tab)
         assert streamed.read_bytes() == bulk.read_bytes()
 
-    def test_rows_hit_disk_incrementally(self, tmp_path):
-        # a producer that dies mid-stream must leave the rows it already
-        # yielded on disk — proof nothing is being buffered into a table
+    def test_rows_stream_to_temp_not_a_table_in_memory(self, tmp_path):
+        # rows are written (via the temp file) as the producer yields
+        # them — proof nothing is being buffered into a table.  The
+        # producer itself observes the temp file growing mid-stream.
+        path = tmp_path / "grow.csv"
+        observed = []
+
+        def rows():
+            yield "a", "b", {"s": 1.0}
+            yield "a", "c", {"s": 2.0}
+            tmp = tmp_path / f"grow.csv.tmp.{os.getpid()}"
+            observed.append((tmp.exists(), path.exists()))
+
+        assert stream_score_table_csv(rows(), path) == 2
+        # mid-stream the temp file existed and the destination did not:
+        # rows go straight to disk, the rename happens only at the end
+        assert observed == [(True, False)]
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_dead_producer_leaves_no_partial_table(self, tmp_path):
+        # the atomic contract: a crash mid-stream never leaves a
+        # truncated CSV at the destination, and a pre-existing table
+        # there survives untouched
         path = tmp_path / "partial.csv"
+        path.write_text("chain_a,chain_b,s\nold,row,0.5\n")
 
         def rows():
             yield "a", "b", {"s": 1.0}
@@ -68,9 +92,8 @@ class TestStreamedCsv:
 
         with pytest.raises(RuntimeError, match="producer died"):
             stream_score_table_csv(rows(), path)
-        lines = path.read_text().splitlines()
-        assert lines[0] == "chain_a,chain_b,s"
-        assert len(lines) == 3
+        assert path.read_text() == "chain_a,chain_b,s\nold,row,0.5\n"
+        assert list(tmp_path.glob("*.tmp.*")) == []  # temp cleaned up
 
     def test_roundtrips_through_reader(self, tmp_path):
         path = tmp_path / "s.csv"

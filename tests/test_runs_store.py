@@ -1,0 +1,312 @@
+"""The durable run store: journals, manifests, resume semantics.
+
+The contract under test is the resilient-runs acceptance criterion:
+``matrix_run`` with ``resume=`` recomputes *zero* journaled pairs
+(asserted through method call counts) and its finalized CSV is
+byte-identical to the one an uninterrupted run writes — even when the
+original run died to an injected worker failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.faults import FarmFaultPlan, InjectedFault
+from repro.parallel import ParallelConfig, RetryPolicy
+from repro.psc import get_method
+from repro.psc.methods import SSECompositionMethod
+from repro.runs import (
+    Run,
+    RunJournal,
+    RunManifest,
+    RunStore,
+    RunStoreError,
+    dataset_fingerprint,
+    matrix_run,
+)
+
+SCORES_A = {"tm": 0.75, "rmsd": 1.25}
+SCORES_B = {"tm": 0.5, "rmsd": 2.0}
+
+
+class CountingMethod(SSECompositionMethod):
+    """Counts compare() calls — proves --resume recomputes nothing.
+
+    Keeps the parent's ``name`` so a resumed run passes the manifest's
+    method check.  Only valid with workers=0 (in-process evaluation).
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def compare(self, chain_a, chain_b, counter):
+        self.calls += 1
+        return super().compare(chain_a, chain_b, counter)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "runs")
+
+
+def make_run(store, ck34_mini, run_id="r1", command="matrix", n_pairs=28):
+    manifest = RunManifest.for_task(
+        run_id=run_id,
+        command=command,
+        dataset=ck34_mini,
+        method_name="sse_composition",
+        n_pairs=n_pairs,
+    )
+    return store.create(manifest)
+
+
+class TestJournal:
+    def test_round_trip(self, store, ck34_mini):
+        run = make_run(store, ck34_mini)
+        with run.journal() as journal:
+            journal.append(0, 1, SCORES_A)
+            journal.append(0, 2, SCORES_B)
+        state = run.load_journal()
+        assert state.keys == ("rmsd", "tm")  # sorted key order
+        assert len(state) == 2 and (0, 1) in state and (0, 2) in state
+        assert state.scores((0, 1)) == SCORES_A
+        assert state.scores((0, 2)) == SCORES_B
+        assert state.dropped == 0
+
+    def test_truncated_tail_dropped(self, store, ck34_mini):
+        run = make_run(store, ck34_mini)
+        with run.journal() as journal:
+            journal.append(0, 1, SCORES_A)
+            journal.append(0, 2, SCORES_B)
+        with open(run.journal_path, encoding="ascii") as fh:
+            intact = fh.read()
+        # a SIGKILL mid-append leaves a partial final line
+        with open(run.journal_path, "w", encoding="ascii") as fh:
+            fh.write(intact + "0,3,0.123")  # no CRC, no newline
+        state = run.load_journal()
+        assert len(state) == 2
+        assert (0, 3) not in state
+        assert state.dropped == 1
+
+    def test_corrupt_record_before_intact_ones_raises(self, store, ck34_mini):
+        run = make_run(store, ck34_mini)
+        with run.journal() as journal:
+            journal.append(0, 1, SCORES_A)
+            journal.append(0, 2, SCORES_B)
+        lines = open(run.journal_path, encoding="ascii").read().splitlines(True)
+        lines[1] = lines[1].replace(",", ";", 1)  # damage a mid-file record
+        with open(run.journal_path, "w", encoding="ascii") as fh:
+            fh.writelines(lines)
+        with pytest.raises(RunStoreError, match="damaged"):
+            run.load_journal()
+
+    def test_reopen_for_append_keeps_single_header(self, store, ck34_mini):
+        # the resume path: a second RunJournal on the same file must adopt
+        # the existing #keys= header, not write another one mid-file
+        run = make_run(store, ck34_mini)
+        with run.journal() as journal:
+            journal.append(0, 1, SCORES_A)
+        with run.journal() as journal:
+            assert journal.keys == ("rmsd", "tm")
+            journal.append(0, 2, SCORES_B)
+        text = open(run.journal_path, encoding="ascii").read()
+        assert text.count("#keys=") == 1
+        assert len(run.load_journal()) == 2
+
+    def test_mismatched_keys_rejected(self, store, ck34_mini):
+        run = make_run(store, ck34_mini)
+        with run.journal() as journal:
+            journal.append(0, 1, SCORES_A)
+            with pytest.raises(RunStoreError, match="score keys"):
+                journal.append(0, 2, {"different": 1.0})
+        with pytest.raises(RunStoreError, match="caller expects"):
+            RunJournal(run.journal_path, keys=["zz"])
+
+    def test_values_survive_as_exact_format_strings(self, store, ck34_mini):
+        run = make_run(store, ck34_mini)
+        value = 0.1 + 0.2  # 0.30000000000000004
+        with run.journal() as journal:
+            journal.append(3, 4, {"tm": value})
+        state = run.load_journal()
+        assert state.rows[(3, 4)] == [format(value, "")]
+        assert state.scores((3, 4))["tm"] == value  # bit-exact round trip
+
+
+class TestManifest:
+    def test_check_inputs_rejects_other_method(self, ck34_mini):
+        m = RunManifest.for_task("r", "matrix", ck34_mini, "tmalign")
+        with pytest.raises(ValueError, match="method"):
+            m.check_inputs(ck34_mini, "sse_composition")
+
+    def test_check_inputs_rejects_other_dataset(self, ck34_mini):
+        m = RunManifest.for_task("r", "matrix", ck34_mini, "tmalign")
+        other = ck34_mini.subset(4, name="other")
+        with pytest.raises(ValueError, match="refusing to mix"):
+            m.check_inputs(other, "tmalign")
+        m.check_inputs(ck34_mini, "tmalign")  # identity passes
+
+    def test_fingerprint_depends_on_content(self, ck34_mini):
+        assert dataset_fingerprint(ck34_mini) == dataset_fingerprint(ck34_mini)
+        assert dataset_fingerprint(ck34_mini) != dataset_fingerprint(
+            ck34_mini.subset(4, name="other")
+        )
+
+    def test_version_gate(self, ck34_mini):
+        m = RunManifest.for_task("r", "matrix", ck34_mini, "tmalign")
+        payload = json.loads(m.to_json())
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            RunManifest.from_json(json.dumps(payload))
+        again = RunManifest.from_json(m.to_json())
+        assert again == m
+
+
+class TestStore:
+    def test_illegal_run_ids(self, store):
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(RunStoreError, match="illegal"):
+                store.run_dir(bad)
+
+    def test_open_missing_run(self, store):
+        with pytest.raises(RunStoreError, match="no run"):
+            store.open("nope")
+
+    def test_create_open_list(self, store, ck34_mini):
+        run = make_run(store, ck34_mini, run_id="alpha")
+        assert store.exists("alpha")
+        with pytest.raises(RunStoreError, match="already exists"):
+            make_run(store, ck34_mini, run_id="alpha")
+        reopened = store.open("alpha")
+        assert reopened.manifest == run.manifest
+        assert list(store.list_ids()) == ["alpha"]
+
+    def test_new_run_id_unique(self, store, ck34_mini):
+        first = store.new_run_id("matrix")
+        make_run(store, ck34_mini, run_id=first)
+        second = store.new_run_id("matrix")
+        assert second != first
+        assert not store.exists(second)
+
+    def test_status_transitions_persisted(self, store, ck34_mini):
+        run = make_run(store, ck34_mini, run_id="s")
+        assert store.open("s").manifest.status == "running"
+        run.mark("interrupted")
+        assert store.open("s").manifest.status == "interrupted"
+
+    def test_finalize_refuses_incomplete_journal(self, store, ck34_mini, tmp_path):
+        run = make_run(store, ck34_mini)
+        with pytest.raises(RunStoreError, match="empty journal"):
+            run.finalize_csv([(0, 1)], ["a", "b"], tmp_path / "out.csv")
+        with run.journal() as journal:
+            journal.append(0, 1, SCORES_A)
+        with pytest.raises(RunStoreError, match="incomplete"):
+            run.finalize_csv(
+                [(0, 1), (0, 2)], ["a", "b", "c"], tmp_path / "out.csv"
+            )
+
+
+class TestMatrixRun:
+    def run_matrix(self, ck34_mini, store, out, method=None, **kw):
+        return matrix_run(
+            ck34_mini,
+            method or CountingMethod(),
+            str(out),
+            store,
+            config=kw.pop("config", ParallelConfig(workers=0)),
+            **kw,
+        )
+
+    def test_fresh_run_completes(self, store, ck34_mini, tmp_path):
+        method = CountingMethod()
+        res = self.run_matrix(
+            ck34_mini, store, tmp_path / "full.csv", method=method
+        )
+        assert res.n_pairs == res.n_computed == res.n_rows == 28
+        assert res.n_journaled == 0
+        assert method.calls == 28
+        assert store.open(res.run_id).manifest.status == "complete"
+
+    def test_resume_recomputes_zero_pairs(self, store, ck34_mini, tmp_path):
+        want = self.run_matrix(ck34_mini, store, tmp_path / "full.csv")
+        golden = open(tmp_path / "full.csv", "rb").read()
+
+        # interrupt a second run mid-matrix with an injected failure
+        with pytest.raises(InjectedFault):
+            self.run_matrix(
+                ck34_mini, store, tmp_path / "broken.csv",
+                run_id="broken",
+                faults=FarmFaultPlan.single("raise", (2, 5)),
+            )
+        assert store.open("broken").manifest.status == "interrupted"
+        assert not os.path.exists(tmp_path / "broken.csv")  # atomic: no partial CSV
+
+        method = CountingMethod()
+        res = self.run_matrix(
+            ck34_mini, store, tmp_path / "broken.csv",
+            method=method, resume="broken",
+        )
+        # (2, 5) is the 16th pair in row-major order: 15 journaled, 13 left
+        assert res.n_journaled == 15
+        assert res.n_computed == 13
+        assert method.calls == 13  # zero journaled pairs re-evaluated
+        assert res.run_id == "broken"
+        assert store.open("broken").manifest.status == "complete"
+        assert open(tmp_path / "broken.csv", "rb").read() == golden
+        assert res.score_sum == pytest.approx(want.score_sum)
+
+    def test_resume_completed_run_computes_nothing(
+        self, store, ck34_mini, tmp_path
+    ):
+        first = self.run_matrix(
+            ck34_mini, store, tmp_path / "full.csv", run_id="done"
+        )
+        golden = open(tmp_path / "full.csv", "rb").read()
+        method = CountingMethod()
+        res = self.run_matrix(
+            ck34_mini, store, tmp_path / "again.csv",
+            method=method, resume="done",
+        )
+        assert method.calls == 0
+        assert res.n_computed == 0 and res.n_journaled == 28
+        assert open(tmp_path / "again.csv", "rb").read() == golden
+        assert first.run_id == res.run_id
+
+    def test_resume_guards(self, store, ck34_mini, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            self.run_matrix(
+                ck34_mini, store, tmp_path / "x.csv",
+                run_id="a", resume="b",
+            )
+        make_run(store, ck34_mini, run_id="srch", command="search")
+        with pytest.raises(RunStoreError, match="not a matrix"):
+            self.run_matrix(
+                ck34_mini, store, tmp_path / "x.csv", resume="srch"
+            )
+
+    def test_sigkilled_worker_with_retry_byte_identical(
+        self, store, ck34_mini, tmp_path
+    ):
+        # the headline acceptance criterion: a worker SIGKILLed mid-run
+        # is absorbed by the retry policy and the CSV is byte-identical
+        # to the serial, fault-free run
+        method = get_method("sse_composition")
+        self.run_matrix(
+            ck34_mini, store, tmp_path / "serial.csv",
+            method=method, run_id="serial",
+        )
+        res = self.run_matrix(
+            ck34_mini, store, tmp_path / "farmed.csv",
+            method=method, run_id="farmed",
+            config=ParallelConfig(
+                workers=2, chunk=2,
+                retry=RetryPolicy(max_retries=2, backoff_seconds=0.01),
+            ),
+            faults=FarmFaultPlan.single("kill", (1, 2)),
+        )
+        assert res.stats.pool_restarts >= 1
+        serial = open(tmp_path / "serial.csv", "rb").read()
+        farmed = open(tmp_path / "farmed.csv", "rb").read()
+        assert farmed == serial
