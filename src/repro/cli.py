@@ -352,6 +352,8 @@ def _bench_output(args) -> tuple[Optional[str], str]:
 
 
 def _cmd_bench(args) -> str:
+    if args.kernel:
+        return _cmd_bench_kernel(args)
     from repro.experiments.bench import format_bench_report, run_bench
 
     output, note = _bench_output(args)
@@ -368,6 +370,42 @@ def _cmd_bench(args) -> str:
         text += f"\nwrote {output}"
     if note:
         text += f"\n{note}"
+    return text
+
+
+def _cmd_bench_kernel(args) -> str:
+    """``bench --kernel``: TM-align kernel micro-benchmark + perf gate."""
+    from repro.experiments.bench import (
+        DEFAULT_BENCH_OUTPUT,
+        DEFAULT_KERNEL_BENCH_OUTPUT,
+        format_kernel_bench_report,
+        run_kernel_bench,
+    )
+
+    output, note = _bench_output(args)
+    if output == DEFAULT_BENCH_OUTPUT:
+        # the hot-path artefact default doesn't apply to the kernel bench
+        output = DEFAULT_KERNEL_BENCH_OUTPUT
+    report = run_kernel_bench(
+        dataset=args.dataset if args.dataset != "both" else "ck34",
+        output=output,
+        baseline=args.baseline if args.baseline > 0 else None,
+        min_ratio=args.min_ratio,
+        repeats=1 if args.quick else args.repeats,
+        stages=not args.no_micro,
+    )
+    text = format_kernel_bench_report(report)
+    if output:
+        text += f"\nwrote {output}"
+    if note:
+        text += f"\n{note}"
+    if args.check and not report["regression"]["passed"]:
+        print(text, file=sys.stderr)
+        raise SystemExit(
+            f"kernel perf regression: {report['pairs_per_second']:.2f} pairs/s "
+            f"< {args.min_ratio:.2f} x baseline "
+            f"{report['regression']['baseline_pairs_per_second']:.2f}"
+        )
     return text
 
 
@@ -597,7 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output",
         default="BENCH_hotpaths.json",
-        help="JSON artefact path",
+        help="JSON artefact path (BENCH_kernel.json with --kernel)",
     )
     p.add_argument(
         "--no-output",
@@ -607,7 +645,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-micro",
         action="store_true",
-        help="skip the evaluator/NoC/RCCE micro-benchmarks",
+        help="skip the micro-benchmarks (with --kernel: the stage table)",
+    )
+    p.add_argument(
+        "--kernel",
+        action="store_true",
+        help="benchmark the TM-align kernel (quick grid) instead of the "
+        "simulator, writing per-stage timings to BENCH_kernel.json",
+    )
+    p.add_argument(
+        "--baseline",
+        type=float,
+        default=0.0,
+        help="kernel pairs/s to regress against (default: the committed "
+        "artefact at --output, else the recorded pre-PR constant)",
+    )
+    p.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.8,
+        help="regression gate: fraction of baseline pairs/s that must be met",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing passes for the kernel bench (best is reported)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="with --kernel: exit non-zero when the regression gate fails",
     )
     p.set_defaults(fn=_cmd_bench)
 

@@ -33,15 +33,20 @@ from repro.scc.machine import SccMachine
 __all__ = [
     "run_bench",
     "run_parallel_bench",
+    "run_kernel_bench",
     "format_parallel_bench_report",
+    "format_kernel_bench_report",
     "DEFAULT_BENCH_OUTPUT",
     "DEFAULT_PARALLEL_BENCH_OUTPUT",
+    "DEFAULT_KERNEL_BENCH_OUTPUT",
     "PRE_OVERHAUL_SWEEP_WALL_S",
     "SEED_KERNEL_PAIRS_PER_SECOND",
+    "KERNEL_BASELINE_PAIRS_PER_SECOND",
 ]
 
 DEFAULT_BENCH_OUTPUT = "BENCH_hotpaths.json"
 DEFAULT_PARALLEL_BENCH_OUTPUT = "BENCH_parallel.json"
+DEFAULT_KERNEL_BENCH_OUTPUT = "BENCH_kernel.json"
 
 # Full-grid exp2 sweep wall-clock measured on the reference container just
 # before the hot-path overhaul landed.  Kept so the artefact records the
@@ -53,6 +58,11 @@ PRE_OVERHAUL_SWEEP_WALL_S = {"ck34": 4.22, "rs119": 57.94}
 # container just before the kernel hot-path optimisation (PR 2): the
 # 45-pair micro below over the first 10 CK34 chains ran at this rate.
 SEED_KERNEL_PAIRS_PER_SECOND = 10.15
+
+# Kernel micro throughput recorded in BENCH_parallel.json just before the
+# batch-vectorisation PR — the fallback regression baseline when no
+# committed BENCH_kernel.json is available to compare against.
+KERNEL_BASELINE_PAIRS_PER_SECOND = 14.96
 
 
 def _bench_evaluator(evaluator: JobEvaluator, n_chains: int, calls: int = 20_000) -> Dict[str, float]:
@@ -218,6 +228,196 @@ def _bench_kernel_micro(dataset) -> Dict[str, float]:
         out["seed_pairs_per_second"] = SEED_KERNEL_PAIRS_PER_SECOND
         out["speedup_vs_seed"] = rate / SEED_KERNEL_PAIRS_PER_SECOND
     return out
+
+
+def _bench_kernel_stages(dataset) -> Dict[str, dict]:
+    """Per-stage kernel timings and op counts on a representative pair.
+
+    Each stage of the TM-align kernel is run standalone on inputs taken
+    from the first dataset pair: the initial-alignment generators on the
+    raw chains, the superposition search and DP on the converged
+    correspondence of a full alignment.  One counted call per stage wires
+    its :class:`~repro.cost.counters.CostCounter` op totals into the
+    report next to the timing, so the artefact records both what each
+    stage costs in wall-clock and what it charges the cost model.
+    """
+    import numpy as np
+
+    from repro.cost.counters import CostCounter
+    from repro.geometry.kabsch import kabsch_batch
+    from repro.tmalign import tm_align
+    from repro.tmalign.dp import nw_align
+    from repro.tmalign.initial import (
+        combined_alignment,
+        fragment_threading,
+        gapless_threading,
+        ss_alignment,
+    )
+    from repro.tmalign.params import TMAlignParams, d0_from_length
+    from repro.tmalign.tmscore import superposition_search
+
+    a, b = dataset[0], dataset[1]
+    xa, ya = a.coords, b.coords
+    la, lb = len(a), len(b)
+    lmin = min(la, lb)
+    d0 = d0_from_length(lmin)
+    params = TMAlignParams()
+    res = tm_align(a, b)
+    pa = xa[res.alignment.ai]
+    pb = ya[res.alignment.aj]
+    # a combined-style DP score matrix for the DP stage
+    score = 1.0 / (1.0 + (np.linalg.norm(
+        res.transform.apply(xa)[:, None, :] - ya[None, :, :], axis=2
+    ) / d0) ** 2)
+    flen = max(lmin // 2, 3)
+    starts = np.arange(0, pa.shape[0] - flen + 1, max(flen // 2, 1), dtype=np.intp)
+    windows = starts[:, None] + np.arange(flen, dtype=np.intp)
+
+    stage_fns = {
+        "gapless_threading": lambda c: gapless_threading(
+            xa, ya, d0, lmin, params=params, counter=c
+        ),
+        "fragment_threading": lambda c: fragment_threading(
+            xa, ya, d0, lmin, params=params, counter=c
+        ),
+        "ss_alignment": lambda c: ss_alignment(
+            a.secondary, b.secondary, params=params, counter=c,
+            codes_a=a.ss_codes, codes_b=b.ss_codes,
+        ),
+        "combined_alignment": lambda c: combined_alignment(
+            xa, ya, res.transform, a.secondary, b.secondary, d0,
+            params=params, counter=c,
+            codes_a=a.ss_codes, codes_b=b.ss_codes,
+        ),
+        "superposition_search": lambda c: superposition_search(
+            pa, pb, d0, lmin, params=params, counter=c
+        ),
+        "nw_align": lambda c: nw_align(score, params.gap_open, counter=c),
+        "kabsch_batch": lambda c: kabsch_batch(pa[windows], pb[windows], counter=c),
+    }
+    stages: Dict[str, dict] = {}
+    reps = 20
+    for name, fn in stage_fns.items():
+        counted = CostCounter()
+        fn(counted)  # warm + per-stage op counts
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn(None)
+        wall = time.perf_counter() - t0
+        stages[name] = {
+            "calls": float(reps),
+            "wall_seconds": wall,
+            "ms_per_call": 1e3 * wall / reps,
+            "op_counts": counted.as_dict(),
+        }
+    return stages
+
+
+def run_kernel_bench(
+    dataset: str = "ck34",
+    output: Optional[str] = DEFAULT_KERNEL_BENCH_OUTPUT,
+    baseline: Optional[float] = None,
+    min_ratio: float = 0.8,
+    repeats: int = 3,
+    stages: bool = True,
+) -> dict:
+    """Benchmark the TM-align kernel and write ``BENCH_kernel.json``.
+
+    The headline number is single-pair throughput over the quick grid
+    (all pairs of the first 10 chains), best of ``repeats`` passes so the
+    single-core container's scheduling noise does not understate the
+    kernel.  ``baseline`` is the committed pairs/s to regress against: if
+    not given it is read from an existing artefact at ``output``, falling
+    back to :data:`KERNEL_BASELINE_PAIRS_PER_SECOND`.  The report's
+    ``regression`` block records ``passed = rate >= min_ratio *
+    baseline``; callers (the CLI, CI) decide whether to fail on it.
+    """
+    from repro.cost.counters import CostCounter
+    from repro.tmalign import tm_align
+    from repro.tmalign.dp import _NATIVE_FORWARD
+
+    baseline_source = "argument"
+    if baseline is None:
+        baseline_source = "fallback-constant"
+        baseline = KERNEL_BASELINE_PAIRS_PER_SECOND
+        if output:
+            try:
+                with open(output, "r", encoding="ascii") as fh:
+                    baseline = float(json.load(fh)["pairs_per_second"])
+                baseline_source = "committed-artifact"
+            except (OSError, KeyError, ValueError):
+                pass
+
+    ds = load_dataset(dataset)
+    runs = [_bench_kernel_micro(ds) for _ in range(max(1, repeats))]
+    best = max(runs, key=lambda r: r["pairs_per_second"])
+    rate = best["pairs_per_second"]
+
+    # one counted pass over the same grid: aggregate op counts
+    n = min(len(ds), 10)
+    counter = CostCounter()
+    for i in range(n):
+        for j in range(i + 1, n):
+            tm_align(ds[i], ds[j], counter=counter)
+
+    report: dict = {
+        "schema": "repro-bench-kernel/1",
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "dataset": ds.name,
+        "pairs": best["pairs"],
+        "repeats": len(runs),
+        "runs_pairs_per_second": [r["pairs_per_second"] for r in runs],
+        "pairs_per_second": rate,
+        "wall_seconds": best["wall_seconds"],
+        "native_dp": _NATIVE_FORWARD is not None,
+        "op_counts_grid": counter.as_dict(),
+        "seed_pairs_per_second": SEED_KERNEL_PAIRS_PER_SECOND,
+        "speedup_vs_seed": rate / SEED_KERNEL_PAIRS_PER_SECOND,
+        "regression": {
+            "baseline_pairs_per_second": baseline,
+            "baseline_source": baseline_source,
+            "min_ratio": min_ratio,
+            "ratio": rate / baseline if baseline else 0.0,
+            "passed": bool(baseline and rate >= min_ratio * baseline),
+        },
+    }
+    if stages:
+        report["stages"] = _bench_kernel_stages(ds)
+    if output:
+        with open(output, "w", encoding="ascii") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_kernel_bench_report(report: dict) -> str:
+    """Human-readable summary of a ``run_kernel_bench`` report."""
+    reg = report["regression"]
+    parts = [
+        f"== bench: TM-align kernel micro, {report['dataset']} "
+        f"({report['pairs']:.0f} pairs, best of {report['repeats']}) ==",
+        f"throughput: {report['pairs_per_second']:.2f} pairs/s "
+        f"({report['speedup_vs_seed']:.2f}x vs seed kernel, "
+        f"native DP {'on' if report['native_dp'] else 'off'})",
+        f"regression: {reg['ratio']:.2f}x of baseline "
+        f"{reg['baseline_pairs_per_second']:.2f} pairs/s "
+        f"({reg['baseline_source']}, min {reg['min_ratio']:.2f}) -> "
+        f"{'PASS' if reg['passed'] else 'FAIL'}",
+    ]
+    stages = report.get("stages")
+    if stages:
+        rows = [
+            (name, s["ms_per_call"], s["wall_seconds"])
+            for name, s in sorted(
+                stages.items(), key=lambda kv: -kv[1]["ms_per_call"]
+            )
+        ]
+        parts.append(
+            render_table(("stage", "ms/call", "wall (s)"), rows)
+        )
+    return "\n".join(parts)
 
 
 def run_parallel_bench(

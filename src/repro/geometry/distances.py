@@ -35,13 +35,14 @@ def cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     a = _coords(a)
     b = _coords(b)
-    sq = (
-        (a * a).sum(axis=1)[:, None]
-        + (b * b).sum(axis=1)[None, :]
-        - 2.0 * (a @ b.T)
-    )
+    # expanded square with the temporaries folded in place; the float
+    # expression is asum + bsum - 2 * (a @ b.T) term for term
+    g = a @ b.T
+    np.multiply(g, 2.0, out=g)
+    sq = np.add.reduce(a * a, axis=1)[:, None] + np.add.reduce(b * b, axis=1)
+    np.subtract(sq, g, out=sq)
     np.maximum(sq, 0.0, out=sq)
-    return np.sqrt(sq)
+    return np.sqrt(sq, out=sq)
 
 
 def contact_map(coords: np.ndarray, cutoff: float = 8.0) -> np.ndarray:

@@ -33,7 +33,7 @@ class Chain:
         Optional fold-family label (dataset metadata).
     """
 
-    __slots__ = ("name", "coords", "sequence", "family", "_secondary")
+    __slots__ = ("name", "coords", "sequence", "family", "_secondary", "_ss_codes")
 
     def __init__(
         self,
@@ -62,6 +62,7 @@ class Chain:
         self.sequence = sequence
         self.family = family
         self._secondary: Optional[str] = None
+        self._ss_codes: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return self.coords.shape[0]
@@ -80,6 +81,20 @@ class Chain:
         return self._secondary
 
     @property
+    def ss_codes(self) -> np.ndarray:
+        """Secondary-structure string as ASCII byte codes (cached).
+
+        The SS-based alignment inits compare these codes on every pair,
+        so an all-vs-all run over N chains would otherwise re-encode each
+        chain's string ~2(N-1) times.
+        """
+        if self._ss_codes is None:
+            self._ss_codes = np.frombuffer(
+                self.secondary.encode("ascii"), dtype=np.uint8
+            )
+        return self._ss_codes
+
+    @property
     def nbytes_wire(self) -> int:
         """Serialized size when shipped as a message payload (bytes)."""
         return _CHAIN_HEADER_BYTES + _BYTES_PER_RESIDUE * len(self)
@@ -95,6 +110,7 @@ class Chain:
             self.name, transform.apply(self.coords), self.sequence, self.family
         )
         out._secondary = self._secondary  # SS is invariant under rigid motion
+        out._ss_codes = self._ss_codes
         return out
 
     def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Chain":

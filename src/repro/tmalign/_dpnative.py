@@ -1,0 +1,129 @@
+"""Optional compiled row sweep for the Needleman–Wunsch forward fill.
+
+The NumPy forward pass in :mod:`repro.tmalign.dp` is dispatch-bound: it
+issues ~8 whole-row ufunc calls per DP row, and a pairwise comparison
+runs ~10^5 rows.  The recurrence itself is pure additions and binary max
+selections over IEEE doubles, so the same dataflow compiled as one C
+loop produces bit-identical matrices (there are no multiplications, so
+no FMA contraction can change any value, and ``a >= b ? a : b``
+reproduces ``np.maximum`` exactly for the non-NaN inputs the DP feeds
+it).
+
+The kernel is built on first use with the system C compiler and cached
+as a shared object in the user's temp directory; anything going wrong —
+no compiler, sandboxed filesystem, missing ctypes — degrades silently to
+the NumPy sweep.  Set ``REPRO_NO_NATIVE_DP=1`` to force the fallback
+(the equivalence tests exercise both paths).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+__all__ = ["load_forward_kernel", "NATIVE_DP_ENV"]
+
+NATIVE_DP_ENV = "REPRO_NO_NATIVE_DP"
+
+_SOURCE = r"""
+#include <stddef.h>
+
+/* Row sweep of the three-state Gotoh fill with free gap extension.
+ *
+ * Matrices are (la+1, lb+1) row-major views with a leading stride of
+ * `stride` doubles (they live inside a larger reusable workspace); the
+ * score matrix is (la, lb) with leading stride `sstride`.  Boundary row
+ * 0 and column 0 are initialised by the caller.
+ *
+ * Per cell, identical dataflow to the NumPy whole-row sweep:
+ *   M[i,j]  = score[i-1,j-1] + max(max(M[i-1,j-1], Iy[i-1,j-1]), Ix[i-1,j-1])
+ *   Ix[i,j] = max(max(M[i-1,j], Iy[i-1,j]) + gap, Ix[i-1,j])
+ *   Iy[i,j] = running max over j' <= j-1 of (max(M[i,j'], Ix[i,j']) + gap)
+ */
+static double mx(double a, double b) { return a >= b ? a : b; }
+
+void nw_forward(double *M, double *Ix, double *Iy, const double *score,
+                ptrdiff_t la, ptrdiff_t lb, ptrdiff_t stride,
+                ptrdiff_t sstride, double gap)
+{
+    ptrdiff_t i, j;
+    for (i = 1; i <= la; ++i) {
+        const double *m_prev = M + (i - 1) * stride;
+        const double *ix_prev = Ix + (i - 1) * stride;
+        const double *iy_prev = Iy + (i - 1) * stride;
+        double *m_cur = M + i * stride;
+        double *ix_cur = Ix + i * stride;
+        double *iy_cur = Iy + i * stride;
+        const double *sc = score + (i - 1) * sstride;
+        double run = 0.0; /* overwritten at j == 1 */
+        for (j = 1; j <= lb; ++j) {
+            double mi_diag = mx(m_prev[j - 1], iy_prev[j - 1]);
+            double mi_up = mx(m_prev[j], iy_prev[j]);
+            double opener = mx(m_cur[j - 1], ix_cur[j - 1]) + gap;
+            m_cur[j] = sc[j - 1] + mx(mi_diag, ix_prev[j - 1]);
+            ix_cur[j] = mx(mi_up + gap, ix_prev[j]);
+            run = (j == 1) ? opener : mx(run, opener);
+            iy_cur[j] = run;
+        }
+    }
+}
+"""
+
+_CC_ARGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+
+
+def _build_library() -> str:
+    """Compile the kernel into a cached shared object; returns its path."""
+    digest = hashlib.sha256(
+        (_SOURCE + " ".join(_CC_ARGS)).encode()
+    ).hexdigest()[:16]
+    cache = os.path.join(
+        tempfile.gettempdir(), f"repro-native-{os.getuid()}"
+    )
+    lib_path = os.path.join(cache, f"nw_{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    os.makedirs(cache, exist_ok=True)
+    cc = os.environ.get("CC", "cc")
+    with tempfile.TemporaryDirectory(dir=cache) as tmp:
+        src = os.path.join(tmp, "nw.c")
+        out = os.path.join(tmp, "nw.so")
+        with open(src, "w") as fh:
+            fh.write(_SOURCE)
+        subprocess.run(
+            [cc, *_CC_ARGS, "-o", out, src],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        # atomic publish so concurrent farm workers race benignly
+        os.replace(out, lib_path)
+    return lib_path
+
+
+def load_forward_kernel() -> Optional[ctypes._CFuncPtr]:
+    """ctypes handle to ``nw_forward``, or None when unavailable."""
+    if os.environ.get(NATIVE_DP_ENV):
+        return None
+    try:
+        lib = ctypes.CDLL(_build_library())
+        fn = lib.nw_forward
+        fn.restype = None
+        fn.argtypes = [
+            ctypes.c_void_p,  # M
+            ctypes.c_void_p,  # Ix
+            ctypes.c_void_p,  # Iy
+            ctypes.c_void_p,  # score
+            ctypes.c_ssize_t,  # la
+            ctypes.c_ssize_t,  # lb
+            ctypes.c_ssize_t,  # stride (doubles)
+            ctypes.c_ssize_t,  # sstride (doubles)
+            ctypes.c_double,  # gap
+        ]
+        return fn
+    except Exception:
+        return None

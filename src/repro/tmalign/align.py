@@ -118,7 +118,16 @@ def tm_align(
             gapless_threading(xa, ya, d0_min, lmin, params=params, counter=local)
         )
     if params.use_ss_init:
-        candidates.append(ss_alignment(ss_a, ss_b, params=params, counter=local))
+        candidates.append(
+            ss_alignment(
+                ss_a,
+                ss_b,
+                params=params,
+                counter=local,
+                codes_a=chain_a.ss_codes,
+                codes_b=chain_b.ss_codes,
+            )
+        )
     if params.use_fragment_init:
         frag = fragment_threading(xa, ya, d0_min, lmin, params=params, counter=local)
         if frag is not None:
@@ -145,7 +154,16 @@ def tm_align(
     if params.use_combined_init:
         candidates.append(
             combined_alignment(
-                xa, ya, best_quick[1], ss_a, ss_b, d0_min, params=params, counter=local
+                xa,
+                ya,
+                best_quick[1],
+                ss_a,
+                ss_b,
+                d0_min,
+                params=params,
+                counter=local,
+                codes_a=chain_a.ss_codes,
+                codes_b=chain_b.ss_codes,
             )
         )
 

@@ -26,18 +26,23 @@ from typing import Optional
 
 import numpy as np
 
+from repro.tmalign._dpnative import load_forward_kernel
 from repro.tmalign.result import Alignment
 
 __all__ = ["nw_align", "nw_score_only"]
 
 NEG = -1e18  # effectively -inf, but arithmetic-safe
 
+# Compiled row sweep (bit-identical to the NumPy sweep below); None when
+# no C compiler is available or REPRO_NO_NATIVE_DP is set.
+_NATIVE_FORWARD = load_forward_kernel()
+
 # Reusable DP workspace.  The three state matrices (plus two scratch rows)
 # are grown to the largest (la+1, lb+1) seen by this process and sliced per
 # call, so the refinement loop stops paying one large allocation triple per
 # nw_align invocation.  The buffers are only valid until the next _forward
 # call, which is fine: nw_align/nw_score_only never nest.
-_WS_BUFS: list = [np.empty((0, 0))] * 3 + [np.empty(0)] * 2
+_WS_BUFS: list = [np.empty((0, 0))] * 3 + [np.empty(0)] * 3
 
 
 def _workspace(la: int, lb: int):
@@ -50,12 +55,14 @@ def _workspace(la: int, lb: int):
         _WS_BUFS[2] = np.empty((ca, cb))
         _WS_BUFS[3] = np.empty(cb)
         _WS_BUFS[4] = np.empty(cb)
+        _WS_BUFS[5] = np.empty(cb)
     return (
         _WS_BUFS[0][:ra, :rb],
         _WS_BUFS[1][:ra, :rb],
         _WS_BUFS[2][:ra, :rb],
         _WS_BUFS[3][: rb - 1],
         _WS_BUFS[4][: rb - 1],
+        _WS_BUFS[5][:rb],
     )
 
 
@@ -70,7 +77,7 @@ def _forward(
     by the row sweep below.
     """
     la, lb = score.shape
-    M, Ix, Iy, t1, t2 = _workspace(la, lb)
+    M, Ix, Iy, t1, t2, mi = _workspace(la, lb)
     M[0].fill(NEG)
     M[1:, 0].fill(NEG)
     M[0, 0] = 0.0
@@ -80,22 +87,43 @@ def _forward(
     Iy[0].fill(0.0)
     Iy[1:, 0].fill(NEG)
 
+    if _NATIVE_FORWARD is not None and score.strides[1] == 8:
+        # same dataflow as the sweep below, one call instead of ~8*la
+        _NATIVE_FORWARD(
+            M.ctypes.data,
+            Ix.ctypes.data,
+            Iy.ctypes.data,
+            score.ctypes.data,
+            la,
+            lb,
+            M.strides[0] // 8,
+            score.strides[0] // 8,
+            gap_open,
+        )
+        return M, Ix, Iy
+
+    # max(M, Iy) of the previous row feeds both the M recurrence (after a
+    # further max with Ix — max is order-insensitive up to the sign of
+    # equal zeros, which nothing downstream observes) and the Ix opener,
+    # so it is computed once.  The ufuncs are hoisted to locals: at ~la
+    # calls per fill and ~10^3 fills per pairwise comparison, attribute
+    # lookups are measurable.
+    maximum = np.maximum
+    add = np.add
+    accumulate = np.maximum.accumulate
     for i in range(1, la + 1):
-        m_prev = M[i - 1]
         ix_prev = Ix[i - 1]
-        iy_prev = Iy[i - 1]
+        maximum(M[i - 1], Iy[i - 1], out=mi)
         # M[i, j] = score[i-1, j-1] + max over states at (i-1, j-1)
-        np.maximum(m_prev[:-1], ix_prev[:-1], out=t1)
-        np.maximum(t1, iy_prev[:-1], out=t1)
-        np.add(score[i - 1], t1, out=M[i, 1:])
+        maximum(mi[:-1], ix_prev[:-1], out=t1)
+        add(score[i - 1], t1, out=M[i, 1:])
         # Ix[i, j]: vertical gap (consume A row) — open from M/Iy or extend
-        np.maximum(m_prev[1:], iy_prev[1:], out=t1)
-        np.add(t1, gap_open, out=t1)
-        np.maximum(t1, ix_prev[1:], out=Ix[i, 1:])
+        add(mi[1:], gap_open, out=t1)
+        maximum(t1, ix_prev[1:], out=Ix[i, 1:])
         # Iy[i, j]: horizontal gap — running max of openers to the left
-        np.maximum(M[i, :-1], Ix[i, :-1], out=t2)
-        np.add(t2, gap_open, out=t2)
-        np.maximum.accumulate(t2, out=Iy[i, 1:])
+        maximum(M[i, :-1], Ix[i, :-1], out=t2)
+        add(t2, gap_open, out=t2)
+        accumulate(t2, out=Iy[i, 1:])
     return M, Ix, Iy
 
 
@@ -134,44 +162,52 @@ def nw_align(
 
     # Traceback from the corner; predecessors found by exact equality on
     # propagated values (ties resolved with M > Ix > Iy precedence, the
-    # same order the forward max would pick).
+    # same order the forward max would pick).  Cells are read with
+    # ndarray.item() — plain Python floats share float64 IEEE semantics,
+    # and the traceback visits ~la+lb cells per call.
+    m_at, ix_at, iy_at, s_at = M.item, Ix.item, Iy.item, score.item
+    gap = float(gap_open)
     i, j = la, lb
-    vals = (M[i, j], Ix[i, j], Iy[i, j])
-    state = int(np.argmax(vals))
+    v0, v1, v2 = m_at(i, j), ix_at(i, j), iy_at(i, j)
+    if v0 >= v1 and v0 >= v2:
+        state, dp_score = 0, v0
+    elif v1 >= v2:
+        state, dp_score = 1, v1
+    else:
+        state, dp_score = 2, v2
     ai: list[int] = []
     aj: list[int] = []
-    dp_score = float(vals[state])
     while i > 0 or j > 0:
         if state == 0:  # M
             ai.append(i - 1)
             aj.append(j - 1)
             # compare by re-adding (same float expression the forward
             # pass evaluated) — subtracting would be inexact
-            cur = M[i, j]
-            s = score[i - 1, j - 1]
+            cur = m_at(i, j)
+            s = s_at(i - 1, j - 1)
             i -= 1
             j -= 1
-            if s + M[i, j] == cur:
+            if s + m_at(i, j) == cur:
                 state = 0
-            elif s + Ix[i, j] == cur:
+            elif s + ix_at(i, j) == cur:
                 state = 1
             else:
                 state = 2
         elif state == 1:  # Ix: came from (i-1, j)
-            cur = Ix[i, j]
+            cur = ix_at(i, j)
             i -= 1
-            if Ix[i, j] == cur:
+            if ix_at(i, j) == cur:
                 state = 1
-            elif M[i, j] + gap_open == cur:
+            elif m_at(i, j) + gap == cur:
                 state = 0
             else:
                 state = 2
         else:  # Iy: came from (i, j-1)
-            cur = Iy[i, j]
+            cur = iy_at(i, j)
             j -= 1
-            if Iy[i, j] == cur:
+            if iy_at(i, j) == cur:
                 state = 2
-            elif M[i, j] + gap_open == cur:
+            elif m_at(i, j) + gap == cur:
                 state = 0
             else:
                 state = 1
@@ -182,6 +218,6 @@ def nw_align(
             i = 0
     ai.reverse()
     aj.reverse()
-    return Alignment(
+    return Alignment.from_trusted(
         np.asarray(ai, dtype=np.intp), np.asarray(aj, dtype=np.intp), dp_score
     )

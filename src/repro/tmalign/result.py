@@ -33,6 +33,24 @@ class Alignment:
         ai.setflags(write=False)
         aj.setflags(write=False)
 
+    @classmethod
+    def from_trusted(cls, ai: np.ndarray, aj: np.ndarray, dp_score: float = 0.0):
+        """Construct without validation from known-good index arrays.
+
+        For internal callers whose indices are strictly increasing by
+        construction (DP tracebacks, arange windows); skips the
+        ``__post_init__`` checks, which are measurable at ~10^3
+        constructions per pairwise comparison.  Arrays must be 1-D intp
+        of equal length and are frozen in place.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "ai", ai)
+        object.__setattr__(self, "aj", aj)
+        object.__setattr__(self, "dp_score", dp_score)
+        ai.setflags(write=False)
+        aj.setflags(write=False)
+        return self
+
     def __len__(self) -> int:
         return int(self.ai.size)
 

@@ -7,6 +7,17 @@ contiguous fragments of the correspondence (full length, L/2, L/4, ...),
 then iteratively re-superposes on the subset of pairs closer than a
 distance cutoff until the subset is stable, keeping the best-scoring
 transform seen anywhere.
+
+``superposition_search`` runs the search *in lockstep across seeds*: all
+fragment seeds of a given length are superposed with one
+:func:`~repro.geometry.kabsch.kabsch_batch` call over strided windows,
+every candidate transform is scored with one ``(k, n, 3)`` batched
+matmul per iteration, and the pair-reselection proceeds for all
+still-active seeds at once, retiring each seed when its selection
+stabilises.  Per-seed selection sequences, op counts, and the best-score
+update order are exactly those of the reference serial loop
+(:func:`superposition_search_serial`), so both paths return repr-exact
+identical scores.
 """
 
 from __future__ import annotations
@@ -15,11 +26,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.geometry.kabsch import kabsch
+from repro.geometry.kabsch import _kabsch_batch_core, _kabsch_ragged_core, kabsch
 from repro.geometry.transforms import RigidTransform
 from repro.tmalign.params import TMAlignParams
 
-__all__ = ["tm_score_from_distances", "superposition_search"]
+__all__ = [
+    "tm_score_from_distances",
+    "superposition_search",
+    "superposition_search_serial",
+]
 
 
 def tm_score_from_distances(
@@ -75,6 +90,81 @@ def _moved_tm_score(
     return float(sbuf.sum() / lnorm)
 
 
+def _moved_tm_scores_batch(
+    pa_stack: np.ndarray,
+    pb_stack: np.ndarray,
+    rots: np.ndarray,
+    tras: np.ndarray,
+    d0: float,
+    lnorm: int,
+    work: np.ndarray,
+    dist: np.ndarray,
+    sbuf: np.ndarray,
+    counter=None,
+) -> np.ndarray:
+    """Lockstep ``_moved_tm_score`` for ``k`` transforms at once.
+
+    ``pa_stack``/``pb_stack`` broadcast against the ``(k, 3, 3)``
+    rotation stack (pass ``pa[None]`` to score one coordinate set under
+    every transform).  Each slice of the result is bit-identical to the
+    serial call: the stacked matmul runs the same per-slice BLAS kernel,
+    and all remaining stages are elementwise or reduce over the same
+    axes.  ``dist`` is left holding the per-slice pair distances.
+    """
+    np.matmul(pa_stack, rots.transpose(0, 2, 1), out=work)
+    work += tras[:, None, :]
+    np.subtract(work, pb_stack, out=work)
+    np.multiply(work, work, out=work)
+    np.add.reduce(work, axis=2, out=dist)
+    np.sqrt(dist, out=dist)
+    if counter is not None:
+        counter.add("score_pair", dist.size)
+    np.divide(dist, d0, out=sbuf)
+    np.multiply(sbuf, sbuf, out=sbuf)
+    np.add(sbuf, 1.0, out=sbuf)
+    np.divide(1.0, sbuf, out=sbuf)
+    # same reduction ndarray.sum(axis=1) dispatches to, sans the dispatch
+    return np.add.reduce(sbuf, axis=1) / lnorm
+
+
+def _seed_schedule(
+    n: int, fractions: Sequence[int], params: TMAlignParams
+) -> list[tuple[int, int]]:
+    """Ordered, deduplicated ``(start, flen)`` fragment seeds.
+
+    Enumeration order matches the serial loop (fractions outer, window
+    starts inner, first occurrence wins), which fixes the best-score
+    update order of the search.
+    """
+    seeds: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for frac in fractions:
+        flen = max(n // frac, params.min_seed_len)
+        flen = min(flen, n)
+        step = max(flen // 2, 1)
+        for start in range(0, n - flen + 1, step):
+            if (start, flen) in seen:
+                continue
+            seen.add((start, flen))
+            seeds.append((start, flen))
+    return seeds
+
+
+def _check_search_args(
+    pa: np.ndarray, pb: np.ndarray, d0: float, d0_search: Optional[float]
+) -> tuple[np.ndarray, np.ndarray, int, float]:
+    pa = np.asarray(pa, dtype=np.float64)
+    pb = np.asarray(pb, dtype=np.float64)
+    if pa.shape != pb.shape or pa.ndim != 2 or pa.shape[1] != 3:
+        raise ValueError(f"matched coordinate sets required, got {pa.shape}/{pb.shape}")
+    n = pa.shape[0]
+    if n < 3:
+        raise ValueError("need at least 3 matched pairs")
+    if d0_search is None:
+        d0_search = min(8.0, max(4.5, d0))
+    return pa, pb, n, d0_search
+
+
 def superposition_search(
     pa: np.ndarray,
     pb: np.ndarray,
@@ -95,52 +185,212 @@ def superposition_search(
     clipped d0 per TM-align); ``seed_fractions`` overrides the fragment
     seeding schedule (the refinement loop uses a cheaper schedule than
     the final scoring pass).
+
+    All seeds run their iterative pair reselection in lockstep; the
+    result (score, transform, charged op counts) is identical to
+    :func:`superposition_search_serial`.
     """
     params = params or TMAlignParams()
-    pa = np.asarray(pa, dtype=np.float64)
-    pb = np.asarray(pb, dtype=np.float64)
-    if pa.shape != pb.shape or pa.ndim != 2 or pa.shape[1] != 3:
-        raise ValueError(f"matched coordinate sets required, got {pa.shape}/{pb.shape}")
-    n = pa.shape[0]
-    if n < 3:
-        raise ValueError("need at least 3 matched pairs")
-    if d0_search is None:
-        d0_search = min(8.0, max(4.5, d0))
+    pa, pb, n, d0_search = _check_search_args(pa, pb, d0, d0_search)
+    fractions = tuple(seed_fractions or params.n_seed_fractions)
+    seeds = _seed_schedule(n, fractions, params)
+    if len(seeds) == 1:
+        # single-seed searches (the quick candidate evaluation) gain
+        # nothing from the batch plumbing
+        return superposition_search_serial(
+            pa, pb, d0, lnorm, params=params, d0_search=d0_search,
+            seed_fractions=fractions, counter=counter,
+        )
+    k = len(seeds)
+
+    # --- phase 1: one batched Kabsch per fragment length -------------------
+    # Windows of equal length stack into a contiguous (g, flen, 3) gather;
+    # each slice has the same memory layout as the serial window view, so
+    # kabsch_batch reproduces the serial seeds bit-for-bit.
+    rots = np.empty((k, 3, 3))
+    tras = np.empty((k, 3))
+    by_flen: dict[int, list[int]] = {}
+    for i, (_, flen) in enumerate(seeds):
+        by_flen.setdefault(flen, []).append(i)
+    for flen, idxs in by_flen.items():
+        starts = np.asarray([seeds[i][0] for i in idxs], dtype=np.intp)
+        rows = starts[:, None] + np.arange(flen, dtype=np.intp)
+        rots[idxs], tras[idxs] = _kabsch_batch_core(
+            pa[rows], pb[rows], counter=counter
+        )
+
+    # --- phase 2: lockstep score / reselect iterations ----------------------
+    # Per-iteration records keep every (tm, transform) candidate so phase 3
+    # can replay the serial best-update order; arrays are fresh per
+    # iteration, so rows are stored as views, never copied.
+    work = np.empty((k, n, 3))
+    dist = np.empty((k, n))
+    sbuf = np.empty((k, n))
+    ids = list(range(k))
+    pa_b = pa[None]
+    prev_sel = np.empty((0, n), dtype=bool)
+    has_prev = False
+    records: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    seed_rows: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+    for _ in range(params.max_score_iters):
+        ka = len(ids)
+        tms = _moved_tm_scores_batch(
+            pa_b, pb, rots, tras, d0, lnorm,
+            work[:ka], dist[:ka], sbuf[:ka], counter=counter,
+        )
+        rec = len(records)
+        records.append((tms, rots, tras))
+        for row, oid in enumerate(ids):
+            seed_rows[oid].append((rec, row))
+        # pair selection with the serial cutoff escalation: every seed
+        # restarts from d0_search and widens by 0.5 until >= 3 pairs or 8 Å
+        sel = dist[:ka] < d0_search
+        counts = np.add.reduce(sel, axis=1)
+        if (counts < 3).any():
+            cut = np.full(ka, d0_search)
+            while True:
+                lag = (counts < 3) & (cut < 8.0)
+                if not lag.any():
+                    break
+                cut[lag] += 0.5
+                sel[lag] = dist[:ka][lag] < cut[lag, None]
+                counts[lag] = sel[lag].sum(axis=1)
+        hopeless = counts < 3  # nothing close even at 8 Å
+        if has_prev:
+            converged = (sel == prev_sel).all(axis=1)
+            drop = hopeless | converged
+        else:
+            drop = hopeless
+        if drop.any():
+            keep = ~drop
+            if not keep.any():
+                break
+            ids = [oid for oid, k_ in zip(ids, keep.tolist()) if k_]
+            sel = sel[keep]
+            counts = counts[keep]
+        # reselection Kabsch, batched across all still-active seeds: equal
+        # selection sizes stack directly, mixed sizes go through one padded
+        # ragged batch (bit-identical per slice either way)
+        kn = len(ids)
+        if kn == 1:
+            rots, tras = _kabsch_batch_core(
+                pa[sel[0]][None], pb[sel[0]][None], counter=counter
+            )
+        else:
+            counts_l = counts.tolist()
+            groups: dict[int, list[int]] = {}
+            for row, m in enumerate(counts_l):
+                groups.setdefault(m, []).append(row)
+            if len(groups) == 1:
+                m = counts_l[0]
+                cols = np.nonzero(sel)[1].reshape(kn, m)
+                rots, tras = _kabsch_batch_core(pa[cols], pb[cols], counter=counter)
+            else:
+                if counter is not None:
+                    counter.add("kabsch", kn)
+                    counter.add("kabsch_point", sum(counts_l))
+                # pack rows grouped by selection size; remember the original
+                # row of each packed slot to scatter the transforms back
+                order: list[int] = []
+                bounds: list[tuple[int, int, int]] = []
+                lens: list[float] = []
+                lo = 0
+                for m, rows in groups.items():
+                    hi = lo + len(rows)
+                    order.extend(rows)
+                    bounds.append((lo, hi, m))
+                    lens.extend([float(m)] * len(rows))
+                    lo = hi
+                mmax = max(groups)
+                # selected column indices, row-major over the packed order;
+                # each packed group reshapes to (rows, m) because its rows
+                # all select exactly m pairs
+                cols_flat = np.nonzero(sel[order])[1]
+                colbuf = np.zeros((kn, mmax), dtype=np.intp)
+                cpos = 0
+                for lo, hi, m in bounds:
+                    cnt = (hi - lo) * m
+                    colbuf[lo:hi, :m] = cols_flat[cpos : cpos + cnt].reshape(
+                        hi - lo, m
+                    )
+                    cpos += cnt
+                r_pack, t_pack = _kabsch_ragged_core(
+                    pa[colbuf],
+                    pb[colbuf],
+                    bounds,
+                    np.asarray(lens)[:, None],
+                    np.arange(mmax, dtype=np.intp),
+                )
+                rots = np.empty((kn, 3, 3))
+                tras = np.empty((kn, 3))
+                rots[order] = r_pack
+                tras[order] = t_pack
+        prev_sel = sel
+        has_prev = True
+
+    # --- phase 3: replay the serial best-update order -----------------------
+    best_tm = -1.0
+    best_pos: Optional[tuple[int, int]] = None
+    for oid in range(k):
+        for rec, row in seed_rows[oid]:
+            tm = float(records[rec][0][row])
+            if tm > best_tm:
+                best_tm = tm
+                best_pos = (rec, row)
+    if best_pos is None:
+        return -1.0, RigidTransform.identity()
+    rec, row = best_pos
+    return best_tm, RigidTransform.from_trusted(
+        records[rec][1][row], records[rec][2][row]
+    )
+
+
+def superposition_search_serial(
+    pa: np.ndarray,
+    pb: np.ndarray,
+    d0: float,
+    lnorm: int,
+    params: Optional[TMAlignParams] = None,
+    d0_search: Optional[float] = None,
+    seed_fractions: Optional[Sequence[int]] = None,
+    counter=None,
+) -> tuple[float, RigidTransform]:
+    """Reference one-seed-at-a-time search (the pre-batch implementation).
+
+    Kept as the ground truth the lockstep path is property-tested
+    against; also the fast path for single-seed schedules.
+    """
+    params = params or TMAlignParams()
+    pa, pb, n, d0_search = _check_search_args(pa, pb, d0, d0_search)
     fractions = tuple(seed_fractions or params.n_seed_fractions)
 
     best_tm = -1.0
     best_xf = RigidTransform.identity()
-    seen_seeds: set[tuple[int, int]] = set()
     # scratch reused across every seed/iteration of this search
     work = np.empty((n, 3))
     dist = np.empty(n)
     sbuf = np.empty(n)
-    for frac in fractions:
-        flen = max(n // frac, params.min_seed_len)
-        flen = min(flen, n)
-        step = max(flen // 2, 1)
-        for start in range(0, n - flen + 1, step):
-            if (start, flen) in seen_seeds:
-                continue
-            seen_seeds.add((start, flen))
-            xf = kabsch(pa[start : start + flen], pb[start : start + flen], counter=counter)
-            prev_sel: Optional[np.ndarray] = None
-            for _ in range(params.max_score_iters):
-                tm = _moved_tm_score(
-                    pa, pb, xf, d0, lnorm, work, dist, sbuf, counter=counter
-                )
-                if tm > best_tm:
-                    best_tm = tm
-                    best_xf = xf
-                d_cut = d0_search
+    for start, flen in _seed_schedule(n, fractions, params):
+        xf = kabsch(pa[start : start + flen], pb[start : start + flen], counter=counter)
+        prev_sel: Optional[np.ndarray] = None
+        for _ in range(params.max_score_iters):
+            tm = _moved_tm_score(
+                pa, pb, xf, d0, lnorm, work, dist, sbuf, counter=counter
+            )
+            if tm > best_tm:
+                best_tm = tm
+                best_xf = xf
+            d_cut = d0_search
+            sel = dist < d_cut
+            n_sel = int(sel.sum())
+            while n_sel < 3 and d_cut < 8.0:
+                d_cut += 0.5
                 sel = dist < d_cut
-                while sel.sum() < 3 and d_cut < 8.0:
-                    d_cut += 0.5
-                    sel = dist < d_cut
-                if sel.sum() < 3:
-                    break  # hopeless seed: nothing is close
-                if prev_sel is not None and (sel == prev_sel).all():
-                    break  # selection stable -> converged
-                prev_sel = sel
-                xf = kabsch(pa[sel], pb[sel], counter=counter)
+                n_sel = int(sel.sum())
+            if n_sel < 3:
+                break  # hopeless seed: nothing is close
+            if prev_sel is not None and np.array_equal(sel, prev_sel):
+                break  # selection stable -> converged
+            prev_sel = sel
+            xf = kabsch(pa[sel], pb[sel], counter=counter)
     return best_tm, best_xf
