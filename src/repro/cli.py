@@ -284,10 +284,10 @@ def _cmd_runs(args) -> str:
     lines = [f"{'run':<34} {'command':<14} {'status':<12} {'done':>11}  dataset"]
     for run in runs:
         m = run.manifest
-        done = len(run.load_journal()) if m.command == "matrix" else m.n_pairs
+        done, total = run.progress()
         lines.append(
             f"{m.run_id:<34} {m.command:<14} {m.status:<12} "
-            f"{done:>5}/{m.n_pairs:<5}  {m.dataset}"
+            f"{done:>5}/{total:<5}  {m.dataset}"
         )
     return "\n".join(lines)
 
@@ -333,22 +333,31 @@ def _cmd_trace(args) -> str:
     return "\n".join(lines)
 
 
-def _bench_output(args) -> tuple[Optional[str], str]:
+#: once-per-invocation deprecation notes already emitted (cleared in main())
+_WARNED: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key not in _WARNED:
+        _WARNED.add(key)
+        print(message, file=sys.stderr)
+
+
+def _bench_output(args) -> Optional[str]:
     """Resolve the bench artefact path from --output/--no-output.
 
-    Returns ``(path_or_None, note)``; the empty-string form of --output
-    still works but is deprecated in favour of --no-output.
+    ``--output ""`` is a deprecated spelling of --no-output: it folds
+    onto the same code path after a once-per-invocation stderr note, so
+    there is exactly one way the artefact gets skipped.
     """
-    note = ""
-    if args.no_output:
-        return None, note
     if args.output == "":
-        note = (
-            "note: `--output \"\"` is deprecated; use --no-output to skip "
-            "the JSON artefact"
+        _warn_once(
+            "bench-output-empty",
+            'note: `--output ""` is deprecated; use --no-output to skip '
+            "the JSON artefact",
         )
-        return None, note
-    return args.output, note
+        args.no_output = True
+    return None if args.no_output else args.output
 
 
 def _cmd_bench(args) -> str:
@@ -356,7 +365,7 @@ def _cmd_bench(args) -> str:
         return _cmd_bench_kernel(args)
     from repro.experiments.bench import format_bench_report, run_bench
 
-    output, note = _bench_output(args)
+    output = _bench_output(args)
     datasets = (args.dataset,) if args.dataset != "both" else ("ck34", "rs119")
     report = run_bench(
         datasets=datasets,
@@ -368,8 +377,6 @@ def _cmd_bench(args) -> str:
     text = format_bench_report(report)
     if output:
         text += f"\nwrote {output}"
-    if note:
-        text += f"\n{note}"
     return text
 
 
@@ -378,27 +385,30 @@ def _cmd_bench_kernel(args) -> str:
     from repro.experiments.bench import (
         DEFAULT_BENCH_OUTPUT,
         DEFAULT_KERNEL_BENCH_OUTPUT,
+        BaselineError,
         format_kernel_bench_report,
         run_kernel_bench,
     )
 
-    output, note = _bench_output(args)
+    output = _bench_output(args)
     if output == DEFAULT_BENCH_OUTPUT:
         # the hot-path artefact default doesn't apply to the kernel bench
         output = DEFAULT_KERNEL_BENCH_OUTPUT
-    report = run_kernel_bench(
-        dataset=args.dataset if args.dataset != "both" else "ck34",
-        output=output,
-        baseline=args.baseline if args.baseline > 0 else None,
-        min_ratio=args.min_ratio,
-        repeats=1 if args.quick else args.repeats,
-        stages=not args.no_micro,
-    )
+    try:
+        report = run_kernel_bench(
+            dataset=args.dataset if args.dataset != "both" else "ck34",
+            output=output,
+            baseline=args.baseline if args.baseline > 0 else None,
+            min_ratio=args.min_ratio,
+            repeats=1 if args.quick else args.repeats,
+            stages=not args.no_micro,
+            strict_baseline=args.check,
+        )
+    except BaselineError as exc:
+        raise SystemExit(f"bench --check: {exc}") from None
     text = format_kernel_bench_report(report)
     if output:
         text += f"\nwrote {output}"
-    if note:
-        text += f"\n{note}"
     if args.check and not report["regression"]["passed"]:
         print(text, file=sys.stderr)
         raise SystemExit(
@@ -418,7 +428,7 @@ def _cmd_bench_parallel(args) -> str:
     from repro.runs import RunManifest
     from repro.runs.manifest import atomic_write_text
 
-    output, note = _bench_output(args)
+    output = _bench_output(args)
     workers = tuple(int(w) for w in args.workers_grid.split(","))
     dataset = load_dataset(args.dataset)
     store = _run_store(args)
@@ -451,9 +461,138 @@ def _cmd_bench_parallel(args) -> str:
     run.mark("complete")
     if output:
         text += f"\nwrote {output}"
-    if note:
-        text += f"\n{note}"
     return text + f"\n[run {run.run_id} recorded in {args.runs_dir}]"
+
+
+#: default TCP port of the query service (repro.service.client.DEFAULT_PORT)
+_SERVICE_PORT = 7743
+
+
+def _cmd_serve(args) -> str:
+    """Run the always-on PSC query service until a ``shutdown`` request."""
+    import asyncio
+
+    from repro.service import PSCService, ServiceConfig
+
+    config = ServiceConfig(
+        dataset=args.dataset,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        workers=args.workers,
+        chunk=args.chunk,
+        retries=args.retries,
+        backoff=args.backoff,
+        cache_capacity=args.cache_capacity,
+        runs_dir=args.runs_dir,
+        eval_delay=args.eval_delay,
+    )
+
+    async def _serve() -> str:
+        async with PSCService(config) as service:
+            print(
+                f"serving {service.registry.dataset_name or '(empty registry)'} "
+                f"({len(service.registry)} chains) on "
+                f"{service.host}:{service.port}",
+                flush=True,
+            )
+            await service.serve_until_stopped()
+            stats = service.cache.stats()
+            return (
+                f"stopped after {service.metrics.counters['connections']} "
+                f"connections; cache {stats['hits']} hits, "
+                f"{stats['misses']} misses, {stats['evictions']} evictions"
+            )
+
+    return asyncio.run(_serve())
+
+
+def _cmd_query(args) -> str:
+    """One request against a running service (see the ``serve`` command)."""
+    import json as _json
+
+    from repro.service.client import ServiceClient
+
+    operands = {
+        "align": (2, "<chain-a> <chain-b>"),
+        "search": (1, "<query-chain>"),
+        "register": (2, "<name> <pdb-file>"),
+        "submit-matrix": (0, "[--dataset D] [--method M] [--runs-dir R]"),
+        "status": (1, "<run-id>"),
+        "healthz": (0, ""),
+        "metrics": (0, ""),
+        "shutdown": (0, ""),
+    }
+    n_args, usage = operands[args.op]
+    if len(args.args) != n_args:
+        raise SystemExit(f"usage: query {args.op} {usage}".rstrip())
+    params = _json.loads(args.params) if args.params else None
+    method = args.method or "tmalign"
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.op == "align":
+            a, b = args.args
+            resp = client.align(a, b, method=method, params=params)
+            result = resp["result"]
+            lines = [
+                f"align {a} vs {b} [{result['method']}]",
+                f"score: {result['score']:.4f}",
+            ]
+            for key in sorted(result["scores"]):
+                lines.append(f"  {key} = {result['scores'][key]:.4f}")
+            lines.append(f"cached: {'yes' if resp.get('cached') else 'no'}")
+            return "\n".join(lines)
+        if args.op == "search":
+            (query,) = args.args
+            result = client.search(
+                query, top=args.top, method=method, params=params
+            )
+            lines = [
+                f"query {query} vs {result['corpus']} corpus chains "
+                f"[{result['method']}] ({result['from_cache']} from cache):",
+                f"{'rank':>4}  {'chain':<20} {'score':>8}",
+            ]
+            for rank, hit in enumerate(result["hits"], start=1):
+                lines.append(
+                    f"{rank:>4}  {hit['chain']:<20} {hit['score']:>8.4f}"
+                )
+            return "\n".join(lines)
+        if args.op == "register":
+            name, path = args.args
+            with open(path, encoding="ascii") as fh:
+                text = fh.read()
+            info = client.register_pdb(name, text, corpus=args.corpus)
+            return (
+                f"registered {info['name']} ({info['residues']} residues) "
+                f"as {info['hash'][:12]}... (corpus: {info['corpus']})"
+            )
+        if args.op == "submit-matrix":
+            info = client.submit_matrix(
+                dataset=args.dataset or None,
+                method=args.method or None,
+                runs_dir=args.runs_dir or None,
+                params=params,
+            )
+            return (
+                f"submitted run {info['run_id']}: {info['n_pairs']} pairs of "
+                f"{info['dataset']} via {info['method']} -> {info['output']}"
+            )
+        if args.op == "status":
+            (run_id,) = args.args
+            info = client.status(run_id, runs_dir=args.runs_dir or None)
+            line = f"run {info['run_id']}: {info['status']}"
+            if "done" in info:
+                line += f" ({info['done']}/{info['n_pairs']} pairs)"
+            if info.get("error"):
+                line += f"\nerror: {info['error']}"
+            return line
+        if args.op in ("healthz", "metrics"):
+            result = client.healthz() if args.op == "healthz" else client.metrics()
+            return _json.dumps(result, indent=1, sort_keys=True)
+        # args.op == "shutdown" (argparse rejects anything else)
+        client.shutdown()
+        return "server is stopping"
 
 
 def _cmd_info(args) -> str:
@@ -703,6 +842,114 @@ def build_parser() -> argparse.ArgumentParser:
     add_runs_dir(p)
     p.set_defaults(fn=_cmd_bench_parallel)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on PSC query service (TCP line-protocol JSON)",
+    )
+    p.add_argument(
+        "--dataset",
+        default="ck34-mini",
+        help="corpus loaded into the registry at startup ('' = start empty)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=_SERVICE_PORT,
+        help="TCP port (0 = pick a free one; printed at startup)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission control: max pending pair jobs before shedding",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=16, help="pair jobs per kernel batch"
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds to wait for a short batch to fill before dispatching",
+    )
+    p.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="LRU result-cache entries",
+    )
+    p.add_argument(
+        "--eval-delay",
+        type=float,
+        default=0.0,
+        help="test/CI knob: extra seconds per dispatched batch",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="farm re-dispatches per failed chunk (0 = fail fast)",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base exponential-backoff delay between farm retries (s)",
+    )
+    add_farm(p)
+    add_runs_dir(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("query", help="query a running PSC service")
+    p.add_argument(
+        "op",
+        choices=(
+            "align",
+            "search",
+            "register",
+            "submit-matrix",
+            "status",
+            "healthz",
+            "metrics",
+            "shutdown",
+        ),
+    )
+    p.add_argument(
+        "args",
+        nargs="*",
+        help="op operands: align A B | search Q | register NAME FILE | "
+        "status RUN_ID",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=_SERVICE_PORT)
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument(
+        "--method",
+        default="",
+        help="PSC method (default: tmalign; submit-matrix: server default)",
+    )
+    p.add_argument(
+        "--params",
+        default="",
+        help='method parameter overrides as JSON, e.g. \'{"max_refine_iters": 5}\'',
+    )
+    p.add_argument("--top", type=int, default=10, help="search: hits to show")
+    p.add_argument(
+        "--corpus",
+        action="store_true",
+        help="register: make the uploaded chain searchable",
+    )
+    p.add_argument(
+        "--dataset", default="", help="submit-matrix: dataset to enumerate"
+    )
+    p.add_argument(
+        "--runs-dir",
+        default="",
+        help="submit-matrix/status: run-store root (default: the server's)",
+    )
+    p.set_defaults(fn=_cmd_query)
+
     p = sub.add_parser("info", help="dataset summary")
     p.add_argument("--dataset", default="ck34")
     p.set_defaults(fn=_cmd_info)
@@ -711,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    _WARNED.clear()  # deprecation notes fire once per invocation
     args = build_parser().parse_args(argv)
     t0 = time.time()
     print(args.fn(args))

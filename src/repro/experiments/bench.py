@@ -31,6 +31,8 @@ from repro.psc.evaluator import EvalMode, JobEvaluator
 from repro.scc.machine import SccMachine
 
 __all__ = [
+    "BaselineError",
+    "resolve_kernel_baseline",
     "run_bench",
     "run_parallel_bench",
     "run_kernel_bench",
@@ -313,6 +315,48 @@ def _bench_kernel_stages(dataset) -> Dict[str, dict]:
     return stages
 
 
+class BaselineError(ValueError):
+    """The committed kernel baseline artefact is missing or unusable."""
+
+
+def resolve_kernel_baseline(
+    output: Optional[str],
+    baseline: Optional[float] = None,
+    strict: bool = False,
+) -> tuple[float, str]:
+    """Resolve the kernel pairs/s baseline to regress against.
+
+    Precedence: an explicit ``baseline`` argument, then the committed
+    artefact at ``output``, then the recorded pre-PR fallback constant.
+    ``strict`` (the ``bench --check`` path) refuses the silent fallback:
+    a missing or unparsable committed artefact raises
+    :class:`BaselineError` with a one-line diagnosis instead of gating
+    the regression check against a constant nobody committed.
+    """
+    if baseline is not None:
+        return baseline, "argument"
+    if output:
+        try:
+            with open(output, "r", encoding="ascii") as fh:
+                value = float(json.load(fh)["pairs_per_second"])
+            return value, "committed-artifact"
+        except OSError as exc:
+            reason = f"cannot read baseline artefact {output!r}: {exc}"
+        except (KeyError, TypeError, ValueError) as exc:
+            reason = (
+                f"baseline artefact {output!r} has no usable "
+                f"pairs_per_second ({type(exc).__name__}: {exc})"
+            )
+        if strict:
+            raise BaselineError(reason)
+    elif strict:
+        raise BaselineError(
+            "no baseline to check against: pass --baseline or point "
+            "--output at the committed artefact"
+        )
+    return KERNEL_BASELINE_PAIRS_PER_SECOND, "fallback-constant"
+
+
 def run_kernel_bench(
     dataset: str = "ck34",
     output: Optional[str] = DEFAULT_KERNEL_BENCH_OUTPUT,
@@ -320,33 +364,26 @@ def run_kernel_bench(
     min_ratio: float = 0.8,
     repeats: int = 3,
     stages: bool = True,
+    strict_baseline: bool = False,
 ) -> dict:
     """Benchmark the TM-align kernel and write ``BENCH_kernel.json``.
 
     The headline number is single-pair throughput over the quick grid
     (all pairs of the first 10 chains), best of ``repeats`` passes so the
     single-core container's scheduling noise does not understate the
-    kernel.  ``baseline`` is the committed pairs/s to regress against: if
-    not given it is read from an existing artefact at ``output``, falling
-    back to :data:`KERNEL_BASELINE_PAIRS_PER_SECOND`.  The report's
-    ``regression`` block records ``passed = rate >= min_ratio *
-    baseline``; callers (the CLI, CI) decide whether to fail on it.
+    kernel.  ``baseline`` is the committed pairs/s to regress against:
+    resolution (and the strict ``--check`` behaviour) is documented on
+    :func:`resolve_kernel_baseline`.  The report's ``regression`` block
+    records ``passed = rate >= min_ratio * baseline``; callers (the CLI,
+    CI) decide whether to fail on it.
     """
     from repro.cost.counters import CostCounter
     from repro.tmalign import tm_align
     from repro.tmalign.dp import _NATIVE_FORWARD
 
-    baseline_source = "argument"
-    if baseline is None:
-        baseline_source = "fallback-constant"
-        baseline = KERNEL_BASELINE_PAIRS_PER_SECOND
-        if output:
-            try:
-                with open(output, "r", encoding="ascii") as fh:
-                    baseline = float(json.load(fh)["pairs_per_second"])
-                baseline_source = "committed-artifact"
-            except (OSError, KeyError, ValueError):
-                pass
+    baseline, baseline_source = resolve_kernel_baseline(
+        output, baseline, strict=strict_baseline
+    )
 
     ds = load_dataset(dataset)
     runs = [_bench_kernel_micro(ds) for _ in range(max(1, repeats))]

@@ -16,6 +16,7 @@ from repro.parallel.farm import (
     RetryPolicy,
     WorkerCrash,
     auto_chunk,
+    evaluate_pairs,
     iter_pair_results,
     parallel_all_vs_all,
     parallel_one_vs_all,
@@ -28,6 +29,7 @@ __all__ = [
     "RetryPolicy",
     "WorkerCrash",
     "auto_chunk",
+    "evaluate_pairs",
     "iter_pair_results",
     "parallel_all_vs_all",
     "parallel_one_vs_all",

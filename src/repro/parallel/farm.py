@@ -60,6 +60,7 @@ __all__ = [
     "RetryPolicy",
     "WorkerCrash",
     "auto_chunk",
+    "evaluate_pairs",
     "iter_pair_results",
     "parallel_all_vs_all",
     "parallel_one_vs_all",
@@ -426,6 +427,38 @@ def iter_pair_results(
     finally:
         if stats is not None:
             stats.wall_seconds = time.perf_counter() - t0
+
+
+def evaluate_pairs(
+    dataset: Dataset,
+    pairs: Sequence[tuple[int, int]],
+    method: PSCMethod,
+    mode: EvalMode | str = EvalMode.MEASURED,
+    config: Optional[ParallelConfig] = None,
+    query: Optional[Chain] = None,
+    stats: Optional[FarmStats] = None,
+    faults: Optional[FarmFaultPlan] = None,
+) -> list[PairResult]:
+    """Evaluate an explicit pair list and return the results as a list.
+
+    The list-returning sibling of :func:`iter_pair_results` for callers
+    that dispatch bounded batches rather than streaming a whole sweep —
+    the query service's micro-batcher hands each coalesced batch of
+    pair jobs here, so batches inherit the farm's chunked scheduling and
+    retry/backoff machinery unchanged.
+    """
+    return list(
+        iter_pair_results(
+            dataset,
+            pairs,
+            method,
+            mode=mode,
+            config=config,
+            query=query,
+            stats=stats,
+            faults=faults,
+        )
+    )
 
 
 def _merge_counts(counter: Optional[CostCounter], counts: Dict[str, float]) -> None:

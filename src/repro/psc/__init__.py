@@ -21,7 +21,7 @@ from repro.seqalign.method import SequenceIdentityMethod
 METHOD_REGISTRY["contact_profile"] = ContactProfileMethod
 METHOD_REGISTRY["seq_identity"] = SequenceIdentityMethod
 from repro.psc.evaluator import JobEvaluator, EvalMode
-from repro.psc.search import one_vs_all, all_vs_all, RankedHit
+from repro.psc.search import one_vs_all, all_vs_all, rank_hits, RankedHit
 
 __all__ = [
     "PSCMethod",
@@ -35,5 +35,6 @@ __all__ = [
     "EvalMode",
     "one_vs_all",
     "all_vs_all",
+    "rank_hits",
     "RankedHit",
 ]

@@ -26,7 +26,7 @@ from repro.structure.model import Chain
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parallel import RetryPolicy
 
-__all__ = ["RankedHit", "one_vs_all", "all_vs_all"]
+__all__ = ["RankedHit", "rank_hits", "one_vs_all", "all_vs_all"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,23 @@ class RankedHit:
     chain_name: str
     score: float
     details: Dict[str, float]
+
+
+def rank_hits(
+    rows: list[tuple[str, Dict[str, float]]], method: PSCMethod
+) -> list[RankedHit]:
+    """Rank raw ``(chain_name, scores)`` rows into :class:`RankedHit`\\ s.
+
+    The single ranking rule shared by every search surface (serial loop,
+    parallel farm, query service): descending similarity, chain name as
+    the deterministic tie-break.
+    """
+    hits = [
+        RankedHit(name, method.similarity(scores), dict(scores))
+        for name, scores in rows
+    ]
+    hits.sort(key=lambda h: (-h.score, h.chain_name))
+    return hits
 
 
 def one_vs_all(
@@ -50,7 +67,7 @@ def one_vs_all(
 ) -> list[RankedHit]:
     """Compare ``query`` against every dataset chain; rank by similarity."""
     method = method or TMAlignMethod()
-    hits: list[RankedHit] = []
+    rows: list[tuple[str, Dict[str, float]]]
     if workers > 1:
         from repro.parallel import ParallelConfig, parallel_one_vs_all
 
@@ -62,11 +79,8 @@ def one_vs_all(
             exclude_self=exclude_self,
             config=ParallelConfig(workers=workers, chunk=chunk, retry=retry),
         )
-        hits = [
-            RankedHit(name, method.similarity(scores), dict(scores))
-            for name, scores in rows
-        ]
     else:
+        rows = []
         for chain in dataset:
             if exclude_self and chain.name == query.name:
                 continue
@@ -74,9 +88,8 @@ def one_vs_all(
             scores = method.compare(query, chain, ctr)
             if counter is not None:
                 counter.merge(ctr)
-            hits.append(RankedHit(chain.name, method.similarity(scores), dict(scores)))
-    hits.sort(key=lambda h: (-h.score, h.chain_name))
-    return hits
+            rows.append((chain.name, scores))
+    return rank_hits(rows, method)
 
 
 def all_vs_all(

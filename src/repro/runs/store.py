@@ -136,6 +136,19 @@ class Run:
         self.manifest.status = status
         self.save_manifest()
 
+    def progress(self) -> Tuple[int, int]:
+        """``(completed, total)`` pairs for this run.
+
+        Journaled commands count intact journal records; commands without
+        a journal (search, benches) are all-or-nothing and report their
+        manifest totals.  Shared by the ``runs`` CLI listing and the
+        query service's ``status`` op.
+        """
+        m = self.manifest
+        if m.command == "matrix":
+            return len(self.load_journal()), m.n_pairs
+        return m.n_pairs, m.n_pairs
+
     # -- journal -----------------------------------------------------------
     def journal(self) -> RunJournal:
         """Open the journal for appending (creates it on first use)."""

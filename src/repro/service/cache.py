@@ -1,0 +1,82 @@
+"""LRU result cache for pairwise comparison bodies.
+
+Keys are ``(hash_a, hash_b, method, params_hash)`` — the full identity
+of a pair result: content hashes of both chains (order matters, TM-align
+scores are direction-dependent), the method name, and the hash of the
+fully-resolved method parameters.  Values are the *canonical JSON body
+strings* the server sends, so a cache hit returns bytes identical to the
+original uncached response.
+
+Counters (hits / misses / evictions / size) feed the ``metrics`` op.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ResultCache", "pair_key"]
+
+CacheKey = Tuple[str, str, str, str]
+
+
+def pair_key(
+    hash_a: str, hash_b: str, method: str, params_hash: str
+) -> CacheKey:
+    return (hash_a, hash_b, method, params_hash)
+
+
+class ResultCache:
+    """Bounded LRU mapping of pair keys to canonical result bodies."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: CacheKey) -> Optional[str]:
+        """The cached body for ``key``, refreshing its recency; None on miss."""
+        body = self._entries.get(key)
+        if body is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return body
+
+    def put(self, key: CacheKey, body: str) -> None:
+        """Insert (or refresh) a body, evicting the least recently used."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = body
+            return
+        self._entries[key] = body
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def keys(self):
+        """Current keys, least- to most-recently used (for tests/metrics)."""
+        return list(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,136 @@
+"""Blocking client library for the PSC query service.
+
+One :class:`ServiceClient` holds one TCP connection and issues requests
+sequentially (responses are matched by id).  Typed server errors come
+back as the exceptions from :mod:`repro.service.protocol` — most
+importantly :class:`~repro.service.protocol.ServiceOverloaded`, which a
+caller should treat as "busy now, retry with backoff".
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.service.protocol import ERROR_TYPES, ServiceError, encode_line
+
+__all__ = ["ServiceClient"]
+
+DEFAULT_PORT = 7743
+
+
+class ServiceClient:
+    """Line-protocol JSON client; use as a context manager."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One request/response round trip; returns the raw response dict."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "op": op}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        self._file.write(encode_line(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by server")
+        response = json.loads(line)
+        if response.get("id") != self._next_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            exc_type = ERROR_TYPES.get(error.get("code", ""), ServiceError)
+            raise exc_type(error.get("message", "service error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ops ---------------------------------------------------------------
+    def align(
+        self,
+        a: str,
+        b: str,
+        method: str = "tmalign",
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Pairwise comparison; returns the full response (``result`` +
+        ``cached``) so callers can observe cache behaviour."""
+        return self.request("align", a=a, b=b, method=method, params=params)
+
+    def search(
+        self,
+        query: str,
+        top: int = 10,
+        method: str = "tmalign",
+        params: Optional[Dict[str, Any]] = None,
+        exclude_self: bool = True,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "search",
+            query=query,
+            top=top,
+            method=method,
+            params=params,
+            exclude_self=exclude_self,
+        )["result"]
+
+    def register_pdb(
+        self, name: str, pdb_text: str, corpus: bool = False
+    ) -> Dict[str, Any]:
+        return self.request(
+            "register", name=name, pdb=pdb_text, corpus=corpus
+        )["result"]
+
+    def submit_matrix(
+        self,
+        dataset: Optional[str] = None,
+        method: Optional[str] = None,
+        runs_dir: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "submit-matrix",
+            dataset=dataset,
+            method=method,
+            runs_dir=runs_dir,
+            params=params,
+        )["result"]
+
+    def status(
+        self, run_id: str, runs_dir: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return self.request("status", run_id=run_id, runs_dir=runs_dir)["result"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("healthz")["result"]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")["result"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")["result"]

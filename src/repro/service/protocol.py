@@ -1,0 +1,160 @@
+"""Wire protocol of the PSC query service.
+
+The service speaks newline-delimited JSON over TCP: each request is one
+JSON object on one line, each response is one JSON object on one line.
+Both are serialized *canonically* (sorted keys, compact separators), so
+two responses carrying the same payload are byte-identical — the
+property the result cache's hit-vs-recompute guarantee rests on.
+
+Request shape::
+
+    {"id": <any>, "op": "align", ...op-specific fields...}
+
+Response shape::
+
+    {"id": <echoed>, "ok": true,  "cached": <bool?>, "result": {...}}
+    {"id": <echoed>, "ok": false, "error": {"code": ..., "message": ...}}
+
+Error codes are stable strings (``overloaded``, ``bad-request``,
+``not-found``, ``internal``); the client library maps them back to the
+typed exceptions below, so a saturated server surfaces as a
+:class:`ServiceOverloaded` in the caller, not as a parse job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.psc.base import PSCMethod
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ServiceError",
+    "BadRequest",
+    "NotFound",
+    "ServiceOverloaded",
+    "canonical_json",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "resolve_method",
+]
+
+#: upper bound on one protocol line (requests carry whole PDB uploads)
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ServiceError(RuntimeError):
+    """Base of all typed service failures; ``code`` goes on the wire."""
+
+    code = "internal"
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"code": self.code, "message": str(self)}
+
+
+class BadRequest(ServiceError):
+    """The request is malformed (unknown op, missing field, bad value)."""
+
+    code = "bad-request"
+
+
+class NotFound(ServiceError):
+    """A referenced chain or run does not exist in the registry/store."""
+
+    code = "not-found"
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control shed this request: the batch queue is full.
+
+    The reply is typed so clients can distinguish "busy, retry later"
+    from a real failure; the server keeps serving everything already
+    admitted.
+    """
+
+    code = "overloaded"
+
+
+#: wire-code -> exception class, for the client-side mapping
+ERROR_TYPES: Dict[str, type] = {
+    cls.code: cls for cls in (ServiceError, BadRequest, NotFound, ServiceOverloaded)
+}
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def encode_line(obj: Any) -> bytes:
+    """One canonical protocol line, newline-terminated."""
+    return canonical_json(obj).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line into a dict; raises :class:`BadRequest`."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"request is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise BadRequest("request must be a JSON object")
+    return payload
+
+
+def ok_response(
+    request_id: Any, result: Any, cached: Optional[bool] = None
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"id": request_id, "ok": True, "result": result}
+    if cached is not None:
+        out["cached"] = cached
+    return out
+
+
+def error_response(request_id: Any, exc: Exception) -> Dict[str, Any]:
+    wire = (
+        exc.to_wire()
+        if isinstance(exc, ServiceError)
+        else {"code": "internal", "message": f"{type(exc).__name__}: {exc}"}
+    )
+    return {"id": request_id, "ok": False, "error": wire}
+
+
+def _params_hash(payload: Dict[str, Any]) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def resolve_method(
+    method_name: str, overrides: Optional[Dict[str, Any]] = None
+) -> Tuple[PSCMethod, str]:
+    """Instantiate a PSC method from wire parameters.
+
+    Returns ``(method, params_hash)`` where ``params_hash`` is a sha256
+    over the *fully resolved* parameter set (defaults included), so two
+    requests that spell the same effective parameters differently — or
+    omit defaults — still share one cache entry, while any changed
+    TM-align knob produces a different hash and therefore a cache miss.
+    """
+    from repro.psc.methods import get_method
+
+    overrides = dict(overrides or {})
+    if method_name == "tmalign":
+        from repro.psc.methods import TMAlignMethod
+        from repro.tmalign.params import TMAlignParams, params_fingerprint
+
+        try:
+            params = TMAlignParams(**overrides)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad tmalign params: {exc}") from None
+        return TMAlignMethod(params=params), params_fingerprint(params)
+    try:
+        method = get_method(method_name, **overrides)
+    except KeyError as exc:
+        raise BadRequest(str(exc.args[0])) from None
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad {method_name} params: {exc}") from None
+    return method, _params_hash({"method": method_name, **overrides})

@@ -1,0 +1,134 @@
+"""Structure registry: load a corpus once, index every chain by content.
+
+The registry is the server-side substitute for reloading a dataset per
+request: chains are registered once (a whole registry dataset at start,
+ad-hoc PDB uploads later) and addressed by **content hash** — the same
+sha256-over-sequence-and-coordinates scheme :func:`repro.runs.manifest.
+dataset_fingerprint` uses for whole datasets, applied per chain.  Two
+registrations with identical content collapse onto one entry, so the
+result cache (keyed on hash pairs) hits across names, uploads and
+restarts of the same data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.datasets.registry import Dataset
+from repro.service.protocol import BadRequest, NotFound
+from repro.structure.model import Chain
+
+__all__ = ["chain_content_hash", "StructureRegistry"]
+
+#: shortest hash prefix accepted as a chain reference
+MIN_HASH_PREFIX = 8
+
+
+def chain_content_hash(chain: Chain) -> str:
+    """sha256 over the chain *content* (sequence + coordinates).
+
+    The name is deliberately excluded: scores depend only on content
+    (secondary structure is derived from the coordinates), so chains
+    uploaded under different names share cache entries.
+    """
+    digest = hashlib.sha256()
+    digest.update(chain.sequence.encode("ascii"))
+    digest.update(chain.coords.tobytes())
+    return digest.hexdigest()
+
+
+class StructureRegistry:
+    """Chains indexed by content hash and by name.
+
+    ``corpus=True`` registrations (the served dataset, or uploads meant
+    to be searchable) form the one-vs-all search corpus in registration
+    order; plain registrations are addressable as queries but do not
+    appear in search results.
+    """
+
+    def __init__(self) -> None:
+        self._chains: Dict[str, Chain] = {}  # hash -> first-registered chain
+        self._names: Dict[str, str] = {}  # name -> hash
+        self._corpus: List[str] = []  # corpus hashes, registration order
+        self._corpus_set: set[str] = set()
+        self.dataset_name: str = ""
+
+    # -- registration ------------------------------------------------------
+    def register(self, chain: Chain, corpus: bool = False) -> str:
+        """Register one chain; returns its content hash (idempotent)."""
+        h = chain_content_hash(chain)
+        if h not in self._chains:
+            self._chains[h] = chain
+        known = self._names.get(chain.name)
+        if known is not None and known != h:
+            raise BadRequest(
+                f"name {chain.name!r} is already registered with different "
+                f"content (hash {known[:12]}...)"
+            )
+        self._names[chain.name] = h
+        if corpus and h not in self._corpus_set:
+            self._corpus.append(h)
+            self._corpus_set.add(h)
+        return h
+
+    def register_pdb(self, text: str, name: str, corpus: bool = False) -> str:
+        """Parse and register an ad-hoc PDB upload."""
+        from repro.structure.pdbio import chain_from_pdb
+
+        if not name:
+            raise BadRequest("uploaded chain needs a name")
+        try:
+            chain = chain_from_pdb(text, name=name)
+        except (ValueError, IndexError) as exc:
+            raise BadRequest(f"cannot parse PDB upload {name!r}: {exc}") from None
+        return self.register(chain, corpus=corpus)
+
+    def load_dataset(self, dataset: Dataset) -> int:
+        """Register every chain of a dataset into the search corpus."""
+        for chain in dataset:
+            self.register(chain, corpus=True)
+        self.dataset_name = self.dataset_name or dataset.name
+        return len(dataset)
+
+    # -- lookup ------------------------------------------------------------
+    def resolve(self, ref: str) -> Tuple[str, Chain]:
+        """A chain by name, full hash, or unambiguous hash prefix."""
+        if not ref:
+            raise BadRequest("empty chain reference")
+        h = self._names.get(ref)
+        if h is not None:
+            return h, self._chains[h]
+        if ref in self._chains:
+            return ref, self._chains[ref]
+        if len(ref) >= MIN_HASH_PREFIX:
+            matches = [k for k in self._chains if k.startswith(ref)]
+            if len(matches) == 1:
+                return matches[0], self._chains[matches[0]]
+            if len(matches) > 1:
+                raise BadRequest(f"hash prefix {ref!r} is ambiguous")
+        raise NotFound(f"no chain named or hashed {ref!r} in the registry")
+
+    def corpus(self) -> List[Tuple[str, Chain]]:
+        """The search corpus as ``(hash, chain)`` in registration order."""
+        return [(h, self._chains[h]) for h in self._corpus]
+
+    def name_of(self, chain_hash: str) -> str:
+        """A display name for a hash (first registered name wins)."""
+        for name, h in self._names.items():
+            if h == chain_hash:
+                return name
+        return chain_hash[:12]
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def __contains__(self, chain_hash: str) -> bool:
+        return chain_hash in self._chains
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "chains": len(self._chains),
+            "corpus": len(self._corpus),
+            "names": len(self._names),
+        }

@@ -1,0 +1,456 @@
+"""The always-on PSC query service: an asyncio TCP line-protocol server.
+
+One :class:`PSCService` owns the structure registry (corpus loaded once
+at startup), the LRU result cache, the dynamic micro-batcher in front of
+the :mod:`repro.parallel` farm, and the durable-run bridge into
+:mod:`repro.runs`.  Requests and responses are newline-delimited
+canonical JSON (see :mod:`repro.service.protocol`).
+
+Supported ops::
+
+    align          pairwise comparison of two registered chains
+    search         one-vs-all ranked search of the corpus
+    register       ad-hoc PDB upload into the registry
+    submit-matrix  enqueue a durable all-vs-all run (repro.runs)
+    status         progress/status of a durable run
+    healthz        liveness + corpus summary
+    metrics        counters, gauges, latency histograms, cache stats
+    shutdown       stop serving (replies first, then exits)
+
+Overload degrades gracefully: admission control on the batch queue sheds
+excess jobs with a typed ``overloaded`` reply while everything already
+admitted completes; repeated queries are served from the result cache
+byte-identically to their first, uncached responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.parallel import ParallelConfig, RetryPolicy
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import ResultCache, pair_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    BadRequest,
+    NotFound,
+    ServiceError,
+    ServiceOverloaded,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    resolve_method,
+)
+from repro.service.registry import StructureRegistry
+
+__all__ = ["ServiceConfig", "PSCService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of one service instance."""
+
+    dataset: str = "ck34-mini"  # corpus loaded at startup ("" = start empty)
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port (recorded on PSCService.port)
+    queue_limit: int = 64  # admission control: max pending pair jobs
+    max_batch: int = 16  # jobs per dispatched kernel batch
+    batch_window: float = 0.002  # seconds to wait for a batch to fill
+    workers: int = 0  # farm processes per batch (<=1 = in-process)
+    chunk: int = 0  # farm chunk size (0 = auto)
+    retries: int = 0  # farm retry policy (0 = fail fast)
+    backoff: float = 0.05
+    cache_capacity: int = 1024  # LRU result-cache entries
+    runs_dir: str = "runs"  # durable store for submit-matrix
+    eval_delay: float = 0.0  # test/CI knob: sleep per batch dispatch
+
+    def farm_config(self) -> ParallelConfig:
+        retry = (
+            RetryPolicy(max_retries=self.retries, backoff_seconds=self.backoff)
+            if self.retries > 0
+            else None
+        )
+        return ParallelConfig(workers=self.workers, chunk=self.chunk, retry=retry)
+
+
+def _require_str(payload: Dict[str, Any], field: str) -> str:
+    value = payload.get(field)
+    if not isinstance(value, str) or not value:
+        raise BadRequest(f"request needs a non-empty string field {field!r}")
+    return value
+
+
+class PSCService:
+    """One server instance: registry + cache + batcher + TCP front end."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[StructureRegistry] = None,
+        evaluate=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.registry = registry or StructureRegistry()
+        if self.config.dataset and registry is None:
+            from repro.datasets.registry import load_dataset
+
+            self.registry.load_dataset(load_dataset(self.config.dataset))
+        self.batcher = MicroBatcher(
+            queue_limit=self.config.queue_limit,
+            max_batch=self.config.max_batch,
+            batch_window=self.config.batch_window,
+            farm_config=self.config.farm_config(),
+            metrics=self.metrics,
+            evaluate=evaluate,
+            eval_delay=self.config.eval_delay,
+        )
+        self.host = self.config.host
+        self.port = self.config.port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        # run_id -> (thread, {"error": ...}) for submit-matrix background runs
+        self._matrix_jobs: Dict[str, Tuple[threading.Thread, Dict[str, Any]]] = {}
+        self._ops = {
+            "align": self._op_align,
+            "search": self._op_search,
+            "register": self._op_register,
+            "submit-matrix": self._op_submit_matrix,
+            "status": self._op_status,
+            "healthz": self._op_healthz,
+            "metrics": self._op_metrics,
+            "shutdown": self._op_shutdown,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        self._stop_event = asyncio.Event()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`request_stop`)."""
+        assert self._stop_event is not None, "start() first"
+        await self._stop_event.wait()
+        await asyncio.sleep(0.05)  # let the shutdown reply flush
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        await self.batcher.stop()
+        if self._server is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), timeout=0.5)
+            self._server = None
+
+    async def __aenter__(self) -> "PSCService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.inc("connections")
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    response = error_response(
+                        None, BadRequest("request line too long")
+                    )
+                    async with write_lock:
+                        writer.write(encode_line(response))
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_request(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except ConnectionError:
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _serve_request(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: Any = None
+        op = "unknown"
+        t0 = time.perf_counter()
+        try:
+            payload = decode_line(line)
+            request_id = payload.get("id")
+            op = payload.get("op") or "unknown"
+            handler = self._ops.get(op)
+            if handler is None:
+                raise BadRequest(
+                    f"unknown op {op!r}; known: {sorted(self._ops)}"
+                )
+            self.metrics.inc(f"requests_{op}")
+            result, cached = await handler(payload)
+            response = ok_response(request_id, result, cached)
+        except Exception as exc:  # every failure maps onto the wire
+            code = exc.code if isinstance(exc, ServiceError) else "internal"
+            self.metrics.inc(f"errors_{code}")
+            response = error_response(request_id, exc)
+        self.metrics.observe(f"op_{op}", time.perf_counter() - t0)
+        async with write_lock:
+            with contextlib.suppress(ConnectionError, RuntimeError):
+                writer.write(encode_line(response))
+                await writer.drain()
+
+    # -- pair evaluation with cache ----------------------------------------
+    async def _pair_body(
+        self,
+        hash_a: str,
+        chain_a,
+        hash_b: str,
+        chain_b,
+        method,
+        method_name: str,
+        params_hash: str,
+    ) -> Tuple[str, bool]:
+        """The canonical body for one pair: cache hit, or batched compute."""
+        key = pair_key(hash_a, hash_b, method_name, params_hash)
+        body = self.cache.get(key)
+        if body is not None:
+            return body, True
+        body = await self.batcher.submit(key, chain_a, chain_b, method)
+        self.cache.put(key, body)
+        self.metrics.set_gauge("cache_size", len(self.cache))
+        return body, False
+
+    # -- ops ---------------------------------------------------------------
+    async def _op_align(self, payload: Dict[str, Any]):
+        method_name = payload.get("method", "tmalign")
+        method, params_hash = resolve_method(method_name, payload.get("params"))
+        hash_a, chain_a = self.registry.resolve(_require_str(payload, "a"))
+        hash_b, chain_b = self.registry.resolve(_require_str(payload, "b"))
+        body, cached = await self._pair_body(
+            hash_a, chain_a, hash_b, chain_b, method, method_name, params_hash
+        )
+        return json.loads(body), cached
+
+    async def _op_search(self, payload: Dict[str, Any]):
+        from repro.psc.search import rank_hits
+
+        method_name = payload.get("method", "tmalign")
+        method, params_hash = resolve_method(method_name, payload.get("params"))
+        top = int(payload.get("top", 10))
+        if top < 1:
+            raise BadRequest("top must be >= 1")
+        hash_q, chain_q = self.registry.resolve(_require_str(payload, "query"))
+        exclude_self = bool(payload.get("exclude_self", True))
+        targets = [
+            (h, c)
+            for h, c in self.registry.corpus()
+            if not (exclude_self and h == hash_q)
+        ]
+        if not targets:
+            raise BadRequest("the search corpus is empty")
+        outcomes = await asyncio.gather(
+            *(
+                self._pair_body(
+                    hash_q, chain_q, h, c, method, method_name, params_hash
+                )
+                for h, c in targets
+            ),
+            return_exceptions=True,
+        )
+        shed = sum(1 for r in outcomes if isinstance(r, ServiceOverloaded))
+        if shed:
+            raise ServiceOverloaded(
+                f"search shed {shed}/{len(targets)} pair jobs at admission; "
+                "retry later"
+            )
+        for r in outcomes:
+            if isinstance(r, BaseException):
+                raise r
+        rows = []
+        hash_by_name: Dict[str, str] = {}
+        n_cached = 0
+        for (h, _c), (body, cached) in zip(targets, outcomes):
+            name = self.registry.name_of(h)
+            rows.append((name, json.loads(body)["scores"]))
+            hash_by_name[name] = h
+            n_cached += bool(cached)
+        hits = rank_hits(rows, method)
+        result = {
+            "query": hash_q,
+            "method": method_name,
+            "params_hash": params_hash,
+            "corpus": len(targets),
+            "from_cache": n_cached,
+            "hits": [
+                {
+                    "chain": hit.chain_name,
+                    "hash": hash_by_name[hit.chain_name],
+                    "score": hit.score,
+                    "scores": hit.details,
+                }
+                for hit in hits[:top]
+            ],
+        }
+        return result, n_cached == len(targets)
+
+    async def _op_register(self, payload: Dict[str, Any]):
+        name = _require_str(payload, "name")
+        text = _require_str(payload, "pdb")
+        corpus = bool(payload.get("corpus", False))
+        chain_hash = self.registry.register_pdb(text, name, corpus=corpus)
+        _, chain = self.registry.resolve(chain_hash)
+        self.metrics.inc("chains_registered")
+        return (
+            {
+                "hash": chain_hash,
+                "name": name,
+                "residues": len(chain),
+                "corpus": corpus,
+            },
+            None,
+        )
+
+    async def _op_submit_matrix(self, payload: Dict[str, Any]):
+        from repro.datasets.registry import load_dataset
+        from repro.runs import RunStore, matrix_run
+
+        dataset_name = payload.get("dataset") or self.config.dataset
+        method_name = payload.get("method", "sse_composition")
+        method, _params_hash = resolve_method(method_name, payload.get("params"))
+        try:
+            dataset = load_dataset(dataset_name)
+        except KeyError as exc:
+            raise BadRequest(str(exc.args[0])) from None
+        store = RunStore(payload.get("runs_dir") or self.config.runs_dir)
+        run_id = store.new_run_id("service-matrix")
+        output = os.path.join(store.run_dir(run_id), "matrix.csv")
+        outcome: Dict[str, Any] = {"error": None}
+        farm_config = self.config.farm_config()
+
+        def work() -> None:
+            try:
+                matrix_run(
+                    dataset, method, output, store,
+                    run_id=run_id, config=farm_config,
+                )
+            except BaseException as exc:
+                outcome["error"] = f"{type(exc).__name__}: {exc}"
+
+        thread = threading.Thread(
+            target=work, name=f"service-{run_id}", daemon=True
+        )
+        self._matrix_jobs[run_id] = (thread, outcome)
+        thread.start()
+        self.metrics.inc("matrix_runs_submitted")
+        n = len(dataset)
+        return (
+            {
+                "run_id": run_id,
+                "dataset": dataset.name,
+                "method": method_name,
+                "n_pairs": n * (n - 1) // 2,
+                "output": output,
+            },
+            None,
+        )
+
+    async def _op_status(self, payload: Dict[str, Any]):
+        from repro.runs import RunStore, RunStoreError
+
+        run_id = _require_str(payload, "run_id")
+        runs_dir = payload.get("runs_dir") or self.config.runs_dir
+        store = RunStore(runs_dir)
+        job = self._matrix_jobs.get(run_id)
+        try:
+            run = store.open(run_id)
+        except RunStoreError:
+            if job is not None:  # submitted, directory not created yet
+                return {"run_id": run_id, "status": "starting"}, None
+            raise NotFound(f"no run {run_id!r} under {runs_dir!r}") from None
+        done, total = run.progress()
+        result = {
+            "run_id": run_id,
+            "status": run.manifest.status,
+            "command": run.manifest.command,
+            "dataset": run.manifest.dataset,
+            "method": run.manifest.method,
+            "done": done,
+            "n_pairs": total,
+        }
+        if job is not None and job[1]["error"]:
+            result["error"] = job[1]["error"]
+        return result, None
+
+    async def _op_healthz(self, payload: Dict[str, Any]):
+        return (
+            {
+                "status": "ok",
+                "dataset": self.registry.dataset_name,
+                "corpus": len(self.registry.corpus()),
+                "chains": len(self.registry),
+                "uptime_seconds": round(self.metrics.uptime_seconds, 3),
+                "pid": os.getpid(),
+            },
+            None,
+        )
+
+    async def _op_metrics(self, payload: Dict[str, Any]):
+        snap = self.metrics.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["registry"] = self.registry.stats()
+        snap["queue"] = {
+            "depth": self.batcher.depth,
+            "limit": self.config.queue_limit,
+            "max_batch": self.config.max_batch,
+            "batch_window_seconds": self.config.batch_window,
+        }
+        snap["matrix_runs"] = {
+            run_id: (
+                "running"
+                if thread.is_alive()
+                else ("failed" if outcome["error"] else "done")
+            )
+            for run_id, (thread, outcome) in sorted(self._matrix_jobs.items())
+        }
+        return snap, None
+
+    async def _op_shutdown(self, payload: Dict[str, Any]):
+        self.request_stop()
+        return {"stopping": True}, None

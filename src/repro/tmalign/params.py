@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
-__all__ = ["TMAlignParams", "d0_from_length", "d0_search_bounds", "d8_cutoff"]
+__all__ = [
+    "TMAlignParams",
+    "params_fingerprint",
+    "d0_from_length",
+    "d0_search_bounds",
+    "d8_cutoff",
+]
 
 
 def d0_from_length(length: int) -> float:
@@ -66,6 +72,27 @@ class TMAlignParams:
             raise ValueError("seed fractions must be >= 1")
         if not 0.0 <= self.ss_mix <= 1.0:
             raise ValueError("ss_mix must be in [0, 1]")
+
+    def to_dict(self) -> dict:
+        """Every knob as a plain JSON-serialisable mapping."""
+        return asdict(self)
+
+
+def params_fingerprint(params: TMAlignParams) -> str:
+    """sha256 over the canonical JSON of the *fully resolved* parameters.
+
+    Two parameter sets that spell the same effective knobs (defaults
+    included) share one fingerprint; changing any knob changes it.  The
+    query service keys its result cache on this, so tweaked TM-align
+    parameters can never be served a stale cached score.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        params.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
 
 def np_float(x) -> float:  # pragma: no cover - tiny helper

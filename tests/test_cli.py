@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.cli import _bench_output, build_parser, main
+from repro.cli import _WARNED, _bench_output, build_parser, main
 
 
 class TestParser:
@@ -72,16 +72,24 @@ class TestBenchOutputFlag:
         )
 
     def test_default_keeps_path(self):
-        assert _bench_output(self.args()) == ("bench.json", "")
+        assert _bench_output(self.args()) == "bench.json"
 
     def test_no_output_flag(self):
-        path, note = _bench_output(self.args(no_output=True))
-        assert path is None and note == ""
+        assert _bench_output(self.args(no_output=True)) is None
 
-    def test_empty_output_still_works_but_warns(self):
-        path, note = _bench_output(self.args(output=""))
-        assert path is None
-        assert "deprecated" in note and "--no-output" in note
+    def test_empty_output_routes_through_no_output(self, capsys):
+        _WARNED.clear()
+        ns = self.args(output="")
+        assert _bench_output(ns) is None
+        assert ns.no_output  # deprecated spelling folds onto --no-output
+        err = capsys.readouterr().err
+        assert "deprecated" in err and "--no-output" in err
+
+    def test_deprecation_note_fires_once_per_invocation(self, capsys):
+        _WARNED.clear()
+        _bench_output(self.args(output=""))
+        _bench_output(self.args(output=""))
+        assert capsys.readouterr().err.count("deprecated") == 1
 
     def test_both_commands_expose_no_output(self):
         parser = build_parser()
@@ -238,3 +246,90 @@ class TestMatrixCommand:
             ["bench-parallel", "--workers-grid", "1,2", "--output", ""]
         )
         assert args.workers_grid == "1,2"
+
+
+class TestKernelBaselineCheck:
+    """bench --check must fail with one clear line, never a traceback."""
+
+    def test_missing_artifact_is_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["bench", "--kernel", "--check", "--quick", "--no-micro",
+                  "--output", str(tmp_path / "absent.json")])
+        msg = str(err.value)
+        assert msg.startswith("bench --check:") and "\n" not in msg
+
+    def test_unparsable_artifact_is_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(SystemExit) as err:
+            main(["bench", "--kernel", "--check", "--quick", "--no-micro",
+                  "--output", str(bad)])
+        msg = str(err.value)
+        assert msg.startswith("bench --check:") and "\n" not in msg
+        assert "pairs_per_second" in msg
+
+    def test_null_rate_is_one_line_error_not_typeerror(self, tmp_path):
+        bad = tmp_path / "null.json"
+        bad.write_text('{"pairs_per_second": null}')
+        with pytest.raises(SystemExit) as err:
+            main(["bench", "--kernel", "--check", "--quick", "--no-micro",
+                  "--output", str(bad)])
+        assert str(err.value).startswith("bench --check:")
+
+    def test_resolver_precedence(self, tmp_path):
+        from repro.experiments.bench import (
+            KERNEL_BASELINE_PAIRS_PER_SECOND,
+            BaselineError,
+            resolve_kernel_baseline,
+        )
+
+        art = tmp_path / "BENCH_kernel.json"
+        art.write_text('{"pairs_per_second": 123.5}')
+        # explicit argument beats the artifact
+        assert resolve_kernel_baseline(str(art), 9.0) == (9.0, "argument")
+        assert resolve_kernel_baseline(str(art)) == (123.5, "committed-artifact")
+        # tolerant path falls back on the recorded constant
+        value, source = resolve_kernel_baseline(str(tmp_path / "no.json"))
+        assert value == KERNEL_BASELINE_PAIRS_PER_SECOND
+        assert source == "fallback-constant"
+        with pytest.raises(BaselineError):
+            resolve_kernel_baseline(str(tmp_path / "no.json"), strict=True)
+        with pytest.raises(BaselineError):
+            resolve_kernel_baseline(None, strict=True)
+
+
+class TestServiceCommandsParse:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--queue-limit", "4", "--max-batch", "2",
+             "--batch-window", "0.01", "--cache-capacity", "16",
+             "--workers", "2", "--retries", "1", "--dataset", "ck34-mini"]
+        )
+        assert args.port == 0 and args.queue_limit == 4
+        assert args.max_batch == 2 and args.batch_window == 0.01
+        assert args.cache_capacity == 16 and args.workers == 2
+        assert args.retries == 1 and args.fn.__name__ == "_cmd_serve"
+
+    def test_query_ops(self):
+        parser = build_parser()
+        args = parser.parse_args(["query", "align", "a", "b", "--port", "1234"])
+        assert args.op == "align" and args.args == ["a", "b"]
+        assert args.port == 1234
+        args = parser.parse_args(
+            ["query", "search", "q", "--top", "3", "--method", "sse_composition"]
+        )
+        assert args.op == "search" and args.top == 3
+        args = parser.parse_args(["query", "register", "name", "f.pdb", "--corpus"])
+        assert args.corpus
+        args = parser.parse_args(["query", "submit-matrix", "--dataset", "ck34-mini"])
+        assert args.dataset == "ck34-mini"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["query", "frobnicate"])
+
+    def test_query_operand_count_enforced(self):
+        from repro.cli import _cmd_query
+
+        args = build_parser().parse_args(["query", "align", "only-one"])
+        with pytest.raises(SystemExit) as err:
+            _cmd_query(args)
+        assert "usage: query align" in str(err.value)

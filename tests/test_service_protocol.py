@@ -1,0 +1,99 @@
+"""Wire protocol: canonical framing, typed errors, method resolution."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_TYPES,
+    BadRequest,
+    NotFound,
+    ServiceError,
+    ServiceOverloaded,
+    canonical_json,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    resolve_method,
+)
+
+
+class TestFraming:
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": [2, {"z": 3, "y": 4}]}) == (
+            canonical_json({"a": [2, {"y": 4, "z": 3}], "b": 1})
+        )
+
+    def test_canonical_json_is_compact(self):
+        assert canonical_json({"a": 1, "b": [1, 2]}) == '{"a":1,"b":[1,2]}'
+
+    def test_encode_decode_roundtrip(self):
+        payload = {"id": 7, "op": "align", "a": "x", "b": "y"}
+        line = encode_line(payload)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert decode_line(line) == payload
+
+    def test_nan_is_rejected_at_serialization(self):
+        with pytest.raises(ValueError):
+            canonical_json({"score": float("nan")})
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(BadRequest, match="not valid JSON"):
+            decode_line(b"{nope\n")
+        with pytest.raises(BadRequest, match="JSON object"):
+            decode_line(b"[1, 2, 3]\n")
+        with pytest.raises(BadRequest):
+            decode_line(b"\xff\xfe\n")
+
+
+class TestResponses:
+    def test_ok_response_echoes_id_and_flags_cache(self):
+        resp = ok_response(42, {"x": 1}, cached=True)
+        assert resp == {"id": 42, "ok": True, "result": {"x": 1}, "cached": True}
+        assert "cached" not in ok_response(1, {})
+
+    def test_error_response_carries_typed_code(self):
+        resp = error_response(3, ServiceOverloaded("queue full"))
+        assert resp["ok"] is False and resp["id"] == 3
+        assert resp["error"] == {"code": "overloaded", "message": "queue full"}
+
+    def test_untyped_exception_maps_to_internal(self):
+        resp = error_response(None, RuntimeError("boom"))
+        assert resp["error"]["code"] == "internal"
+        assert "boom" in resp["error"]["message"]
+
+    def test_every_wire_code_maps_back_to_its_class(self):
+        assert ERROR_TYPES["overloaded"] is ServiceOverloaded
+        assert ERROR_TYPES["bad-request"] is BadRequest
+        assert ERROR_TYPES["not-found"] is NotFound
+        assert ERROR_TYPES["internal"] is ServiceError
+        for code, cls in ERROR_TYPES.items():
+            assert cls.code == code
+            assert cls("x").to_wire() == {"code": code, "message": "x"}
+
+    def test_responses_serialize_canonically(self):
+        resp = ok_response(1, {"b": 2, "a": 1})
+        assert encode_line(resp) == encode_line(json.loads(encode_line(resp)))
+
+
+class TestResolveMethod:
+    def test_tmalign_default(self):
+        method, params_hash = resolve_method("tmalign", None)
+        assert method.name == "tmalign"
+        assert len(params_hash) == 64
+
+    def test_unknown_method_is_bad_request(self):
+        with pytest.raises(BadRequest):
+            resolve_method("frobnicate", None)
+
+    def test_bad_tmalign_override_is_bad_request(self):
+        with pytest.raises(BadRequest, match="bad tmalign params"):
+            resolve_method("tmalign", {"no_such_knob": 1})
+        with pytest.raises(BadRequest):
+            resolve_method("tmalign", {"gap_open": 2.0})  # must be <= 0
+
+    def test_other_methods_hash_their_overrides(self):
+        _m1, h1 = resolve_method("sse_composition", None)
+        _m2, h2 = resolve_method("kabsch_rmsd", None)
+        assert h1 != h2

@@ -1,0 +1,103 @@
+"""Structure registry: content hashing, resolution, corpus membership."""
+
+import pytest
+
+from repro.service import StructureRegistry, chain_content_hash
+from repro.service.protocol import BadRequest, NotFound
+from repro.structure.model import Chain
+
+
+class TestContentHash:
+    def test_name_does_not_affect_the_hash(self, tiny_chain):
+        renamed = Chain("other-name", tiny_chain.coords, tiny_chain.sequence)
+        assert chain_content_hash(tiny_chain) == chain_content_hash(renamed)
+
+    def test_coordinates_do(self, tiny_chain):
+        moved = Chain(
+            tiny_chain.name, tiny_chain.coords + 0.001, tiny_chain.sequence
+        )
+        assert chain_content_hash(tiny_chain) != chain_content_hash(moved)
+
+    def test_sequence_does(self, tiny_chain):
+        seq = "M" + tiny_chain.sequence[1:]
+        mutated = Chain(tiny_chain.name, tiny_chain.coords, seq)
+        assert chain_content_hash(tiny_chain) != chain_content_hash(mutated)
+
+
+class TestRegistry:
+    def test_register_is_idempotent(self, tiny_chain):
+        reg = StructureRegistry()
+        h1 = reg.register(tiny_chain)
+        h2 = reg.register(tiny_chain)
+        assert h1 == h2 and len(reg) == 1
+
+    def test_same_content_different_names_collapse(self, tiny_chain):
+        reg = StructureRegistry()
+        h1 = reg.register(tiny_chain)
+        alias = Chain("alias", tiny_chain.coords, tiny_chain.sequence)
+        h2 = reg.register(alias)
+        assert h1 == h2 and len(reg) == 1
+        assert reg.resolve("tiny")[0] == reg.resolve("alias")[0]
+
+    def test_name_conflict_with_different_content_rejected(self, tiny_chain):
+        reg = StructureRegistry()
+        reg.register(tiny_chain)
+        impostor = Chain(
+            tiny_chain.name, tiny_chain.coords + 1.0, tiny_chain.sequence
+        )
+        with pytest.raises(BadRequest, match="already registered"):
+            reg.register(impostor)
+
+    def test_resolve_by_name_hash_and_prefix(self, tiny_chain):
+        reg = StructureRegistry()
+        h = reg.register(tiny_chain)
+        assert reg.resolve("tiny")[0] == h
+        assert reg.resolve(h)[0] == h
+        assert reg.resolve(h[:12])[0] == h
+
+    def test_short_prefix_and_unknown_ref_fail(self, tiny_chain):
+        reg = StructureRegistry()
+        h = reg.register(tiny_chain)
+        with pytest.raises(NotFound):
+            reg.resolve(h[:4])  # below MIN_HASH_PREFIX
+        with pytest.raises(NotFound):
+            reg.resolve("nonexistent-chain")
+        with pytest.raises(BadRequest):
+            reg.resolve("")
+
+    def test_corpus_membership_and_order(self, ck34_mini):
+        reg = StructureRegistry()
+        assert reg.load_dataset(ck34_mini) == len(ck34_mini)
+        assert reg.dataset_name == ck34_mini.name
+        corpus = reg.corpus()
+        assert [reg.name_of(h) for h, _c in corpus] == [
+            c.name for c in ck34_mini
+        ]
+
+    def test_non_corpus_registration_stays_out_of_search(
+        self, ck34_mini, tiny_chain
+    ):
+        reg = StructureRegistry()
+        reg.load_dataset(ck34_mini)
+        h = reg.register(tiny_chain, corpus=False)
+        assert h in reg
+        assert h not in {ch for ch, _c in reg.corpus()}
+        assert reg.stats()["corpus"] == len(ck34_mini)
+        assert reg.stats()["chains"] == len(ck34_mini) + 1
+
+    def test_register_pdb_roundtrip(self, ck34_mini, tmp_path):
+        from repro.structure import write_pdb_file
+
+        path = tmp_path / "up.pdb"
+        write_pdb_file(ck34_mini[0], path)
+        reg = StructureRegistry()
+        h = reg.register_pdb(path.read_text(), "uploaded")
+        got_h, got = reg.resolve("uploaded")
+        assert got_h == h and len(got) == len(ck34_mini[0])
+
+    def test_register_pdb_garbage_is_bad_request(self):
+        reg = StructureRegistry()
+        with pytest.raises(BadRequest, match="cannot parse"):
+            reg.register_pdb("this is not a pdb file", "junk")
+        with pytest.raises(BadRequest):
+            reg.register_pdb("ATOM ...", "")
