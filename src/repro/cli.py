@@ -196,6 +196,7 @@ def _cmd_search(args) -> str:
             workers=args.workers,
             chunk=args.chunk,
             retry=_retry_from_args(args),
+            adaptive=not args.no_adaptive,
         )
     except BaseException:
         run.mark("interrupted")
@@ -227,7 +228,10 @@ def _cmd_matrix(args) -> str:
     dataset = load_dataset(args.dataset)
     method = get_method(args.method)
     config = ParallelConfig(
-        workers=args.workers, chunk=args.chunk, retry=_retry_from_args(args)
+        workers=args.workers,
+        chunk=args.chunk,
+        retry=_retry_from_args(args),
+        adaptive=not args.no_adaptive,
     )
     store = _run_store(args)
     try:
@@ -251,11 +255,23 @@ def _cmd_matrix(args) -> str:
         )
         raise SystemExit(f"matrix run failed: {exc}{hint}") from exc
     stats = result.stats
+    sched = "cost-packed" if stats.cost_packed else f"chunk={stats.chunk_size}"
+    if stats.chunk_sizes:
+        sched += (
+            f", realized chunks {stats.chunk_size_min}/"
+            f"{stats.chunk_size_mean:.1f}/{stats.chunk_size_max} (min/mean/max)"
+        )
     lines = [
         f"wrote {result.n_rows} pair scores to {result.output} (streamed, "
-        f"workers={stats.workers}, chunk={stats.chunk_size}; "
+        f"workers={stats.workers}, {sched}; "
         f"run {result.run_id})",
     ]
+    if stats.backoffs or stats.serial_fallback:
+        lines.append(
+            f"adaptive scheduler: {stats.backoffs} concurrency backoffs, "
+            f"final window {stats.final_window}"
+            + (", finished serially in-process" if stats.serial_fallback else "")
+        )
     if result.n_journaled:
         lines.append(
             f"resumed: {result.n_journaled} pairs taken from the journal, "
@@ -461,7 +477,25 @@ def _cmd_bench_parallel(args) -> str:
     run.mark("complete")
     if output:
         text += f"\nwrote {output}"
-    return text + f"\n[run {run.run_id} recorded in {args.runs_dir}]"
+    text += f"\n[run {run.run_id} recorded in {args.runs_dir}]"
+    if args.check:
+        best = report["regression"]["best_speedup_vs_serial"]
+        if best < args.min_speedup:
+            raise SystemExit(
+                f"{text}\nparallel regression: best speedup "
+                f"{best:.2f}x < {args.min_speedup:.2f}x serial"
+            )
+        not_identical = [
+            p["workers"]
+            for p in report["points"]
+            if not p["bit_identical_to_serial"]
+        ]
+        if not_identical:
+            raise SystemExit(
+                f"{text}\nparallel regression: workers={not_identical} "
+                f"diverged from the serial score table"
+            )
+    return text
 
 
 #: default TCP port of the query service (repro.service.client.DEFAULT_PORT)
@@ -481,10 +515,12 @@ def _cmd_serve(args) -> str:
         queue_limit=args.queue_limit,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
+        max_batch_cost=args.max_batch_cost,
         workers=args.workers,
         chunk=args.chunk,
         retries=args.retries,
         backoff=args.backoff,
+        adaptive=not args.no_adaptive,
         cache_capacity=args.cache_capacity,
         runs_dir=args.runs_dir,
         eval_delay=args.eval_delay,
@@ -665,7 +701,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--chunk",
             type=int,
             default=0,
-            help="pairs per scheduling chunk (0 = auto)",
+            help="pairs per scheduling chunk (0 = cost-packed: chunks of "
+            "roughly equal predicted work from the pair cost model)",
+        )
+        p.add_argument(
+            "--no-adaptive",
+            action="store_true",
+            help="disable adaptive worker sizing (measured-throughput "
+            "backoff when oversubscribed)",
         )
 
     def add_resilience(p) -> None:
@@ -828,7 +871,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="1,2,4,8",
         help="comma-separated worker counts to sweep",
     )
-    p.add_argument("--chunk", type=int, default=0, help="pairs per chunk (0 = auto)")
+    p.add_argument(
+        "--chunk",
+        type=int,
+        default=0,
+        help="pairs per chunk (0 = cost-packed)",
+    )
     p.add_argument(
         "--output",
         default="BENCH_parallel.json",
@@ -838,6 +886,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-output",
         action="store_true",
         help="skip writing the JSON artefact",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the best measured point is slower than "
+        "--min-speedup x serial (the farm may fall back to serial, "
+        "never lose to it)",
+    )
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="regression gate for --check: required best-point "
+        "speedup_vs_serial",
     )
     add_runs_dir(p)
     p.set_defaults(fn=_cmd_bench_parallel)
@@ -872,6 +934,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.002,
         help="seconds to wait for a short batch to fill before dispatching",
+    )
+    p.add_argument(
+        "--max-batch-cost",
+        type=float,
+        default=0.0,
+        help="predicted-seconds budget per kernel batch; a batch closes "
+        "early when its cost-model price reaches this (0 = count-only)",
     )
     p.add_argument(
         "--cache-capacity",

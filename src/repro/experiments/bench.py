@@ -470,6 +470,16 @@ def run_parallel_bench(
     farm, verifying every configuration reproduces the serial score
     table bit-for-bit.  The committed artefact tracks the speedup curve
     PR over PR the way ``BENCH_hotpaths.json`` tracks the simulator.
+
+    Each point also records how the cost-aware scheduler behaved:
+    realized chunk sizes (min/mean/max), ``predicted_cost_error`` (mean
+    |relative error| of the cost model's chunk predictions against
+    worker-side walls, after a single scale fit), ``tail_imbalance``
+    (measured wall over the perfectly-balanced ideal), and the adaptive
+    controller's backoffs / final window / serial-fallback flag.  The
+    ``regression`` block gates the best point's ``speedup_vs_serial``:
+    with adaptive sizing the farm may fall back to serial, it must never
+    lose to it.
     """
     import os
 
@@ -480,7 +490,7 @@ def run_parallel_bench(
     ds = load_dataset(dataset)
     method = TMAlignMethod()
     report: dict = {
-        "schema": "repro-bench-parallel/1",
+        "schema": "repro-bench-parallel/2",
         "generated_unix": time.time(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -509,14 +519,32 @@ def run_parallel_bench(
         report["points"].append(
             {
                 "workers": w,
+                "effective_workers": stats.workers,
                 "chunk": stats.chunk_size,
                 "n_chunks": stats.n_chunks,
+                "cost_packed": stats.cost_packed,
+                "chunk_size_min": stats.chunk_size_min,
+                "chunk_size_mean": stats.chunk_size_mean,
+                "chunk_size_max": stats.chunk_size_max,
+                "predicted_cost_error": stats.predicted_cost_error(),
+                "tail_imbalance": stats.tail_imbalance(),
+                "adaptive_backoffs": stats.backoffs,
+                "final_window": stats.final_window,
+                "serial_fallback": stats.serial_fallback,
                 "wall_seconds": wall,
                 "pairs_per_second": n_pairs / wall if wall else 0.0,
                 "speedup_vs_serial": serial_wall / wall if wall else 0.0,
                 "bit_identical_to_serial": table == serial_table,
             }
         )
+    best = max(
+        (p["speedup_vs_serial"] for p in report["points"]), default=0.0
+    )
+    report["regression"] = {
+        "best_speedup_vs_serial": best,
+        "min_speedup": 1.0,
+        "passed": best >= 1.0,
+    }
     report["kernel_micro"] = _bench_kernel_micro(ds)
     if output:
         with open(output, "w", encoding="ascii") as fh:
@@ -533,20 +561,53 @@ def format_parallel_bench_report(report: dict) -> str:
         f"serial: {report['serial']['wall_seconds']:.2f}s "
         f"({report['serial']['pairs_per_second']:.2f} pairs/s)",
         render_table(
-            ("workers", "chunk", "wall (s)", "pairs/s", "speedup", "identical"),
+            (
+                "workers",
+                "chunks",
+                "sizes min/mean/max",
+                "wall (s)",
+                "speedup",
+                "cost err",
+                "tail imb",
+                "backoffs",
+                "identical",
+            ),
             [
                 (
                     p["workers"],
-                    p["chunk"],
+                    p["n_chunks"],
+                    f"{p.get('chunk_size_min', 0)}/"
+                    f"{p.get('chunk_size_mean', 0.0):.1f}/"
+                    f"{p.get('chunk_size_max', 0)}",
                     p["wall_seconds"],
-                    p["pairs_per_second"],
                     p["speedup_vs_serial"],
+                    (
+                        f"{p['predicted_cost_error']:.2f}"
+                        if p.get("predicted_cost_error") is not None
+                        else "-"
+                    ),
+                    (
+                        f"{p['tail_imbalance']:.2f}"
+                        if p.get("tail_imbalance") is not None
+                        else "-"
+                    ),
+                    (
+                        f"{p.get('adaptive_backoffs', 0)}"
+                        + (" (serial)" if p.get("serial_fallback") else "")
+                    ),
                     "yes" if p["bit_identical_to_serial"] else "NO",
                 )
                 for p in report["points"]
             ],
         ),
     ]
+    reg = report.get("regression")
+    if reg:
+        parts.append(
+            f"regression: best speedup {reg['best_speedup_vs_serial']:.2f}x "
+            f"(min {reg['min_speedup']:.2f}) -> "
+            f"{'PASS' if reg['passed'] else 'FAIL'}"
+        )
     km = report.get("kernel_micro")
     if km:
         line = (

@@ -9,13 +9,21 @@ are initialised once with the dataset, fed dynamically with chunks of
 See :mod:`repro.parallel.farm` for the public API.
 """
 
+from repro.parallel.costsched import (
+    AdaptiveController,
+    ChunkPlan,
+    pack_chunks,
+    predict_pair_seconds,
+)
 from repro.parallel.farm import (
     DEFAULT_CHUNK,
+    SERIAL_RETRY_CHUNK_CAP,
     FarmStats,
     ParallelConfig,
     RetryPolicy,
     WorkerCrash,
     auto_chunk,
+    effective_workers,
     evaluate_pairs,
     iter_pair_results,
     parallel_all_vs_all,
@@ -24,13 +32,19 @@ from repro.parallel.farm import (
 
 __all__ = [
     "DEFAULT_CHUNK",
+    "SERIAL_RETRY_CHUNK_CAP",
+    "AdaptiveController",
+    "ChunkPlan",
     "FarmStats",
     "ParallelConfig",
     "RetryPolicy",
     "WorkerCrash",
     "auto_chunk",
+    "effective_workers",
     "evaluate_pairs",
     "iter_pair_results",
+    "pack_chunks",
     "parallel_all_vs_all",
     "parallel_one_vs_all",
+    "predict_pair_seconds",
 ]

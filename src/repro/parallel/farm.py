@@ -7,10 +7,19 @@ machine instead of the simulated SCC:
   with the dataset (registry rebuild, or a single unpickle; copy-on-write
   pages under ``fork``), so jobs are bare ``(i, j)`` index tuples, not
   shipped structures;
-* **dynamic chunked scheduling** — the job list is cut into chunks of
-  ``chunk`` pairs submitted to a shared queue; whichever worker frees up
-  first takes the next chunk (the paper's dynamic farm, with the chunk
-  size as the granularity/overhead dial);
+* **cost-aware dynamic scheduling** — the job list is cut into contiguous
+  chunks of roughly equal *predicted* work (the per-pair polynomial cost
+  model of :mod:`repro.parallel.costsched`, not a flat pair count);
+  whichever worker frees up first takes the next chunk (the paper's
+  dynamic farm, with the predicted-cost budget as the granularity dial);
+* **adaptive worker sizing** — requested workers are clamped against
+  ``os.cpu_count()`` (with a warning, so oversubscribed runs are
+  visible), and an :class:`~repro.parallel.costsched.AdaptiveController`
+  measures per-chunk throughput during the first scheduling rounds and
+  backs concurrency off when oversubscription makes the marginal worker
+  worthless — down to evaluating the remainder in-process when even one
+  pool worker cannot beat the master.  The farm may fall back to serial;
+  it can no longer lose to it;
 * **ordered collection** — results are consumed in job order regardless
   of worker arrival order, so score tables, merged cost counters and
   streamed CSV rows are byte-identical to the serial path;
@@ -27,27 +36,36 @@ machine instead of the simulated SCC:
 Scores are bit-identical across any worker/chunk/retry configuration:
 each pair is an independent computation with no accumulation across
 jobs, counters are merged in job order on the master, and a re-dispatch
-recomputes exactly the same values a first attempt would have.
+recomputes exactly the same values a first attempt would have.  The
+adaptive machinery only moves *where and when* a chunk is evaluated,
+never *what* it computes.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
 import multiprocessing
+import os
 import time
+import traceback
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.cost.counters import CostCounter
 from repro.datasets.pairs import all_vs_all_pairs
 from repro.datasets.registry import Dataset
 from repro.faults.farm import FarmFaultPlan, InjectedFault
 from repro.parallel import worker as _worker
+from repro.parallel.costsched import (
+    AdaptiveController,
+    pack_chunks,
+    predict_pair_seconds,
+)
 from repro.parallel.retry import RetryPolicy
 from repro.psc.base import PSCMethod
 from repro.psc.evaluator import EvalMode
@@ -55,11 +73,13 @@ from repro.structure.model import Chain
 
 __all__ = [
     "DEFAULT_CHUNK",
+    "SERIAL_RETRY_CHUNK_CAP",
     "FarmStats",
     "ParallelConfig",
     "RetryPolicy",
     "WorkerCrash",
     "auto_chunk",
+    "effective_workers",
     "evaluate_pairs",
     "iter_pair_results",
     "parallel_all_vs_all",
@@ -69,6 +89,10 @@ __all__ = [
 #: default scheduling granularity when ``chunk`` is left at 0 and the job
 #: list is too small for the auto heuristic to matter
 DEFAULT_CHUNK = 8
+
+#: serial-path chunk bound once a retry policy is armed: bounds how much
+#: completed work a single re-dispatch could ever replay
+SERIAL_RETRY_CHUNK_CAP = 32
 
 #: (i, j, scores, op_counts) for one evaluated pair
 PairResult = tuple[int, int, Dict[str, float], Dict[str, float]]
@@ -90,17 +114,23 @@ class ParallelConfig:
     """Knobs of the process-pool farm.
 
     ``workers <= 1`` runs the jobs serially in-process (no pool at all);
-    ``chunk = 0`` picks a size via :func:`auto_chunk`; ``start_method``
+    requests above the machine's core count are clamped (with a warning)
+    by :func:`effective_workers`.  ``chunk = 0`` packs chunks by
+    predicted cost (see :func:`repro.parallel.costsched.pack_chunks`);
+    an explicit ``chunk`` forces fixed-size chunks.  ``start_method``
     defaults to ``fork`` where available (shared copy-on-write dataset
     pages) and ``spawn`` elsewhere.  ``retry`` (None = fail fast, the
     historical behaviour) arms re-dispatch with backoff for failed,
-    killed and stalled chunks.
+    killed and stalled chunks.  ``adaptive`` (default on) lets the farm
+    measure throughput and back off concurrency mid-run; it is ignored
+    when a fault plan is injected, so chaos tests stay deterministic.
     """
 
     workers: int = 0
     chunk: int = 0
     start_method: str = ""
     retry: Optional[RetryPolicy] = None
+    adaptive: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -120,32 +150,126 @@ class ParallelConfig:
         return "fork" if "fork" in methods else "spawn"
 
 
+def effective_workers(requested: int) -> int:
+    """Clamp a worker request against the machine's core count.
+
+    A pool wider than ``os.cpu_count()`` is pure context-switch overhead
+    — the historical ``BENCH_parallel.json`` recorded 4 workers running
+    slower than serial on a 1-CPU box precisely because the farm obeyed
+    ``--workers`` blindly.  The floor of 2 keeps an explicit parallel
+    request on the pool even on a single-core machine (the adaptive
+    controller handles the rest there), so crash-surfacing semantics and
+    tests don't silently degrade to the in-process path.
+    """
+    cap = max(2, os.cpu_count() or 1)
+    if requested > cap:
+        warnings.warn(
+            f"workers={requested} exceeds usable CPUs; clamping to {cap} "
+            f"(os.cpu_count()={os.cpu_count()})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return cap
+    return requested
+
+
 @dataclass
 class FarmStats:
-    """Throughput and resilience accounting for one farm run."""
+    """Throughput, scheduling and resilience accounting for one farm run.
+
+    ``workers`` is the *effective* (clamped) worker count the run used;
+    ``requested_workers`` preserves what the caller asked for.
+    ``chunk_sizes``/``chunk_predicted``/``chunk_walls`` record the
+    *realized* chunks — sizes as packed, predicted cost and worker-side
+    execution wall per chunk — so traces and benches report the truth
+    rather than the configured nominal.
+    """
 
     n_jobs: int = 0
     n_chunks: int = 0
     workers: int = 0
-    chunk_size: int = 0
+    requested_workers: int = 0
+    chunk_size: int = 0  # configured (or nominal packed) chunk size
     wall_seconds: float = 0.0
     retries: int = 0  # chunk re-dispatches after worker-side errors
     pool_restarts: int = 0  # rebuilds after an abrupt worker death
     chunk_timeouts: int = 0  # duplicate dispatches of stalled chunks
+    cost_packed: bool = False  # chunks cut by predicted cost, not count
+    backoffs: int = 0  # adaptive concurrency reductions
+    final_window: int = 0  # in-flight cap when the drain finished
+    serial_fallback: bool = False  # adaptive takeover ran the tail in-process
+    chunk_sizes: List[int] = field(default_factory=list)
+    chunk_predicted: List[float] = field(default_factory=list)
+    chunk_walls: List[float] = field(default_factory=list)
+    chunk_done_at: List[float] = field(default_factory=list)
 
     @property
     def pairs_per_second(self) -> float:
         return self.n_jobs / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    @property
+    def chunk_size_min(self) -> int:
+        return min(self.chunk_sizes) if self.chunk_sizes else 0
 
-def auto_chunk(n_jobs: int, workers: int) -> int:
-    """Chunk size balancing dispatch overhead against load balance.
+    @property
+    def chunk_size_max(self) -> int:
+        return max(self.chunk_sizes) if self.chunk_sizes else 0
+
+    @property
+    def chunk_size_mean(self) -> float:
+        if not self.chunk_sizes:
+            return 0.0
+        return sum(self.chunk_sizes) / len(self.chunk_sizes)
+
+    def predicted_cost_error(self) -> Optional[float]:
+        """Mean |relative error| of predicted vs measured chunk cost.
+
+        A single scale factor is fitted first (predictions are in nominal
+        CPU seconds; only relative cost matters to the scheduler), so the
+        number reports *shape* error — exactly what load balance depends
+        on.  None when fewer than two chunks carry usable measurements.
+        """
+        paired = [
+            (p, w)
+            for p, w in zip(self.chunk_predicted, self.chunk_walls)
+            if p > 0 and w > 0
+        ]
+        if len(paired) < 2:
+            return None
+        scale = sum(w for _, w in paired) / sum(p for p, _ in paired)
+        return sum(abs(p * scale - w) / w for p, w in paired) / len(paired)
+
+    def tail_imbalance(self) -> Optional[float]:
+        """Measured wall over the perfectly-balanced ideal (>= ~1.0).
+
+        Ideal is total worker-side execution time spread evenly over the
+        effective workers; the ratio bundles tail straggling *and*
+        oversubscription stalls — both are scheduling waste.  None when
+        no per-chunk walls were recorded (serial path).
+        """
+        if not self.chunk_walls or self.wall_seconds <= 0:
+            return None
+        lanes = max(1, min(self.workers, len(self.chunk_walls)))
+        ideal = sum(self.chunk_walls) / lanes
+        return self.wall_seconds / ideal if ideal > 0 else None
+
+
+def auto_chunk(n_jobs: int, workers: int, retry_armed: bool = False) -> int:
+    """Fixed chunk size balancing dispatch overhead against load balance.
 
     Aim for ~4 chunks per worker (dynamic scheduling can then absorb a
     4x per-pair cost spread), capped at 32 pairs so one straggler chunk
-    cannot dominate the tail, floored at 1.
+    cannot dominate the tail, floored at 1.  The serial path takes the
+    whole list as one chunk — unless a retry policy is armed, in which
+    case the chunk is bounded at :data:`SERIAL_RETRY_CHUNK_CAP` so a
+    single fault can never force an unbounded re-dispatch.
+
+    This is the cost-*blind* fallback; with ``chunk=0`` the farm prefers
+    :func:`repro.parallel.costsched.pack_chunks`.
     """
     if workers <= 1:
+        if retry_armed:
+            return max(1, min(SERIAL_RETRY_CHUNK_CAP, n_jobs))
         return max(1, n_jobs)
     target = -(-n_jobs // (workers * 4))  # ceil division
     return max(1, min(32, target, n_jobs))
@@ -153,6 +277,56 @@ def auto_chunk(n_jobs: int, workers: int) -> int:
 
 def _chunked(pairs: Sequence[tuple[int, int]], size: int) -> list[list[tuple[int, int]]]:
     return [list(pairs[k : k + size]) for k in range(0, len(pairs), size)]
+
+
+def _pair_lengths(
+    dataset: Dataset, pairs: Sequence[tuple[int, int]], query: Optional[Chain]
+) -> tuple[list[int], list[int]]:
+    cache: Dict[int, int] = {}
+
+    def length(idx: int) -> int:
+        if idx not in cache:
+            cache[idx] = len(query) if idx == _worker.QUERY_INDEX else len(dataset[idx])
+        return cache[idx]
+
+    return [length(i) for i, _ in pairs], [length(j) for _, j in pairs]
+
+
+def _plan_chunks(
+    dataset: Dataset,
+    pairs: Sequence[tuple[int, int]],
+    config: ParallelConfig,
+    workers: int,
+    mode: EvalMode,
+    query: Optional[Chain],
+) -> tuple[list[list[tuple[int, int]]], Optional[list[float]], bool, int]:
+    """Cut the job list into chunks; cost-packed when possible.
+
+    Returns ``(chunks, predicted_costs, cost_packed, nominal_size)``.
+    An explicit ``config.chunk`` forces fixed sizes (still priced, so
+    stats and the adaptive controller keep their cost signal); MODEL
+    mode is priced trivially per pair, so cost packing is pointless and
+    the fixed heuristic is used.
+    """
+    costs: Optional[list[float]] = None
+    try:
+        la, lb = _pair_lengths(dataset, pairs, query)
+        costs = [float(c) for c in predict_pair_seconds(la, lb)]
+    except Exception:  # pricing must never break the farm
+        costs = None
+    if config.chunk > 0 or mode is EvalMode.MODEL or costs is None:
+        size = config.chunk or auto_chunk(len(pairs), workers)
+        chunks = _chunked(pairs, size)
+        predicted = None
+        if costs is not None:
+            predicted, k = [], 0
+            for c in chunks:
+                predicted.append(sum(costs[k : k + len(c)]))
+                k += len(c)
+        return chunks, predicted, False, size
+    plan = pack_chunks(pairs, costs, workers)
+    nominal = int(round(len(pairs) / plan.n_chunks)) if plan.n_chunks else 0
+    return plan.chunks, list(plan.predicted_seconds), True, nominal
 
 
 def _fire_serial_fault(
@@ -211,21 +385,52 @@ def _serial_results(
         yield (i, j, dict(scores), counter.as_dict())
 
 
-def _resilient_farm(
+def _inprocess_chunk(
+    dataset: Dataset,
+    pairs: Sequence[tuple[int, int]],
+    method: PSCMethod,
+    mode: EvalMode,
+    query: Optional[Chain],
+    retry: Optional[RetryPolicy],
+    stats: Optional[FarmStats],
+) -> tuple[list[PairResult], float]:
+    """Evaluate one chunk on the master, timed, with worker-equivalent
+    failure semantics: an exhausted evaluation surfaces as
+    :class:`WorkerCrash` naming the pair, exactly like a pool worker."""
+    t0 = time.perf_counter()
+    out: list[PairResult] = []
+    gen = _serial_results(
+        dataset, pairs, method, mode, query, retry=retry, stats=stats
+    )
+    try:
+        for res in gen:
+            out.append(res)
+    except Exception as exc:
+        pair = tuple(pairs[len(out)])
+        raise WorkerCrash(pair, traceback.format_exc()) from exc
+    return out, time.perf_counter() - t0
+
+
+def _farm_drain(
     dataset: Dataset,
     chunks: list[list[tuple[int, int]]],
+    predicted: Optional[list[float]],
     method: PSCMethod,
     mode: EvalMode,
     query: Optional[Chain],
     config: ParallelConfig,
+    workers: int,
     faults: Optional[FarmFaultPlan],
     stats: Optional[FarmStats],
+    controller: AdaptiveController,
 ) -> Iterator[PairResult]:
-    """Submit-based farm drain with retry, restart and stall handling.
+    """Submit-based farm drain: retry, restart, stall and adaptive
+    concurrency handling in one loop.
 
-    Chunks are dispatched through a bounded in-flight window so stall
-    deadlines start close to actual execution; results are buffered per
-    chunk index and yielded strictly in job order.
+    Chunks are dispatched through the controller's in-flight window so
+    stall deadlines start close to actual execution and concurrency can
+    be throttled mid-run; results are buffered per chunk index and
+    yielded strictly in job order.
     """
     retry = config.retry
     max_retries = retry.max_retries if retry is not None else 0
@@ -236,16 +441,21 @@ def _resilient_farm(
     n = len(chunks)
     attempts = [0] * n  # latest attempt number dispatched per chunk
     done: Dict[int, list] = {}
+    # Fatal per-chunk errors are buffered by chunk index and raised only
+    # when the ordered drain reaches them: with several chunks in flight
+    # the *first failure in job order* must surface, not whichever error
+    # future happens to complete first (serial-path semantics).
+    failed: Dict[int, WorkerCrash] = {}
     next_yield = 0
     pending: deque[int] = deque(range(n))
     inflight: Dict = {}  # Future -> (chunk_idx, attempt)
     deadlines: Dict = {}  # Future -> monotonic stall deadline
     restarts = 0
-    window = max(2 * config.workers, 4)
+    t_drain0 = time.perf_counter()
 
     def make_pool() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
-            max_workers=config.workers,
+            max_workers=workers,
             mp_context=ctx,
             initializer=_worker.init_worker,
             initargs=initargs,
@@ -260,15 +470,63 @@ def _resilient_farm(
             time.monotonic() + timeout_s if timeout_s > 0 else math.inf
         )
 
+    def chunk_cost(idx: int) -> float:
+        return predicted[idx] if predicted is not None else float(len(chunks[idx]))
+
+    def mark_done(idx: int, payload: list, exec_wall: float) -> None:
+        done[idx] = payload
+        if stats is not None:
+            stats.chunk_sizes.append(len(chunks[idx]))
+            stats.chunk_predicted.append(
+                predicted[idx] if predicted is not None else 0.0
+            )
+            stats.chunk_walls.append(exec_wall)
+            stats.chunk_done_at.append(time.perf_counter() - t_drain0)
+
     try:
         while next_yield < n:
-            while pending and len(inflight) < window:
+            # Adaptive takeover: once the controller wants the master to
+            # evaluate (probe or full serial fallback), drain the pool
+            # first, then run pending chunks in-process in index order.
+            if (
+                (controller.serial_mode or controller.wants_serial_probe)
+                and not inflight
+                and pending
+            ):
+                idx = pending.popleft()
+                payload, wall = _inprocess_chunk(
+                    dataset, chunks[idx], method, mode, query, retry, stats
+                )
+                mark_done(idx, payload, wall)
+                if controller.wants_serial_probe:
+                    controller.note_serial(chunk_cost(idx), wall)
+                if stats is not None and controller.serial_mode:
+                    stats.serial_fallback = True
+                while next_yield in done:
+                    yield from done.pop(next_yield)
+                    next_yield += 1
+                continue
+            # Work past the first failure in job order is never yielded,
+            # so don't start it; chunks before it must still run (a pool
+            # rebuild may have re-pended them) for the drain to reach
+            # the failure point.  pending stays ascending: appendleft
+            # re-pends in reverse, stall duplicates bypass the queue.
+            fatal_floor = min(failed) if failed else n
+            while (
+                pending
+                and pending[0] < fatal_floor
+                and len(inflight) < controller.window
+            ):
                 submit(pending.popleft())
             while next_yield in done:
                 yield from done.pop(next_yield)
                 next_yield += 1
+            if next_yield in failed:
+                raise failed[next_yield]
             if next_yield >= n:
                 break
+            if not inflight:
+                continue  # window closed for a probe; loop to takeover
             wait_timeout = None
             if timeout_s > 0:
                 wait_timeout = max(
@@ -305,21 +563,23 @@ def _resilient_farm(
                 idx, att = inflight.pop(fut)
                 deadlines.pop(fut, None)
                 try:
-                    status, payload, remote_tb = fut.result()
+                    status, payload, remote_tb, exec_wall = fut.result()
                 except BrokenProcessPool:
                     pool_broken = True
                     broken_idx.append(idx)
                     continue
-                if idx in done or idx < next_yield:
+                if idx in done or idx in failed or idx < next_yield:
                     continue  # duplicate result of a timed-out chunk
                 if status == "ok":
-                    done[idx] = payload
+                    mark_done(idx, payload, exec_wall)
+                    controller.record(chunk_cost(idx))
                     continue
                 pair = tuple(payload)
                 if att < attempts[idx]:
                     continue  # a newer attempt is already in flight
                 if attempts[idx] >= max_retries:
-                    raise WorkerCrash(pair, remote_tb or "")
+                    failed[idx] = WorkerCrash(pair, remote_tb or "")
+                    continue
                 time.sleep(retry.backoff(attempts[idx]))
                 attempts[idx] += 1
                 if stats is not None:
@@ -350,11 +610,14 @@ def _resilient_farm(
                 pool.shutdown(wait=False, cancel_futures=True)
                 time.sleep(retry.backoff(restarts - 1))
                 pool = make_pool()
-                for idx in redo:
+                for idx in reversed(redo):
                     if idx not in done and idx >= next_yield:
                         attempts[idx] += 1
                         pending.appendleft(idx)
     finally:
+        if stats is not None:
+            stats.backoffs = controller.backoffs
+            stats.final_window = controller.window
         pool.shutdown(wait=False, cancel_futures=True)
 
 
@@ -377,53 +640,60 @@ def iter_pair_results(
     unless ``config.retry`` absorbs them; ``faults`` ships a
     deterministic :class:`~repro.faults.farm.FarmFaultPlan` to the
     workers (and the serial path) for resilience testing.
+
+    Scheduling is cost-aware by default: with ``config.chunk == 0`` the
+    job list is packed into contiguous chunks of roughly equal predicted
+    cost, the requested worker count is clamped against the machine, and
+    (``config.adaptive``) measured throughput can back concurrency off
+    mid-run — including a full serial takeover when the pool cannot beat
+    the master.  None of it changes a single result bit.
     """
     config = config or ParallelConfig()
     mode = EvalMode(mode)
     pairs = list(pairs)
     n_jobs = len(pairs)
-    chunk = config.chunk or auto_chunk(n_jobs, config.workers)
+    requested = config.workers
+    workers = effective_workers(requested) if requested > 1 else requested
+    retry_armed = config.retry is not None
     if stats is not None:
         stats.n_jobs = n_jobs
-        stats.workers = config.workers
-        stats.chunk_size = chunk
+        stats.requested_workers = requested
+        stats.workers = workers
     t0 = time.perf_counter()
     try:
-        if config.workers <= 1 or n_jobs == 0:
+        if workers <= 1 or n_jobs == 0:
+            chunk = config.chunk or auto_chunk(n_jobs, workers, retry_armed)
             if stats is not None:
+                stats.chunk_size = chunk
                 stats.n_chunks = -(-n_jobs // chunk) if n_jobs else 0
+                stats.chunk_sizes = [
+                    len(c) for c in _chunked(pairs, chunk)
+                ]
             yield from _serial_results(
                 dataset, pairs, method, mode, query,
                 faults=faults, retry=config.retry, stats=stats,
             )
             return
-        chunks = _chunked(pairs, chunk)
+        chunks, predicted, cost_packed, nominal = _plan_chunks(
+            dataset, pairs, config, workers, mode, query
+        )
+        # Adaptivity pairs with cost-packed scheduling: an explicit
+        # --chunk is a manual override, and fault-injection runs need the
+        # pool's crash isolation, so both pin the static window.
+        controller = AdaptiveController(
+            workers,
+            len(chunks),
+            enabled=config.adaptive and faults is None and config.chunk == 0,
+            single_cpu=(os.cpu_count() or 1) < 2,
+        )
         if stats is not None:
+            stats.chunk_size = nominal
             stats.n_chunks = len(chunks)
-        if config.retry is not None or faults is not None:
-            yield from _resilient_farm(
-                dataset, chunks, method, mode, query, config, faults, stats
-            )
-            return
-        ctx = multiprocessing.get_context(config.resolved_start_method())
-        spec = _worker.dataset_spec(dataset)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=config.workers,
-                mp_context=ctx,
-                initializer=_worker.init_worker,
-                initargs=(spec, method, mode, query),
-            ) as pool:
-                for status, payload, remote_tb in pool.map(_worker.eval_chunk, chunks):
-                    if status != "ok":
-                        raise WorkerCrash(tuple(payload), remote_tb or "")
-                    yield from payload
-        except BrokenProcessPool as exc:
-            raise WorkerCrash(
-                (-2, -2),
-                f"a worker process died abruptly ({exc}); "
-                "jobs after the last drained chunk were not evaluated",
-            ) from exc
+            stats.cost_packed = cost_packed
+        yield from _farm_drain(
+            dataset, chunks, predicted, method, mode, query, config,
+            workers, faults, stats, controller,
+        )
     finally:
         if stats is not None:
             stats.wall_seconds = time.perf_counter() - t0
@@ -444,8 +714,8 @@ def evaluate_pairs(
     The list-returning sibling of :func:`iter_pair_results` for callers
     that dispatch bounded batches rather than streaming a whole sweep —
     the query service's micro-batcher hands each coalesced batch of
-    pair jobs here, so batches inherit the farm's chunked scheduling and
-    retry/backoff machinery unchanged.
+    pair jobs here, so batches inherit the farm's cost-aware chunking,
+    adaptive sizing and retry/backoff machinery unchanged.
     """
     return list(
         iter_pair_results(

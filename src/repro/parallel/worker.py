@@ -126,23 +126,33 @@ def _evaluate(i: int, j: int) -> tuple[dict, dict]:
 
 def eval_chunk(
     pairs: Sequence[tuple[int, int]], attempt: int = 0
-) -> tuple[str, list, Optional[str]]:
+) -> tuple[str, list, Optional[str], float]:
     """Evaluate one chunk of jobs; never raises.
 
-    Returns ``("ok", results, None)`` with one ``(i, j, scores, counts)``
-    per pair, or ``("error", [i, j], traceback_text)`` identifying the
+    Returns ``("ok", results, None, exec_seconds)`` with one
+    ``(i, j, scores, counts)`` per pair, or
+    ``("error", [i, j], traceback_text, exec_seconds)`` identifying the
     first failing pair so the master can surface the worker-side stack.
+    ``exec_seconds`` is the worker-side wall time spent evaluating the
+    chunk (queue/IPC time excluded), which the master uses to score the
+    cost model's predictions and the scheduler's tail balance.
     ``attempt`` is the master's re-dispatch count for this chunk, used
     only to key fault injection.
     """
+    t0 = time.perf_counter()
     if _DATASET is None or _METHOD is None:
-        return ("error", [-2, -2], "worker not initialised (init_worker missing)")
+        return (
+            "error",
+            [-2, -2],
+            "worker not initialised (init_worker missing)",
+            0.0,
+        )
     out = []
     for i, j in pairs:
         try:
             maybe_inject_fault(i, j, attempt)
             scores, counts = _evaluate(i, j)
         except Exception:
-            return ("error", [i, j], traceback.format_exc())
+            return ("error", [i, j], traceback.format_exc(), time.perf_counter() - t0)
         out.append((i, j, scores, counts))
-    return ("ok", out, None)
+    return ("ok", out, None, time.perf_counter() - t0)

@@ -9,7 +9,10 @@ Both tasks accept ``workers``/``chunk``: with ``workers > 1`` the pairs
 are farmed over a process pool (see :mod:`repro.parallel`) with
 bit-identical results; the default is the plain serial loop.  A
 ``retry`` policy (see :class:`repro.parallel.RetryPolicy`) makes the
-farm absorb worker failures instead of aborting.
+farm absorb worker failures instead of aborting.  With ``chunk`` left at
+0 the farm packs chunks by predicted pair cost and, unless ``adaptive``
+is turned off, sizes its effective concurrency from measured throughput
+(see :mod:`repro.parallel.costsched`).
 """
 
 from __future__ import annotations
@@ -64,6 +67,7 @@ def one_vs_all(
     workers: int = 0,
     chunk: int = 0,
     retry: Optional["RetryPolicy"] = None,
+    adaptive: bool = True,
 ) -> list[RankedHit]:
     """Compare ``query`` against every dataset chain; rank by similarity."""
     method = method or TMAlignMethod()
@@ -77,7 +81,9 @@ def one_vs_all(
             method,
             counter=counter,
             exclude_self=exclude_self,
-            config=ParallelConfig(workers=workers, chunk=chunk, retry=retry),
+            config=ParallelConfig(
+                workers=workers, chunk=chunk, retry=retry, adaptive=adaptive
+            ),
         )
     else:
         rows = []
@@ -99,6 +105,7 @@ def all_vs_all(
     workers: int = 0,
     chunk: int = 0,
     retry: Optional["RetryPolicy"] = None,
+    adaptive: bool = True,
 ) -> Dict[tuple[str, str], Dict[str, float]]:
     """All unordered pairs (i<j) of the dataset; returns a score table.
 
@@ -113,7 +120,9 @@ def all_vs_all(
             dataset,
             method,
             counter=counter,
-            config=ParallelConfig(workers=workers, chunk=chunk, retry=retry),
+            config=ParallelConfig(
+                workers=workers, chunk=chunk, retry=retry, adaptive=adaptive
+            ),
         )
     out: Dict[tuple[str, str], Dict[str, float]] = {}
     n = len(dataset)

@@ -8,6 +8,17 @@ batch to the :mod:`repro.parallel` farm (serial in-process below 2
 workers, process pool with the PR-3 retry/backoff machinery above),
 where the PR-4 batch-vectorized TM-align kernel does the work.
 
+Batches are cut by *predicted cost*, not just job count: every admitted
+job is priced by the farm's pair cost model
+(:func:`repro.parallel.predict_pair_seconds`) and a batch closes early
+when its accumulated predicted cost reaches ``max_batch_cost`` seconds.
+A count-cut batch of long chains can otherwise hold the event loop's
+worker thread for arbitrarily long; the cost cut bounds per-batch
+latency the same way the farm's cost-packed chunks bound per-chunk
+work.  The farm call below the batch then reuses the same model to pack
+its own chunks, so all three dispatch paths (search API, matrix CLI,
+service) share one cost-aware chunker.
+
 Two protections keep overload graceful instead of fatal:
 
 * **admission control** — a bounded pending queue; a job arriving at a
@@ -29,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.datasets.registry import Dataset
-from repro.parallel import ParallelConfig, evaluate_pairs
+from repro.parallel import ParallelConfig, evaluate_pairs, predict_pair_seconds
 from repro.psc.base import PSCMethod
 from repro.service.cache import CacheKey
 from repro.service.metrics import ServiceMetrics
@@ -52,6 +63,7 @@ class PairJob:
     chain_b: Chain
     method: PSCMethod
     submitted_at: float = field(default_factory=time.perf_counter)
+    predicted_seconds: float = 0.0  # cost-model price, set at admission
 
     @property
     def method_name(self) -> str:
@@ -73,6 +85,18 @@ def result_body(job: PairJob, scores: Dict[str, float]) -> str:
             "score": job.method.similarity(scores),
         }
     )
+
+
+def _price_pair(chain_a: Chain, chain_b: Chain) -> float:
+    """Predicted evaluation seconds for one pair (nominal CPU).
+
+    Defensive: pricing exists to *improve* batching; a cost-model hiccup
+    must never reject an admission.
+    """
+    try:
+        return float(predict_pair_seconds([len(chain_a)], [len(chain_b)])[0])
+    except Exception:
+        return 0.0
 
 
 def _hash_named(chain: Chain, content_hash: str) -> Chain:
@@ -106,6 +130,7 @@ class MicroBatcher:
         queue_limit: int = 64,
         max_batch: int = 16,
         batch_window: float = 0.002,
+        max_batch_cost: float = 0.0,
         farm_config: Optional[ParallelConfig] = None,
         metrics: Optional[ServiceMetrics] = None,
         evaluate: Optional[Callable[[Sequence[PairJob]], List[str]]] = None,
@@ -115,9 +140,12 @@ class MicroBatcher:
             raise ValueError("queue_limit must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_batch_cost < 0:
+            raise ValueError("max_batch_cost must be >= 0")
         self.queue_limit = queue_limit
         self.max_batch = max_batch
         self.batch_window = batch_window
+        self.max_batch_cost = max_batch_cost
         self.eval_delay = eval_delay
         self.farm_config = farm_config or ParallelConfig()
         self.metrics = metrics or ServiceMetrics()
@@ -173,7 +201,15 @@ class MicroBatcher:
                 f"{self.queue_limit} jobs pending); retry later"
             )
         self._waiters[key] = [fut]
-        self._pending.append(PairJob(key, chain_a, chain_b, method))
+        self._pending.append(
+            PairJob(
+                key,
+                chain_a,
+                chain_b,
+                method,
+                predicted_seconds=_price_pair(chain_a, chain_b),
+            )
+        )
         self.metrics.set_gauge("queue_depth", len(self._pending))
         self._wakeup.set()
         return await fut
@@ -191,10 +227,7 @@ class MicroBatcher:
                     and not self._stopping
                 ):
                     await asyncio.sleep(self.batch_window)
-                batch = [
-                    self._pending.popleft()
-                    for _ in range(min(self.max_batch, len(self._pending)))
-                ]
+                batch = self._cut_batch()
                 self.metrics.set_gauge("queue_depth", len(self._pending))
                 self.metrics.set_gauge("inflight_jobs", len(batch))
                 self.metrics.inc("batches_dispatched")
@@ -221,6 +254,26 @@ class MicroBatcher:
                     self.metrics.set_gauge("inflight_jobs", 0)
             if self._stopping:
                 break
+
+    def _cut_batch(self) -> List[PairJob]:
+        """Pop the next batch: at most ``max_batch`` jobs, closed early
+        when accumulated predicted cost reaches ``max_batch_cost`` (0 =
+        count-only cutting).  Always takes at least one job, so a single
+        pair more expensive than the whole budget still dispatches."""
+        batch: List[PairJob] = []
+        cost = 0.0
+        while self._pending and len(batch) < self.max_batch:
+            job = self._pending[0]
+            if (
+                batch
+                and self.max_batch_cost > 0
+                and cost + job.predicted_seconds > self.max_batch_cost
+            ):
+                self.metrics.inc("batcher_cost_cut")
+                break
+            batch.append(self._pending.popleft())
+            cost += job.predicted_seconds
+        return batch
 
     def _resolve(
         self,

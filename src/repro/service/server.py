@@ -65,10 +65,12 @@ class ServiceConfig:
     queue_limit: int = 64  # admission control: max pending pair jobs
     max_batch: int = 16  # jobs per dispatched kernel batch
     batch_window: float = 0.002  # seconds to wait for a batch to fill
+    max_batch_cost: float = 0.0  # predicted-seconds batch budget (0 = off)
     workers: int = 0  # farm processes per batch (<=1 = in-process)
     chunk: int = 0  # farm chunk size (0 = auto)
     retries: int = 0  # farm retry policy (0 = fail fast)
     backoff: float = 0.05
+    adaptive: bool = True  # farm adaptive worker sizing
     cache_capacity: int = 1024  # LRU result-cache entries
     runs_dir: str = "runs"  # durable store for submit-matrix
     eval_delay: float = 0.0  # test/CI knob: sleep per batch dispatch
@@ -79,7 +81,12 @@ class ServiceConfig:
             if self.retries > 0
             else None
         )
-        return ParallelConfig(workers=self.workers, chunk=self.chunk, retry=retry)
+        return ParallelConfig(
+            workers=self.workers,
+            chunk=self.chunk,
+            retry=retry,
+            adaptive=self.adaptive,
+        )
 
 
 def _require_str(payload: Dict[str, Any], field: str) -> str:
@@ -110,6 +117,7 @@ class PSCService:
             queue_limit=self.config.queue_limit,
             max_batch=self.config.max_batch,
             batch_window=self.config.batch_window,
+            max_batch_cost=self.config.max_batch_cost,
             farm_config=self.config.farm_config(),
             metrics=self.metrics,
             evaluate=evaluate,

@@ -99,3 +99,71 @@ class TestFarmInvariants:
         m2, _, _ = run_workload(ms, 2)
         m6, _, _ = run_workload(ms, 6)
         assert m6.now <= m2.now * 1.01  # tiny slack for extra poll costs
+
+
+class TestCostPackedFarmProperties:
+    """PR-6 invariants of the *real* process-pool farm under cost-packed
+    scheduling: ordered bit-identical results for any job mix, and
+    predicted chunk costs that track measured walls on real chains."""
+
+    @given(
+        subset=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=25,
+        ),
+        workers=st.integers(min_value=2, max_value=3),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_cost_packed_results_bit_identical_and_ordered(
+        self, subset, workers
+    ):
+        """Any pair list (duplicates and both orientations allowed), any
+        worker count: cost-packed farming returns exactly the serial
+        stream — same values, same order."""
+        from repro.datasets import load_dataset
+        from repro.parallel import ParallelConfig, iter_pair_results
+        from repro.psc import get_method
+
+        ds = load_dataset("ck34-mini")
+        method = get_method("sse_composition")
+        serial = list(
+            iter_pair_results(
+                ds, subset, method, config=ParallelConfig(workers=0)
+            )
+        )
+        farmed = list(
+            iter_pair_results(
+                ds, subset, method,
+                config=ParallelConfig(workers=workers, chunk=0),
+            )
+        )
+        assert farmed == serial  # equality on floats = bit identity
+
+    def test_predicted_chunk_costs_track_measured_walls(self, ck34):
+        """On real ck34 chains under the measured TM-align workload, the
+        cost model's chunk predictions land within a tolerance band of
+        the worker-side walls (after the single scale fit — scheduling
+        only needs relative accuracy)."""
+        from repro.parallel import FarmStats, ParallelConfig, iter_pair_results
+        from repro.psc import get_method
+
+        ds = ck34.subset(12, name="ck34-head12")
+        pairs = [(i, j) for i in range(12) for j in range(i + 1, 12)]
+        stats = FarmStats()
+        list(
+            iter_pair_results(
+                ds, pairs, get_method("tmalign"),
+                config=ParallelConfig(workers=2, chunk=0, adaptive=False),
+                stats=stats,
+            )
+        )
+        assert stats.cost_packed
+        err = stats.predicted_cost_error()
+        assert err is not None
+        # mean |relative error| after scale fit: generous band — per-pair
+        # jitter and scheduling noise are real, 10x mispricing is not
+        assert err < 0.6, f"predicted chunk costs off by {err:.2f} mean rel err"

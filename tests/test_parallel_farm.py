@@ -18,11 +18,13 @@ from repro.cost.counters import CostCounter
 from repro.faults import FarmFaultPlan, InjectedFault, WorkerFault
 from repro.parallel import (
     DEFAULT_CHUNK,
+    SERIAL_RETRY_CHUNK_CAP,
     FarmStats,
     ParallelConfig,
     RetryPolicy,
     WorkerCrash,
     auto_chunk,
+    effective_workers,
     iter_pair_results,
     parallel_all_vs_all,
     parallel_one_vs_all,
@@ -284,6 +286,113 @@ class TestScheduling:
         kind, payload = dataset_spec(subset)
         assert kind == "pickle"
         assert payload is subset
+
+
+class TestCostAwareScheduling:
+    """PR-6: chunks packed by predicted cost, workers clamped against the
+    machine, realized chunk sizes recorded truthfully."""
+
+    def test_effective_workers_clamps_with_warning(self):
+        cap = max(2, os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning, match="exceeds usable CPUs"):
+            assert effective_workers(cap + 61) == cap
+        # at or below the cap: no warning, no change
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert effective_workers(2) == 2
+            assert effective_workers(cap) == cap
+
+    def test_auto_chunk_serial_retry_floor(self):
+        # armed retry bounds the serial chunk: a fault can only ever
+        # force a bounded re-dispatch, not replay the whole job list
+        assert auto_chunk(7021, 1, retry_armed=True) == SERIAL_RETRY_CHUNK_CAP
+        assert auto_chunk(7021, 0, retry_armed=True) == SERIAL_RETRY_CHUNK_CAP
+        assert auto_chunk(5, 1, retry_armed=True) == 5
+        # without retry the historical contract stands
+        assert auto_chunk(7021, 1) == 7021
+
+    def test_cost_packed_stats_record_realized_chunks(self, ck34_mini):
+        stats = FarmStats()
+        results = list(
+            iter_pair_results(
+                ck34_mini,
+                [(i, j) for i in range(8) for j in range(i + 1, 8)],
+                get_method("sse_composition"),
+                config=ParallelConfig(workers=2, chunk=0, adaptive=False),
+                stats=stats,
+            )
+        )
+        assert stats.cost_packed
+        assert stats.requested_workers == 2
+        assert len(results) == stats.n_jobs == 28
+        assert len(stats.chunk_sizes) == stats.n_chunks
+        assert sum(stats.chunk_sizes) == stats.n_jobs
+        assert stats.chunk_size_min <= stats.chunk_size_mean <= stats.chunk_size_max
+        assert len(stats.chunk_walls) == stats.n_chunks
+        assert all(w >= 0 for w in stats.chunk_walls)
+
+    def test_explicit_chunk_disables_cost_packing(self, ck34_mini):
+        stats = FarmStats()
+        list(
+            iter_pair_results(
+                ck34_mini,
+                [(0, 1), (0, 2), (1, 2)],
+                get_method("sse_composition"),
+                config=ParallelConfig(workers=2, chunk=2),
+                stats=stats,
+            )
+        )
+        assert not stats.cost_packed
+        # recorded in completion order, so compare as a multiset
+        assert sorted(stats.chunk_sizes) == [1, 2]
+
+    def test_cost_packed_bit_identical_with_adaptive(self, ck34_mini):
+        """chunk=0 + adaptive on: the full new scheduler against the
+        serial loop — same table, same merged counters, bit for bit."""
+        method = get_method("tmalign")
+        want_ctr, got_ctr = CostCounter(), CostCounter()
+        want = all_vs_all(ck34_mini, method, counter=want_ctr)
+        stats = FarmStats()
+        got = parallel_all_vs_all(
+            ck34_mini, method, counter=got_ctr,
+            config=ParallelConfig(workers=2, chunk=0, adaptive=True),
+            stats=stats,
+        )
+        assert got == want
+        assert got_ctr.as_dict() == want_ctr.as_dict()
+        assert stats.cost_packed
+
+    def test_serial_stats_record_chunks(self, ck34_mini):
+        stats = FarmStats()
+        list(
+            iter_pair_results(
+                ck34_mini,
+                [(0, 1), (0, 2), (1, 2)],
+                get_method("sse_composition"),
+                config=ParallelConfig(workers=0),
+                stats=stats,
+            )
+        )
+        assert stats.workers == 0
+        assert stats.chunk_sizes == [3]  # serial: one chunk, realized
+
+    def test_tail_imbalance_and_cost_error_computable(self, ck34_mini):
+        stats = FarmStats()
+        list(
+            iter_pair_results(
+                ck34_mini,
+                [(i, j) for i in range(8) for j in range(i + 1, 8)],
+                get_method("tmalign"),
+                config=ParallelConfig(workers=2, chunk=0, adaptive=False),
+                stats=stats,
+            )
+        )
+        imb = stats.tail_imbalance()
+        assert imb is not None and imb > 0
+        err = stats.predicted_cost_error()
+        assert err is None or err >= 0
 
 
 class TestRetryPath:
