@@ -173,6 +173,14 @@ def _cmd_search(args) -> str:
 
     dataset = load_dataset(args.dataset)
     query = _load_chain(args.query, args.dataset)
+    prefilter_cfg = None
+    if args.prefilter:
+        from repro.seqalign.prefilter import PrefilterConfig
+
+        if args.prefilter_keep is not None:
+            prefilter_cfg = PrefilterConfig(keep=args.prefilter_keep)
+        else:
+            prefilter_cfg = PrefilterConfig()
     store = _run_store(args)
     manifest = RunManifest.for_task(
         run_id=store.new_run_id("search"),
@@ -185,6 +193,9 @@ def _cmd_search(args) -> str:
             "top": args.top,
             "workers": args.workers,
             "chunk": args.chunk,
+            "prefilter_keep": (
+                prefilter_cfg.keep if prefilter_cfg is not None else None
+            ),
         },
     )
     run = store.create(manifest)
@@ -197,6 +208,7 @@ def _cmd_search(args) -> str:
             chunk=args.chunk,
             retry=_retry_from_args(args),
             adaptive=not args.no_adaptive,
+            prefilter=prefilter_cfg,
         )
     except BaseException:
         run.mark("interrupted")
@@ -204,8 +216,14 @@ def _cmd_search(args) -> str:
     lines = [
         f"query {query.name} ({len(query)} residues) vs {dataset.name} "
         f"({len(dataset)} chains) using {args.method}:",
-        f"{'rank':>4}  {'chain':<20} {'score':>8}",
     ]
+    if prefilter_cfg is not None:
+        n_elig = len(dataset) - any(c.name == query.name for c in dataset)
+        lines.append(
+            f"prefilter: promoted {len(hits)} of {n_elig} candidates "
+            f"(keep={prefilter_cfg.keep})"
+        )
+    lines.append(f"{'rank':>4}  {'chain':<20} {'score':>8}")
     for rank, hit in enumerate(hits[: args.top], start=1):
         lines.append(f"{rank:>4}  {hit.chain_name:<20} {hit.score:>8.4f}")
     text = "\n".join(lines)
@@ -377,8 +395,12 @@ def _bench_output(args) -> Optional[str]:
 
 
 def _cmd_bench(args) -> str:
+    if args.kernel and args.prefilter:
+        raise SystemExit("bench: --kernel and --prefilter are exclusive")
     if args.kernel:
         return _cmd_bench_kernel(args)
+    if args.prefilter:
+        return _cmd_bench_prefilter(args)
     from repro.experiments.bench import format_bench_report, run_bench
 
     output = _bench_output(args)
@@ -431,6 +453,41 @@ def _cmd_bench_kernel(args) -> str:
             f"kernel perf regression: {report['pairs_per_second']:.2f} pairs/s "
             f"< {args.min_ratio:.2f} x baseline "
             f"{report['regression']['baseline_pairs_per_second']:.2f}"
+        )
+    return text
+
+
+def _cmd_bench_prefilter(args) -> str:
+    """``bench --prefilter``: hierarchical-search bench + recall gate."""
+    from repro.experiments.bench import (
+        DEFAULT_BENCH_OUTPUT,
+        DEFAULT_PREFILTER_BENCH_OUTPUT,
+        format_prefilter_bench_report,
+        run_prefilter_bench,
+    )
+
+    output = _bench_output(args)
+    if output == DEFAULT_BENCH_OUTPUT:
+        # the hot-path artefact default doesn't apply to the prefilter bench
+        output = DEFAULT_PREFILTER_BENCH_OUTPUT
+    report = run_prefilter_bench(
+        dataset=args.dataset if args.dataset != "both" else "ck34",
+        output=output,
+        keep=args.prefilter_keep,
+        queries=args.queries,
+        min_recall=args.min_recall,
+        min_speedup=args.min_speedup,
+    )
+    text = format_prefilter_bench_report(report)
+    if output:
+        text += f"\nwrote {output}"
+    if args.check and not report["regression"]["passed"]:
+        print(text, file=sys.stderr)
+        reg = report["regression"]
+        raise SystemExit(
+            f"prefilter gate failed: recall@10 {reg['recall_at_10']:.4f} "
+            f"(min {reg['min_recall_at_10']:.2f}), speedup "
+            f"{reg['speedup']:.2f}x (min {reg['min_speedup']:.2f})"
         )
     return text
 
@@ -582,13 +639,24 @@ def _cmd_query(args) -> str:
         if args.op == "search":
             (query,) = args.args
             result = client.search(
-                query, top=args.top, method=method, params=params
+                query,
+                top=args.top,
+                method=method,
+                params=params,
+                prefilter=args.prefilter,
+                prefilter_keep=args.prefilter_keep,
             )
             lines = [
                 f"query {query} vs {result['corpus']} corpus chains "
                 f"[{result['method']}] ({result['from_cache']} from cache):",
-                f"{'rank':>4}  {'chain':<20} {'score':>8}",
             ]
+            if "prefilter" in result:
+                pf = result["prefilter"]
+                lines.append(
+                    f"prefilter: promoted {pf['promoted']} of "
+                    f"{result['corpus']} candidates (keep={pf['keep']})"
+                )
+            lines.append(f"{'rank':>4}  {'chain':<20} {'score':>8}")
             for rank, hit in enumerate(result["hits"], start=1):
                 lines.append(
                     f"{rank:>4}  {hit['chain']:<20} {hit['score']:>8.4f}"
@@ -648,6 +716,32 @@ def _cmd_info(args) -> str:
             f"lengths {min(lengths)}-{max(lengths)}"
         )
     return "\n".join(lines)
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: integer >= 1, rejected with a one-line error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    """argparse type: number in (0, 1], rejected with a one-line error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}"
+        ) from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -749,7 +843,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query", help="PDB file path or chain name in --dataset")
     p.add_argument("--dataset", default="ck34")
     p.add_argument("--method", default="tmalign")
-    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--top", type=_positive_int, default=10)
+    p.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="hierarchical search: batched sequence tier promotes only "
+        "the best candidates to the exact kernel",
+    )
+    p.add_argument(
+        "--prefilter-keep",
+        type=_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="promoted fraction of the candidate set, in (0, 1] "
+        "(default: the benchmarked PrefilterConfig operating point)",
+    )
     add_farm(p)
     add_resilience(p)
     add_runs_dir(p)
@@ -817,7 +925,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output",
         default="BENCH_hotpaths.json",
-        help="JSON artefact path (BENCH_kernel.json with --kernel)",
+        help="JSON artefact path (BENCH_kernel.json with --kernel, "
+        "BENCH_prefilter.json with --prefilter)",
     )
     p.add_argument(
         "--no-output",
@@ -834,6 +943,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="benchmark the TM-align kernel (quick grid) instead of the "
         "simulator, writing per-stage timings to BENCH_kernel.json",
+    )
+    p.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="benchmark the hierarchical search (SW prefilter + exact "
+        "kernel): throughput, end-to-end speedup and recall@k, writing "
+        "BENCH_prefilter.json",
+    )
+    p.add_argument(
+        "--prefilter-keep",
+        type=_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="with --prefilter: fraction of candidates the cheap tier "
+        "promotes (default: the benchmarked PrefilterConfig operating point)",
+    )
+    p.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="with --prefilter: evenly-spaced query subsample for quick "
+        "runs (default: every chain queries the corpus)",
+    )
+    p.add_argument(
+        "--min-recall",
+        type=_fraction,
+        default=0.95,
+        metavar="FRACTION",
+        help="with --prefilter --check: mean recall@10 floor",
+    )
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="with --prefilter --check: end-to-end speedup floor",
     )
     p.add_argument(
         "--baseline",
@@ -857,7 +1002,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check",
         action="store_true",
-        help="with --kernel: exit non-zero when the regression gate fails",
+        help="with --kernel/--prefilter: exit non-zero when the "
+        "regression gate fails",
     )
     p.set_defaults(fn=_cmd_bench)
 
@@ -1003,7 +1149,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help='method parameter overrides as JSON, e.g. \'{"max_refine_iters": 5}\'',
     )
-    p.add_argument("--top", type=int, default=10, help="search: hits to show")
+    p.add_argument(
+        "--top", type=_positive_int, default=10, help="search: hits to show"
+    )
+    p.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="search: run the sequence prefilter tier server-side",
+    )
+    p.add_argument(
+        "--prefilter-keep",
+        type=_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="search: promoted fraction of the corpus, in (0, 1]",
+    )
     p.add_argument(
         "--corpus",
         action="store_true",

@@ -36,11 +36,14 @@ __all__ = [
     "run_bench",
     "run_parallel_bench",
     "run_kernel_bench",
+    "run_prefilter_bench",
     "format_parallel_bench_report",
     "format_kernel_bench_report",
+    "format_prefilter_bench_report",
     "DEFAULT_BENCH_OUTPUT",
     "DEFAULT_PARALLEL_BENCH_OUTPUT",
     "DEFAULT_KERNEL_BENCH_OUTPUT",
+    "DEFAULT_PREFILTER_BENCH_OUTPUT",
     "PRE_OVERHAUL_SWEEP_WALL_S",
     "SEED_KERNEL_PAIRS_PER_SECOND",
     "KERNEL_BASELINE_PAIRS_PER_SECOND",
@@ -49,6 +52,7 @@ __all__ = [
 DEFAULT_BENCH_OUTPUT = "BENCH_hotpaths.json"
 DEFAULT_PARALLEL_BENCH_OUTPUT = "BENCH_parallel.json"
 DEFAULT_KERNEL_BENCH_OUTPUT = "BENCH_kernel.json"
+DEFAULT_PREFILTER_BENCH_OUTPUT = "BENCH_prefilter.json"
 
 # Full-grid exp2 sweep wall-clock measured on the reference container just
 # before the hot-path overhaul landed.  Kept so the artefact records the
@@ -648,4 +652,160 @@ def format_bench_report(report: dict) -> str:
         for key, m in micro.items():
             rate = m.get("calls_per_second") or m.get("messages_per_second")
             parts.append(f"{key:<20} {rate:>12.0f}/s  ({m['wall_seconds']:.3f}s)")
+    return "\n".join(parts)
+
+
+def run_prefilter_bench(
+    dataset: str = "ck34",
+    output: Optional[str] = DEFAULT_PREFILTER_BENCH_OUTPUT,
+    keep: Optional[float] = None,
+    queries: Optional[int] = None,
+    min_recall: float = 0.95,
+    min_speedup: float = 2.0,
+) -> dict:
+    """Benchmark the hierarchical search and write ``BENCH_prefilter.json``.
+
+    Three numbers characterise the sequence prefilter tier:
+
+    * **throughput** — candidate sequences scored per second by the
+      batched Smith-Waterman pass alone (promotion included), i.e. how
+      cheap the cheap tier is;
+    * **end-to-end speedup** — wall-clock of exact one-vs-all ranking
+      over every candidate divided by wall-clock of the prefiltered
+      ranking *including* the prefilter's own cost per query;
+    * **recall@k** — fraction of the exact top-k that survives into the
+      prefiltered top-k, per query, for k in {1, 5, 10}.
+
+    ``queries`` subsamples the query set (evenly spaced, deterministic)
+    so CI can gate on a few queries while the committed artefact covers
+    all of them.  The ``regression`` block records
+    ``passed = mean recall@10 >= min_recall and speedup >= min_speedup``;
+    callers decide whether to fail on it.
+    """
+    from repro.psc.methods import TMAlignMethod
+    from repro.seqalign.prefilter import (
+        _NATIVE_SW,
+        PrefilterConfig,
+        SequencePrefilter,
+    )
+    from repro.psc.search import one_vs_all
+
+    ds = load_dataset(dataset)
+    n = len(ds)
+    config = PrefilterConfig() if keep is None else PrefilterConfig(keep=keep)
+
+    if queries is None or queries >= n:
+        q_idx = list(range(n))
+    else:
+        step = n / max(1, queries)
+        q_idx = sorted({int(i * step) for i in range(queries)})
+
+    t0 = time.perf_counter()
+    pf = SequencePrefilter.from_chains(list(ds), config)
+    build_seconds = time.perf_counter() - t0
+
+    # cheap-tier throughput: score + promote every query against the corpus
+    t0 = time.perf_counter()
+    for i in q_idx:
+        pf.promote_chain(ds[i], exclude={i})
+    prefilter_wall = time.perf_counter() - t0
+    candidates_scored = len(q_idx) * (n - 1)
+    seqs_per_second = (
+        candidates_scored / prefilter_wall if prefilter_wall > 0 else 0.0
+    )
+
+    method = TMAlignMethod()
+    ks = (1, 5, 10)
+    recalls: Dict[int, list] = {k: [] for k in ks}
+    exact_wall = 0.0
+    filtered_wall = 0.0
+    promoted = []
+    for i in q_idx:
+        query = ds[i]
+        t0 = time.perf_counter()
+        exact = one_vs_all(query, ds, method=method)
+        exact_wall += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        approx = one_vs_all(query, ds, method=method, prefilter=pf)
+        filtered_wall += time.perf_counter() - t0
+        promoted.append(len(approx))
+        approx_names = [h.chain_name for h in approx]
+        for k in ks:
+            kk = min(k, len(exact))
+            want = {h.chain_name for h in exact[:kk]}
+            got = set(approx_names[:kk])
+            recalls[k].append(len(want & got) / kk if kk else 1.0)
+
+    speedup = exact_wall / filtered_wall if filtered_wall > 0 else 0.0
+    recall_summary = {
+        str(k): {
+            "mean": sum(v) / len(v),
+            "min": min(v),
+            "per_query": v,
+        }
+        for k, v in recalls.items()
+    }
+    recall10 = recall_summary["10"]["mean"]
+    report: dict = {
+        "schema": "repro-bench-prefilter/1",
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "dataset": ds.name,
+        "chains": n,
+        "queries": len(q_idx),
+        "query_indices": q_idx,
+        "keep": config.keep,
+        "band_width": config.band_width,
+        "promoted_per_query": promoted,
+        "native_sw": _NATIVE_SW is not None,
+        "prefilter_build_seconds": build_seconds,
+        "prefilter_wall_seconds": prefilter_wall,
+        "candidates_scored": candidates_scored,
+        "seqs_per_second": seqs_per_second,
+        "exact_wall_seconds": exact_wall,
+        "filtered_wall_seconds": filtered_wall,
+        "speedup": speedup,
+        "recall": recall_summary,
+        "regression": {
+            "min_recall_at_10": min_recall,
+            "min_speedup": min_speedup,
+            "recall_at_10": recall10,
+            "speedup": speedup,
+            "passed": bool(recall10 >= min_recall and speedup >= min_speedup),
+        },
+    }
+    if output:
+        with open(output, "w", encoding="ascii") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_prefilter_bench_report(report: dict) -> str:
+    """Human-readable summary of a ``run_prefilter_bench`` report."""
+    reg = report["regression"]
+    rec = report["recall"]
+    mean_promoted = sum(report["promoted_per_query"]) / max(
+        1, len(report["promoted_per_query"])
+    )
+    parts = [
+        f"== bench: SW prefilter, {report['dataset']} "
+        f"({report['queries']} queries x {report['chains'] - 1} candidates, "
+        f"keep={report['keep']:.2f}) ==",
+        f"cheap tier: {report['seqs_per_second']:.0f} seqs/s "
+        f"(native SW {'on' if report['native_sw'] else 'off'}, "
+        f"{mean_promoted:.1f} promoted/query)",
+        f"end-to-end: {report['speedup']:.2f}x speedup "
+        f"({report['exact_wall_seconds']:.2f}s exact -> "
+        f"{report['filtered_wall_seconds']:.2f}s prefiltered)",
+        "recall: "
+        + "  ".join(
+            f"@{k}: {rec[str(k)]['mean']:.4f} (min {rec[str(k)]['min']:.2f})"
+            for k in (1, 5, 10)
+        ),
+        f"gate: recall@10 >= {reg['min_recall_at_10']:.2f} and "
+        f"speedup >= {reg['min_speedup']:.2f} -> "
+        f"{'PASS' if reg['passed'] else 'FAIL'}",
+    ]
     return "\n".join(parts)

@@ -746,14 +746,18 @@ def parallel_all_vs_all(
     config: Optional[ParallelConfig] = None,
     stats: Optional[FarmStats] = None,
     faults: Optional[FarmFaultPlan] = None,
+    pairs: Optional[Sequence[tuple[int, int]]] = None,
 ) -> Dict[tuple[str, str], Dict[str, float]]:
     """All unordered pairs (i < j) of the dataset, farmed over workers.
 
     Returns the same score table as :func:`repro.psc.search.all_vs_all`
     (bit-identical in any configuration); ``counter`` accumulates op
-    counts merged in job order.
+    counts merged in job order.  An explicit ``pairs`` list restricts
+    the sweep (the hierarchical search hands over only prefilter-kept
+    pairs); the default covers every unordered pair.
     """
-    pairs = list(all_vs_all_pairs(len(dataset)))
+    if pairs is None:
+        pairs = list(all_vs_all_pairs(len(dataset)))
     out: Dict[tuple[str, str], Dict[str, float]] = {}
     for i, j, scores, counts in iter_pair_results(
         dataset, pairs, method, mode=mode, config=config, stats=stats,
@@ -773,16 +777,20 @@ def parallel_one_vs_all(
     config: Optional[ParallelConfig] = None,
     stats: Optional[FarmStats] = None,
     faults: Optional[FarmFaultPlan] = None,
+    include: Optional[set[int]] = None,
 ) -> list[tuple[str, Dict[str, float]]]:
     """Compare ``query`` against every dataset chain over the farm.
 
     Returns ``(chain_name, scores)`` in dataset order; ranking is the
-    caller's concern (see :func:`repro.psc.search.one_vs_all`).
+    caller's concern (see :func:`repro.psc.search.one_vs_all`).  With
+    ``include`` set, only those dataset indices are compared (the
+    hierarchical search passes the prefilter's promoted set).
     """
     pairs = [
         (_worker.QUERY_INDEX, j)
         for j in range(len(dataset))
         if not (exclude_self and dataset[j].name == query.name)
+        and (include is None or j in include)
     ]
     out: list[tuple[str, Dict[str, float]]] = []
     for _, j, scores, counts in iter_pair_results(

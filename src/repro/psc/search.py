@@ -13,6 +13,15 @@ farm absorb worker failures instead of aborting.  With ``chunk`` left at
 0 the farm packs chunks by predicted pair cost and, unless ``adaptive``
 is turned off, sizes its effective concurrency from measured throughput
 (see :mod:`repro.parallel.costsched`).
+
+Both tasks also accept ``prefilter`` — the cheap first tier of the
+hierarchical search (:mod:`repro.seqalign.prefilter`).  Pass a
+:class:`~repro.seqalign.prefilter.PrefilterConfig` (or a prebuilt
+:class:`~repro.seqalign.prefilter.SequencePrefilter` over the same
+corpus, e.g. the query service's cached instance) and only the
+candidates its promotion policy keeps reach the exact kernel.  The
+default ``prefilter=None`` runs the exact path, byte-identical to the
+output before the prefilter existed.
 """
 
 from __future__ import annotations
@@ -24,12 +33,52 @@ from repro.cost.counters import CostCounter
 from repro.datasets.registry import Dataset
 from repro.psc.base import PSCMethod
 from repro.psc.methods import TMAlignMethod
+from repro.seqalign.prefilter import PrefilterConfig, SequencePrefilter
 from repro.structure.model import Chain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parallel import RetryPolicy
 
-__all__ = ["RankedHit", "rank_hits", "one_vs_all", "all_vs_all"]
+__all__ = [
+    "RankedHit",
+    "rank_hits",
+    "one_vs_all",
+    "all_vs_all",
+    "resolve_prefilter",
+]
+
+#: accepted by the ``prefilter`` parameter of both search tasks
+Prefilter = Optional["PrefilterConfig | SequencePrefilter"]
+
+
+def resolve_prefilter(
+    prefilter: Prefilter, dataset: Dataset
+) -> Optional[SequencePrefilter]:
+    """Normalize a ``prefilter`` argument against a candidate corpus.
+
+    ``None`` stays ``None`` (exact search); a
+    :class:`~repro.seqalign.prefilter.PrefilterConfig` builds a fresh
+    :class:`~repro.seqalign.prefilter.SequencePrefilter` over the
+    dataset; a prebuilt instance is checked to cover the same corpus
+    (name-for-name) so a cached filter can never silently score against
+    stale candidates.
+    """
+    if prefilter is None:
+        return None
+    if isinstance(prefilter, PrefilterConfig):
+        return SequencePrefilter.from_chains(dataset, prefilter)
+    if isinstance(prefilter, SequencePrefilter):
+        names = tuple(c.name for c in dataset)
+        if prefilter.names != names:
+            raise ValueError(
+                "prebuilt prefilter does not cover this dataset "
+                f"({len(prefilter.names)} candidates vs {len(names)})"
+            )
+        return prefilter
+    raise TypeError(
+        "prefilter must be None, a PrefilterConfig or a SequencePrefilter, "
+        f"got {type(prefilter).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -68,9 +117,25 @@ def one_vs_all(
     chunk: int = 0,
     retry: Optional["RetryPolicy"] = None,
     adaptive: bool = True,
+    prefilter: Prefilter = None,
 ) -> list[RankedHit]:
-    """Compare ``query`` against every dataset chain; rank by similarity."""
+    """Compare ``query`` against every dataset chain; rank by similarity.
+
+    With ``prefilter`` set, the batched sequence tier scores all
+    candidates first and only the promoted ones (see
+    :meth:`~repro.seqalign.prefilter.PrefilterConfig.n_promoted`) pay
+    the exact kernel; the returned ranking covers only those.
+    """
     method = method or TMAlignMethod()
+    pf = resolve_prefilter(prefilter, dataset)
+    include: Optional[set[int]] = None
+    if pf is not None:
+        excluded = {
+            k
+            for k, chain in enumerate(dataset)
+            if exclude_self and chain.name == query.name
+        }
+        include = set(pf.promote_chain(query, exclude=excluded))
     rows: list[tuple[str, Dict[str, float]]]
     if workers > 1:
         from repro.parallel import ParallelConfig, parallel_one_vs_all
@@ -84,11 +149,14 @@ def one_vs_all(
             config=ParallelConfig(
                 workers=workers, chunk=chunk, retry=retry, adaptive=adaptive
             ),
+            include=include,
         )
     else:
         rows = []
-        for chain in dataset:
+        for k, chain in enumerate(dataset):
             if exclude_self and chain.name == query.name:
+                continue
+            if include is not None and k not in include:
                 continue
             ctr = CostCounter()
             scores = method.compare(query, chain, ctr)
@@ -106,16 +174,38 @@ def all_vs_all(
     chunk: int = 0,
     retry: Optional["RetryPolicy"] = None,
     adaptive: bool = True,
+    prefilter: Prefilter = None,
 ) -> Dict[tuple[str, str], Dict[str, float]]:
     """All unordered pairs (i<j) of the dataset; returns a score table.
 
     ``workers > 1`` farms the pairs over a process pool; scores and the
     merged ``counter`` are bit-identical to the serial loop.
+
+    With ``prefilter`` set, pair ``(i, j)`` is computed iff ``j`` is
+    promoted for query ``i`` **or** ``i`` is promoted for query ``j``
+    (the union keeps the table symmetric in what it covers); the
+    returned table contains only the kept pairs.
     """
     method = method or TMAlignMethod()
+    pf = resolve_prefilter(prefilter, dataset)
+    n = len(dataset)
+    keep: Optional[list[set[int]]] = None
+    if pf is not None:
+        promoted = [
+            set(pf.promote_chain(dataset[i], exclude={i})) for i in range(n)
+        ]
+        keep = promoted
     if workers > 1:
         from repro.parallel import ParallelConfig, parallel_all_vs_all
 
+        pairs = None
+        if keep is not None:
+            pairs = [
+                (i, j)
+                for i in range(n)
+                for j in range(i + 1, n)
+                if j in keep[i] or i in keep[j]
+            ]
         return parallel_all_vs_all(
             dataset,
             method,
@@ -123,11 +213,13 @@ def all_vs_all(
             config=ParallelConfig(
                 workers=workers, chunk=chunk, retry=retry, adaptive=adaptive
             ),
+            pairs=pairs,
         )
     out: Dict[tuple[str, str], Dict[str, float]] = {}
-    n = len(dataset)
     for i in range(n):
         for j in range(i + 1, n):
+            if keep is not None and not (j in keep[i] or i in keep[j]):
+                continue
             ctr = CostCounter()
             scores = method.compare(dataset[i], dataset[j], ctr)
             if counter is not None:

@@ -1,10 +1,30 @@
-"""Substitution matrices (BLOSUM62) and score-matrix construction."""
+"""Substitution matrices (BLOSUM62) and score-matrix construction.
+
+The matrices are published as ``(residue, residue) -> int`` dicts for
+readability; every scoring path goes through :func:`substitution_lut`,
+which compiles a named matrix once into a contiguous ``(26, 26)``
+``np.int8`` lookup table over the A–Z alphabet (unknown residues score
+the matrix minimum).  Both the pairwise :func:`substitution_score_matrix`
+and the batched prefilter (:mod:`repro.seqalign.prefilter`) index that
+one shared table instead of rebuilding it from the dict per call.
+"""
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-__all__ = ["BLOSUM62", "IDENTITY", "substitution_score_matrix", "AA_ORDER"]
+__all__ = [
+    "BLOSUM62",
+    "IDENTITY",
+    "SS_SUBSTITUTION",
+    "substitution_lut",
+    "encode_sequence",
+    "substitution_score_matrix",
+    "AA_ORDER",
+    "SS_ORDER",
+]
 
 AA_ORDER = "ARNDCQEGHILKMFPSTWYV"
 
@@ -43,7 +63,66 @@ IDENTITY: dict[tuple[str, str], int] = {
     (a, b): (1 if a == b else 0) for a in AA_ORDER for b in AA_ORDER
 }
 
-_MATRICES = {"blosum62": BLOSUM62, "identity": IDENTITY}
+#: DSSP-reduced secondary-structure alphabet used by
+#: :attr:`repro.structure.model.Chain.secondary`
+SS_ORDER = "CEHT"
+
+# Secondary-structure match/mismatch matrix for the prefilter's second
+# channel: aligning the C/E/H/T strings rewards shared architecture
+# even where the residue-level sequences have diverged.
+SS_SUBSTITUTION: dict[tuple[str, str], int] = {
+    (a, b): (2 if a == b else -2) for a in SS_ORDER for b in SS_ORDER
+}
+
+_MATRICES = {
+    "blosum62": BLOSUM62,
+    "identity": IDENTITY,
+    "ss": SS_SUBSTITUTION,
+}
+
+
+def _named_table(matrix: str) -> dict[tuple[str, str], int]:
+    try:
+        return _MATRICES[matrix.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {matrix!r}; known: {sorted(_MATRICES)}"
+        ) from None
+
+
+def _compile_lut(table: dict[tuple[str, str], int]) -> np.ndarray:
+    floor = min(table.values())
+    lut = np.full((26, 26), floor, dtype=np.int8)
+    for (a, b), v in table.items():
+        lut[ord(a) - 65, ord(b) - 65] = v
+    lut.setflags(write=False)
+    return lut
+
+
+@lru_cache(maxsize=None)
+def substitution_lut(matrix: str = "blosum62") -> np.ndarray:
+    """Contiguous read-only ``(26, 26)`` ``np.int8`` score table.
+
+    Row/column index is ``ord(letter) - ord('A')`` over the 26-letter
+    alphabet; letters the matrix does not define score the matrix
+    minimum (conservative).  Built once per named matrix and cached, so
+    per-call users never pay the dict walk again.
+    """
+    return _compile_lut(_named_table(matrix))
+
+
+def encode_sequence(seq: str) -> np.ndarray:
+    """Encode a sequence into 0–25 alphabet codes (``uint8``).
+
+    The codes index :func:`substitution_lut` directly.  Raises
+    :class:`ValueError` on empty or non-alphabetic input.
+    """
+    if not seq:
+        raise ValueError("sequence must be non-empty")
+    codes = np.frombuffer(seq.upper().encode("ascii"), dtype=np.uint8) - 65
+    if codes.min() < 0 or codes.max() > 25:
+        raise ValueError("sequences must be alphabetic")
+    return codes
 
 
 def substitution_score_matrix(
@@ -53,24 +132,12 @@ def substitution_score_matrix(
 
     Unknown residues score as the matrix minimum (conservative).
     """
-    if isinstance(matrix, str):
-        try:
-            table = _MATRICES[matrix.lower()]
-        except KeyError:
-            raise KeyError(
-                f"unknown matrix {matrix!r}; known: {sorted(_MATRICES)}"
-            ) from None
-    else:
-        table = matrix
     if not seq_a or not seq_b:
         raise ValueError("sequences must be non-empty")
-    floor = min(table.values())
-    # build fast lookup over the 26-letter alphabet
-    lut = np.full((26, 26), float(floor))
-    for (a, b), v in table.items():
-        lut[ord(a) - 65, ord(b) - 65] = float(v)
-    ia = np.frombuffer(seq_a.upper().encode("ascii"), dtype=np.uint8) - 65
-    ib = np.frombuffer(seq_b.upper().encode("ascii"), dtype=np.uint8) - 65
-    if ia.min() < 0 or ia.max() > 25 or ib.min() < 0 or ib.max() > 25:
-        raise ValueError("sequences must be alphabetic")
-    return lut[np.ix_(ia, ib)]
+    if isinstance(matrix, str):
+        lut = substitution_lut(matrix)
+    else:
+        lut = _compile_lut(matrix)
+    ia = encode_sequence(seq_a)
+    ib = encode_sequence(seq_b)
+    return lut[np.ix_(ia, ib)].astype(np.float64)

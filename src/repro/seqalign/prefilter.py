@@ -1,0 +1,504 @@
+"""Batched banded Smith–Waterman prefilter for hierarchical search.
+
+One-vs-all and all-vs-all search pay the full TM-align kernel on every
+candidate pair, yet most candidates are nowhere near the top of the
+ranking.  This module makes the cheap first tier of a hierarchical
+search: a *sequence* scorer orders of magnitude cheaper than structural
+alignment, run over **all** registered candidates in one stacked NumPy
+pass, with a promotion policy that forwards only the best fraction to
+the exact kernel.
+
+Scoring model
+-------------
+Local (Smith–Waterman) alignment with a **linear** gap penalty ``gap``
+per skipped residue, restricted to a diagonal **band**: cell ``(i, j)``
+participates only when ``|j - i * len_b / len_a| <= band_width``
+(out-of-band cells hold 0, so no alignment path leaves the band).  The
+banded local recurrence is::
+
+    H[i, j] = max(0,
+                  H[i-1, j-1] + S(q[i], c[j]),   # match/mismatch
+                  H[i-1, j]   + gap,             # skip a query residue
+                  H[i,   j-1] + gap)             # skip a candidate residue
+
+and the score of a pair is ``max_ij H[i, j]``.
+
+The *promotion* score fuses two alignment channels plus a length prior
+(:class:`PrefilterConfig`): the amino-acid channel (BLOSUM62 over
+``chain.sequence``) recovers within-family relatives, and the
+secondary-structure channel (match/mismatch over ``chain.secondary``)
+recovers structural neighbours whose residue-level sequences have
+diverged.  Both are normalized by candidate length — mirroring the
+ranking metric ``tm_norm_b``, TM-score normalized by the candidate —
+and a small length-ratio term breaks near-ties toward length-compatible
+candidates::
+
+    combined = (SW_aa + ss_weight * SW_ss) / len_b
+               + length_weight * min(len_a, len_b) / max(len_a, len_b)
+
+Vectorization
+-------------
+Candidates are encoded once into a padded ``(B, Lmax)`` code matrix
+(:func:`repro.seqalign.matrices.encode_sequence`); substitution scores
+come from the shared ``(26, 26)`` ``int8`` lookup table extended with a
+padding row/column that scores so low it can never start or extend an
+alignment.  The DP walks query rows; within a row every candidate and
+every in-band column advances in lockstep:
+
+* diagonal and vertical terms are two shifted slices of the previous
+  row;
+* the horizontal term — seemingly a serial scan — collapses into one
+  ``np.maximum.accumulate`` via the decayed running-max identity
+  ``H[i, j] = max_{k<=j} T[i, k] + gap * (j - k)`` where ``T`` is the
+  row's zero-floored diagonal/vertical maximum (the same trick
+  :mod:`repro.seqalign.align` uses for its ``Iy`` state);
+* only the union of the candidates' band windows is computed per row,
+  so work is ``O(B * band * Lq)``, not ``O(B * Lmax * Lq)``.
+
+:class:`SequencePrefilter` fuses **both channels into one stacked
+pass**: amino-acid and secondary-structure codes live in disjoint
+halves of a combined 53-symbol alphabet (SS codes offset by 26), so a
+single ``(2, B, W)`` DP advances all ``2 B`` alignments per query row
+with per-channel gap penalties broadcast down axis 0.  The per-chain
+band windows coincide across channels (``len(chain.secondary) ==
+len(chain.sequence)``), halving the Python-level row loop versus two
+independent passes.
+
+All arithmetic is float64 over integer-valued operands, so the batched
+scores equal the scalar reference (:func:`sw_score_reference`) exactly.
+
+Promotion policy
+----------------
+:meth:`SequencePrefilter.promote` ranks candidates by the combined
+score (descending, candidate name as the deterministic tie-break — the
+same rule as :func:`repro.psc.search.rank_hits`) and keeps the top
+``ceil(keep * n)`` of them, floored at ``min_keep`` so small corpora
+and top-k requests stay covered.  The prefilter is opt-in everywhere:
+with it off, search output is byte-identical to the exact path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.seqalign._swnative import load_sw_kernel
+from repro.seqalign.matrices import encode_sequence, substitution_lut
+
+__all__ = [
+    "PrefilterConfig",
+    "BatchedSW",
+    "SequencePrefilter",
+    "sw_score_reference",
+]
+
+#: code reserved for padding columns of a single-channel code matrix
+PAD_CODE = 26
+
+#: padding substitution score: negative enough that a padded cell can
+#: never rise above the local-alignment zero floor
+_PAD_SCORE = -1.0e4
+
+#: offset of the secondary-structure half of the fused two-channel
+#: alphabet (codes 0–25 amino acid, 26–51 secondary structure, 52 pad)
+_SS_OFFSET = 26
+
+#: pad code of the fused two-channel alphabet
+_PAD_CODE_2 = 52
+
+# compiled banded sweep (repro.seqalign._swnative); None falls back to
+# the NumPy lockstep pass — both produce bit-identical scores
+_NATIVE_SW = load_sw_kernel()
+
+
+@dataclass(frozen=True)
+class PrefilterConfig:
+    """Knobs of the sequence prefilter tier.
+
+    ``keep`` is the promoted fraction of the candidate set (``(0, 1]``);
+    ``min_keep`` floors the promoted *count* so ranked top-k requests
+    keep their candidates even when ``keep * n`` rounds small.  All
+    defaults are the operating point benchmarked in
+    ``BENCH_prefilter.json`` — recall@10 >= 0.95 on ck34 at ~2x
+    end-to-end speedup (see EXPERIMENTS.md for the tuning sweep).
+    """
+
+    keep: float = 0.48
+    min_keep: int = 10
+    band_width: int = 32
+    aa_gap: float = -6.0
+    aa_matrix: str = "blosum62"
+    ss_gap: float = -4.0
+    ss_matrix: str = "ss"
+    ss_weight: float = 3.0
+    length_weight: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.keep <= 1.0:
+            raise ValueError(f"keep must be in (0, 1], got {self.keep}")
+        if self.min_keep < 1:
+            raise ValueError("min_keep must be >= 1")
+        if self.band_width < 1:
+            raise ValueError("band_width must be >= 1")
+        if self.aa_gap > 0 or self.ss_gap > 0:
+            raise ValueError("gap penalties must be <= 0")
+        if self.ss_weight < 0 or self.length_weight < 0:
+            raise ValueError("channel weights must be >= 0")
+
+    def n_promoted(self, n_candidates: int) -> int:
+        """How many of ``n_candidates`` the policy forwards."""
+        if n_candidates < 1:
+            return 0
+        return min(
+            n_candidates, max(self.min_keep, math.ceil(self.keep * n_candidates))
+        )
+
+
+@lru_cache(maxsize=None)
+def _padded_lut(matrix: str) -> np.ndarray:
+    """The shared int8 LUT widened to 27x27 float32 with the pad code.
+
+    float32 is exact here: every DP value is an integer of magnitude
+    well under ``2**24`` (scores are sums of small-int substitution and
+    gap terms), so the batched pass still equals the float64 scalar
+    reference bit-for-bit while halving memory traffic.
+    """
+    base = substitution_lut(matrix)
+    lut = np.full((27, 27), _PAD_SCORE, dtype=np.float32)
+    lut[:26, :26] = base
+    lut.setflags(write=False)
+    return lut
+
+
+@lru_cache(maxsize=None)
+def _fused_lut(aa_matrix: str, ss_matrix: str) -> np.ndarray:
+    """53x53 block-diagonal LUT for the fused two-channel alphabet.
+
+    Rows/columns 0–25 score under ``aa_matrix``, 26–51 under
+    ``ss_matrix``; cross-channel and pad cells hold :data:`_PAD_SCORE`
+    (a query symbol only ever meets codes of its own channel, but the
+    pad column must stay un-alignable).
+    """
+    lut = np.full((53, 53), _PAD_SCORE, dtype=np.float32)
+    lut[:26, :26] = substitution_lut(aa_matrix)
+    lut[_SS_OFFSET:_SS_OFFSET + 26, _SS_OFFSET:_SS_OFFSET + 26] = (
+        substitution_lut(ss_matrix)
+    )
+    lut.setflags(write=False)
+    return lut
+
+
+def sw_score_reference(
+    seq_a: str,
+    seq_b: str,
+    gap: float = -4.0,
+    band_width: int = 32,
+    matrix: str = "blosum62",
+) -> float:
+    """Scalar banded Smith–Waterman score — the batched pass's oracle.
+
+    Implements the module recurrence cell by cell with explicit loops;
+    property tests pin :meth:`BatchedSW.scores` to this exactly.
+    """
+    lut = substitution_lut(matrix)
+    a = encode_sequence(seq_a)
+    b = encode_sequence(seq_b)
+    la, lb = len(a), len(b)
+    slope = lb / la
+    H = np.zeros((la + 1, lb + 1))
+    best = 0.0
+    for i in range(1, la + 1):
+        center = (i - 1) * slope
+        for j in range(1, lb + 1):
+            if abs((j - 1) - center) > band_width:
+                continue  # out-of-band cells stay 0
+            h = max(
+                0.0,
+                H[i - 1, j - 1] + float(lut[a[i - 1], b[j - 1]]),
+                H[i - 1, j] + gap,
+                H[i, j - 1] + gap,
+            )
+            H[i, j] = h
+            best = max(best, h)
+    return best
+
+
+def _batched_rows(
+    codes: np.ndarray,
+    lut: np.ndarray,
+    q_codes: np.ndarray,
+    gap: np.ndarray,
+    slopes: np.ndarray,
+    band: int,
+) -> np.ndarray:
+    """Shared row loop of the banded lockstep DP.
+
+    ``codes`` is ``(N, Lmax)`` — one row per alignment; ``q_codes`` is
+    ``(Nq, Lq)`` with ``Nq in {1, N}`` (the lut row each alignment's
+    query position selects — one shared query, or per-row queries for
+    fused multi-channel batches); ``gap`` is ``(Ng, 1)`` with ``Ng in
+    {1, N}``.  Returns the ``(N,)`` best score per alignment.
+    """
+    lq = q_codes.shape[1]
+    n, lmax = codes.shape
+    if _NATIVE_SW is not None:
+        gaps = np.ascontiguousarray(
+            np.broadcast_to(gap[:, 0], (n,)), dtype=np.float64
+        )
+        slopes_c = np.ascontiguousarray(slopes, dtype=np.float64)
+        hbuf = np.empty(2 * (lmax + 1), dtype=np.float64)
+        best = np.empty(n, dtype=np.float64)
+        _NATIVE_SW(
+            codes.ctypes.data,
+            q_codes.ctypes.data,
+            lut.ctypes.data,
+            lut.shape[0],
+            gaps.ctypes.data,
+            slopes_c.ctypes.data,
+            float(band),
+            n,
+            lmax,
+            lq,
+            q_codes.shape[0],
+            hbuf.ctypes.data,
+            best.ctypes.data,
+        )
+        return best
+    slope_lo, slope_hi = float(slopes.min()), float(slopes.max())
+    h_prev = np.zeros((n, lmax + 1), dtype=np.float32)  # col 0 = boundary
+    h_cur = np.zeros((n, lmax + 1), dtype=np.float32)
+    best = np.zeros(n, dtype=np.float32)
+    row_best = np.empty(n, dtype=np.float32)
+    js = np.arange(lmax, dtype=np.float32)
+    # the horizontal decay ramp gap * j, hoisted out of the row loop
+    decay_full = (gap * js).astype(np.float32)
+    band_f = float(band)
+    gap32 = gap.astype(np.float32)
+    shared_query = q_codes.shape[0] == 1
+    for i in range(lq):
+        # union of the candidates' band windows for this row
+        lo = max(0, int(math.floor(i * slope_lo - band_f)))
+        hi = min(lmax, int(math.ceil(i * slope_hi + band_f)) + 1)
+        if lo >= hi:  # the whole row is out of band
+            h_cur[:] = 0.0
+            h_prev, h_cur = h_cur, h_prev
+            continue
+        if shared_query:
+            sub = lut[q_codes[0, i], codes[:, lo:hi]]
+        else:
+            sub = lut[q_codes[:, i, None], codes[:, lo:hi]]
+        # t = max(0, diagonal, vertical), computed into sub's buffer
+        np.add(h_prev[:, lo:hi], sub, out=sub)
+        up = h_prev[:, lo + 1 : hi + 1] + gap32
+        t = np.maximum(sub, up, out=sub)
+        np.maximum(t, 0.0, out=t)
+        # per-alignment band mask within the union window
+        inband = np.abs(js[lo:hi] - np.float32(i) * slopes[:, None]) <= band_f
+        t *= inband
+        # horizontal pass: H[j] = max_{k<=j} T[k] + gap * (j - k)
+        decay = decay_full[:, lo:hi]
+        shifted = t - decay
+        running = np.maximum.accumulate(shifted, axis=1, out=shifted)
+        np.add(running, decay, out=running)
+        h = np.maximum(t, running, out=running)
+        h *= inband
+        h.max(axis=1, out=row_best)
+        np.maximum(best, row_best, out=best)
+        h_cur[:] = 0.0
+        h_cur[:, lo + 1 : hi + 1] = h
+        h_prev, h_cur = h_cur, h_prev
+    return best.astype(np.float64)
+
+
+class BatchedSW:
+    """One corpus of sequences, banded-SW-scored per query in one pass.
+
+    The single-channel engine: encodes the corpus once into a padded
+    ``(B, Lmax)`` code matrix and advances all ``B`` DPs in lockstep per
+    query row.  :meth:`scores` matches :func:`sw_score_reference`
+    exactly (property-tested).
+    """
+
+    def __init__(
+        self,
+        sequences: Sequence[str],
+        matrix: str = "blosum62",
+        gap: float = -4.0,
+        band_width: int = 32,
+    ) -> None:
+        if not sequences:
+            raise ValueError("batch needs at least one sequence")
+        if gap > 0:
+            raise ValueError("gap penalty must be <= 0")
+        if band_width < 1:
+            raise ValueError("band_width must be >= 1")
+        self.matrix = matrix
+        self.gap = float(gap)
+        self.band_width = int(band_width)
+        self._lens = np.array([len(s) for s in sequences], dtype=np.intp)
+        lmax = int(self._lens.max())
+        codes = np.full((len(sequences), lmax), PAD_CODE, dtype=np.uint8)
+        for row, seq in enumerate(sequences):
+            codes[row, : len(seq)] = encode_sequence(seq)
+        self._codes = codes
+        self._lut = _padded_lut(matrix)
+
+    def __len__(self) -> int:
+        return len(self._lens)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self._lens.copy()
+
+    def scores(self, query_sequence: str) -> np.ndarray:
+        """Banded SW score of the query against every sequence, ``(B,)``."""
+        q = encode_sequence(query_sequence)
+        slopes = self._lens / len(q)  # per-candidate band-center slope
+        return _batched_rows(
+            self._codes,
+            self._lut,
+            q[None, :],
+            np.array([[self.gap]]),
+            slopes,
+            self.band_width,
+        )
+
+
+class SequencePrefilter:
+    """A candidate corpus encoded once, fused-scored per query chain.
+
+    Holds both channels of every candidate — amino-acid sequence and
+    secondary-structure string — stacked into one ``(2, B, Lmax)`` code
+    matrix over the fused alphabet, so one DP pass per query advances
+    all ``2 B`` alignments (see module docstring).
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        sequences: Sequence[str],
+        secondaries: Sequence[str],
+        config: Optional[PrefilterConfig] = None,
+    ) -> None:
+        if not (len(names) == len(sequences) == len(secondaries)):
+            raise ValueError(
+                "names, sequences and secondaries must have equal length"
+            )
+        if not names:
+            raise ValueError("prefilter needs at least one candidate")
+        for seq, ss in zip(sequences, secondaries):
+            if len(seq) != len(ss):
+                raise ValueError(
+                    "secondary-structure string must match sequence length"
+                )
+        self.config = config or PrefilterConfig()
+        self.names = tuple(names)
+        b = len(names)
+        lens = np.array([len(s) for s in sequences], dtype=np.intp)
+        lmax = int(lens.max())
+        # rows 0..B-1: amino-acid codes; rows B..2B-1: SS codes, offset
+        # into the fused alphabet's second half
+        codes = np.full((2 * b, lmax), _PAD_CODE_2, dtype=np.uint8)
+        for row, (seq, ss) in enumerate(zip(sequences, secondaries)):
+            codes[row, : len(seq)] = encode_sequence(seq)
+            codes[b + row, : len(ss)] = encode_sequence(ss) + _SS_OFFSET
+        self._codes = codes
+        self._lens = lens
+        self._lensf = lens.astype(np.float64)
+        self._lut = _fused_lut(self.config.aa_matrix, self.config.ss_matrix)
+        # per-channel gap penalty per stacked row
+        self._gap = np.repeat(
+            [self.config.aa_gap, self.config.ss_gap], b
+        ).reshape(-1, 1)
+
+    @classmethod
+    def from_chains(
+        cls, chains: Iterable, config: Optional[PrefilterConfig] = None
+    ) -> "SequencePrefilter":
+        """Build from :class:`~repro.structure.model.Chain` objects."""
+        chains = list(chains)
+        return cls(
+            [c.name for c in chains],
+            [c.sequence for c in chains],
+            [c.secondary for c in chains],
+            config,
+        )
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    # -- scoring -----------------------------------------------------------
+    def channel_scores(
+        self, query_sequence: str, query_secondary: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-channel banded SW scores, ``((B,) aa, (B,) ss)``.
+
+        Both channels advance through ONE stacked DP; each equals the
+        corresponding single-channel :class:`BatchedSW` pass exactly.
+        """
+        if len(query_sequence) != len(query_secondary):
+            raise ValueError(
+                "secondary-structure string must match sequence length"
+            )
+        b = len(self.names)
+        lq = len(query_sequence)
+        q = np.empty((2 * b, lq), dtype=np.uint8)
+        q[:b] = encode_sequence(query_sequence)
+        q[b:] = encode_sequence(query_secondary) + _SS_OFFSET
+        slopes = np.concatenate([self._lens, self._lens]) / lq
+        best = _batched_rows(
+            self._codes, self._lut, q, self._gap, slopes,
+            self.config.band_width,
+        )
+        return best[:b], best[b:]
+
+    def combined_scores(
+        self, query_sequence: str, query_secondary: str
+    ) -> np.ndarray:
+        """The promotion score against every candidate, ``(B,)``.
+
+        ``(SW_aa + ss_weight * SW_ss) / len_b + length_weight *
+        min(len_a, len_b) / max(len_a, len_b)`` — see module docstring.
+        """
+        cfg = self.config
+        aa, ss = self.channel_scores(query_sequence, query_secondary)
+        lq = float(len(query_sequence))
+        ratio = np.minimum(self._lensf, lq) / np.maximum(self._lensf, lq)
+        return (aa + cfg.ss_weight * ss) / self._lensf + (
+            cfg.length_weight * ratio
+        )
+
+    # -- promotion ---------------------------------------------------------
+    def promote(
+        self,
+        query_sequence: str,
+        query_secondary: str,
+        exclude: Optional[set[int]] = None,
+    ) -> list[int]:
+        """Indices of the candidates promoted to the exact kernel.
+
+        Candidates in ``exclude`` never promote (self-exclusion for
+        one-vs-all).  Ranking is by descending combined score with the
+        candidate name as the deterministic tie-break — the same rule as
+        :func:`repro.psc.search.rank_hits`, so the promoted set is
+        stable run to run.  Returned indices are sorted ascending (set
+        semantics; ranking happens in the exact tier).
+        """
+        exclude = exclude or set()
+        eligible = [k for k in range(len(self.names)) if k not in exclude]
+        if not eligible:
+            return []
+        raw = self.combined_scores(query_sequence, query_secondary)
+        order = sorted(eligible, key=lambda k: (-raw[k], self.names[k]))
+        n_keep = self.config.n_promoted(len(eligible))
+        return sorted(order[:n_keep])
+
+    def promote_chain(
+        self, chain, exclude: Optional[set[int]] = None
+    ) -> list[int]:
+        """:meth:`promote` for a :class:`~repro.structure.model.Chain`."""
+        return self.promote(chain.sequence, chain.secondary, exclude)

@@ -89,15 +89,23 @@ class ServiceClient:
         method: str = "tmalign",
         params: Optional[Dict[str, Any]] = None,
         exclude_self: bool = True,
+        prefilter: bool = False,
+        prefilter_keep: Optional[float] = None,
     ) -> Dict[str, Any]:
-        return self.request(
-            "search",
+        payload: Dict[str, Any] = dict(
             query=query,
             top=top,
             method=method,
             params=params,
             exclude_self=exclude_self,
-        )["result"]
+        )
+        # only opt-in requests carry prefilter fields, so default
+        # request lines (and responses) stay byte-identical
+        if prefilter:
+            payload["prefilter"] = True
+            if prefilter_keep is not None:
+                payload["prefilter_keep"] = prefilter_keep
+        return self.request("search", **payload)["result"]
 
     def register_pdb(
         self, name: str, pdb_text: str, corpus: bool = False

@@ -41,6 +41,8 @@ __all__ = [
     "ok_response",
     "error_response",
     "resolve_method",
+    "parse_positive_int",
+    "parse_fraction",
 ]
 
 #: upper bound on one protocol line (requests carry whole PDB uploads)
@@ -122,6 +124,40 @@ def error_response(request_id: Any, exc: Exception) -> Dict[str, Any]:
         else {"code": "internal", "message": f"{type(exc).__name__}: {exc}"}
     )
     return {"id": request_id, "ok": False, "error": wire}
+
+
+def parse_positive_int(
+    payload: Dict[str, Any], field: str, default: int
+) -> int:
+    """A payload field that must be an integer ``>= 1``.
+
+    One typed :class:`BadRequest` per failure mode — wrong JSON type
+    (booleans and floats included) or a non-positive value — so clients
+    get a one-line error instead of an internal traceback.
+    """
+    value = payload.get(field, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(
+            f"{field} must be an integer, got {type(value).__name__}"
+        )
+    if value < 1:
+        raise BadRequest(f"{field} must be >= 1, got {value}")
+    return value
+
+
+def parse_fraction(
+    payload: Dict[str, Any], field: str, default: float
+) -> float:
+    """A payload field that must be a number in ``(0, 1]``."""
+    value = payload.get(field, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequest(
+            f"{field} must be a number, got {type(value).__name__}"
+        )
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise BadRequest(f"{field} must be in (0, 1], got {value}")
+    return value
 
 
 def _params_hash(payload: Dict[str, Any]) -> str:

@@ -48,6 +48,8 @@ from repro.service.protocol import (
     encode_line,
     error_response,
     ok_response,
+    parse_fraction,
+    parse_positive_int,
     resolve_method,
 )
 from repro.service.registry import StructureRegistry
@@ -129,6 +131,9 @@ class PSCService:
         self._stop_event: Optional[asyncio.Event] = None
         # run_id -> (thread, {"error": ...}) for submit-matrix background runs
         self._matrix_jobs: Dict[str, Tuple[threading.Thread, Dict[str, Any]]] = {}
+        # (corpus hashes, keep) -> SequencePrefilter; rebuilt only when a
+        # registration changes the corpus or a request changes the knob
+        self._prefilters: Dict[Tuple[Tuple[str, ...], float], Any] = {}
         self._ops = {
             "align": self._op_align,
             "search": self._op_search,
@@ -276,14 +281,38 @@ class PSCService:
         )
         return json.loads(body), cached
 
+    def _corpus_prefilter(self, keep: float):
+        """The cached sequence prefilter for the current corpus."""
+        from repro.seqalign.prefilter import PrefilterConfig, SequencePrefilter
+
+        hashes = tuple(h for h, _c in self.registry.corpus())
+        key = (hashes, keep)
+        pf = self._prefilters.get(key)
+        if pf is None:
+            chains = [c for _h, c in self.registry.corpus()]
+            pf = SequencePrefilter.from_chains(
+                chains, PrefilterConfig(keep=keep)
+            )
+            # keep one corpus generation at a time: a registration
+            # changes the hash tuple and drops every stale filter
+            self._prefilters = {
+                k: v for k, v in self._prefilters.items() if k[0] == hashes
+            }
+            self._prefilters[key] = pf
+            self.metrics.inc("prefilter_builds")
+        return pf
+
     async def _op_search(self, payload: Dict[str, Any]):
         from repro.psc.search import rank_hits
+        from repro.seqalign.prefilter import PrefilterConfig
 
         method_name = payload.get("method", "tmalign")
         method, params_hash = resolve_method(method_name, payload.get("params"))
-        top = int(payload.get("top", 10))
-        if top < 1:
-            raise BadRequest("top must be >= 1")
+        top = parse_positive_int(payload, "top", 10)
+        use_prefilter = bool(payload.get("prefilter", False))
+        keep = parse_fraction(
+            payload, "prefilter_keep", PrefilterConfig.keep
+        )
         hash_q, chain_q = self.registry.resolve(_require_str(payload, "query"))
         exclude_self = bool(payload.get("exclude_self", True))
         targets = [
@@ -293,6 +322,29 @@ class PSCService:
         ]
         if not targets:
             raise BadRequest("the search corpus is empty")
+        eligible = len(targets)
+        if use_prefilter:
+            # the cheap tier runs BEFORE admission: pairs it sheds never
+            # occupy micro-batcher slots or kernel batch lanes
+            pf = self._corpus_prefilter(keep)
+            corpus = self.registry.corpus()
+            excluded = {
+                k
+                for k, (h, _c) in enumerate(corpus)
+                if exclude_self and h == hash_q
+            }
+            promoted = set(
+                pf.promote_chain(chain_q, exclude=excluded)
+            )
+            targets = [
+                (h, c)
+                for k, (h, c) in enumerate(corpus)
+                if k in promoted
+            ]
+            self.metrics.inc("prefilter_searches")
+            self.metrics.inc(
+                "prefilter_demoted", eligible - len(targets)
+            )
         outcomes = await asyncio.gather(
             *(
                 self._pair_body(
@@ -336,6 +388,15 @@ class PSCService:
                 for hit in hits[:top]
             ],
         }
+        if use_prefilter:
+            # additive key only on the opt-in path: default responses
+            # stay byte-identical under canonical JSON
+            result["corpus"] = eligible
+            result["prefilter"] = {
+                "keep": keep,
+                "promoted": len(targets),
+                "demoted": eligible - len(targets),
+            }
         return result, n_cached == len(targets)
 
     async def _op_register(self, payload: Dict[str, Any]):

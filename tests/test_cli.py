@@ -333,3 +333,55 @@ class TestServiceCommandsParse:
         with pytest.raises(SystemExit) as err:
             _cmd_query(args)
         assert "usage: query align" in str(err.value)
+
+
+class TestPrefilterFlags:
+    """search/query/bench prefilter flags parse; bad values fail fast."""
+
+    def test_search_prefilter_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["search", "q", "--prefilter", "--prefilter-keep", "0.1"]
+        )
+        assert args.prefilter and args.prefilter_keep == 0.1
+        args = parser.parse_args(["search", "q"])
+        assert not args.prefilter and args.prefilter_keep is None
+
+    def test_query_prefilter_parses(self):
+        args = build_parser().parse_args(
+            ["query", "search", "q", "--prefilter", "--prefilter-keep", "0.5"]
+        )
+        assert args.prefilter and args.prefilter_keep == 0.5
+
+    def test_bench_prefilter_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--prefilter", "--queries", "3",
+             "--min-recall", "0.9", "--min-speedup", "1.5"]
+        )
+        assert args.prefilter and args.queries == 3
+        assert args.min_recall == 0.9 and args.min_speedup == 1.5
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["search", "q", "--top", "0"],
+            ["search", "q", "--top", "-3"],
+            ["search", "q", "--top", "2.5"],
+            ["search", "q", "--prefilter-keep", "0"],
+            ["search", "q", "--prefilter-keep", "1.5"],
+            ["search", "q", "--prefilter-keep", "nope"],
+            ["query", "search", "q", "--top", "0"],
+            ["query", "search", "q", "--prefilter-keep", "-0.1"],
+            ["bench", "--prefilter", "--queries", "0"],
+            ["bench", "--prefilter", "--min-recall", "2.0"],
+        ],
+    )
+    def test_bad_values_rejected_at_parse(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        err = capsys.readouterr().err
+        assert "must be" in err or "expected" in err
+
+    def test_bench_kernel_and_prefilter_exclusive(self):
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["bench", "--kernel", "--prefilter", "--no-output"])

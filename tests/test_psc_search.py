@@ -53,3 +53,106 @@ class TestAllVsAll:
         names = {c.name for c in ck34_mini}
         for a, b in table:
             assert a in names and b in names
+
+
+class TestRankHitsTieBreak:
+    def test_equal_scores_order_by_chain_name(self):
+        from repro.psc.search import rank_hits
+
+        method = SSECompositionMethod()
+        scores = {"similarity": 0.5}
+        rows = [("zeta", dict(scores)), ("alpha", dict(scores)),
+                ("mid", dict(scores))]
+        hits = rank_hits(rows, method)
+        assert [h.chain_name for h in hits] == ["alpha", "mid", "zeta"]
+
+    def test_score_dominates_name(self):
+        from repro.psc.search import rank_hits
+
+        method = SSECompositionMethod()
+        rows = [("alpha", {"similarity": 0.1}), ("zeta", {"similarity": 0.9})]
+        hits = rank_hits(rows, method)
+        assert [h.chain_name for h in hits] == ["zeta", "alpha"]
+
+
+class TestPrefilteredSearch:
+    """Hierarchical search wiring: promotion in front of the exact tier."""
+
+    @staticmethod
+    def _pf(dataset, keep=0.5, min_keep=2):
+        from repro.seqalign.prefilter import PrefilterConfig, SequencePrefilter
+
+        return SequencePrefilter.from_chains(
+            list(dataset), PrefilterConfig(keep=keep, min_keep=min_keep)
+        )
+
+    def test_off_path_identical(self, ck34_mini):
+        method = SSECompositionMethod()
+        plain = one_vs_all(ck34_mini[0], ck34_mini, method=method)
+        off = one_vs_all(ck34_mini[0], ck34_mini, method=method, prefilter=None)
+        assert plain == off
+
+    def test_subset_preserves_exact_order(self, ck34_mini):
+        method = SSECompositionMethod()
+        pf = self._pf(ck34_mini)
+        exact = one_vs_all(ck34_mini[0], ck34_mini, method=method)
+        hits = one_vs_all(ck34_mini[0], ck34_mini, method=method, prefilter=pf)
+        promoted = {h.chain_name for h in hits}
+        assert len(hits) == pf.config.n_promoted(len(ck34_mini) - 1)
+        # the prefiltered ranking is the exact ranking minus demotions
+        assert [h for h in exact if h.chain_name in promoted] == hits
+
+    def test_config_builds_prefilter(self, ck34_mini):
+        from repro.seqalign.prefilter import PrefilterConfig
+
+        cfg = PrefilterConfig(keep=0.5, min_keep=2)
+        hits = one_vs_all(
+            ck34_mini[0], ck34_mini, method=SSECompositionMethod(),
+            prefilter=cfg,
+        )
+        assert len(hits) == cfg.n_promoted(len(ck34_mini) - 1)
+
+    def test_serial_matches_parallel_one_vs_all(self, ck34_mini):
+        method = SSECompositionMethod()
+        pf = self._pf(ck34_mini)
+        serial = one_vs_all(ck34_mini[1], ck34_mini, method=method, prefilter=pf)
+        par = one_vs_all(
+            ck34_mini[1], ck34_mini, method=method, prefilter=pf, workers=2
+        )
+        assert serial == par
+
+    def test_all_vs_all_union_semantics(self, ck34_mini):
+        method = SSECompositionMethod()
+        pf = self._pf(ck34_mini)
+        full = all_vs_all(ck34_mini, method=method)
+        table = all_vs_all(ck34_mini, method=method, prefilter=pf)
+        names = [c.name for c in ck34_mini]
+        idx = {name: k for k, name in enumerate(names)}
+        promoted = [
+            set(pf.promote_chain(ck34_mini[i], exclude={i}))
+            for i in range(len(ck34_mini))
+        ]
+        for (a, b), scores in full.items():
+            i, j = idx[a], idx[b]
+            kept = j in promoted[i] or i in promoted[j]
+            assert ((a, b) in table) == kept
+            if kept:  # kept pairs carry the exact tier's scores
+                assert table[(a, b)] == scores
+        assert set(table) <= set(full)
+
+    def test_all_vs_all_serial_matches_parallel(self, ck34_mini):
+        method = SSECompositionMethod()
+        pf = self._pf(ck34_mini)
+        serial = all_vs_all(ck34_mini, method=method, prefilter=pf)
+        par = all_vs_all(ck34_mini, method=method, prefilter=pf, workers=2)
+        assert serial == par
+
+    def test_resolve_prefilter_rejects_wrong_corpus(self, ck34_mini):
+        from repro.psc.search import resolve_prefilter
+        from repro.seqalign.prefilter import SequencePrefilter
+
+        other = SequencePrefilter(["x"], ["AAA"], ["CCC"])
+        with pytest.raises(ValueError):
+            resolve_prefilter(other, ck34_mini)
+        with pytest.raises(TypeError):
+            resolve_prefilter(object(), ck34_mini)

@@ -1,0 +1,260 @@
+"""Batched banded Smith-Waterman prefilter vs its scalar oracle."""
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.seqalign.prefilter as prefilter
+from repro.seqalign.matrices import SS_ORDER
+from repro.seqalign.prefilter import (
+    BatchedSW,
+    PrefilterConfig,
+    SequencePrefilter,
+    sw_score_reference,
+)
+
+AA = "ACDEFGHIKLMNPQRSTVWY"
+
+aa_seq = st.text(alphabet=AA, min_size=1, max_size=40)
+ss_seq = st.text(alphabet=SS_ORDER, min_size=1, max_size=40)
+
+
+@contextmanager
+def numpy_path():
+    """Force the NumPy lockstep fallback regardless of the native .so."""
+    saved = prefilter._NATIVE_SW
+    prefilter._NATIVE_SW = None
+    try:
+        yield
+    finally:
+        prefilter._NATIVE_SW = saved
+
+
+def both_paths(fn):
+    """Run an assertion under the current kernel AND the NumPy fallback."""
+    fn()
+    with numpy_path():
+        fn()
+
+
+class TestBatchedVsScalar:
+    @settings(max_examples=25, deadline=None)
+    @given(query=aa_seq, corpus=st.lists(aa_seq, min_size=1, max_size=6))
+    def test_matches_scalar_reference(self, query, corpus):
+        def check():
+            batch = BatchedSW(corpus)
+            got = batch.scores(query)
+            want = [sw_score_reference(query, c) for c in corpus]
+            assert got.tolist() == want
+
+        both_paths(check)
+
+    def test_length_one_sequences(self):
+        def check():
+            batch = BatchedSW(["A", "W", "AW"])
+            got = batch.scores("A")
+            want = [sw_score_reference("A", c) for c in ("A", "W", "AW")]
+            assert got.tolist() == want
+            assert got[0] == 4.0  # BLOSUM62 A:A
+
+        both_paths(check)
+
+    def test_identical_sequences_score_self_alignment(self):
+        seq = "MKVLAAGITGHHEW"
+        def check():
+            got = BatchedSW([seq]).scores(seq)
+            assert got[0] == sw_score_reference(seq, seq)
+            assert got[0] > 0
+
+        both_paths(check)
+
+    def test_disjoint_alphabet_floors_at_zero(self):
+        # every A:W cell is negative, so local alignment floors at 0
+        def check():
+            got = BatchedSW(["WWWWWW", "W"]).scores("AAAA")
+            assert got.tolist() == [0.0, 0.0]
+
+        both_paths(check)
+
+    def test_narrow_band_restricts_alignment(self):
+        # with band 1 the DP cannot reach a far-off-diagonal match
+        a, b = "AAAAAAAAAAWA", "WAAAAAAAAAAA"
+        def check():
+            got = BatchedSW([b], band_width=1).scores(a)
+            assert got[0] == sw_score_reference(a, b, band_width=1)
+
+        both_paths(check)
+
+    def test_mixed_lengths_pad_safely(self):
+        corpus = ["A", "MKVLAAGITGHHEW", "GG", "MKVL"]
+        def check():
+            got = BatchedSW(corpus).scores("MKVLAA")
+            want = [sw_score_reference("MKVLAA", c) for c in corpus]
+            assert got.tolist() == want
+
+        both_paths(check)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchedSW([])
+        with pytest.raises(ValueError):
+            BatchedSW(["AA"], gap=1.0)
+        with pytest.raises(ValueError):
+            BatchedSW(["AA"], band_width=0)
+        with pytest.raises(ValueError):
+            BatchedSW(["AA"]).scores("")
+
+
+class TestFusedChannels:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_fused_equals_single_channel(self, data):
+        n = data.draw(st.integers(1, 4))
+        lens = [data.draw(st.integers(1, 30)) for _ in range(n)]
+        seqs = [data.draw(st.text(AA, min_size=l, max_size=l)) for l in lens]
+        sss = [
+            data.draw(st.text(SS_ORDER, min_size=l, max_size=l)) for l in lens
+        ]
+        lq = data.draw(st.integers(1, 30))
+        qseq = data.draw(st.text(AA, min_size=lq, max_size=lq))
+        qss = data.draw(st.text(SS_ORDER, min_size=lq, max_size=lq))
+        cfg = PrefilterConfig()
+        pf = SequencePrefilter(
+            [f"c{i}" for i in range(n)], seqs, sss, cfg
+        )
+
+        def check():
+            aa, ss = pf.channel_scores(qseq, qss)
+            aa_want = BatchedSW(
+                seqs, cfg.aa_matrix, cfg.aa_gap, cfg.band_width
+            ).scores(qseq)
+            ss_want = BatchedSW(
+                sss, cfg.ss_matrix, cfg.ss_gap, cfg.band_width
+            ).scores(qss)
+            assert aa.tolist() == aa_want.tolist()
+            assert ss.tolist() == ss_want.tolist()
+
+        both_paths(check)
+
+    def test_fused_matches_scalar_reference(self, ck34_mini):
+        chains = list(ck34_mini)[:4]
+        pf = SequencePrefilter.from_chains(chains)
+        cfg = pf.config
+        q = chains[0]
+
+        def check():
+            aa, ss = pf.channel_scores(q.sequence, q.secondary)
+            for k, c in enumerate(chains):
+                assert aa[k] == sw_score_reference(
+                    q.sequence, c.sequence, cfg.aa_gap, cfg.band_width,
+                    cfg.aa_matrix,
+                )
+                assert ss[k] == sw_score_reference(
+                    q.secondary, c.secondary, cfg.ss_gap, cfg.band_width,
+                    cfg.ss_matrix,
+                )
+
+        both_paths(check)
+
+    def test_native_and_numpy_agree(self, ck34_mini):
+        if prefilter._NATIVE_SW is None:
+            pytest.skip("native SW kernel unavailable")
+        pf = SequencePrefilter.from_chains(list(ck34_mini))
+        q = ck34_mini[3]
+        native = pf.combined_scores(q.sequence, q.secondary)
+        with numpy_path():
+            fallback = pf.combined_scores(q.sequence, q.secondary)
+        assert native.tolist() == fallback.tolist()
+
+    def test_mismatched_query_channels_rejected(self, ck34_mini):
+        pf = SequencePrefilter.from_chains(list(ck34_mini))
+        with pytest.raises(ValueError):
+            pf.channel_scores("AAA", "CC")
+
+
+class TestPrefilterConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"keep": 0.0},
+            {"keep": 1.5},
+            {"min_keep": 0},
+            {"band_width": 0},
+            {"aa_gap": 2.0},
+            {"ss_gap": 0.5},
+            {"ss_weight": -1.0},
+            {"length_weight": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PrefilterConfig(**kwargs)
+
+    def test_n_promoted(self):
+        cfg = PrefilterConfig(keep=0.5, min_keep=3)
+        assert cfg.n_promoted(0) == 0
+        assert cfg.n_promoted(2) == 2  # floor capped by corpus size
+        assert cfg.n_promoted(4) == 3  # min_keep floor
+        assert cfg.n_promoted(33) == 17  # ceil(0.5 * 33)
+        assert PrefilterConfig(keep=1.0).n_promoted(5) == 5
+
+
+class TestPromotion:
+    def test_promoted_count_and_order(self, ck34_mini):
+        cfg = PrefilterConfig(keep=0.5, min_keep=2)
+        pf = SequencePrefilter.from_chains(list(ck34_mini), cfg)
+        q = ck34_mini[0]
+        got = pf.promote_chain(q, exclude={0})
+        assert len(got) == cfg.n_promoted(len(ck34_mini) - 1)
+        assert got == sorted(got)  # ascending set semantics
+        assert 0 not in got
+
+    def test_deterministic_tie_break_by_name(self):
+        # four identical candidates tie exactly; the name order decides
+        seqs = ["MKVLAA"] * 4
+        sss = ["HHHHCC"] * 4
+        cfg = PrefilterConfig(keep=0.5, min_keep=1)
+        pf = SequencePrefilter(["d", "b", "a", "c"], seqs, sss, cfg)
+        got = pf.promote("MKVLAA", "HHHHCC")
+        # n_promoted(4) = 2 -> names "a", "b" -> indices 2, 1 -> sorted
+        assert got == [1, 2]
+
+    def test_exclude_all_returns_empty(self, ck34_mini):
+        pf = SequencePrefilter.from_chains(list(ck34_mini))
+        assert pf.promote_chain(ck34_mini[0], set(range(len(ck34_mini)))) == []
+
+    def test_self_query_promotes_self_first(self, ck34_mini):
+        cfg = PrefilterConfig(keep=0.2, min_keep=1)
+        pf = SequencePrefilter.from_chains(list(ck34_mini), cfg)
+        q = ck34_mini[2]
+        assert 2 in pf.promote_chain(q)  # no exclusion: self must win
+
+    def test_validation(self, ck34_mini):
+        with pytest.raises(ValueError):
+            SequencePrefilter([], [], [])
+        with pytest.raises(ValueError):
+            SequencePrefilter(["a"], ["AAA"], ["CC"])  # channel mismatch
+        with pytest.raises(ValueError):
+            SequencePrefilter(["a", "b"], ["AAA"], ["CCC"])
+
+
+class TestRecallRegression:
+    """The promoted set must keep the exact kernel's top hits (ck34)."""
+
+    def test_promoted_set_covers_exact_top5(self, ck34):
+        from repro.psc.methods import TMAlignMethod
+        from repro.psc.search import one_vs_all
+
+        sub = ck34.subset(12, "ck34-recall")  # globins + start of tims
+        pf = SequencePrefilter.from_chains(list(sub))
+        for qi in (0, 9):  # one globin, one tim query
+            q = sub[qi]
+            exact = one_vs_all(q, sub, method=TMAlignMethod())
+            promoted = {
+                sub[k].name for k in pf.promote_chain(q, exclude={qi})
+            }
+            top5 = [h.chain_name for h in exact[:5]]
+            assert all(name in promoted for name in top5)

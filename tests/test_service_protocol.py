@@ -97,3 +97,32 @@ class TestResolveMethod:
         _m1, h1 = resolve_method("sse_composition", None)
         _m2, h2 = resolve_method("kabsch_rmsd", None)
         assert h1 != h2
+
+
+class TestFieldParsers:
+    def test_positive_int_accepts_defaults_and_values(self):
+        from repro.service.protocol import parse_positive_int
+
+        assert parse_positive_int({}, "top", 10) == 10
+        assert parse_positive_int({"top": 3}, "top", 10) == 3
+
+    @pytest.mark.parametrize("bad", [0, -5, 1.5, "3", True, None, [1]])
+    def test_positive_int_rejects(self, bad):
+        from repro.service.protocol import parse_positive_int
+
+        with pytest.raises(BadRequest, match="top"):
+            parse_positive_int({"top": bad}, "top", 10)
+
+    def test_fraction_accepts_defaults_and_values(self):
+        from repro.service.protocol import parse_fraction
+
+        assert parse_fraction({}, "keep", 0.48) == 0.48
+        assert parse_fraction({"keep": 1}, "keep", 0.48) == 1.0
+        assert parse_fraction({"keep": 0.25}, "keep", 0.48) == 0.25
+
+    @pytest.mark.parametrize("bad", [0, 0.0, -0.1, 1.0001, "0.5", True, [0.5]])
+    def test_fraction_rejects(self, bad):
+        from repro.service.protocol import parse_fraction
+
+        with pytest.raises(BadRequest, match="keep"):
+            parse_fraction({"keep": bad}, "keep", 0.48)

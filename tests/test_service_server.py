@@ -361,3 +361,72 @@ class TestShutdown:
                 return True
 
         assert asyncio.run(main())
+
+
+class TestPrefilteredSearch:
+    #: the mini corpus (7 eligible) never demotes under min_keep=10, so
+    #: the prefilter paths are driven on the full ck34 corpus
+    CK34_CONFIG = ServiceConfig(dataset="ck34", port=0, batch_window=0.001)
+
+    def test_prefilter_response_shape_and_subset(self):
+        def client(port):
+            with ServiceClient(port=port) as c:
+                exact = c.search(
+                    "ck_globin_00", top=33, method="sse_composition"
+                )
+                pre = c.search(
+                    "ck_globin_00", top=33, method="sse_composition",
+                    prefilter=True, prefilter_keep=0.1,
+                )
+                metrics = c.metrics()
+                return exact, pre, metrics
+
+        _service, (exact, pre, metrics) = with_service(
+            client, config=self.CK34_CONFIG
+        )
+        # default responses carry no prefilter fields at all
+        assert "prefilter" not in exact
+        assert exact["corpus"] == 33
+        # opt-in responses record the demotion arithmetic
+        assert pre["corpus"] == 33
+        assert pre["prefilter"]["keep"] == 0.1
+        assert pre["prefilter"]["promoted"] == 10  # min_keep floor
+        assert pre["prefilter"]["demoted"] == 23
+        assert len(pre["hits"]) == 10
+        # the prefiltered ranking is the exact ranking minus demotions
+        kept = {h["chain"] for h in pre["hits"]}
+        exact_kept = [h["chain"] for h in exact["hits"] if h["chain"] in kept]
+        assert [h["chain"] for h in pre["hits"]] == exact_kept
+        assert metrics["counters"]["prefilter_searches"] == 1
+        assert metrics["counters"]["prefilter_demoted"] == 23
+
+    def test_prefilter_built_once_per_corpus_and_keep(self):
+        def client(port):
+            with ServiceClient(port=port) as c:
+                c.search("ck_globin_00", method="sse_composition",
+                         prefilter=True, prefilter_keep=0.1)
+                c.search("ck_globin_01", method="sse_composition",
+                         prefilter=True, prefilter_keep=0.1)
+                c.search("ck_globin_02", method="sse_composition",
+                         prefilter=True, prefilter_keep=0.2)
+                return c.metrics()
+
+        _service, metrics = with_service(client, config=self.CK34_CONFIG)
+        # same corpus + keep reuses the encoded prefilter; a new keep
+        # builds a second one
+        assert metrics["counters"]["prefilter_builds"] == 2
+        assert metrics["counters"]["prefilter_searches"] == 3
+
+    def test_bad_top_and_keep_are_typed_errors(self):
+        def client(port):
+            with ServiceClient(port=port) as c:
+                with pytest.raises(BadRequest, match="top"):
+                    c.search("ck_globin_00", top=0, method="sse_composition")
+                with pytest.raises(BadRequest, match="prefilter_keep"):
+                    c.search("ck_globin_00", method="sse_composition",
+                             prefilter=True, prefilter_keep=1.5)
+                # the connection survives both rejections
+                return c.healthz()
+
+        _service, health = with_service(client)
+        assert health["status"] == "ok"
