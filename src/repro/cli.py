@@ -241,7 +241,7 @@ def _cmd_matrix(args) -> str:
     from repro.faults import InjectedFault
     from repro.parallel import ParallelConfig, WorkerCrash
     from repro.psc import get_method
-    from repro.runs import matrix_run
+    from repro.runs import JournalCorrupt, matrix_run
 
     dataset = load_dataset(args.dataset)
     method = get_method(args.method)
@@ -263,6 +263,8 @@ def _cmd_matrix(args) -> str:
             config=config,
             faults=_faults_from_args(args),
         )
+    except JournalCorrupt as exc:
+        raise SystemExit(f"corrupt journal: {exc}") from None
     except (WorkerCrash, InjectedFault) as exc:
         run_id = args.resume or args.run_id
         hint = (
@@ -311,6 +313,8 @@ def _cmd_matrix(args) -> str:
 
 def _cmd_runs(args) -> str:
     """List durable runs under --runs-dir."""
+    from repro.runs import JournalCorrupt
+
     store = _run_store(args)
     runs = store.list_runs()
     if not runs:
@@ -318,7 +322,10 @@ def _cmd_runs(args) -> str:
     lines = [f"{'run':<34} {'command':<14} {'status':<12} {'done':>11}  dataset"]
     for run in runs:
         m = run.manifest
-        done, total = run.progress()
+        try:
+            done, total = run.progress()
+        except JournalCorrupt as exc:
+            raise SystemExit(f"corrupt journal: {exc}") from None
         lines.append(
             f"{m.run_id:<34} {m.command:<14} {m.status:<12} "
             f"{done:>5}/{total:<5}  {m.dataset}"
@@ -395,12 +402,16 @@ def _bench_output(args) -> Optional[str]:
 
 
 def _cmd_bench(args) -> str:
-    if args.kernel and args.prefilter:
-        raise SystemExit("bench: --kernel and --prefilter are exclusive")
+    if sum((args.kernel, args.prefilter, args.matstore)) > 1:
+        raise SystemExit(
+            "bench: --kernel, --prefilter and --matstore are exclusive"
+        )
     if args.kernel:
         return _cmd_bench_kernel(args)
     if args.prefilter:
         return _cmd_bench_prefilter(args)
+    if args.matstore:
+        return _cmd_bench_matstore(args)
     from repro.experiments.bench import format_bench_report, run_bench
 
     output = _bench_output(args)
@@ -476,7 +487,7 @@ def _cmd_bench_prefilter(args) -> str:
         keep=args.prefilter_keep,
         queries=args.queries,
         min_recall=args.min_recall,
-        min_speedup=args.min_speedup,
+        min_speedup=args.min_speedup if args.min_speedup is not None else 2.0,
     )
     text = format_prefilter_bench_report(report)
     if output:
@@ -488,6 +499,41 @@ def _cmd_bench_prefilter(args) -> str:
             f"prefilter gate failed: recall@10 {reg['recall_at_10']:.4f} "
             f"(min {reg['min_recall_at_10']:.2f}), speedup "
             f"{reg['speedup']:.2f}x (min {reg['min_speedup']:.2f})"
+        )
+    return text
+
+
+def _cmd_bench_matstore(args) -> str:
+    """``bench --matstore``: store build/extend/lookup bench + gate."""
+    from repro.experiments.bench import (
+        DEFAULT_BENCH_OUTPUT,
+        DEFAULT_MATSTORE_BENCH_OUTPUT,
+        format_matstore_bench_report,
+        run_matstore_bench,
+    )
+
+    output = _bench_output(args)
+    if output == DEFAULT_BENCH_OUTPUT:
+        # the hot-path artefact default doesn't apply to the matstore bench
+        output = DEFAULT_MATSTORE_BENCH_OUTPUT
+    report = run_matstore_bench(
+        dataset=args.dataset if args.dataset != "both" else "ck34",
+        output=output,
+        limit=8 if args.quick else None,
+        min_speedup=(
+            args.min_speedup if args.min_speedup is not None else 100.0
+        ),
+    )
+    text = format_matstore_bench_report(report)
+    if output:
+        text += f"\nwrote {output}"
+    if args.check and not report["regression"]["passed"]:
+        print(text, file=sys.stderr)
+        reg = report["regression"]
+        raise SystemExit(
+            f"matstore gate failed: lookup speedup {reg['speedup']:,.0f}x "
+            f"(min {reg['min_speedup']:.0f}), one-row extend exact: "
+            f"{reg['extend_exact']}"
         )
     return text
 
@@ -581,6 +627,7 @@ def _cmd_serve(args) -> str:
         cache_capacity=args.cache_capacity,
         runs_dir=args.runs_dir,
         eval_delay=args.eval_delay,
+        matstore_dir=args.matstore_dir,
     )
 
     async def _serve() -> str:
@@ -613,13 +660,16 @@ def _cmd_query(args) -> str:
         "search": (1, "<query-chain>"),
         "register": (2, "<name> <pdb-file>"),
         "submit-matrix": (0, "[--dataset D] [--method M] [--runs-dir R]"),
-        "status": (1, "<run-id>"),
+        "status": ((0, 1), "[run-id]"),
+        "matstore-build": (0, "[--matstore-dir DIR]"),
+        "matstore-lookup": (2, "<chain-a> <chain-b>"),
         "healthz": (0, ""),
         "metrics": (0, ""),
         "shutdown": (0, ""),
     }
     n_args, usage = operands[args.op]
-    if len(args.args) != n_args:
+    allowed = n_args if isinstance(n_args, tuple) else (n_args,)
+    if len(args.args) not in allowed:
         raise SystemExit(f"usage: query {args.op} {usage}".rstrip())
     params = _json.loads(args.params) if args.params else None
     method = args.method or "tmalign"
@@ -683,20 +733,170 @@ def _cmd_query(args) -> str:
                 f"{info['dataset']} via {info['method']} -> {info['output']}"
             )
         if args.op == "status":
-            (run_id,) = args.args
-            info = client.status(run_id, runs_dir=args.runs_dir or None)
-            line = f"run {info['run_id']}: {info['status']}"
-            if "done" in info:
-                line += f" ({info['done']}/{info['n_pairs']} pairs)"
-            if info.get("error"):
-                line += f"\nerror: {info['error']}"
-            return line
+            if args.args:
+                (run_id,) = args.args
+                info = client.status(run_id, runs_dir=args.runs_dir or None)
+                line = f"run {info['run_id']}: {info['status']}"
+                if "done" in info:
+                    line += f" ({info['done']}/{info['n_pairs']} pairs)"
+                if info.get("error"):
+                    line += f"\nerror: {info['error']}"
+                return line
+            info = client.status()
+            lines = [
+                f"service: {info['status']} "
+                f"({info['chains']} chains, dataset "
+                f"{info['dataset'] or '(empty)'})",
+            ]
+            ms = info["matstore"]
+            if ms.get("attached"):
+                lines.append(
+                    f"matstore: {ms['n_chains']} chains, "
+                    f"{ms['pairs_stored']}/{ms['n_pairs']} pairs stored "
+                    f"({ms['block_bytes']} block bytes) at {ms['root']}"
+                )
+                lines.append(
+                    f"matstore lookups: {ms['lookup_hits']} hits, "
+                    f"{ms['lookup_misses']} misses"
+                )
+            else:
+                lines.append("matstore: not attached")
+            if ms.get("building"):
+                lines.append("matstore: build in progress")
+            if ms.get("error"):
+                lines.append(f"matstore error: {ms['error']}")
+            return "\n".join(lines)
+        if args.op == "matstore-build":
+            info = client.matstore_build(root=args.matstore_dir or None)
+            return (
+                f"matstore build started at {info['root']}: "
+                f"{info['n_chains']} corpus chains, {info['n_pairs']} pairs "
+                "(background; poll `query status`)"
+            )
+        if args.op == "matstore-lookup":
+            a, b = args.args
+            info = client.matstore_lookup(a, b)
+            lines = [
+                f"matstore hit {a} vs {b} [{info['method']}]"
+                + (" (stored swapped)" if info["swapped"] else ""),
+            ]
+            for key in sorted(info["scores"]):
+                lines.append(f"  {key} = {info['scores'][key]:.4f}")
+            return "\n".join(lines)
         if args.op in ("healthz", "metrics"):
             result = client.healthz() if args.op == "healthz" else client.metrics()
             return _json.dumps(result, indent=1, sort_keys=True)
         # args.op == "shutdown" (argparse rejects anything else)
         client.shutdown()
         return "server is stopping"
+
+
+def _cmd_matstore(args) -> str:
+    """Durable all-vs-all matrix store: build, extend, query, verify,
+    export (see :mod:`repro.matstore`)."""
+    from repro.matstore import (
+        MatStoreError,
+        MatrixStore,
+        build_store,
+        ensure_coverage,
+        export_csv,
+    )
+    from repro.runs import JournalCorrupt
+
+    def load_limited():
+        from repro.datasets import load_dataset
+
+        ds = load_dataset(args.dataset)
+        if args.limit:
+            ds = ds.subset(args.limit)
+        return ds
+
+    def farm_config():
+        from repro.parallel import ParallelConfig
+
+        return ParallelConfig(
+            workers=args.workers,
+            chunk=args.chunk,
+            retry=_retry_from_args(args),
+            adaptive=not args.no_adaptive,
+        )
+
+    def describe(result, verb: str) -> str:
+        store = result.store
+        lines = [
+            f"{verb} {args.store}: {store.n_chains} chains, "
+            f"{store.n_pairs} pairs committed "
+            f"({result.n_computed} computed now, "
+            f"{result.n_journaled} from the journal"
+            + (f", {result.n_holes} prefilter holes" if result.n_holes else "")
+            + f") in {result.wall_seconds:.1f}s"
+        ]
+        lines.extend(result.notes)
+        return "\n".join(lines)
+
+    try:
+        if args.action == "build":
+            result = build_store(
+                load_limited(), args.store, config=farm_config()
+            )
+            return describe(result, "built")
+        if args.action == "extend":
+            result = ensure_coverage(
+                args.store, load_limited(), config=farm_config()
+            )
+            return describe(result, "extended")
+        store = MatrixStore.open(args.store)
+        if args.action == "query":
+            names = list(store.names)
+            for name in (args.chain_a, args.chain_b):
+                if name not in names:
+                    raise SystemExit(
+                        f"chain {name!r} is not in the store "
+                        f"({store.n_chains} chains); see `matstore export`"
+                    )
+            hashes = store.hashes
+            hit = store.lookup(
+                hashes[names.index(args.chain_a)],
+                hashes[names.index(args.chain_b)],
+            )
+            if hit is None:
+                raise SystemExit(
+                    f"pair {args.chain_a} vs {args.chain_b} is not stored "
+                    "(prefilter hole or identical chains)"
+                )
+            lines = [
+                f"{args.chain_a} vs {args.chain_b} [{store.method}]"
+                + (" (stored swapped)" if hit.swapped else "")
+            ]
+            for key in sorted(hit.scores):
+                lines.append(f"  {key} = {hit.scores[key]:.4f}")
+            return "\n".join(lines)
+        if args.action == "verify":
+            report = store.verify()
+            line = (
+                f"store {args.store} verified: {report['pairs_checked']} "
+                f"pairs cross-checked against the journal"
+            )
+            if report["holes"]:
+                line += f", {report['holes']} prefilter holes"
+            if report["uncommitted_journal_rows"]:
+                line += (
+                    f", {report['uncommitted_journal_rows']} journaled rows "
+                    "awaiting commit"
+                )
+            if report["dropped_journal_lines"]:
+                line += (
+                    f", {report['dropped_journal_lines']} torn tail lines "
+                    "dropped"
+                )
+            return line
+        # args.action == "export" (argparse rejects anything else)
+        n = export_csv(store, args.output)
+        return f"exported {n} pair rows to {args.output}"
+    except JournalCorrupt as exc:
+        raise SystemExit(f"corrupt journal: {exc}") from None
+    except MatStoreError as exc:
+        raise SystemExit(f"matstore error: {exc}") from None
 
 
 def _cmd_info(args) -> str:
@@ -926,7 +1126,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_hotpaths.json",
         help="JSON artefact path (BENCH_kernel.json with --kernel, "
-        "BENCH_prefilter.json with --prefilter)",
+        "BENCH_prefilter.json with --prefilter, BENCH_matstore.json "
+        "with --matstore)",
     )
     p.add_argument(
         "--no-output",
@@ -950,6 +1151,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the hierarchical search (SW prefilter + exact "
         "kernel): throughput, end-to-end speedup and recall@k, writing "
         "BENCH_prefilter.json",
+    )
+    p.add_argument(
+        "--matstore",
+        action="store_true",
+        help="benchmark the durable matrix store (build, one-row extend, "
+        "mmap lookup vs recompute), writing BENCH_matstore.json "
+        "(--quick limits to 8 chains)",
     )
     p.add_argument(
         "--prefilter-keep",
@@ -977,8 +1185,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--min-speedup",
         type=float,
-        default=2.0,
-        help="with --prefilter --check: end-to-end speedup floor",
+        default=None,
+        help="--check speedup floor (default: 2.0 with --prefilter, "
+        "100.0 with --matstore)",
     )
     p.add_argument(
         "--baseline",
@@ -1101,6 +1310,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="test/CI knob: extra seconds per dispatched batch",
     )
     p.add_argument(
+        "--matstore-dir",
+        default="",
+        help="attach the durable matrix store at this root: align serves "
+        "stored pairs as O(1) lookups, register extends by one row "
+        "('' = no store)",
+    )
+    p.add_argument(
         "--retries",
         type=int,
         default=0,
@@ -1125,6 +1341,8 @@ def build_parser() -> argparse.ArgumentParser:
             "register",
             "submit-matrix",
             "status",
+            "matstore-build",
+            "matstore-lookup",
             "healthz",
             "metrics",
             "shutdown",
@@ -1134,7 +1352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "args",
         nargs="*",
         help="op operands: align A B | search Q | register NAME FILE | "
-        "status RUN_ID",
+        "status [RUN_ID] | matstore-lookup A B",
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=_SERVICE_PORT)
@@ -1177,7 +1395,104 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="submit-matrix/status: run-store root (default: the server's)",
     )
+    p.add_argument(
+        "--matstore-dir",
+        default="",
+        help="matstore-build: store root (default: the server's)",
+    )
     p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser(
+        "matstore",
+        help="durable all-vs-all similarity-matrix store (mmap-able; "
+        "incremental extends)",
+    )
+    msub = p.add_subparsers(dest="action", required=True)
+
+    def add_store_root(mp) -> None:
+        mp.add_argument(
+            "--store",
+            default="matstore",
+            help="root directory of the matrix store",
+        )
+
+    def add_retry_flags(mp) -> None:
+        mp.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="farm re-dispatches per failed chunk (0 = fail fast)",
+        )
+        mp.add_argument(
+            "--backoff",
+            type=float,
+            default=0.05,
+            help="base exponential-backoff delay between retries (s)",
+        )
+        mp.add_argument(
+            "--chunk-timeout",
+            type=float,
+            default=0.0,
+            help="seconds before a stalled chunk gets a duplicate dispatch",
+        )
+
+    mp = msub.add_parser(
+        "build",
+        help="compute and commit every pair of a dataset (resumable)",
+    )
+    add_store_root(mp)
+    mp.add_argument("--dataset", default="ck34-mini")
+    mp.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="build only the first N chains (prefix; extend later)",
+    )
+    add_farm(mp)
+    add_retry_flags(mp)
+    mp.set_defaults(fn=_cmd_matstore)
+
+    mp = msub.add_parser(
+        "extend",
+        help="append the dataset chains the store is missing, one row "
+        "(n pairs) per new chain — never a rebuild",
+    )
+    add_store_root(mp)
+    mp.add_argument("--dataset", default="ck34-mini")
+    mp.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="extend coverage up to the first N dataset chains",
+    )
+    add_farm(mp)
+    add_retry_flags(mp)
+    mp.set_defaults(fn=_cmd_matstore)
+
+    mp = msub.add_parser(
+        "query", help="O(1) mmap lookup of one stored pair (all metrics)"
+    )
+    add_store_root(mp)
+    mp.add_argument("chain_a", help="chain name as stored")
+    mp.add_argument("chain_b", help="chain name as stored")
+    mp.set_defaults(fn=_cmd_matstore)
+
+    mp = msub.add_parser(
+        "verify",
+        help="cross-check every committed block value against the "
+        "CRC-checksummed journal",
+    )
+    add_store_root(mp)
+    mp.set_defaults(fn=_cmd_matstore)
+
+    mp = msub.add_parser(
+        "export", help="write the committed matrix as CSV (atomic)"
+    )
+    add_store_root(mp)
+    mp.add_argument("--output", default="matstore.csv")
+    mp.set_defaults(fn=_cmd_matstore)
 
     p = sub.add_parser("info", help="dataset summary")
     p.add_argument("--dataset", default="ck34")

@@ -37,13 +37,16 @@ __all__ = [
     "run_parallel_bench",
     "run_kernel_bench",
     "run_prefilter_bench",
+    "run_matstore_bench",
     "format_parallel_bench_report",
     "format_kernel_bench_report",
     "format_prefilter_bench_report",
+    "format_matstore_bench_report",
     "DEFAULT_BENCH_OUTPUT",
     "DEFAULT_PARALLEL_BENCH_OUTPUT",
     "DEFAULT_KERNEL_BENCH_OUTPUT",
     "DEFAULT_PREFILTER_BENCH_OUTPUT",
+    "DEFAULT_MATSTORE_BENCH_OUTPUT",
     "PRE_OVERHAUL_SWEEP_WALL_S",
     "SEED_KERNEL_PAIRS_PER_SECOND",
     "KERNEL_BASELINE_PAIRS_PER_SECOND",
@@ -53,6 +56,7 @@ DEFAULT_BENCH_OUTPUT = "BENCH_hotpaths.json"
 DEFAULT_PARALLEL_BENCH_OUTPUT = "BENCH_parallel.json"
 DEFAULT_KERNEL_BENCH_OUTPUT = "BENCH_kernel.json"
 DEFAULT_PREFILTER_BENCH_OUTPUT = "BENCH_prefilter.json"
+DEFAULT_MATSTORE_BENCH_OUTPUT = "BENCH_matstore.json"
 
 # Full-grid exp2 sweep wall-clock measured on the reference container just
 # before the hot-path overhaul landed.  Kept so the artefact records the
@@ -780,6 +784,173 @@ def run_prefilter_bench(
             json.dump(report, fh, indent=1, sort_keys=True)
             fh.write("\n")
     return report
+
+
+def run_matstore_bench(
+    dataset: str = "ck34",
+    output: Optional[str] = DEFAULT_MATSTORE_BENCH_OUTPUT,
+    limit: Optional[int] = None,
+    lookups: int = 200,
+    recompute_pairs: int = 5,
+    min_speedup: float = 100.0,
+    root: Optional[str] = None,
+) -> dict:
+    """Benchmark the matrix store and write ``BENCH_matstore.json``.
+
+    Exercises the whole incremental-update story end to end on a
+    throwaway root:
+
+    * **build** — all-vs-all over the first ``n - 1`` chains through the
+      farm (kernel pairs/s);
+    * **extend** — the held-out chain appended as one row, recording that
+      it computed *exactly* ``n - 1`` new pairs;
+    * **lookup vs recompute** — after reopening the store cold, the p50
+      mmap lookup latency against the p50 direct-kernel latency over the
+      same sampled pairs.
+
+    The ``regression`` block records ``passed = lookups are at least
+    min_speedup x faster than recompute AND the extend computed exactly
+    n - 1 pairs``; callers decide whether to fail on it.
+    """
+    import shutil
+    import statistics
+    import tempfile
+
+    from repro.cost.counters import CostCounter
+    from repro.matstore import (
+        MatrixStore,
+        build_store,
+        extend_store,
+        store_method,
+    )
+
+    ds = load_dataset(dataset)
+    if limit is not None and limit < len(ds):
+        ds = ds.subset(limit)
+    n = len(ds)
+    if n < 3:
+        raise ValueError(f"matstore bench needs >= 3 chains, got {n}")
+    tmp = ""
+    if root is None:
+        tmp = root = tempfile.mkdtemp(prefix="matstore_bench_")
+    try:
+        seed = ds.subset(n - 1, f"{ds.name}-seed")
+        t0 = time.perf_counter()
+        built = build_store(seed, root)
+        build_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ext = extend_store(built.store, seed.chains, ds[n - 1])
+        extend_wall = time.perf_counter() - t0
+        extend_exact = ext.n_computed == n - 1
+
+        # a fresh reader: lookups below hit the reopened mmaps, not the
+        # writer's in-process state
+        store = MatrixStore.open(root)
+        hashes = store.hashes
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        step = max(1, len(pairs) // max(1, lookups))
+        sample = pairs[::step][:lookups]
+        store.lookup(hashes[0], hashes[1])  # page the blocks in once
+        lookup_times = []
+        for i, j in sample:
+            t0 = time.perf_counter()
+            hit = store.lookup(hashes[i], hashes[j])
+            lookup_times.append(time.perf_counter() - t0)
+            if hit is None:
+                raise RuntimeError(f"stored pair ({i}, {j}) missed the store")
+        lookup_p50 = statistics.median(lookup_times)
+
+        method, _ = store_method(store)
+        recompute_times = []
+        for i, j in sample[: max(1, recompute_pairs)]:
+            t0 = time.perf_counter()
+            method.compare(ds[i], ds[j], CostCounter())
+            recompute_times.append(time.perf_counter() - t0)
+        recompute_p50 = statistics.median(recompute_times)
+        speedup = recompute_p50 / lookup_p50 if lookup_p50 > 0 else float("inf")
+
+        verify_report = store.verify()
+        stats = store.stats()
+    finally:
+        if tmp:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    report: dict = {
+        "schema": "repro-bench-matstore/1",
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "dataset": ds.name,
+        "chains": n,
+        "n_pairs": stats["n_pairs"],
+        "pairs_stored": stats["pairs_stored"],
+        "block_bytes": stats["block_bytes"],
+        "build": {
+            "chains": n - 1,
+            "n_pairs": built.n_pairs,
+            "n_computed": built.n_computed,
+            "wall_seconds": build_wall,
+            "pairs_per_second": (
+                built.n_computed / build_wall if build_wall > 0 else 0.0
+            ),
+        },
+        "extend": {
+            "expected_pairs": n - 1,
+            "n_computed": ext.n_computed,
+            "wall_seconds": extend_wall,
+            "exact": extend_exact,
+        },
+        "lookup": {
+            "samples": len(lookup_times),
+            "p50_seconds": lookup_p50,
+            "mean_seconds": sum(lookup_times) / len(lookup_times),
+        },
+        "recompute": {
+            "samples": len(recompute_times),
+            "p50_seconds": recompute_p50,
+        },
+        "speedup": speedup,
+        "verify": {
+            "pairs_checked": verify_report["pairs_checked"],
+            "holes": verify_report["holes"],
+        },
+        "regression": {
+            "min_speedup": min_speedup,
+            "speedup": speedup,
+            "extend_exact": extend_exact,
+            "passed": bool(extend_exact and speedup >= min_speedup),
+        },
+    }
+    if output:
+        with open(output, "w", encoding="ascii") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_matstore_bench_report(report: dict) -> str:
+    """Human-readable summary of a ``run_matstore_bench`` report."""
+    reg = report["regression"]
+    build = report["build"]
+    ext = report["extend"]
+    parts = [
+        f"== bench: matrix store, {report['dataset']} "
+        f"({report['chains']} chains, {report['n_pairs']} pairs, "
+        f"{report['block_bytes']} block bytes) ==",
+        f"build: {build['n_computed']} pairs in {build['wall_seconds']:.1f}s "
+        f"({build['pairs_per_second']:.1f} pairs/s through the farm)",
+        f"extend: held-out chain cost {ext['n_computed']} pairs "
+        f"(expected {ext['expected_pairs']}) in {ext['wall_seconds']:.2f}s",
+        f"lookup: p50 {report['lookup']['p50_seconds'] * 1e6:.1f} us over "
+        f"{report['lookup']['samples']} reopened-mmap lookups vs "
+        f"{report['recompute']['p50_seconds'] * 1e3:.1f} ms direct kernel "
+        f"-> {report['speedup']:,.0f}x",
+        f"verify: {report['verify']['pairs_checked']} pairs cross-checked "
+        "against the journal",
+        f"gate: exact one-row extend and lookup speedup >= "
+        f"{reg['min_speedup']:.0f}x -> {'PASS' if reg['passed'] else 'FAIL'}",
+    ]
+    return "\n".join(parts)
 
 
 def format_prefilter_bench_report(report: dict) -> str:

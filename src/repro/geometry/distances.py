@@ -8,6 +8,7 @@ __all__ = [
     "pairwise_distances",
     "cross_distances",
     "contact_map",
+    "lddt_score",
     "radius_of_gyration",
     "sequential_distances",
 ]
@@ -51,6 +52,40 @@ def contact_map(coords: np.ndarray, cutoff: float = 8.0) -> np.ndarray:
     contacts = dist < cutoff
     np.fill_diagonal(contacts, False)
     return contacts
+
+
+def lddt_score(
+    model: np.ndarray,
+    reference: np.ndarray,
+    inclusion_radius: float = 15.0,
+    tolerances: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+) -> float:
+    """Local distance difference test over matched coordinate sets.
+
+    Superposition-free: for every residue pair whose *reference*
+    distance is below ``inclusion_radius``, the pair counts as preserved
+    under a tolerance when the model distance differs by less than that
+    tolerance; the score is the preserved fraction averaged over the
+    tolerances. Returns 1.0 when no reference pair falls inside the
+    inclusion radius (nothing to violate).
+    """
+    model = _coords(model)
+    reference = _coords(reference)
+    if model.shape != reference.shape:
+        raise ValueError(f"matched sets differ: {model.shape} vs {reference.shape}")
+    if inclusion_radius <= 0:
+        raise ValueError("inclusion_radius must be positive")
+    if not tolerances or any(t <= 0 for t in tolerances):
+        raise ValueError("tolerances must be positive")
+    iu = np.triu_indices(model.shape[0], k=1)
+    dref = pairwise_distances(reference)[iu]
+    keep = dref < inclusion_radius
+    if not keep.any():
+        return 1.0
+    dmod = pairwise_distances(model)[iu]
+    diff = np.abs(dmod[keep] - dref[keep])
+    fracs = [float((diff < tol).mean()) for tol in tolerances]
+    return float(np.mean(fracs))
 
 
 def radius_of_gyration(coords: np.ndarray) -> float:

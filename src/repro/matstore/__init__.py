@@ -1,0 +1,47 @@
+"""Durable all-vs-all similarity-matrix store (ROADMAP item 2).
+
+The paper's end product is the all-to-all comparison matrix; this
+package makes it a *persistent artifact* instead of a per-request
+computation: build once through the farm, mmap forever, extend by one
+row when a new structure registers.  Every pair carries the four
+headline metrics (TM-score both normalisations, RMSD, GDT_TS, LDDT)
+plus alignment length and sequence identity, keyed by registry content
+hashes so lookups hit across names, uploads and restarts.
+
+See :mod:`repro.matstore.store` for the on-disk layout and durability
+protocol, :mod:`repro.matstore.build` for the build/extend flows.
+"""
+
+from repro.matstore.store import (
+    METRICS,
+    SERVABLE_KEYS,
+    MatStoreError,
+    MatrixStore,
+    StoreHit,
+    pair_offset,
+    triangle_size,
+)
+from repro.matstore.build import (
+    BuildResult,
+    build_store,
+    ensure_coverage,
+    export_csv,
+    extend_store,
+    store_method,
+)
+
+__all__ = [
+    "METRICS",
+    "SERVABLE_KEYS",
+    "MatStoreError",
+    "MatrixStore",
+    "StoreHit",
+    "BuildResult",
+    "build_store",
+    "ensure_coverage",
+    "export_csv",
+    "extend_store",
+    "pair_offset",
+    "store_method",
+    "triangle_size",
+]

@@ -1,0 +1,353 @@
+"""Populate and incrementally extend a :class:`MatrixStore`.
+
+``build_store`` computes every unordered pair of a dataset through the
+existing farm (cost-packed chunks, adaptive sizing, retries) — or only
+the prefilter-promoted union, leaving NaN holes — journaling each pair
+as it drains, then commits the float32 blocks and header in one step.
+``extend_store`` is the incremental database update: one new chain costs
+exactly ``n`` new pairs appended at the block tails, never a rebuild.
+
+Both are resumable: rows already journaled (by a crashed or interrupted
+run) are never recomputed, the same contract ``matrix --resume`` gives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.registry import Dataset
+from repro.psc.methods import TMAlignFullMethod
+from repro.psc.search import Prefilter, resolve_prefilter
+from repro.service.registry import chain_content_hash
+from repro.structure.model import Chain
+from repro.tmalign.params import TMAlignParams, params_fingerprint
+
+from repro.matstore.store import (
+    METRICS,
+    MatStoreError,
+    MatrixStore,
+    condensed_pairs,
+)
+
+__all__ = [
+    "BuildResult",
+    "build_store",
+    "ensure_coverage",
+    "extend_store",
+    "export_csv",
+    "store_method",
+]
+
+_NAN_ROW = {k: float("nan") for k in METRICS}
+
+
+@dataclass
+class BuildResult:
+    """Outcome of one build/extend: how much work was actually done."""
+
+    store: MatrixStore
+    n_pairs: int  # pairs this invocation was responsible for
+    n_computed: int  # pairs actually run through the kernel now
+    n_journaled: int  # pairs taken from a prior (interrupted) journal
+    n_holes: int  # pairs demoted by the prefilter (NaN slots)
+    wall_seconds: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+
+def store_method(
+    store: Optional[MatrixStore] = None,
+    params: Optional[TMAlignParams] = None,
+) -> Tuple[TMAlignFullMethod, str]:
+    """The one method a matrix store is scored with, plus its fingerprint.
+
+    The store schema carries exactly the ``tmalign_full`` score keys, so
+    the method is fixed; ``params`` customises the TM-align knobs, and an
+    existing store refuses parameters that do not match its recorded
+    fingerprint (mixing parameterisations in one matrix would poison
+    every later lookup).
+    """
+    method = TMAlignFullMethod(params=params)
+    fingerprint = params_fingerprint(method.params)
+    if store is not None:
+        if store.method != method.name:
+            raise MatStoreError(
+                f"store was built with method {store.method!r}, "
+                f"cannot continue with {method.name!r}"
+            )
+        if store.params_hash != fingerprint:
+            raise MatStoreError(
+                f"store was built with params {store.params_hash[:12]}..., "
+                f"the supplied params fingerprint {fingerprint[:12]}... differs"
+            )
+    return method, fingerprint
+
+
+def _content_hashes(chains: Sequence[Chain]) -> List[str]:
+    hashes = [chain_content_hash(c) for c in chains]
+    if len(set(hashes)) != len(hashes):
+        raise MatStoreError("dataset contains chains with identical content")
+    return hashes
+
+
+def _keep_sets(dataset: Dataset, prefilter: Prefilter) -> Optional[List[set]]:
+    """Per-query promotion sets, same union semantics as ``all_vs_all``."""
+    pf = resolve_prefilter(prefilter, dataset)
+    if pf is None:
+        return None
+    return [set(pf.promote_chain(dataset[i], exclude={i})) for i in range(len(dataset))]
+
+
+def _pair_kept(i: int, j: int, keep: Optional[List[set]]) -> bool:
+    return keep is None or j in keep[i] or i in keep[j]
+
+
+def _compute_rows(
+    dataset: Dataset,
+    store: MatrixStore,
+    pairs: Sequence[Tuple[int, int]],
+    keep: Optional[List[set]],
+    method: TMAlignFullMethod,
+    config,
+) -> Tuple[Dict[Tuple[int, int], Dict[str, float]], int, int, int]:
+    """Journal-first evaluation of ``pairs``: rows already journaled are
+    reused, demoted pairs are journaled as NaN holes, the rest go through
+    the farm.  Returns ``(rows, n_computed, n_journaled, n_holes)``."""
+    from repro.parallel import iter_pair_results
+
+    state = store.load_journal()
+    rows: Dict[Tuple[int, int], Dict[str, float]] = {}
+    todo: List[Tuple[int, int]] = []
+    n_holes = 0
+    n_journaled = 0
+    with store.journal() as journal:
+        for i, j in pairs:
+            if (i, j) in state.rows:
+                rows[(i, j)] = state.scores((i, j))
+                n_journaled += 1
+                if rows[(i, j)][METRICS[0]] != rows[(i, j)][METRICS[0]]:
+                    n_holes += 1
+                continue
+            if not _pair_kept(i, j, keep):
+                journal.append(i, j, _NAN_ROW)
+                rows[(i, j)] = dict(_NAN_ROW)
+                n_holes += 1
+                continue
+            todo.append((i, j))
+        for i, j, scores, _counts in iter_pair_results(
+            dataset, todo, method, config=config
+        ):
+            journal.append(i, j, scores)
+            rows[(i, j)] = dict(scores)
+    return rows, len(todo), n_journaled, n_holes
+
+
+def _tail_blocks(
+    rows: Dict[Tuple[int, int], Dict[str, float]],
+    pairs: Sequence[Tuple[int, int]],
+) -> Dict[str, np.ndarray]:
+    """Condensed-order float32 tail arrays for one commit."""
+    tail = {m: np.empty(len(pairs), dtype="<f4") for m in METRICS}
+    for k, (i, j) in enumerate(pairs):
+        scores = rows[(i, j)]
+        for m in METRICS:
+            tail[m][k] = np.float32(scores[m])
+    return tail
+
+
+def build_store(
+    dataset: Dataset,
+    root: str,
+    params: Optional[TMAlignParams] = None,
+    config=None,
+    prefilter: Prefilter = None,
+) -> BuildResult:
+    """Build (or resume building) the all-vs-all store for ``dataset``.
+
+    A store whose header already covers the dataset is a no-op; a store
+    left with an empty header but a partial journal (a crashed build)
+    resumes, recomputing zero journaled pairs.  A store built from
+    *different* content refuses — extend it instead.
+    """
+    t0 = time.perf_counter()
+    hashes = _content_hashes(dataset.chains)
+    names = [c.name for c in dataset.chains]
+    try:
+        store = MatrixStore.open(root)
+    except MatStoreError:
+        method, fingerprint = store_method(params=params)
+        store = MatrixStore.create(
+            root, method.name, fingerprint, dataset=dataset.name
+        )
+    method, _ = store_method(store, params=params)
+    if store.n_chains:
+        if store.hashes == hashes:
+            return BuildResult(
+                store,
+                n_pairs=store.n_pairs,
+                n_computed=0,
+                n_journaled=store.n_pairs,
+                n_holes=int(store.stats()["holes"]),
+                wall_seconds=time.perf_counter() - t0,
+                notes=["store already covers this dataset"],
+            )
+        raise MatStoreError(
+            f"store at {root} holds {store.n_chains} chains of different "
+            "content; extend it chain by chain or build into a fresh root"
+        )
+    pairs = list(condensed_pairs(len(dataset)))
+    keep = _keep_sets(dataset, prefilter)
+    rows, n_computed, n_journaled, n_holes = _compute_rows(
+        dataset, store, pairs, keep, method, config
+    )
+    store.commit_rows(names, hashes, _tail_blocks(rows, pairs))
+    return BuildResult(
+        store,
+        n_pairs=len(pairs),
+        n_computed=n_computed,
+        n_journaled=n_journaled,
+        n_holes=n_holes,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def extend_store(
+    store: MatrixStore,
+    corpus: Sequence[Chain],
+    new_chain: Chain,
+    params: Optional[TMAlignParams] = None,
+    config=None,
+    prefilter: Prefilter = None,
+) -> BuildResult:
+    """Register one new chain: compute, journal and append exactly ``n``
+    new pairs (``n`` = chains already stored), never touching the rest.
+
+    ``corpus`` must be the already-stored chains — validated content
+    hash by content hash, in store order, so an extend can never graft a
+    row computed against the wrong structures.  A chain whose content is
+    already stored is a no-op.  Interrupted extends resume from the
+    journal.
+    """
+    t0 = time.perf_counter()
+    method, _ = store_method(store, params=params)
+    have = _content_hashes(corpus)
+    if have != store.hashes:
+        raise MatStoreError(
+            f"supplied corpus ({len(corpus)} chains) does not match the "
+            f"stored chains ({store.n_chains}) content-hash for content-hash"
+        )
+    new_hash = chain_content_hash(new_chain)
+    if new_hash in store:
+        return BuildResult(
+            store,
+            n_pairs=0,
+            n_computed=0,
+            n_journaled=0,
+            n_holes=0,
+            wall_seconds=time.perf_counter() - t0,
+            notes=[f"chain content {new_hash[:12]}... already stored"],
+        )
+    n = store.n_chains
+    extended = Dataset(
+        store.dataset or "matstore-extend",
+        (*corpus, new_chain),
+        "matrix-store extend working set",
+    )
+    pairs = [(i, n) for i in range(n)]
+    keep = _keep_sets(extended, prefilter)
+    rows, n_computed, n_journaled, n_holes = _compute_rows(
+        extended, store, pairs, keep, method, config
+    )
+    store.commit_rows([new_chain.name], [new_hash], _tail_blocks(rows, pairs))
+    return BuildResult(
+        store,
+        n_pairs=len(pairs),
+        n_computed=n_computed,
+        n_journaled=n_journaled,
+        n_holes=n_holes,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def ensure_coverage(
+    root: str,
+    dataset: Dataset,
+    params: Optional[TMAlignParams] = None,
+    config=None,
+    prefilter: Prefilter = None,
+) -> BuildResult:
+    """Make the store at ``root`` cover every pair of ``dataset``.
+
+    Missing store → full build; store holding a *prefix* of the dataset
+    (the incremental-update scenario: same corpus, new chains appended)
+    → one :func:`extend_store` per new chain, ``n`` pairs each; store
+    already covering the dataset → no-op.  Any other divergence refuses
+    rather than silently mixing content.
+    """
+    t0 = time.perf_counter()
+    hashes = _content_hashes(dataset.chains)
+    try:
+        store = MatrixStore.open(root)
+    except MatStoreError:
+        store = None
+    if store is None or store.n_chains == 0 or store.hashes == hashes:
+        return build_store(dataset, root, params=params, config=config,
+                           prefilter=prefilter)
+    k = store.n_chains
+    if k > len(dataset) or store.hashes != hashes[:k]:
+        raise MatStoreError(
+            f"store at {root} ({k} chains) is not a prefix of dataset "
+            f"{dataset.name!r} ({len(dataset)} chains); build a fresh root"
+        )
+    total = BuildResult(store, n_pairs=0, n_computed=0, n_journaled=0, n_holes=0)
+    for idx in range(k, len(dataset)):
+        r = extend_store(
+            store, dataset.chains[:idx], dataset[idx],
+            params=params, config=config, prefilter=prefilter,
+        )
+        total.n_pairs += r.n_pairs
+        total.n_computed += r.n_computed
+        total.n_journaled += r.n_journaled
+        total.n_holes += r.n_holes
+        total.notes.extend(r.notes)
+    total.wall_seconds = time.perf_counter() - t0
+    return total
+
+
+def export_csv(store: MatrixStore, path: str) -> int:
+    """Write the committed matrix as CSV, atomically; returns row count.
+
+    Values come from the journal — the exact ``format(value, "")``
+    strings a direct ``matrix`` run would stream — so an export is
+    byte-comparable with kernel output, not a float32 round-trip.
+    """
+    import csv
+    import os
+
+    state = store.load_journal()
+    names = store.names
+    tmp = f"{path}.tmp.{os.getpid()}"
+    n = 0
+    try:
+        with open(tmp, "w", newline="", encoding="ascii") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["chain_a", "chain_b", *METRICS])
+            for i, j in condensed_pairs(store.n_chains):
+                row = state.rows.get((i, j))
+                if row is None:
+                    raise MatStoreError(
+                        f"pair ({i}, {j}) committed but not journaled; "
+                        "run `matstore verify`"
+                    )
+                writer.writerow([names[i], names[j], *row])
+                n += 1
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - error cleanup
+            os.unlink(tmp)
+    return n

@@ -24,10 +24,12 @@ from repro.psc.base import PSCMethod
 from repro.structure.model import Chain
 from repro.structure.secstruct import SS_COIL, SS_HELIX, SS_STRAND, SS_TURN
 from repro.tmalign.align import tm_align
+from repro.tmalign.metrics import gdt_ts, lddt
 from repro.tmalign.params import TMAlignParams
 
 __all__ = [
     "TMAlignMethod",
+    "TMAlignFullMethod",
     "KabschRmsdMethod",
     "SSECompositionMethod",
     "METHOD_REGISTRY",
@@ -66,6 +68,31 @@ class TMAlignMethod(PSCMethod):
         self, len_a: int, len_b: int, pair_key: str | None = None
     ) -> Mapping[str, float]:
         return self.cost_model.counts(len_a, len_b, pair_key)
+
+
+class TMAlignFullMethod(TMAlignMethod):
+    """TM-align plus the model-quality metrics the matrix store carries.
+
+    Runs the kernel once, then scores GDT_TS and LDDT over the alignment
+    it produced — the same alignment, so the extra metrics cost only the
+    cheap rescoring passes, not another kernel run.
+    """
+
+    name = "tmalign_full"
+
+    def compare(
+        self, chain_a: Chain, chain_b: Chain, counter: CostCounter
+    ) -> Dict[str, float]:
+        res = tm_align(chain_a, chain_b, params=self.params, counter=counter)
+        return {
+            "tm_norm_a": res.tm_norm_a,
+            "tm_norm_b": res.tm_norm_b,
+            "rmsd": res.rmsd,
+            "n_aligned": float(res.n_aligned),
+            "seq_identity": res.seq_identity,
+            "gdt_ts": gdt_ts(chain_a, chain_b, res.alignment),
+            "lddt": lddt(chain_a, chain_b, res.alignment),
+        }
 
 
 class KabschRmsdMethod(PSCMethod):
@@ -167,6 +194,7 @@ class SSECompositionMethod(PSCMethod):
 
 METHOD_REGISTRY = {
     "tmalign": TMAlignMethod,
+    "tmalign_full": TMAlignFullMethod,
     "kabsch_rmsd": KabschRmsdMethod,
     "sse_composition": SSECompositionMethod,
 }

@@ -44,6 +44,7 @@ __all__ = [
     "rank_hits",
     "one_vs_all",
     "all_vs_all",
+    "consult_store",
     "resolve_prefilter",
 ]
 
@@ -166,6 +167,44 @@ def one_vs_all(
     return rank_hits(rows, method)
 
 
+def consult_store(
+    store, dataset: Dataset, method: PSCMethod
+) -> Dict[tuple[int, int], Dict[str, float]]:
+    """Pairs of ``dataset`` a matrix store can serve for ``method``.
+
+    Returns ``{(i, j): scores}`` for every unordered pair whose content
+    hashes the store holds *in the same orientation the caller would
+    compute* (TM-align is direction-dependent, so swapped hits are left
+    to the kernel); scores are projected onto the method's key set.
+    Raises ``ValueError`` when the store was built with a different
+    method or parameterisation — serving those would be silently wrong.
+    """
+    from repro.matstore.store import SERVABLE_KEYS
+    from repro.service.registry import chain_content_hash
+    from repro.tmalign.params import params_fingerprint
+
+    keys = SERVABLE_KEYS.get(method.name)
+    if keys is None or store.method not in SERVABLE_KEYS:
+        raise ValueError(
+            f"matrix store (method {store.method!r}) cannot serve "
+            f"method {method.name!r}"
+        )
+    fingerprint = params_fingerprint(method.params)
+    if fingerprint != store.params_hash:
+        raise ValueError(
+            f"matrix store was built with params {store.params_hash[:12]}..., "
+            f"request fingerprints to {fingerprint[:12]}..."
+        )
+    hashes = [chain_content_hash(c) for c in dataset]
+    served: Dict[tuple[int, int], Dict[str, float]] = {}
+    for i in range(len(dataset)):
+        for j in range(i + 1, len(dataset)):
+            hit = store.lookup(hashes[i], hashes[j])
+            if hit is not None and not hit.swapped:
+                served[(i, j)] = {k: hit.scores[k] for k in keys}
+    return served
+
+
 def all_vs_all(
     dataset: Dataset,
     method: Optional[PSCMethod] = None,
@@ -175,6 +214,8 @@ def all_vs_all(
     retry: Optional["RetryPolicy"] = None,
     adaptive: bool = True,
     prefilter: Prefilter = None,
+    store=None,
+    populate: bool = False,
 ) -> Dict[tuple[str, str], Dict[str, float]]:
     """All unordered pairs (i<j) of the dataset; returns a score table.
 
@@ -185,8 +226,28 @@ def all_vs_all(
     promoted for query ``i`` **or** ``i`` is promoted for query ``j``
     (the union keeps the table symmetric in what it covers); the
     returned table contains only the kept pairs.
+
+    ``store`` (a :class:`repro.matstore.MatrixStore` or a store root
+    path) consults the precomputed matrix first: pairs it holds are
+    served as O(1) mmap lookups (float32, the store's precision) and
+    only the misses reach the kernel.  ``populate=True`` additionally
+    builds or prefix-extends the store to cover the dataset before
+    consulting, so the sweep both fills and benefits from the matrix.
     """
     method = method or TMAlignMethod()
+    served: Dict[tuple[int, int], Dict[str, float]] = {}
+    if store is not None:
+        from repro.matstore import MatrixStore, ensure_coverage
+
+        if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+            root = store
+            if populate:
+                store = ensure_coverage(root, dataset).store
+            else:
+                store = MatrixStore.open(root)
+        elif populate:
+            store = ensure_coverage(store.root, dataset).store
+        served = consult_store(store, dataset, method)
     pf = resolve_prefilter(prefilter, dataset)
     n = len(dataset)
     keep: Optional[list[set[int]]] = None
@@ -195,6 +256,35 @@ def all_vs_all(
             set(pf.promote_chain(dataset[i], exclude={i})) for i in range(n)
         ]
         keep = promoted
+    if served:
+        out = {
+            (dataset[i].name, dataset[j].name): scores
+            for (i, j), scores in served.items()
+            if keep is None or j in keep[i] or i in keep[j]
+        }
+        pairs = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (i, j) not in served
+            and (keep is None or j in keep[i] or i in keep[j])
+        ]
+        if pairs:
+            from repro.parallel import ParallelConfig, parallel_all_vs_all
+
+            out.update(
+                parallel_all_vs_all(
+                    dataset,
+                    method,
+                    counter=counter,
+                    config=ParallelConfig(
+                        workers=workers, chunk=chunk, retry=retry,
+                        adaptive=adaptive,
+                    ),
+                    pairs=pairs,
+                )
+            )
+        return out
     if workers > 1:
         from repro.parallel import ParallelConfig, parallel_all_vs_all
 

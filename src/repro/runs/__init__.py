@@ -11,9 +11,17 @@ and still produces a byte-identical CSV.
 
 from repro.runs.manifest import RunManifest, dataset_fingerprint
 from repro.runs.matrix import MatrixRunResult, matrix_run
-from repro.runs.store import Run, RunJournal, RunStore, RunStoreError
+from repro.runs.store import (
+    JournalCorrupt,
+    Run,
+    RunJournal,
+    RunStore,
+    RunStoreError,
+    read_journal,
+)
 
 __all__ = [
+    "JournalCorrupt",
     "Run",
     "RunJournal",
     "RunManifest",
@@ -22,4 +30,5 @@ __all__ = [
     "MatrixRunResult",
     "dataset_fingerprint",
     "matrix_run",
+    "read_journal",
 ]

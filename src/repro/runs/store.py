@@ -27,7 +27,14 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runs.manifest import RunManifest, atomic_write_text
 
-__all__ = ["RunStore", "Run", "RunJournal", "RunStoreError"]
+__all__ = [
+    "RunStore",
+    "Run",
+    "RunJournal",
+    "RunStoreError",
+    "JournalCorrupt",
+    "read_journal",
+]
 
 _JOURNAL_NAME = "journal.csv"
 _MANIFEST_NAME = "manifest.json"
@@ -35,6 +42,16 @@ _MANIFEST_NAME = "manifest.json"
 
 class RunStoreError(RuntimeError):
     """A run directory is missing, malformed, or incompatible."""
+
+
+class JournalCorrupt(RunStoreError):
+    """A journal failed its checksum mid-file: real damage, not a torn
+    tail.
+
+    Callers surface ``str(exc)`` as a one-line error instead of a
+    traceback; the matstore verifier raises the same type so one
+    ``except`` covers both stores.
+    """
 
 
 def _crc(text: str) -> str:
@@ -159,38 +176,10 @@ class Run:
 
         Corrupt or truncated trailing lines (the signature of a process
         killed mid-append) are dropped; a corrupt line followed by
-        intact ones indicates real damage and raises.
+        intact ones indicates real damage and raises
+        :class:`JournalCorrupt`.
         """
-        state = JournalState()
-        if not os.path.exists(self.journal_path):
-            return state
-        bad_at: Optional[int] = None
-        with open(self.journal_path, encoding="ascii", newline="") as fh:
-            for lineno, line in enumerate(fh, start=1):
-                if lineno == 1 and line.startswith("#keys="):
-                    state.keys = tuple(
-                        k for k in line[len("#keys=") :].rstrip("\n").split(",") if k
-                    )
-                    continue
-                record = _decode_row(line)
-                if record is None:
-                    bad_at = lineno
-                    state.dropped += 1
-                    continue
-                if bad_at is not None:
-                    raise RunStoreError(
-                        f"journal {self.journal_path} has a corrupt record at "
-                        f"line {bad_at} followed by intact ones — the file is "
-                        "damaged, not merely truncated"
-                    )
-                i, j, values = record
-                if state.keys is not None and len(values) != len(state.keys):
-                    raise RunStoreError(
-                        f"journal record ({i}, {j}) has {len(values)} values "
-                        f"for {len(state.keys)} keys"
-                    )
-                state.rows[(i, j)] = values
-        return state
+        return read_journal(self.journal_path)
 
     # -- finalization ------------------------------------------------------
     def finalize_csv(
@@ -255,6 +244,47 @@ class JournalState:
         if self.keys is None:
             raise RunStoreError("journal has no key header")
         return {k: float(v) for k, v in zip(self.keys, self.rows[pair])}
+
+
+def read_journal(path: str) -> "JournalState":
+    """Decode a CRC-checksummed journal file into a :class:`JournalState`.
+
+    Corrupt or truncated trailing lines are dropped (``state.dropped``
+    counts them); a corrupt line *followed by intact ones* means the
+    file is damaged rather than merely torn by a crash, and raises the
+    typed :class:`JournalCorrupt`.  Shared by the run store and the
+    matrix store verifier.
+    """
+    state = JournalState()
+    if not os.path.exists(path):
+        return state
+    bad_at: Optional[int] = None
+    with open(path, encoding="ascii", newline="") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if lineno == 1 and line.startswith("#keys="):
+                state.keys = tuple(
+                    k for k in line[len("#keys=") :].rstrip("\n").split(",") if k
+                )
+                continue
+            record = _decode_row(line)
+            if record is None:
+                bad_at = lineno
+                state.dropped += 1
+                continue
+            if bad_at is not None:
+                raise JournalCorrupt(
+                    f"journal {path} has a corrupt record at "
+                    f"line {bad_at} followed by intact ones — the file is "
+                    "damaged, not merely truncated"
+                )
+            i, j, values = record
+            if state.keys is not None and len(values) != len(state.keys):
+                raise JournalCorrupt(
+                    f"journal {path} record ({i}, {j}) has {len(values)} "
+                    f"values for {len(state.keys)} keys"
+                )
+            state.rows[(i, j)] = values
+    return state
 
 
 def _decode_row(line: str) -> Optional[Tuple[int, int, List[str]]]:

@@ -130,9 +130,21 @@ class ServiceClient:
         )["result"]
 
     def status(
-        self, run_id: str, runs_dir: Optional[str] = None
+        self, run_id: Optional[str] = None, runs_dir: Optional[str] = None
     ) -> Dict[str, Any]:
+        """Progress of one durable run, or — without ``run_id`` — the
+        service-level status (corpus, matrix store, background jobs)."""
         return self.request("status", run_id=run_id, runs_dir=runs_dir)["result"]
+
+    def matstore_build(self, root: Optional[str] = None) -> Dict[str, Any]:
+        """Build (or prefix-extend) the matrix store over the corpus, in
+        the background; poll :meth:`status` for completion."""
+        return self.request("matstore-build", root=root)["result"]
+
+    def matstore_lookup(self, a: str, b: str) -> Dict[str, Any]:
+        """O(1) mmap lookup of a stored pair (all four metrics); raises
+        :class:`~repro.service.protocol.NotFound` on a store miss."""
+        return self.request("matstore-lookup", a=a, b=b)["result"]
 
     def healthz(self) -> Dict[str, Any]:
         return self.request("healthz")["result"]

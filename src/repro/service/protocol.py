@@ -178,15 +178,16 @@ def resolve_method(
     from repro.psc.methods import get_method
 
     overrides = dict(overrides or {})
-    if method_name == "tmalign":
-        from repro.psc.methods import TMAlignMethod
+    if method_name in ("tmalign", "tmalign_full"):
+        from repro.psc.methods import TMAlignFullMethod, TMAlignMethod
         from repro.tmalign.params import TMAlignParams, params_fingerprint
 
         try:
             params = TMAlignParams(**overrides)
         except (TypeError, ValueError) as exc:
-            raise BadRequest(f"bad tmalign params: {exc}") from None
-        return TMAlignMethod(params=params), params_fingerprint(params)
+            raise BadRequest(f"bad {method_name} params: {exc}") from None
+        cls = TMAlignFullMethod if method_name == "tmalign_full" else TMAlignMethod
+        return cls(params=params), params_fingerprint(params)
     try:
         method = get_method(method_name, **overrides)
     except KeyError as exc:

@@ -75,6 +75,7 @@ class ServiceConfig:
     adaptive: bool = True  # farm adaptive worker sizing
     cache_capacity: int = 1024  # LRU result-cache entries
     runs_dir: str = "runs"  # durable store for submit-matrix
+    matstore_dir: str = ""  # precomputed matrix store root ("" = none)
     eval_delay: float = 0.0  # test/CI knob: sleep per batch dispatch
 
     def farm_config(self) -> ParallelConfig:
@@ -134,11 +135,25 @@ class PSCService:
         # (corpus hashes, keep) -> SequencePrefilter; rebuilt only when a
         # registration changes the corpus or a request changes the knob
         self._prefilters: Dict[Tuple[Tuple[str, ...], float], Any] = {}
+        # precomputed similarity-matrix store: reader instance swapped
+        # whole after every build/extend, writes serialized by the lock
+        self.matstore = None
+        self._matstore_lock = threading.Lock()
+        self._matstore_job: Optional[Tuple[threading.Thread, Dict[str, Any]]] = None
+        if self.config.matstore_dir:
+            from repro.matstore import MatrixStore, MatStoreError
+
+            try:
+                self.matstore = MatrixStore.open(self.config.matstore_dir)
+            except MatStoreError:
+                pass  # not built yet; matstore-build creates it
         self._ops = {
             "align": self._op_align,
             "search": self._op_search,
             "register": self._op_register,
             "submit-matrix": self._op_submit_matrix,
+            "matstore-build": self._op_matstore_build,
+            "matstore-lookup": self._op_matstore_lookup,
             "status": self._op_status,
             "healthz": self._op_healthz,
             "metrics": self._op_metrics,
@@ -250,6 +265,30 @@ class PSCService:
                 await writer.drain()
 
     # -- pair evaluation with cache ----------------------------------------
+    def _store_scores(
+        self, hash_a: str, hash_b: str, method_name: str, params_hash: str
+    ) -> Optional[Dict[str, float]]:
+        """Matrix-store consult for one pair, or None on a miss.
+
+        Serves only the store's own orientation (TM-align is
+        direction-dependent) and only methods/params the store was built
+        with; every consult of a servable pair counts a hit or a miss.
+        """
+        store = self.matstore
+        if store is None:
+            return None
+        from repro.matstore.store import SERVABLE_KEYS
+
+        keys = SERVABLE_KEYS.get(method_name)
+        if keys is None or params_hash != store.params_hash:
+            return None
+        hit = store.lookup(hash_a, hash_b)
+        if hit is None or hit.swapped:
+            self.metrics.inc("matstore_misses")
+            return None
+        self.metrics.inc("matstore_hits")
+        return {k: hit.scores[k] for k in keys}
+
     async def _pair_body(
         self,
         hash_a: str,
@@ -260,10 +299,29 @@ class PSCService:
         method_name: str,
         params_hash: str,
     ) -> Tuple[str, bool]:
-        """The canonical body for one pair: cache hit, or batched compute."""
+        """The canonical body for one pair: result cache, then the
+        precomputed matrix store, then batched compute."""
+        from repro.service.protocol import canonical_json
+
         key = pair_key(hash_a, hash_b, method_name, params_hash)
         body = self.cache.get(key)
         if body is not None:
+            return body, True
+        scores = self._store_scores(hash_a, hash_b, method_name, params_hash)
+        if scores is not None:
+            # same shape as the batcher's result_body: store hits are
+            # byte-identical across requests and server restarts
+            body = canonical_json(
+                {
+                    "pair": [hash_a, hash_b],
+                    "method": method_name,
+                    "params_hash": params_hash,
+                    "scores": scores,
+                    "score": method.similarity(scores),
+                }
+            )
+            self.cache.put(key, body)
+            self.metrics.set_gauge("cache_size", len(self.cache))
             return body, True
         body = await self.batcher.submit(key, chain_a, chain_b, method)
         self.cache.put(key, body)
@@ -406,15 +464,166 @@ class PSCService:
         chain_hash = self.registry.register_pdb(text, name, corpus=corpus)
         _, chain = self.registry.resolve(chain_hash)
         self.metrics.inc("chains_registered")
+        result = {
+            "hash": chain_hash,
+            "name": name,
+            "residues": len(chain),
+            "corpus": corpus,
+        }
+        if corpus and self.matstore is not None:
+            # additive key only when a store is attached, so default
+            # register responses stay byte-identical
+            result["matstore"] = (
+                "stored"
+                if chain_hash in self.matstore
+                else self._extend_matstore_async(chain_hash)
+            )
+        return result, None
+
+    # -- matrix store ------------------------------------------------------
+    def _matstore_root(self) -> str:
+        if self.config.matstore_dir:
+            return self.config.matstore_dir
+        if self.matstore is not None:
+            return self.matstore.root
+        return ""
+
+    def _extend_matstore_async(self, chain_hash: str) -> str:
+        """Kick off the incremental row computation for one new corpus
+        chain: exactly ``n`` new pairs, journaled then appended at the
+        block tails, behind the store writer lock."""
+        root = self._matstore_root()
+
+        def work() -> None:
+            from repro.matstore import MatrixStore, extend_store
+
+            try:
+                with self._matstore_lock:
+                    store = MatrixStore.open(root)
+                    if chain_hash in store:
+                        return
+                    corpus = [self.registry.resolve(h)[1] for h in store.hashes]
+                    _h, chain = self.registry.resolve(chain_hash)
+                    extend_store(
+                        store, corpus, chain, config=self.config.farm_config()
+                    )
+                self.matstore = MatrixStore.open(root)
+                self.metrics.inc("matstore_extends")
+            except BaseException as exc:
+                self.metrics.inc("matstore_extend_errors")
+                self._matstore_last_error = f"{type(exc).__name__}: {exc}"
+
+        thread = threading.Thread(
+            target=work, name=f"matstore-extend-{chain_hash[:8]}", daemon=True
+        )
+        thread.start()
+        return "extending"
+
+    async def _op_matstore_build(self, payload: Dict[str, Any]):
+        from repro.datasets.registry import Dataset
+
+        root = payload.get("root") or self._matstore_root()
+        if not root:
+            raise BadRequest(
+                "no matrix store root: pass 'root' or start the server "
+                "with --matstore-dir"
+            )
+        corpus = self.registry.corpus()
+        if not corpus:
+            raise BadRequest("the registry corpus is empty; nothing to build")
+        if self._matstore_job is not None and self._matstore_job[0].is_alive():
+            raise BadRequest("a matstore build is already running")
+        dataset = Dataset(
+            self.registry.dataset_name or "service-corpus",
+            tuple(chain for _h, chain in corpus),
+            "service registry corpus",
+        )
+        n = len(dataset)
+        outcome: Dict[str, Any] = {"error": None, "result": None}
+        farm_config = self.config.farm_config()
+
+        def work() -> None:
+            from repro.matstore import MatrixStore, ensure_coverage
+
+            try:
+                with self._matstore_lock:
+                    r = ensure_coverage(root, dataset, config=farm_config)
+                outcome["result"] = {
+                    "n_pairs": r.n_pairs,
+                    "n_computed": r.n_computed,
+                    "wall_seconds": round(r.wall_seconds, 3),
+                }
+                self.matstore = MatrixStore.open(root)
+            except BaseException as exc:
+                outcome["error"] = f"{type(exc).__name__}: {exc}"
+
+        thread = threading.Thread(
+            target=work, name="matstore-build", daemon=True
+        )
+        self._matstore_job = (thread, outcome)
+        thread.start()
+        self.metrics.inc("matstore_builds_submitted")
         return (
             {
-                "hash": chain_hash,
-                "name": name,
-                "residues": len(chain),
-                "corpus": corpus,
+                "root": root,
+                "dataset": dataset.name,
+                "n_chains": n,
+                "n_pairs": n * (n - 1) // 2,
+                "building": True,
             },
             None,
         )
+
+    async def _op_matstore_lookup(self, payload: Dict[str, Any]):
+        store = self.matstore
+        if store is None:
+            raise BadRequest(
+                "no matrix store attached; run matstore-build first "
+                "(server started with --matstore-dir)"
+            )
+        hash_a, _a = self.registry.resolve(_require_str(payload, "a"))
+        hash_b, _b = self.registry.resolve(_require_str(payload, "b"))
+        hit = store.lookup(hash_a, hash_b)
+        if hit is None:
+            self.metrics.inc("matstore_misses")
+            raise NotFound(
+                f"pair ({hash_a[:12]}..., {hash_b[:12]}...) is not in the "
+                "matrix store"
+            )
+        self.metrics.inc("matstore_hits")
+        return (
+            {
+                "pair": [hash_a, hash_b],
+                "swapped": hit.swapped,
+                "method": store.method,
+                "params_hash": store.params_hash,
+                "scores": hit.scores,
+            },
+            None,
+        )
+
+    def _matstore_summary(self) -> Dict[str, Any]:
+        """Store stats + lookup counters for ``status`` and ``metrics``."""
+        out: Dict[str, Any] = {"attached": self.matstore is not None}
+        root = self._matstore_root()
+        if root:
+            out["root"] = root
+        if self.matstore is not None:
+            out.update(self.matstore.stats())
+        counters = self.metrics.snapshot().get("counters", {})
+        out["lookup_hits"] = counters.get("matstore_hits", 0)
+        out["lookup_misses"] = counters.get("matstore_misses", 0)
+        job = self._matstore_job
+        if job is not None:
+            out["building"] = job[0].is_alive()
+            if job[1]["error"]:
+                out["error"] = job[1]["error"]
+            elif job[1]["result"] and not job[0].is_alive():
+                out["last_build"] = job[1]["result"]
+        last = getattr(self, "_matstore_last_error", None)
+        if last:
+            out["extend_error"] = last
+        return out
 
     async def _op_submit_matrix(self, payload: Dict[str, Any]):
         from repro.datasets.registry import load_dataset
@@ -463,6 +672,28 @@ class PSCService:
     async def _op_status(self, payload: Dict[str, Any]):
         from repro.runs import RunStore, RunStoreError
 
+        if not payload.get("run_id"):
+            # service-level status: corpus + matrix store + background jobs
+            return (
+                {
+                    "status": "ok",
+                    "dataset": self.registry.dataset_name,
+                    "corpus": len(self.registry.corpus()),
+                    "chains": len(self.registry),
+                    "matstore": self._matstore_summary(),
+                    "matrix_runs": {
+                        run_id: (
+                            "running"
+                            if thread.is_alive()
+                            else ("failed" if outcome["error"] else "done")
+                        )
+                        for run_id, (thread, outcome) in sorted(
+                            self._matrix_jobs.items()
+                        )
+                    },
+                },
+                None,
+            )
         run_id = _require_str(payload, "run_id")
         runs_dir = payload.get("runs_dir") or self.config.runs_dir
         store = RunStore(runs_dir)
@@ -518,6 +749,7 @@ class PSCService:
             )
             for run_id, (thread, outcome) in sorted(self._matrix_jobs.items())
         }
+        snap["matstore"] = self._matstore_summary()
         return snap, None
 
     async def _op_shutdown(self, payload: Dict[str, Any]):

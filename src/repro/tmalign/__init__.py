@@ -26,8 +26,14 @@ from repro.tmalign.dp import nw_align, nw_score_only
 from repro.tmalign.tmscore import tm_score_from_distances, superposition_search
 from repro.tmalign.align import tm_align
 from repro.tmalign.scorer import tm_score_fixed_alignment
+from repro.tmalign.metrics import gdt_score, gdt_ts, gdt_ha, lddt, maxsub_score
 
 __all__ = [
+    "gdt_score",
+    "gdt_ts",
+    "gdt_ha",
+    "lddt",
+    "maxsub_score",
     "TMAlignParams",
     "d0_from_length",
     "d0_search_bounds",

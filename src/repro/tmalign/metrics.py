@@ -1,4 +1,4 @@
-"""Additional structural similarity scores: GDT-TS, GDT-HA, MaxSub.
+"""Additional structural similarity scores: GDT-TS, GDT-HA, MaxSub, LDDT.
 
 These are the other standard model-quality measures of the era; they
 reuse the TM-score superposition machinery and share its matched-pair
@@ -11,13 +11,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.geometry.distances import lddt_score
 from repro.geometry.kabsch import kabsch
 from repro.structure.model import Chain
 from repro.tmalign.params import TMAlignParams
 from repro.tmalign.result import Alignment
 from repro.tmalign.tmscore import superposition_search
 
-__all__ = ["gdt_score", "gdt_ts", "gdt_ha", "maxsub_score"]
+__all__ = ["gdt_score", "gdt_ts", "gdt_ha", "lddt", "maxsub_score"]
 
 _GDT_TS_CUTOFFS = (1.0, 2.0, 4.0, 8.0)
 _GDT_HA_CUTOFFS = (0.5, 1.0, 2.0, 4.0)
@@ -82,6 +83,25 @@ def gdt_ts(chain_a: Chain, chain_b: Chain, alignment: Optional[Alignment] = None
 def gdt_ha(chain_a: Chain, chain_b: Chain, alignment: Optional[Alignment] = None) -> float:
     """GDT high-accuracy score (cutoffs 0.5, 1, 2, 4 Å)."""
     return gdt_score(chain_a, chain_b, _GDT_HA_CUTOFFS, alignment)
+
+
+def lddt(
+    chain_a: Chain,
+    chain_b: Chain,
+    alignment: Optional[Alignment] = None,
+    inclusion_radius: float = 15.0,
+    tolerances: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+) -> float:
+    """Local distance difference test with chain B as the reference.
+
+    Superposition-free, so it is invariant under rigid transforms of
+    either chain; only matched positions contribute, following the
+    shared ``_matched_coords`` convention.
+    """
+    pa, pb, _ = _matched_coords(chain_a, chain_b, alignment)
+    if pa.shape[0] < 2:
+        raise ValueError("need at least 2 matched pairs")
+    return lddt_score(pa, pb, inclusion_radius, tolerances)
 
 
 def maxsub_score(

@@ -385,3 +385,92 @@ class TestPrefilterFlags:
     def test_bench_kernel_and_prefilter_exclusive(self):
         with pytest.raises(SystemExit, match="exclusive"):
             main(["bench", "--kernel", "--prefilter", "--no-output"])
+
+
+class TestMatstoreCommand:
+    def test_subcommands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["matstore", "build", "--store", "ms", "--dataset", "ck34",
+             "--limit", "6", "--workers", "2", "--retries", "1"]
+        )
+        assert args.action == "build" and args.limit == 6
+        args = parser.parse_args(["matstore", "query", "a", "b"])
+        assert args.action == "query" and args.chain_a == "a"
+        args = parser.parse_args(["matstore", "export", "--output", "m.csv"])
+        assert args.action == "export" and args.output == "m.csv"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["matstore"])  # an action is required
+        with pytest.raises(SystemExit):
+            parser.parse_args(["matstore", "compact"])
+
+    def test_build_extend_query_verify_export(self, capsys, tmp_path):
+        store = str(tmp_path / "ms")
+        assert main(
+            ["matstore", "build", "--store", store,
+             "--dataset", "ck34-mini", "--limit", "3"]
+        ) == 0
+        assert "3 chains, 3 pairs committed (3 computed now" in capsys.readouterr().out
+        assert main(
+            ["matstore", "extend", "--store", store,
+             "--dataset", "ck34-mini", "--limit", "4"]
+        ) == 0
+        assert "4 chains, 6 pairs committed (3 computed now" in capsys.readouterr().out
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("ck34-mini")
+        assert main(
+            ["matstore", "query", "--store", store, ds[0].name, ds[3].name]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tm_norm_b" in out and "lddt" in out and "gdt_ts" in out
+        assert main(["matstore", "verify", "--store", store]) == 0
+        assert "6 pairs cross-checked" in capsys.readouterr().out
+        csv_path = str(tmp_path / "ms.csv")
+        assert main(
+            ["matstore", "export", "--store", store, "--output", csv_path]
+        ) == 0
+        assert "exported 6 pair rows" in capsys.readouterr().out
+
+    def test_query_of_unknown_chain_is_one_line_error(self, capsys, tmp_path):
+        store = str(tmp_path / "ms")
+        assert main(
+            ["matstore", "build", "--store", store,
+             "--dataset", "ck34-mini", "--limit", "3"]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="not in the store"):
+            main(["matstore", "query", "--store", store, "nope", "alsonope"])
+
+    def test_missing_store_is_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="matstore error"):
+            main(["matstore", "verify", "--store", str(tmp_path / "absent")])
+
+    def test_corrupt_journal_is_one_line_error(self, capsys, tmp_path):
+        store = tmp_path / "ms"
+        assert main(
+            ["matstore", "build", "--store", str(store),
+             "--dataset", "ck34-mini", "--limit", "3"]
+        ) == 0
+        capsys.readouterr()
+        journal = store / "journal.csv"
+        lines = journal.read_text().splitlines(keepends=True)
+        lines[0] = lines[0].replace(lines[0][5], "#", 1)
+        journal.write_text("".join(lines))
+        with pytest.raises(SystemExit, match="corrupt journal"):
+            main(["matstore", "verify", "--store", str(store)])
+
+    def test_bench_matstore_flag_is_exclusive(self):
+        args = build_parser().parse_args(["bench", "--matstore", "--check"])
+        assert args.matstore and args.check
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["bench", "--matstore", "--kernel"])
+
+    def test_serve_and_query_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--matstore-dir", "ms"])
+        assert args.matstore_dir == "ms"
+        args = parser.parse_args(["query", "matstore-lookup", "a", "b"])
+        assert args.op == "matstore-lookup" and args.args == ["a", "b"]
+        args = parser.parse_args(["query", "status"])
+        assert args.op == "status" and args.args == []

@@ -51,7 +51,8 @@ class TestExamples:
     def test_database_update(self, capsys):
         load_example("database_update").main()
         out = capsys.readouterr().out
-        assert "full all-vs-all" in out
+        assert "seed build" in out
+        assert "never recomputed" in out
 
     @pytest.mark.slow
     def test_one_vs_all_search(self, capsys):

@@ -125,6 +125,23 @@ class TestJournal:
         with pytest.raises(RunStoreError, match="caller expects"):
             RunJournal(run.journal_path, keys=["zz"])
 
+    def test_corrupt_record_is_the_shared_typed_error(self, store, ck34_mini):
+        # JournalCorrupt is the one error both the runs reader and the
+        # matstore verifier surface; callers match on the type, not text
+        from repro.runs import JournalCorrupt, read_journal
+
+        run = make_run(store, ck34_mini)
+        with run.journal() as journal:
+            journal.append(0, 1, SCORES_A)
+            journal.append(0, 2, SCORES_B)
+        lines = open(run.journal_path, encoding="ascii").read().splitlines(True)
+        lines[1] = lines[1].replace(",", ";", 1)
+        with open(run.journal_path, "w", encoding="ascii") as fh:
+            fh.writelines(lines)
+        with pytest.raises(JournalCorrupt):
+            read_journal(run.journal_path)
+        assert issubclass(JournalCorrupt, RunStoreError)
+
     def test_values_survive_as_exact_format_strings(self, store, ck34_mini):
         run = make_run(store, ck34_mini)
         value = 0.1 + 0.2  # 0.30000000000000004

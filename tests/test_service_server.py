@@ -430,3 +430,145 @@ class TestPrefilteredSearch:
 
         _service, health = with_service(client)
         assert health["status"] == "ok"
+
+
+class TestMatstore:
+    """The durable matrix store wired through the service: cache-before-
+    compute on align, lookup/build ops, stats in status and metrics."""
+
+    @pytest.fixture(scope="class")
+    def store_root(self, ck34_mini, tmp_path_factory):
+        from repro.matstore import build_store
+
+        root = str(tmp_path_factory.mktemp("svc_matstore") / "store")
+        build_store(ck34_mini, root)
+        return root
+
+    def _config(self, root):
+        return ServiceConfig(
+            dataset="ck34-mini", port=0, batch_window=0.001, matstore_dir=root
+        )
+
+    def test_align_is_served_from_the_store(self, store_root):
+        def client(port):
+            with ServiceClient(port=port) as c:
+                r1 = c.align(
+                    "ck_globin_00", "ck_globin_01", method="tmalign_full"
+                )
+                r2 = c.align(
+                    "ck_globin_00", "ck_globin_01", method="tmalign_full"
+                )
+                return r1, r2, c.metrics()
+
+        _svc, (r1, r2, metrics) = with_service(
+            client, config=self._config(store_root)
+        )
+        # the very first align is a store hit — no kernel batch ran
+        assert r1["cached"] is True and r2["cached"] is True
+        assert canonical_json(r1["result"]) == canonical_json(r2["result"])
+        assert metrics["counters"]["matstore_hits"] >= 1
+        assert metrics["counters"].get("batches_dispatched", 0) == 0
+        assert metrics["matstore"]["attached"] is True
+        assert metrics["matstore"]["pairs_stored"] == 28
+
+    def test_store_hits_are_byte_identical_across_restarts(self, store_root):
+        def client(port):
+            with ServiceClient(port=port) as c:
+                return c.align(
+                    "ck_globin_02", "ck_globin_05", method="tmalign_full"
+                )
+
+        _s1, first = with_service(client, config=self._config(store_root))
+        _s2, second = with_service(client, config=self._config(store_root))
+        assert canonical_json(first["result"]) == canonical_json(
+            second["result"]
+        )
+
+    def test_matstore_lookup_op(self, store_root):
+        def client(port):
+            with ServiceClient(port=port) as c:
+                hit = c.matstore_lookup("ck_globin_00", "ck_globin_03")
+                with pytest.raises(NotFound):
+                    c.matstore_lookup("ck_globin_00", "ck_globin_00")
+                return hit, c.status()
+
+        _svc, (hit, status) = with_service(
+            client, config=self._config(store_root)
+        )
+        assert hit["method"] == "tmalign_full"
+        assert set(hit["scores"]) == {
+            "gdt_ts", "lddt", "n_aligned", "rmsd", "seq_identity",
+            "tm_norm_a", "tm_norm_b",
+        }
+        assert status["matstore"]["attached"] is True
+        assert status["matstore"]["lookup_hits"] == 1
+
+    def test_lookup_without_store_is_bad_request(self):
+        def client(port):
+            with ServiceClient(port=port) as c:
+                with pytest.raises(BadRequest, match="store"):
+                    c.matstore_lookup("ck_globin_00", "ck_globin_01")
+                return c.status()
+
+        _svc, status = with_service(client)
+        assert status["matstore"]["attached"] is False
+
+    def test_matstore_build_op_builds_in_background(self, tmp_path):
+        import time
+
+        root = str(tmp_path / "built_by_op")
+        config = ServiceConfig(
+            dataset="ck34-mini", port=0, batch_window=0.001, matstore_dir=root
+        )
+
+        def client(port):
+            with ServiceClient(port=port) as c:
+                started = c.matstore_build()
+                for _ in range(200):
+                    status = c.status()
+                    ms = status["matstore"]
+                    if ms.get("attached") and not ms.get("building"):
+                        break
+                    time.sleep(0.05)
+                hit = c.matstore_lookup("ck_globin_00", "ck_globin_01")
+                return started, c.status(), hit
+
+        _svc, (started, status, hit) = with_service(client, config=config)
+        assert started["building"] is True
+        assert started["n_pairs"] == 28
+        assert status["matstore"]["pairs_stored"] == 28
+        assert status["matstore"].get("error") is None
+        assert hit["scores"]["tm_norm_b"] > 0
+
+    def test_register_extends_the_store_by_one_row(
+        self, store_root, ck34, tmp_path
+    ):
+        import shutil
+        import time
+
+        from repro.structure.pdbio import chain_to_pdb
+
+        root = str(tmp_path / "extending")
+        shutil.copytree(store_root, root)
+
+        def client(port):
+            with ServiceClient(port=port) as c:
+                info = c.register_pdb(
+                    "newcomer", chain_to_pdb(ck34[20]), corpus=True
+                )
+                for _ in range(200):
+                    ms = c.status()["matstore"]
+                    if ms.get("n_chains") == 9 and not ms.get("building"):
+                        break
+                    time.sleep(0.05)
+                hit = c.matstore_lookup("ck_globin_00", "newcomer")
+                return info, c.metrics(), hit
+
+        _svc, (info, metrics, hit) = with_service(
+            client, config=self._config(root)
+        )
+        assert info["matstore"] == "extending"
+        assert metrics["matstore"]["n_chains"] == 9
+        assert metrics["matstore"]["pairs_stored"] == 36
+        assert metrics["counters"]["matstore_extends"] == 1
+        assert hit["scores"]["rmsd"] > 0

@@ -1,11 +1,13 @@
-"""GDT-TS / GDT-HA / MaxSub scores."""
+"""GDT-TS / GDT-HA / MaxSub / LDDT scores."""
 
 import numpy as np
 import pytest
 
+from repro.geometry.distances import lddt_score
 from repro.geometry.transforms import RigidTransform, random_rotation
+from repro.structure.model import Chain
 from repro.tmalign import tm_align
-from repro.tmalign.metrics import gdt_ha, gdt_score, gdt_ts, maxsub_score
+from repro.tmalign.metrics import gdt_ha, gdt_score, gdt_ts, lddt, maxsub_score
 
 
 class TestIdentity:
@@ -49,6 +51,77 @@ class TestOrdering:
             for fn in (gdt_ts, gdt_ha, maxsub_score):
                 val = fn(a, b, ali)
                 assert 0.0 <= val <= 1.0
+
+
+class TestHandCheckedGoldens:
+    """Small constructed cases whose scores are derivable on paper."""
+
+    def test_lddt_collinear_displacement(self):
+        # reference points at x = 0, 4, 8, 12; model moves the last one
+        # by +1.5 along x.  All 6 pairs are inside the 15 A inclusion
+        # radius; the 3 pairs touching the moved point change by exactly
+        # 1.5, the other 3 by 0.  Preserved fractions per tolerance
+        # (0.5, 1, 2, 4): 3/6, 3/6, 6/6, 6/6 -> mean 0.75.
+        ref = np.array([[0, 0, 0], [4, 0, 0], [8, 0, 0], [12, 0, 0]], float)
+        mod = ref.copy()
+        mod[3, 0] += 1.5
+        assert lddt_score(mod, ref) == pytest.approx(0.75)
+
+    def test_gdt_one_of_eight_displaced(self):
+        # one of eight residues moved 3 A: the close-subset refit pins
+        # the 7 unmoved at d = 0 and the moved one at 3 A, so fractions
+        # per cutoff (1, 2, 4, 8) are 7/8, 7/8, 1, 1 -> GDT_TS 0.9375;
+        # per (0.5, 1, 2, 4) they are 7/8 thrice then 1 -> GDT_HA 0.90625.
+        rng = np.random.default_rng(0)
+        coords = np.cumsum(rng.normal(0, 1, (8, 3)), axis=0) * 3
+        moved = coords.copy()
+        moved[3] += [0.0, 3.0, 0.0]
+        a = Chain("a", coords, "ACDEFGHI")
+        b = Chain("b", moved, "ACDEFGHI")
+        assert gdt_ts(a, b) == pytest.approx(0.9375)
+        assert gdt_ha(a, b) == pytest.approx(0.90625)
+
+
+class TestLddt:
+    def test_self_scores_one(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        assert lddt(parent, parent) == pytest.approx(1.0)
+
+    def test_rigid_motion_invariant(self, small_fold_pair, rng):
+        # superposition-free: moving either chain rigidly changes no
+        # internal distance, so the score is bit-for-bit stable
+        parent, child = small_fold_pair
+        ali = tm_align(parent, child).alignment
+        base = lddt(parent, child, ali)
+        xf = RigidTransform(random_rotation(rng), rng.normal(size=3) * 50)
+        assert lddt(parent.transformed(xf), child, ali) == pytest.approx(
+            base, abs=1e-12
+        )
+        assert lddt(parent, child.transformed(xf), ali) == pytest.approx(
+            base, abs=1e-12
+        )
+
+    def test_family_beats_stranger(self, small_fold_pair, unrelated_fold):
+        parent, child = small_fold_pair
+        fam = lddt(parent, child, tm_align(parent, child).alignment)
+        cross = lddt(
+            parent, unrelated_fold, tm_align(parent, unrelated_fold).alignment
+        )
+        assert 0.0 <= cross < fam <= 1.0
+
+    def test_no_pairs_in_radius_scores_one(self):
+        # two residues 40 A apart: nothing inside the inclusion radius
+        far = np.array([[0, 0, 0], [40, 0, 0]], float)
+        assert lddt_score(far, far) == 1.0
+
+    def test_validation(self, small_fold_pair):
+        parent, _ = small_fold_pair
+        with pytest.raises(ValueError):
+            lddt(parent, parent, inclusion_radius=0.0)
+        with pytest.raises(ValueError):
+            lddt(parent, parent, tolerances=())
+        with pytest.raises(ValueError):
+            lddt_score(np.zeros((3, 3)), np.zeros((4, 3)))
 
 
 class TestValidation:
