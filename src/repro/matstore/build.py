@@ -8,7 +8,10 @@ as it drains, then commits the float32 blocks and header in one step.
 exactly ``n`` new pairs appended at the block tails, never a rebuild.
 
 Both are resumable: rows already journaled (by a crashed or interrupted
-run) are never recomputed, the same contract ``matrix --resume`` gives.
+run) are never recomputed, the same contract ``matrix --resume`` gives —
+*provided* the journal's recorded content context (``journal.ctx``)
+matches the chains being computed.  A tail journaled for different
+chains at the same indices is discarded and recomputed, never reused.
 """
 
 from __future__ import annotations
@@ -43,6 +46,24 @@ __all__ = [
 ]
 
 _NAN_ROW = {k: float("nan") for k in METRICS}
+
+
+def _context_digest(hashes: Sequence[str]) -> str:
+    """Identity of the working chain set journal rows are computed for.
+
+    Journal rows are keyed by pair *indices* only, so this digest (over
+    the ordered content hashes of the full working dataset) is what ties
+    an uncommitted journal tail to the chains it was actually scored
+    against — an interrupted extend of chain X must never donate its
+    rows to a later extend of chain Y at the same index.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for chain_hash in hashes:
+        h.update(chain_hash.encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
 
 
 @dataclass
@@ -112,13 +133,33 @@ def _compute_rows(
     keep: Optional[List[set]],
     method: TMAlignFullMethod,
     config,
+    digest: str,
+    notes: List[str],
 ) -> Tuple[Dict[Tuple[int, int], Dict[str, float]], int, int, int]:
-    """Journal-first evaluation of ``pairs``: rows already journaled are
-    reused, demoted pairs are journaled as NaN holes, the rest go through
-    the farm.  Returns ``(rows, n_computed, n_journaled, n_holes)``."""
+    """Journal-first evaluation of ``pairs``: rows already journaled *for
+    the same chain content* are reused, demoted pairs are journaled as
+    NaN holes, the rest go through the farm.  Returns ``(rows,
+    n_computed, n_journaled, n_holes)``.
+
+    ``digest`` is the :func:`_context_digest` of the working dataset.  An
+    uncommitted journal tail recorded under a different digest (an
+    interrupted build/extend of *other* chains at these indices) is
+    discarded and recomputed rather than grafted onto this content.
+    """
     from repro.parallel import iter_pair_results
 
     state = store.load_journal()
+    n_committed = store.n_chains
+    if any(j >= n_committed for _i, j in state.rows):
+        recorded = store.read_journal_context()
+        if recorded != digest:
+            dropped = store.discard_uncommitted_journal(state)
+            state = store.load_journal()
+            notes.append(
+                f"discarded {dropped} uncommitted journal rows recorded "
+                "for different chain content"
+            )
+    store.write_journal_context(digest)
     rows: Dict[Tuple[int, int], Dict[str, float]] = {}
     todo: List[Tuple[int, int]] = []
     n_holes = 0
@@ -200,8 +241,10 @@ def build_store(
         )
     pairs = list(condensed_pairs(len(dataset)))
     keep = _keep_sets(dataset, prefilter)
+    notes: List[str] = []
     rows, n_computed, n_journaled, n_holes = _compute_rows(
-        dataset, store, pairs, keep, method, config
+        dataset, store, pairs, keep, method, config,
+        _context_digest(hashes), notes,
     )
     store.commit_rows(names, hashes, _tail_blocks(rows, pairs))
     return BuildResult(
@@ -211,6 +254,7 @@ def build_store(
         n_journaled=n_journaled,
         n_holes=n_holes,
         wall_seconds=time.perf_counter() - t0,
+        notes=notes,
     )
 
 
@@ -258,8 +302,10 @@ def extend_store(
     )
     pairs = [(i, n) for i in range(n)]
     keep = _keep_sets(extended, prefilter)
+    notes: List[str] = []
     rows, n_computed, n_journaled, n_holes = _compute_rows(
-        extended, store, pairs, keep, method, config
+        extended, store, pairs, keep, method, config,
+        _context_digest([*have, new_hash]), notes,
     )
     store.commit_rows([new_chain.name], [new_hash], _tail_blocks(rows, pairs))
     return BuildResult(
@@ -269,6 +315,7 @@ def extend_store(
         n_journaled=n_journaled,
         n_holes=n_holes,
         wall_seconds=time.perf_counter() - t0,
+        notes=notes,
     )
 
 

@@ -4,6 +4,7 @@ Layout under the store root::
 
     <root>/header.json         # identity + committed extent (atomic rewrite)
     <root>/journal.csv         # CRC-checksummed per-pair rows (runs idiom)
+    <root>/journal.ctx         # content digest the journal tail belongs to
     <root>/blocks/<metric>.f32 # little-endian float32, one value per pair
 
 Pairs live in the *condensed* triangular order ``offset(i, j) = j*(j-1)/2
@@ -34,7 +35,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.runs.manifest import atomic_write_text
-from repro.runs.store import JournalCorrupt, JournalState, RunJournal, read_journal
+from repro.runs.store import (
+    JournalCorrupt,
+    JournalState,
+    RunJournal,
+    read_journal,
+    rewrite_journal,
+)
 
 __all__ = [
     "METRICS",
@@ -71,6 +78,7 @@ SERVABLE_KEYS = {
 
 _HEADER_NAME = "header.json"
 _JOURNAL_NAME = "journal.csv"
+_CONTEXT_NAME = "journal.ctx"
 _BLOCKS_DIR = "blocks"
 
 
@@ -315,6 +323,45 @@ class MatrixStore:
                 f"expected {list(METRICS)}"
             )
         return state
+
+    @property
+    def journal_context_path(self) -> str:
+        return os.path.join(self.root, _CONTEXT_NAME)
+
+    def read_journal_context(self) -> Optional[str]:
+        """Content digest the uncommitted journal tail was computed for,
+        or None when no writer ever recorded one."""
+        try:
+            with open(self.journal_context_path, encoding="ascii") as fh:
+                return fh.read().strip() or None
+        except OSError:
+            return None
+
+    def write_journal_context(self, digest: str) -> None:
+        """Record (atomically, before any row is appended) which chain
+        content the journal rows about to be written belong to.
+
+        Journal rows are keyed only by pair indices; this sidecar is what
+        lets a resume prove the uncommitted tail was computed for the
+        *same* chains rather than silently grafting scores of different
+        structures onto the store (see :meth:`discard_uncommitted_journal`).
+        """
+        atomic_write_text(self.journal_context_path, digest + "\n")
+
+    def discard_uncommitted_journal(self, state: JournalState) -> int:
+        """Drop journal rows past the committed extent, keeping committed
+        rows byte-identical; returns the number of rows discarded.
+
+        Called when the recorded journal context does not match the
+        content a resume is computing — the tail belongs to a different
+        (interrupted) build/extend and must be recomputed, never reused.
+        """
+        n = self.n_chains
+        keep = {p: v for p, v in state.rows.items() if p[1] < n}
+        dropped = len(state.rows) - len(keep)
+        if dropped:
+            rewrite_journal(self.journal_path, METRICS, keep)
+        return dropped
 
     def commit_rows(
         self,

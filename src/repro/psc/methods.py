@@ -84,14 +84,20 @@ class TMAlignFullMethod(TMAlignMethod):
         self, chain_a: Chain, chain_b: Chain, counter: CostCounter
     ) -> Dict[str, float]:
         res = tm_align(chain_a, chain_b, params=self.params, counter=counter)
+        # gdt_ts needs >= 3 matched pairs, lddt >= 2; a degenerate best
+        # alignment (very short or dissimilar chains) scores 0.0 rather
+        # than raising, so one pathological pair cannot abort a whole
+        # all-vs-all matrix build.  (0.0, not NaN: the matrix store
+        # reserves NaN for never-computed holes.)
+        matched = 0 if res.alignment is None else res.alignment.ai.size
         return {
             "tm_norm_a": res.tm_norm_a,
             "tm_norm_b": res.tm_norm_b,
             "rmsd": res.rmsd,
             "n_aligned": float(res.n_aligned),
             "seq_identity": res.seq_identity,
-            "gdt_ts": gdt_ts(chain_a, chain_b, res.alignment),
-            "lddt": lddt(chain_a, chain_b, res.alignment),
+            "gdt_ts": gdt_ts(chain_a, chain_b, res.alignment) if matched >= 3 else 0.0,
+            "lddt": lddt(chain_a, chain_b, res.alignment) if matched >= 2 else 0.0,
         }
 
 

@@ -239,14 +239,30 @@ def all_vs_all(
     if store is not None:
         from repro.matstore import MatrixStore, ensure_coverage
 
+        def _populate(root):
+            # the build step honours the caller's farm settings and
+            # prefilter economy, not the defaults
+            from repro.parallel import ParallelConfig
+
+            return ensure_coverage(
+                root,
+                dataset,
+                params=getattr(method, "params", None),
+                config=ParallelConfig(
+                    workers=workers, chunk=chunk, retry=retry,
+                    adaptive=adaptive,
+                ),
+                prefilter=prefilter,
+            ).store
+
         if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
             root = store
             if populate:
-                store = ensure_coverage(root, dataset).store
+                store = _populate(root)
             else:
                 store = MatrixStore.open(root)
         elif populate:
-            store = ensure_coverage(store.root, dataset).store
+            store = _populate(store.root)
         served = consult_store(store, dataset, method)
     pf = resolve_prefilter(prefilter, dataset)
     n = len(dataset)

@@ -18,6 +18,7 @@ from repro.runs.store import (
     RunStore,
     RunStoreError,
     read_journal,
+    rewrite_journal,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "dataset_fingerprint",
     "matrix_run",
     "read_journal",
+    "rewrite_journal",
 ]

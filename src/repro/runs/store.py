@@ -34,6 +34,7 @@ __all__ = [
     "RunStoreError",
     "JournalCorrupt",
     "read_journal",
+    "rewrite_journal",
 ]
 
 _JOURNAL_NAME = "journal.csv"
@@ -285,6 +286,34 @@ def read_journal(path: str) -> "JournalState":
                 )
             state.rows[(i, j)] = values
     return state
+
+
+def rewrite_journal(
+    path: str,
+    keys: Sequence[str],
+    rows: Mapping[Tuple[int, int], Sequence[str]],
+) -> None:
+    """Atomically replace a journal with exactly ``rows`` (string values
+    preserved verbatim, so surviving records stay byte-identical).
+
+    Used to discard an uncommitted journal tail that is known to belong
+    to different content than the resume in progress — the surviving
+    rows are re-encoded with fresh CRCs and the file is swapped with
+    ``os.replace``, so a crash mid-rewrite leaves the old journal
+    intact.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="ascii", newline="") as fh:
+            fh.write("#keys=" + ",".join(keys) + "\n")
+            for (i, j), values in rows.items():
+                fh.write(_encode_row(i, j, values))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - error cleanup
+            os.unlink(tmp)
 
 
 def _decode_row(line: str) -> Optional[Tuple[int, int, List[str]]]:

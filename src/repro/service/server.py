@@ -507,7 +507,10 @@ class PSCService:
                     extend_store(
                         store, corpus, chain, config=self.config.farm_config()
                     )
-                self.matstore = MatrixStore.open(root)
+                    # reopen-and-swap inside the lock: with concurrent
+                    # extends, an open outside could capture a pre-commit
+                    # header and publish a stale reader after a newer one
+                    self.matstore = MatrixStore.open(root)
                 self.metrics.inc("matstore_extends")
             except BaseException as exc:
                 self.metrics.inc("matstore_extend_errors")
@@ -548,12 +551,13 @@ class PSCService:
             try:
                 with self._matstore_lock:
                     r = ensure_coverage(root, dataset, config=farm_config)
+                    # swap under the lock, same reasoning as extend
+                    self.matstore = MatrixStore.open(root)
                 outcome["result"] = {
                     "n_pairs": r.n_pairs,
                     "n_computed": r.n_computed,
                     "wall_seconds": round(r.wall_seconds, 3),
                 }
-                self.matstore = MatrixStore.open(root)
             except BaseException as exc:
                 outcome["error"] = f"{type(exc).__name__}: {exc}"
 

@@ -234,6 +234,84 @@ class TestDurability:
         assert fresh.lookup(ha, chain_content_hash(ck34_mini[n0])) is not None
 
 
+class TestJournalIdentity:
+    """Journal rows are keyed by pair indices only; ``journal.ctx`` ties
+    an uncommitted tail to the chain content it was computed for, so a
+    resume can never graft scores of different structures onto the
+    store."""
+
+    @staticmethod
+    def _crash_extend(store, new_chain, scores=0.123):
+        """Leave the store as an extend of ``new_chain`` interrupted
+        after journaling pair (0, n) would: one uncommitted row (with
+        recognisable sentinel scores) plus the matching context."""
+        from repro.matstore.build import _context_digest
+
+        n = store.n_chains
+        store.write_journal_context(
+            _context_digest([*store.hashes, chain_content_hash(new_chain)])
+        )
+        with store.journal() as journal:
+            journal.append(0, n, {m: scores for m in METRICS})
+        return n
+
+    def test_resume_of_same_chain_reuses_journaled_tail(
+        self, store_copy, ck34_mini
+    ):
+        n = store_copy.n_chains
+        x = ck34_mini[n]
+        self._crash_extend(store_copy, x)
+        result = extend_store(store_copy, ck34_mini.chains[:n], x)
+        assert result.n_journaled == 1
+        assert result.n_computed == n - 1
+        hit = store_copy.lookup(
+            chain_content_hash(ck34_mini[0]), chain_content_hash(x)
+        )
+        assert hit.scores[METRICS[0]] == float(np.float32(0.123))
+
+    def test_tail_for_different_chain_is_discarded_not_reused(
+        self, store_copy, ck34_mini
+    ):
+        n = store_copy.n_chains
+        x, y = ck34_mini[n], ck34_mini[n + 1]
+        self._crash_extend(store_copy, x)  # crashed extend of X...
+        result = extend_store(store_copy, ck34_mini.chains[:n], y)  # ...then Y
+        assert result.n_journaled == 0
+        assert result.n_computed == n
+        assert any("discarded" in note for note in result.notes)
+        # Y's row holds Y's real scores, not X's sentinel
+        method, _ = store_method(store_copy)
+        direct = method.compare(ck34_mini[0], y, CostCounter())
+        hit = store_copy.lookup(
+            chain_content_hash(ck34_mini[0]), chain_content_hash(y)
+        )
+        for key in METRICS:
+            assert hit.scores[key] == float(np.float32(direct[key]))
+        # committed rows survived the journal rewrite byte-identically
+        assert store_copy.verify()["pairs_checked"] == store_copy.n_pairs
+
+    def test_uncommitted_tail_without_context_is_discarded(
+        self, tmp_path, mini4
+    ):
+        """A leftover journal on an empty-header store (crashed build of
+        unknown content) is recomputed, never trusted."""
+        method, fingerprint = store_method()
+        store = MatrixStore.create(
+            str(tmp_path / "stale"), method.name, fingerprint
+        )
+        with store.journal() as journal:
+            journal.append(0, 1, {m: 0.987 for m in METRICS})
+        result = build_store(mini4, store.root)
+        assert result.n_journaled == 0
+        assert result.n_computed == triangle_size(len(mini4))
+        assert any("discarded" in note for note in result.notes)
+        direct = method.compare(mini4[0], mini4[1], CostCounter())
+        hit = result.store.lookup(
+            chain_content_hash(mini4[0]), chain_content_hash(mini4[1])
+        )
+        assert hit.scores[METRICS[0]] == float(np.float32(direct[METRICS[0]]))
+
+
 class TestHoles:
     def test_nan_rows_are_misses_not_hits(self, tmp_path, ck34_mini):
         """NaN holes (prefilter-demoted pairs) journal and commit fine
@@ -305,3 +383,22 @@ class TestSearchIntegration:
         )
         assert len(table) == triangle_size(len(mini4))
         assert MatrixStore.open(root).n_pairs == triangle_size(len(mini4))
+
+    def test_populate_forwards_prefilter_to_build(self, mini4, tmp_path):
+        """The build step honours the caller's prefilter economy:
+        demoted pairs become journaled NaN holes, never kernel runs."""
+        from repro.psc.methods import TMAlignFullMethod
+        from repro.psc.search import all_vs_all
+        from repro.seqalign.prefilter import PrefilterConfig
+
+        root = str(tmp_path / "populated-pf")
+        table = all_vs_all(
+            mini4,
+            method=TMAlignFullMethod(),
+            store=root,
+            populate=True,
+            prefilter=PrefilterConfig(keep=0.25, min_keep=1),
+        )
+        stats = MatrixStore.open(root).stats()
+        assert stats["holes"] > 0
+        assert stats["pairs_stored"] == len(table)

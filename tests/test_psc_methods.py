@@ -62,6 +62,50 @@ class TestMethodContracts:
         assert costs["tmalign"] > 10 * costs["kabsch_rmsd"] > costs["sse_composition"]
 
 
+class TestTMAlignFullDegenerate:
+    """A degenerate best alignment (< 3 matched pairs) must score the
+    extra metrics 0.0 instead of raising — one pathological pair inside
+    a farm worker must not abort a whole matrix build."""
+
+    @pytest.mark.parametrize("n_matched", [0, 1, 2])
+    def test_degenerate_alignment_scores_zero_not_raises(
+        self, n_matched, small_fold_pair, monkeypatch
+    ):
+        import numpy as np
+
+        from repro.geometry.transforms import RigidTransform
+        from repro.psc import methods as methods_mod
+        from repro.tmalign.result import Alignment, TMAlignResult
+
+        parent, child = small_fold_pair
+        idx = np.arange(n_matched)
+        degenerate = TMAlignResult(
+            name_a=parent.name,
+            name_b=child.name,
+            len_a=len(parent),
+            len_b=len(child),
+            tm_norm_a=0.01,
+            tm_norm_b=0.01,
+            rmsd=9.9,
+            n_aligned=n_matched,
+            seq_identity=0.0,
+            alignment=Alignment(ai=idx, aj=idx),
+            transform=RigidTransform.identity(),
+        )
+        monkeypatch.setattr(
+            methods_mod, "tm_align", lambda *a, **kw: degenerate
+        )
+        result = get_method("tmalign_full").compare(
+            parent, child, CostCounter()
+        )
+        assert result["gdt_ts"] == 0.0  # needs >= 3 pairs
+        if n_matched < 2:
+            assert result["lddt"] == 0.0  # needs >= 2 pairs
+        # 0.0, never NaN: the matrix store reserves NaN for holes
+        assert result["gdt_ts"] == result["gdt_ts"]
+        assert result["lddt"] == result["lddt"]
+
+
 class TestKabschRmsd:
     def test_identical_chains_perfect(self, small_fold_pair):
         parent, _ = small_fold_pair
