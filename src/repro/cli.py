@@ -208,6 +208,7 @@ def _cmd_search(args) -> str:
             chunk=args.chunk,
             retry=_retry_from_args(args),
             adaptive=not args.no_adaptive,
+            shm=not args.no_shm,
             prefilter=prefilter_cfg,
         )
     except BaseException:
@@ -250,6 +251,7 @@ def _cmd_matrix(args) -> str:
         chunk=args.chunk,
         retry=_retry_from_args(args),
         adaptive=not args.no_adaptive,
+        shm=not args.no_shm,
     )
     store = _run_store(args)
     try:
@@ -567,6 +569,7 @@ def _cmd_bench_parallel(args) -> str:
             workers_grid=workers,
             chunk=args.chunk,
             output=output,
+            shm=not args.no_shm,
         )
     except BaseException:
         run.mark("interrupted")
@@ -593,11 +596,27 @@ def _cmd_bench_parallel(args) -> str:
             for p in report["points"]
             if not p["bit_identical_to_serial"]
         ]
+        ref = report.get("no_plane_reference")
+        if ref and not ref["bit_identical_to_serial"]:
+            not_identical.append(f"{ref['workers']} (no-plane ref)")
         if not_identical:
             raise SystemExit(
                 f"{text}\nparallel regression: workers={not_identical} "
                 f"diverged from the serial score table"
             )
+        plane = report.get("plane") or {}
+        if (
+            args.min_startup_speedup > 0
+            and plane
+            and not plane.get("unavailable")
+        ):
+            speedup = plane.get("rebuild_delivery_speedup", 0.0)
+            if speedup < args.min_startup_speedup:
+                raise SystemExit(
+                    f"{text}\nplane regression: dataset-delivery speedup "
+                    f"{speedup:.1f}x < {args.min_startup_speedup:.1f}x "
+                    f"(pool rebuilds are no longer near-free)"
+                )
     return text
 
 
@@ -624,6 +643,7 @@ def _cmd_serve(args) -> str:
         retries=args.retries,
         backoff=args.backoff,
         adaptive=not args.no_adaptive,
+        shm=not args.no_shm,
         cache_capacity=args.cache_capacity,
         runs_dir=args.runs_dir,
         eval_delay=args.eval_delay,
@@ -819,6 +839,7 @@ def _cmd_matstore(args) -> str:
             chunk=args.chunk,
             retry=_retry_from_args(args),
             adaptive=not args.no_adaptive,
+            shm=not args.no_shm,
         )
 
     def describe(result, verb: str) -> str:
@@ -1003,6 +1024,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable adaptive worker sizing (measured-throughput "
             "backoff when oversubscribed)",
+        )
+        p.add_argument(
+            "--no-shm",
+            action="store_true",
+            help="disable the shared-memory dataset plane (workers "
+            "unpickle the dataset instead of attaching zero-copy; "
+            "results are bit-identical either way)",
         )
 
     def add_resilience(p) -> None:
@@ -1256,6 +1284,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression gate for --check: required best-point "
         "speedup_vs_serial",
     )
+    p.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable the shared-memory dataset plane for the sweep "
+        "(the plane section of the report still measures both paths)",
+    )
+    p.add_argument(
+        "--min-startup-speedup",
+        type=float,
+        default=5.0,
+        help="regression gate for --check: required dataset-delivery "
+        "speedup of plane attach vs pickling on the large synthetic "
+        "registry (0 disables the gate)",
+    )
     add_runs_dir(p)
     p.set_defaults(fn=_cmd_bench_parallel)
 
@@ -1501,11 +1543,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _arm_sigterm_cleanup() -> None:
+    """Turn SIGTERM into SystemExit so finally/atexit teardown runs.
+
+    Long ``matrix``/``serve`` runs own shared-memory segments; a default
+    SIGTERM would kill the process without unlinking them (the
+    resource-tracker "leaked shared_memory" warning, and stale
+    ``/dev/shm`` files).  Installed only on the main thread and only
+    when no handler is already set, so embedding applications keep
+    their own signal policy.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+    def _sigterm(signum, frame):
+        raise SystemExit(143)
+
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sigterm)
+    except (ValueError, OSError):  # non-main interpreter contexts
+        pass
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     _WARNED.clear()  # deprecation notes fire once per invocation
+    from repro.parallel import reset_worker_clamp_warnings
+
+    reset_worker_clamp_warnings()  # worker-clamp warning fires once per run
+    _arm_sigterm_cleanup()
     args = build_parser().parse_args(argv)
     t0 = time.time()
-    print(args.fn(args))
+    try:
+        print(args.fn(args))
+    finally:
+        # unlink every shared-memory plane this run owned — including on
+        # SystemExit (SIGTERM above), KeyboardInterrupt and error paths
+        from repro.parallel import shutdown_planes
+
+        shutdown_planes()
     print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
     return 0
 

@@ -28,6 +28,15 @@ from repro.parallel.farm import (
     iter_pair_results,
     parallel_all_vs_all,
     parallel_one_vs_all,
+    reset_worker_clamp_warnings,
+)
+from repro.parallel.shmplane import (
+    DatasetPlane,
+    PlaneUnavailable,
+    ShmDataset,
+    active_planes,
+    plane_for,
+    shutdown_planes,
 )
 
 __all__ = [
@@ -35,10 +44,14 @@ __all__ = [
     "SERIAL_RETRY_CHUNK_CAP",
     "AdaptiveController",
     "ChunkPlan",
+    "DatasetPlane",
     "FarmStats",
     "ParallelConfig",
+    "PlaneUnavailable",
     "RetryPolicy",
+    "ShmDataset",
     "WorkerCrash",
+    "active_planes",
     "auto_chunk",
     "effective_workers",
     "evaluate_pairs",
@@ -46,5 +59,8 @@ __all__ = [
     "pack_chunks",
     "parallel_all_vs_all",
     "parallel_one_vs_all",
+    "plane_for",
     "predict_pair_seconds",
+    "reset_worker_clamp_warnings",
+    "shutdown_planes",
 ]

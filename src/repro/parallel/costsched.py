@@ -54,8 +54,12 @@ __all__ = [
 ]
 
 #: target scheduling granularity: the cost budget aims for about this
-#: many chunks per worker, so dynamic pickup can absorb prediction error
-CHUNKS_PER_WORKER = 6
+#: many chunks per worker, so dynamic pickup can absorb prediction error.
+#: Re-fitted from 6 with the shared-memory dataset plane: per-chunk
+#: dispatch no longer rides on a pool whose startup scaled with dataset
+#: size, so slightly finer granularity (better tail balance) costs less
+#: than it buys
+CHUNKS_PER_WORKER = 8
 
 #: hard cap on pairs per chunk regardless of how cheap they are, so a
 #: retry/fault re-dispatch never replays an unbounded pair list
@@ -177,7 +181,12 @@ class AdaptiveController:
     enabled: bool = True
     single_cpu: bool = False
     hysteresis: float = 0.9
-    serial_margin: float = 0.95
+    # Serial takeover needs a clear win now, not a near-tie: with the
+    # shared-memory plane a pool (and any rebuild of it) is near-free to
+    # keep warm, so abandoning it for the master costs optionality and
+    # pays back nothing unless the master is genuinely faster.
+    # Re-fitted from 0.95 when the plane landed.
+    serial_margin: float = 0.9
     clock: Callable[[], float] = time.perf_counter
 
     backoffs: int = 0

@@ -84,6 +84,7 @@ __all__ = [
     "iter_pair_results",
     "parallel_all_vs_all",
     "parallel_one_vs_all",
+    "reset_worker_clamp_warnings",
 ]
 
 #: default scheduling granularity when ``chunk`` is left at 0 and the job
@@ -124,6 +125,11 @@ class ParallelConfig:
     killed and stalled chunks.  ``adaptive`` (default on) lets the farm
     measure throughput and back off concurrency mid-run; it is ignored
     when a fault plan is injected, so chaos tests stay deterministic.
+    ``shm`` (default on) publishes the dataset once as a shared-memory
+    plane (:mod:`repro.parallel.shmplane`) that workers attach to
+    zero-copy instead of unpickling; it degrades silently to the pickle
+    path when shared memory is unavailable, and results are bit-identical
+    either way — ``shm=False`` (CLI ``--no-shm``) forces the pickle path.
     """
 
     workers: int = 0
@@ -131,6 +137,7 @@ class ParallelConfig:
     start_method: str = ""
     retry: Optional[RetryPolicy] = None
     adaptive: bool = True
+    shm: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -150,6 +157,17 @@ class ParallelConfig:
         return "fork" if "fork" in methods else "spawn"
 
 
+#: (requested, cap) clamps already warned about in this run — the service
+#: batcher calls :func:`effective_workers` per batch, which used to emit
+#: the identical RuntimeWarning hundreds of times per session
+_CLAMP_WARNED: set[tuple[int, int]] = set()
+
+
+def reset_worker_clamp_warnings() -> None:
+    """Re-arm the once-per-run clamp warning (new CLI invocation/test)."""
+    _CLAMP_WARNED.clear()
+
+
 def effective_workers(requested: int) -> int:
     """Clamp a worker request against the machine's core count.
 
@@ -160,15 +178,23 @@ def effective_workers(requested: int) -> int:
     request on the pool even on a single-core machine (the adaptive
     controller handles the rest there), so crash-surfacing semantics and
     tests don't silently degrade to the in-process path.
+
+    The RuntimeWarning states the clamped value and the detected
+    ``os.cpu_count()``, and fires **once per run** for a given
+    (requested, cap) pair — repeated clamps (e.g. every service
+    micro-batch) stay silent until
+    :func:`reset_worker_clamp_warnings`.
     """
     cap = max(2, os.cpu_count() or 1)
     if requested > cap:
-        warnings.warn(
-            f"workers={requested} exceeds usable CPUs; clamping to {cap} "
-            f"(os.cpu_count()={os.cpu_count()})",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        if (requested, cap) not in _CLAMP_WARNED:
+            _CLAMP_WARNED.add((requested, cap))
+            warnings.warn(
+                f"workers={requested} exceeds usable CPUs; clamping to {cap} "
+                f"(os.cpu_count()={os.cpu_count()})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return cap
     return requested
 
@@ -198,6 +224,10 @@ class FarmStats:
     backoffs: int = 0  # adaptive concurrency reductions
     final_window: int = 0  # in-flight cap when the drain finished
     serial_fallback: bool = False  # adaptive takeover ran the tail in-process
+    shm_plane: bool = False  # workers attached a shared-memory plane
+    pool_startup_s: float = 0.0  # first pool warm-up (spawn + initializer)
+    rebuild_s: float = 0.0  # cumulative warm-up of fault-triggered rebuilds
+    bytes_to_workers: int = 0  # pickled initializer payload x pool width
     chunk_sizes: List[int] = field(default_factory=list)
     chunk_predicted: List[float] = field(default_factory=list)
     chunk_walls: List[float] = field(default_factory=list)
@@ -423,6 +453,7 @@ def _farm_drain(
     faults: Optional[FarmFaultPlan],
     stats: Optional[FarmStats],
     controller: AdaptiveController,
+    plane=None,
 ) -> Iterator[PairResult]:
     """Submit-based farm drain: retry, restart, stall and adaptive
     concurrency handling in one loop.
@@ -431,12 +462,30 @@ def _farm_drain(
     stall deadlines start close to actual execution and concurrency can
     be throttled mid-run; results are buffered per chunk index and
     yielded strictly in job order.
+
+    With a live ``plane`` (see :mod:`repro.parallel.shmplane`), worker
+    initializers carry a segment name instead of the pickled dataset, so
+    pool construction — and every fault-triggered **rebuild** — ships a
+    few hundred bytes and attaches zero-copy, instead of re-pickling the
+    whole corpus into each fresh worker.
     """
     retry = config.retry
     max_retries = retry.max_retries if retry is not None else 0
     timeout_s = retry.chunk_timeout_seconds if retry is not None else 0.0
     ctx = multiprocessing.get_context(config.resolved_start_method())
-    initargs = (_worker.dataset_spec(dataset), method, mode, query, faults)
+    if plane is not None:
+        spec = plane.worker_spec()
+    else:
+        spec = _worker.dataset_spec(dataset)
+    initargs = (spec, method, mode, query, faults)
+    if stats is not None:
+        stats.shm_plane = plane is not None
+        try:
+            import pickle
+
+            stats.bytes_to_workers = len(pickle.dumps(initargs)) * workers
+        except Exception:
+            stats.bytes_to_workers = 0
 
     n = len(chunks)
     attempts = [0] * n  # latest attempt number dispatched per chunk
@@ -452,8 +501,16 @@ def _farm_drain(
     deadlines: Dict = {}  # Future -> monotonic stall deadline
     restarts = 0
     t_drain0 = time.perf_counter()
+    # Warm-up accounting: [pool creation timestamp, measurement pending].
+    # The first ok completion of each pool generation prices its warm-up
+    # (process spawn + initializer, i.e. dataset delivery) as round-trip
+    # wall minus worker-side execution wall — the component the plane is
+    # supposed to make dataset-size-independent.
+    pool_born: list = [0.0, True]
 
     def make_pool() -> ProcessPoolExecutor:
+        pool_born[0] = time.perf_counter()
+        pool_born[1] = True
         return ProcessPoolExecutor(
             max_workers=workers,
             mp_context=ctx,
@@ -571,6 +628,17 @@ def _farm_drain(
                 if idx in done or idx in failed or idx < next_yield:
                     continue  # duplicate result of a timed-out chunk
                 if status == "ok":
+                    if pool_born[1]:
+                        pool_born[1] = False
+                        warm = max(
+                            0.0,
+                            (time.perf_counter() - pool_born[0]) - exec_wall,
+                        )
+                        if stats is not None:
+                            if restarts:
+                                stats.rebuild_s += warm
+                            else:
+                                stats.pool_startup_s = warm
                     mark_done(idx, payload, exec_wall)
                     controller.record(chunk_cost(idx))
                     continue
@@ -690,10 +758,24 @@ def iter_pair_results(
             stats.chunk_size = nominal
             stats.n_chunks = len(chunks)
             stats.cost_packed = cost_packed
-        yield from _farm_drain(
-            dataset, chunks, predicted, method, mode, query, config,
-            workers, faults, stats, controller,
-        )
+        plane = None
+        if config.shm:
+            from repro.parallel import shmplane
+
+            # None on any shared-memory failure -> pickle fallback;
+            # the pin is dropped when this generator is exhausted or
+            # closed (the finally below runs either way)
+            plane = shmplane.plane_for(dataset)
+        try:
+            yield from _farm_drain(
+                dataset, chunks, predicted, method, mode, query, config,
+                workers, faults, stats, controller, plane=plane,
+            )
+        finally:
+            if plane is not None:
+                from repro.parallel import shmplane
+
+                shmplane.release(plane)
     finally:
         if stats is not None:
             stats.wall_seconds = time.perf_counter() - t0

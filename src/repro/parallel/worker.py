@@ -19,6 +19,7 @@ chaos is deterministic and retry-once semantics hold.
 
 from __future__ import annotations
 
+import atexit
 import os
 import signal
 import time
@@ -31,7 +32,7 @@ from repro.psc.base import PSCMethod
 from repro.psc.evaluator import EvalMode
 from repro.structure.model import Chain
 
-__all__ = ["init_worker", "eval_chunk", "dataset_spec", "QUERY_INDEX"]
+__all__ = ["init_worker", "eval_chunk", "dataset_spec", "ping", "QUERY_INDEX"]
 
 #: sentinel chain index meaning "the farm's query chain" (one-vs-all jobs)
 QUERY_INDEX = -1
@@ -42,6 +43,7 @@ _METHOD: Optional[PSCMethod] = None
 _MODE: EvalMode = EvalMode.MEASURED
 _QUERY: Optional[Chain] = None
 _FAULTS: Optional[FarmFaultPlan] = None
+_PLANE_VIEW = None  # ShmDataset attached by a "plane" spec, if any
 
 
 def dataset_spec(dataset) -> tuple:
@@ -70,7 +72,12 @@ def init_worker(
     faults: Optional[FarmFaultPlan] = None,
 ) -> None:
     """Pool initializer: build the worker's dataset/method state once."""
-    global _DATASET, _METHOD, _MODE, _QUERY, _FAULTS
+    global _DATASET, _METHOD, _MODE, _QUERY, _FAULTS, _PLANE_VIEW
+    if _PLANE_VIEW is not None:
+        # re-initialised in the same process (in-process farm tests):
+        # drop the previous attachment before replacing it
+        _PLANE_VIEW.detach()
+        _PLANE_VIEW = None
     kind, payload = spec
     if kind == "registry":
         from repro.datasets.registry import load_dataset
@@ -78,12 +85,46 @@ def init_worker(
         _DATASET = load_dataset(payload)
     elif kind == "pickle":
         _DATASET = payload
+    elif kind == "plane":
+        from repro.parallel.shmplane import ShmDataset
+
+        segment, fingerprint = payload
+        _PLANE_VIEW = ShmDataset.attach(segment, fingerprint=fingerprint)
+        _DATASET = _PLANE_VIEW
+        atexit.register(_detach_plane)
     else:  # pragma: no cover - defensive
         raise ValueError(f"unknown dataset spec kind {kind!r}")
     _METHOD = method
     _MODE = EvalMode(mode)
     _QUERY = query
     _FAULTS = faults
+
+
+def _detach_plane() -> None:
+    """Drop the worker's shared-plane views before interpreter shutdown.
+
+    Under ``spawn`` the child finalizes normally, where a still-mapped
+    segment with live NumPy views would raise ``BufferError`` noise from
+    ``SharedMemory.__del__``; under ``fork`` the child exits via
+    ``os._exit`` and this never runs (nor needs to).  Never unlinks —
+    only the owner destroys the plane.
+    """
+    global _PLANE_VIEW, _DATASET
+    if _PLANE_VIEW is not None:
+        if _DATASET is _PLANE_VIEW:
+            _DATASET = None
+        _PLANE_VIEW.detach()
+        _PLANE_VIEW = None
+
+
+def ping() -> int:
+    """Trivial job proving a worker is initialised and responsive.
+
+    Used by the pool-startup benchmark to measure round-trip wall
+    without paying any comparison cost; returns the worker's PID so the
+    caller can count distinct processes.
+    """
+    return os.getpid()
 
 
 def maybe_inject_fault(i: int, j: int, attempt: int) -> None:

@@ -80,6 +80,7 @@ class JobEvaluator:
         pairs: Optional[Iterable[Tuple[int, int]]] = None,
         workers: int = 0,
         chunk: int = 0,
+        shm: bool = True,
     ) -> int:
         """Fill the per-pair memo cache up front, optionally in parallel.
 
@@ -105,7 +106,7 @@ class JobEvaluator:
             todo,
             self.method,
             mode=self.mode,
-            config=ParallelConfig(workers=workers, chunk=chunk),
+            config=ParallelConfig(workers=workers, chunk=chunk, shm=shm),
         ):
             self._cache[(i, j)] = (scores, CostCounter(counts))
         return len(todo)

@@ -12,7 +12,10 @@ bit-identical results; the default is the plain serial loop.  A
 farm absorb worker failures instead of aborting.  With ``chunk`` left at
 0 the farm packs chunks by predicted pair cost and, unless ``adaptive``
 is turned off, sizes its effective concurrency from measured throughput
-(see :mod:`repro.parallel.costsched`).
+(see :mod:`repro.parallel.costsched`).  ``shm`` (default on) publishes
+the dataset once as a shared-memory plane workers attach to zero-copy
+(see :mod:`repro.parallel.shmplane`); ``shm=False`` forces the
+historical pickle-per-worker path — scores are bit-identical either way.
 
 Both tasks also accept ``prefilter`` — the cheap first tier of the
 hierarchical search (:mod:`repro.seqalign.prefilter`).  Pass a
@@ -118,6 +121,7 @@ def one_vs_all(
     chunk: int = 0,
     retry: Optional["RetryPolicy"] = None,
     adaptive: bool = True,
+    shm: bool = True,
     prefilter: Prefilter = None,
 ) -> list[RankedHit]:
     """Compare ``query`` against every dataset chain; rank by similarity.
@@ -148,7 +152,8 @@ def one_vs_all(
             counter=counter,
             exclude_self=exclude_self,
             config=ParallelConfig(
-                workers=workers, chunk=chunk, retry=retry, adaptive=adaptive
+                workers=workers, chunk=chunk, retry=retry, adaptive=adaptive,
+                shm=shm,
             ),
             include=include,
         )
@@ -213,6 +218,7 @@ def all_vs_all(
     chunk: int = 0,
     retry: Optional["RetryPolicy"] = None,
     adaptive: bool = True,
+    shm: bool = True,
     prefilter: Prefilter = None,
     store=None,
     populate: bool = False,
@@ -250,7 +256,7 @@ def all_vs_all(
                 params=getattr(method, "params", None),
                 config=ParallelConfig(
                     workers=workers, chunk=chunk, retry=retry,
-                    adaptive=adaptive,
+                    adaptive=adaptive, shm=shm,
                 ),
                 prefilter=prefilter,
             ).store
@@ -295,7 +301,7 @@ def all_vs_all(
                     counter=counter,
                     config=ParallelConfig(
                         workers=workers, chunk=chunk, retry=retry,
-                        adaptive=adaptive,
+                        adaptive=adaptive, shm=shm,
                     ),
                     pairs=pairs,
                 )
@@ -317,7 +323,8 @@ def all_vs_all(
             method,
             counter=counter,
             config=ParallelConfig(
-                workers=workers, chunk=chunk, retry=retry, adaptive=adaptive
+                workers=workers, chunk=chunk, retry=retry, adaptive=adaptive,
+                shm=shm,
             ),
             pairs=pairs,
         )

@@ -73,6 +73,7 @@ class ServiceConfig:
     retries: int = 0  # farm retry policy (0 = fail fast)
     backoff: float = 0.05
     adaptive: bool = True  # farm adaptive worker sizing
+    shm: bool = True  # shared-memory dataset plane for farm batches
     cache_capacity: int = 1024  # LRU result-cache entries
     runs_dir: str = "runs"  # durable store for submit-matrix
     matstore_dir: str = ""  # precomputed matrix store root ("" = none)
@@ -89,6 +90,7 @@ class ServiceConfig:
             chunk=self.chunk,
             retry=retry,
             adaptive=self.adaptive,
+            shm=self.shm,
         )
 
 
@@ -147,6 +149,10 @@ class PSCService:
                 self.matstore = MatrixStore.open(self.config.matstore_dir)
             except MatStoreError:
                 pass  # not built yet; matstore-build creates it
+        # long-lived shared-memory plane over the registered corpus: one
+        # pin per corpus generation, re-pinned on corpus registration
+        self._corpus_plane = None
+        self._refresh_corpus_plane()
         self._ops = {
             "align": self._op_align,
             "search": self._op_search,
@@ -186,6 +192,11 @@ class PSCService:
         if self._server is not None:
             self._server.close()
         await self.batcher.stop()
+        if self._corpus_plane is not None:
+            from repro.parallel import shmplane
+
+            shmplane.release(self._corpus_plane)
+            self._corpus_plane = None
         if self._server is not None:
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(self._server.wait_closed(), timeout=0.5)
@@ -457,12 +468,67 @@ class PSCService:
             }
         return result, n_cached == len(targets)
 
+    def corpus_dataset(self):
+        """The registry corpus as a ``(Dataset, content_hashes)`` pair.
+
+        One construction shared by matstore builds and the corpus plane,
+        so every surface agrees on dataset identity — and therefore on
+        the plane fingerprint.  Raises ``ValueError`` when the corpus is
+        empty or holds duplicate chain names (callers decide whether
+        that is an error or just "no plane").
+        """
+        from repro.datasets.registry import Dataset
+
+        corpus = self.registry.corpus()
+        dataset = Dataset(
+            self.registry.dataset_name or "service-corpus",
+            tuple(chain for _h, chain in corpus),
+            "service registry corpus",
+        )
+        return dataset, tuple(h for h, _c in corpus)
+
+    def _refresh_corpus_plane(self) -> None:
+        """(Re-)pin the long-lived corpus plane after a corpus change.
+
+        One plane per registered-corpus generation: the batcher's corpus
+        fast path resolves batch jobs against this dataset, so every
+        micro-batch attaches to the same live segment instead of
+        serializing an ad-hoc corpus per batch.  The previous
+        generation's pin is released (the LRU or the atexit backstop
+        unlinks it); any failure just leaves the pickle path in charge.
+        """
+        old = self._corpus_plane
+        self._corpus_plane = None
+        dataset = None
+        hashes: tuple = ()
+        if self.config.workers > 1 and self.config.shm:
+            try:
+                dataset, hashes = self.corpus_dataset()
+            except Exception:
+                dataset = None
+            if dataset is not None:
+                from repro.parallel import shmplane
+
+                self._corpus_plane = shmplane.plane_for(dataset)
+        if self._corpus_plane is not None:
+            self.batcher.set_corpus(dataset, hashes)
+        else:
+            self.batcher.set_corpus(None, ())
+        if old is not None:
+            from repro.parallel import shmplane
+
+            shmplane.release(old)
+
     async def _op_register(self, payload: Dict[str, Any]):
         name = _require_str(payload, "name")
         text = _require_str(payload, "pdb")
         corpus = bool(payload.get("corpus", False))
         chain_hash = self.registry.register_pdb(text, name, corpus=corpus)
         _, chain = self.registry.resolve(chain_hash)
+        if corpus:
+            # the corpus generation changed: invalidate + re-pin the
+            # shared plane so the next batch attaches to fresh content
+            self._refresh_corpus_plane()
         self.metrics.inc("chains_registered")
         result = {
             "hash": chain_hash,
@@ -523,24 +589,17 @@ class PSCService:
         return "extending"
 
     async def _op_matstore_build(self, payload: Dict[str, Any]):
-        from repro.datasets.registry import Dataset
-
         root = payload.get("root") or self._matstore_root()
         if not root:
             raise BadRequest(
                 "no matrix store root: pass 'root' or start the server "
                 "with --matstore-dir"
             )
-        corpus = self.registry.corpus()
-        if not corpus:
+        if not self.registry.corpus():
             raise BadRequest("the registry corpus is empty; nothing to build")
         if self._matstore_job is not None and self._matstore_job[0].is_alive():
             raise BadRequest("a matstore build is already running")
-        dataset = Dataset(
-            self.registry.dataset_name or "service-corpus",
-            tuple(chain for _h, chain in corpus),
-            "service registry corpus",
-        )
+        dataset, _hashes = self.corpus_dataset()
         n = len(dataset)
         outcome: Dict[str, Any] = {"error": None, "result": None}
         farm_config = self.config.farm_config()

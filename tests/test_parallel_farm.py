@@ -10,6 +10,7 @@ bit-exact output.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 
 import pytest
@@ -28,11 +29,18 @@ from repro.parallel import (
     iter_pair_results,
     parallel_all_vs_all,
     parallel_one_vs_all,
+    reset_worker_clamp_warnings,
 )
+from repro.parallel import shmplane
 from repro.parallel.worker import QUERY_INDEX, dataset_spec
 from repro.psc import all_vs_all, get_method, one_vs_all
 from repro.psc.evaluator import EvalMode, JobEvaluator
 from repro.psc.methods import SSECompositionMethod
+
+#: both POSIX start methods where available (macOS/Windows lack fork)
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
 
 # Measured-mode TM-align scores for ck34-mini pairs, captured as repr()
 # from the serial pre-farm code path (the PR-2 seed).  repr round-trips
@@ -155,6 +163,37 @@ class TestDeterminism:
         )
         assert table == want_table  # dict equality on floats = bit equality
         assert counter.as_dict() == want_counter.as_dict()
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    @pytest.mark.parametrize("shm", [True, False])
+    def test_tmalign_bit_identical_across_start_methods(
+        self, ck34_mini, serial_table, start_method, shm
+    ):
+        """fork and spawn, plane on and off: same table, bit for bit.
+
+        Under spawn nothing is inherited, so this is the proof that the
+        shared-memory plane (and the pickling fallback) each deliver the
+        exact dataset the serial loop scored."""
+        want_table, want_counter = serial_table
+        counter = CostCounter()
+        stats = FarmStats()
+        table = parallel_all_vs_all(
+            ck34_mini, get_method("tmalign"), counter=counter,
+            config=ParallelConfig(
+                workers=2, chunk=7, start_method=start_method, shm=shm
+            ),
+            stats=stats,
+        )
+        assert table == want_table
+        assert counter.as_dict() == want_counter.as_dict()
+        if shm:
+            # /dev/shm exists on every platform we run CI on; if the
+            # plane silently failed to build we want to know
+            assert stats.shm_plane
+            assert stats.bytes_to_workers < 4096  # names, not megabytes
+        else:
+            assert not stats.shm_plane
+        assert stats.pool_startup_s >= 0.0
 
     @pytest.mark.parametrize("workers", [1, 2, 8])
     @pytest.mark.parametrize("chunk", [1, 7, 64])
@@ -293,16 +332,36 @@ class TestCostAwareScheduling:
     machine, realized chunk sizes recorded truthfully."""
 
     def test_effective_workers_clamps_with_warning(self):
+        reset_worker_clamp_warnings()
         cap = max(2, os.cpu_count() or 1)
-        with pytest.warns(RuntimeWarning, match="exceeds usable CPUs"):
+        with pytest.warns(RuntimeWarning, match="exceeds usable CPUs") as rec:
             assert effective_workers(cap + 61) == cap
-        # at or below the cap: no warning, no change
+        clamped = [w for w in rec if "exceeds usable CPUs" in str(w.message)]
+        assert len(clamped) == 1
+        msg = str(clamped[0].message)
+        # the warning must state the clamped value and the detected count
+        assert f"workers={cap + 61}" in msg
+        assert f"clamping to {cap}" in msg
+        assert f"os.cpu_count()={os.cpu_count()}" in msg
         import warnings as _warnings
 
         with _warnings.catch_warnings():
             _warnings.simplefilter("error")
+            # same clamp again: fires exactly once per run, so silent now
+            assert effective_workers(cap + 61) == cap
+            # at or below the cap: no warning, no change
             assert effective_workers(2) == 2
             assert effective_workers(cap) == cap
+        reset_worker_clamp_warnings()
+
+    def test_clamp_warning_distinct_per_request(self):
+        reset_worker_clamp_warnings()
+        cap = max(2, os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning):
+            effective_workers(cap + 10)
+        with pytest.warns(RuntimeWarning):  # different request: warns again
+            effective_workers(cap + 11)
+        reset_worker_clamp_warnings()
 
     def test_auto_chunk_serial_retry_floor(self):
         # armed retry bounds the serial chunk: a fault can only ever
@@ -427,6 +486,39 @@ class TestRetryPath:
         )
         assert got == want
         assert stats.pool_restarts >= 1
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_plane_rebuild_after_kill_bit_identical(
+        self, ck34_mini, start_method
+    ):
+        """The acceptance case: a SIGKILLed worker forces a pool rebuild,
+        the replacement pool re-attaches the *same* plane (no re-pickle,
+        no re-serialize), and the table still matches serial exactly."""
+        method = get_method("sse_composition")
+        want = all_vs_all(ck34_mini, method)
+        stats = FarmStats()
+        got = parallel_all_vs_all(
+            ck34_mini, method,
+            config=ParallelConfig(
+                workers=2, chunk=2, retry=self.RETRY,
+                start_method=start_method, shm=True,
+            ),
+            stats=stats,
+            faults=FarmFaultPlan.single("kill", (1, 2)),
+        )
+        assert got == want
+        assert stats.pool_restarts >= 1
+        assert stats.shm_plane
+        assert stats.rebuild_s >= 0.0
+        # the plane outlived the kill: still cached, attachable, live
+        plane = shmplane.plane_for(ck34_mini)
+        try:
+            assert plane is not None and plane.live
+            view = plane.attach()
+            assert len(view) == len(ck34_mini)
+            view.detach()
+        finally:
+            shmplane.release(plane)
 
     def test_stalled_chunk_redispatched(self, ck34_mini):
         method = get_method("sse_composition")
