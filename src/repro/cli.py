@@ -12,6 +12,9 @@ Tool commands::
     python -m repro.cli search query.pdb --dataset ck34 --top 10
     python -m repro.cli info --dataset rs119    # dataset summary
     python -m repro.cli bench                   # hot-path wall-clock bench
+    python -m repro.cli serve --port 7743       # always-on query service
+    python -m repro.cli serve-shard 7744 7745   # scatter-gather coordinator
+    python -m repro.cli bench --service --check # 1 vs N shard load test
 """
 
 from __future__ import annotations
@@ -404,9 +407,10 @@ def _bench_output(args) -> Optional[str]:
 
 
 def _cmd_bench(args) -> str:
-    if sum((args.kernel, args.prefilter, args.matstore)) > 1:
+    if sum((args.kernel, args.prefilter, args.matstore, args.service)) > 1:
         raise SystemExit(
-            "bench: --kernel, --prefilter and --matstore are exclusive"
+            "bench: --kernel, --prefilter, --matstore and --service are "
+            "exclusive"
         )
     if args.kernel:
         return _cmd_bench_kernel(args)
@@ -414,6 +418,8 @@ def _cmd_bench(args) -> str:
         return _cmd_bench_prefilter(args)
     if args.matstore:
         return _cmd_bench_matstore(args)
+    if args.service:
+        return _cmd_bench_service(args)
     from repro.experiments.bench import format_bench_report, run_bench
 
     output = _bench_output(args)
@@ -536,6 +542,41 @@ def _cmd_bench_matstore(args) -> str:
             f"matstore gate failed: lookup speedup {reg['speedup']:,.0f}x "
             f"(min {reg['min_speedup']:.0f}), one-row extend exact: "
             f"{reg['extend_exact']}"
+        )
+    return text
+
+
+def _cmd_bench_service(args) -> str:
+    """``bench --service``: 1-shard vs N-shard open-loop load test + gate."""
+    from repro.experiments.bench import (
+        DEFAULT_BENCH_OUTPUT,
+        DEFAULT_SERVICE_BENCH_OUTPUT,
+        format_service_bench_report,
+        run_service_bench,
+    )
+
+    output = _bench_output(args)
+    if output == DEFAULT_BENCH_OUTPUT:
+        # the hot-path artefact default doesn't apply to the service bench
+        output = DEFAULT_SERVICE_BENCH_OUTPUT
+    report = run_service_bench(
+        dataset=args.dataset if args.dataset != "both" else "ck34",
+        output=output,
+        shards=args.shards,
+        min_speedup=(
+            args.min_speedup if args.min_speedup is not None else 1.5
+        ),
+        quick=args.quick,
+    )
+    text = format_service_bench_report(report)
+    if output:
+        text += f"\nwrote {output}"
+    if args.check and not report["regression"]["passed"]:
+        print(text, file=sys.stderr)
+        reg = report["regression"]
+        raise SystemExit(
+            f"service gate failed: N-shard throughput {reg['speedup']:.2f}x "
+            f"single-shard at saturation (min {reg['min_speedup']:.2f}x)"
         )
     return text
 
@@ -669,6 +710,93 @@ def _cmd_serve(args) -> str:
     return asyncio.run(_serve())
 
 
+def _cmd_serve_shard(args) -> str:
+    """Run the scatter-gather coordinator over running shard services."""
+    import asyncio
+
+    from repro.service.shard import (
+        CoordinatorConfig,
+        ShardCoordinator,
+        parse_shard_spec,
+    )
+
+    try:
+        shards = tuple(parse_shard_spec(spec) for spec in args.shards)
+    except ValueError as exc:
+        raise SystemExit(f"serve-shard: {exc}")
+    config = CoordinatorConfig(
+        shards=shards,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        connect_timeout=args.connect_timeout,
+        hedge_after=args.hedge_after,
+        down_after=args.down_after,
+        probe_cooldown=args.probe_cooldown,
+    )
+
+    async def _serve() -> str:
+        async with ShardCoordinator(config) as coordinator:
+            print(
+                f"coordinating {len(config.shards)} shard(s) on "
+                f"{coordinator.host}:{coordinator.port}",
+                flush=True,
+            )
+            await coordinator.serve_until_stopped()
+            counters = coordinator.metrics.counters
+            return (
+                f"coordinator stopped after {counters['connections']} "
+                f"connections; {counters['partial_results']} partial "
+                f"results, {counters['hedged_requests']} hedged, "
+                f"{counters['failover_retries']} failovers"
+            )
+
+    return asyncio.run(_serve())
+
+
+def _cmd_shard_topology(args) -> str:
+    """Offline view of the rendezvous-hash ownership map (no sockets)."""
+    from repro.service.registry import chain_content_hash
+    from repro.service.shard import (
+        parse_shard_spec,
+        partition_keys,
+        rendezvous_rank,
+    )
+
+    try:
+        shards = [parse_shard_spec(spec) for spec in args.shards]
+    except ValueError as exc:
+        raise SystemExit(f"shard-topology: {exc}")
+    if args.key:
+        order = rendezvous_rank(args.key, shards)
+        lines = [f"preference order for key {args.key!r}:"]
+        lines.extend(
+            f"{rank}. {shard_id}" for rank, shard_id in enumerate(order, 1)
+        )
+        return "\n".join(lines)
+
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(args.dataset)
+    name_by_hash = {}
+    for chain in ds.chains:
+        name_by_hash[chain_content_hash(chain)] = chain.name
+    parts = partition_keys(list(name_by_hash), shards)
+    lines = [
+        f"{len(name_by_hash)} chains of {ds.name} over "
+        f"{len(shards)} shard(s):"
+    ]
+    for shard_id in shards:
+        owned = parts.get(shard_id, [])
+        share = 100.0 * len(owned) / max(1, len(name_by_hash))
+        lines.append(f"{shard_id:<24} {len(owned):>5} chains ({share:.1f}%)")
+        if args.verbose:
+            lines.extend(
+                f"    {name_by_hash[h]:<20} {h[:12]}" for h in owned
+            )
+    return "\n".join(lines)
+
+
 def _cmd_query(args) -> str:
     """One request against a running service (see the ``serve`` command)."""
     import json as _json
@@ -683,9 +811,10 @@ def _cmd_query(args) -> str:
         "status": ((0, 1), "[run-id]"),
         "matstore-build": (0, "[--matstore-dir DIR]"),
         "matstore-lookup": (2, "<chain-a> <chain-b>"),
+        "corpus": (0, ""),
         "healthz": (0, ""),
         "metrics": (0, ""),
-        "shutdown": (0, ""),
+        "shutdown": (0, "[--broadcast]"),
     }
     n_args, usage = operands[args.op]
     allowed = n_args if isinstance(n_args, tuple) else (n_args,)
@@ -763,6 +892,35 @@ def _cmd_query(args) -> str:
                     line += f"\nerror: {info['error']}"
                 return line
             info = client.status()
+            if info.get("coordinator"):
+                lines = [
+                    f"coordinator: {info['status']} "
+                    f"({info['shards_reachable']}/{info['shards_total']} "
+                    f"shards reachable, drift: "
+                    f"{'yes' if info['drift'] else 'no'})",
+                ]
+                for shard_id in info["topology"]:
+                    detail = info["shards"][shard_id]
+                    if detail["reachable"]:
+                        lines.append(
+                            f"shard {shard_id}: up, "
+                            f"{detail['dataset'] or '(empty)'} "
+                            f"({detail['corpus']} corpus chains, "
+                            f"generation {detail['registry_generation']}), "
+                            f"{detail['requests']} requests, "
+                            f"{detail['failures']} failures"
+                        )
+                    else:
+                        lines.append(
+                            f"shard {shard_id}: DOWN "
+                            f"({detail.get('error') or 'unreachable'})"
+                        )
+                lines.append(
+                    f"partial results: {info['partial_results']}, "
+                    f"hedged: {info['hedged_requests']}, "
+                    f"failovers: {info['failover_retries']}"
+                )
+                return "\n".join(lines)
             lines = [
                 f"service: {info['status']} "
                 f"({info['chains']} chains, dataset "
@@ -803,11 +961,24 @@ def _cmd_query(args) -> str:
             for key in sorted(info["scores"]):
                 lines.append(f"  {key} = {info['scores'][key]:.4f}")
             return "\n".join(lines)
+        if args.op == "corpus":
+            info = client.corpus()
+            lines = [
+                f"corpus of {info['dataset'] or '(empty registry)'}: "
+                f"{len(info['chains'])} chains, generation "
+                f"{info['generation']}, fingerprint "
+                f"{info['fingerprint'][:12]}..."
+            ]
+            lines.extend(
+                f"  {entry['name']:<20} {entry['hash'][:12]}"
+                for entry in info["chains"]
+            )
+            return "\n".join(lines)
         if args.op in ("healthz", "metrics"):
             result = client.healthz() if args.op == "healthz" else client.metrics()
             return _json.dumps(result, indent=1, sort_keys=True)
         # args.op == "shutdown" (argparse rejects anything else)
-        client.shutdown()
+        client.shutdown(broadcast=args.broadcast)
         return "server is stopping"
 
 
@@ -1188,6 +1359,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(--quick limits to 8 chains)",
     )
     p.add_argument(
+        "--service",
+        action="store_true",
+        help="load-test the sharded query service (1-shard vs N-shard "
+        "behind a coordinator, open-loop arrivals), writing "
+        "BENCH_service.json (--quick runs one short rate point)",
+    )
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=2,
+        help="with --service: shard count of the N-shard topology",
+    )
+    p.add_argument(
         "--prefilter-keep",
         type=_fraction,
         default=None,
@@ -1215,7 +1399,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="--check speedup floor (default: 2.0 with --prefilter, "
-        "100.0 with --matstore)",
+        "100.0 with --matstore, 1.5 with --service)",
     )
     p.add_argument(
         "--baseline",
@@ -1239,8 +1423,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check",
         action="store_true",
-        help="with --kernel/--prefilter: exit non-zero when the "
-        "regression gate fails",
+        help="with --kernel/--prefilter/--matstore/--service: exit "
+        "non-zero when the regression gate fails",
     )
     p.set_defaults(fn=_cmd_bench)
 
@@ -1374,6 +1558,87 @@ def build_parser() -> argparse.ArgumentParser:
     add_runs_dir(p)
     p.set_defaults(fn=_cmd_serve)
 
+    p = sub.add_parser(
+        "serve-shard",
+        help="run the scatter-gather coordinator over running shard "
+        "services (rendezvous-hash routing, write-all register)",
+    )
+    p.add_argument(
+        "shards",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="shard service addresses (a bare port means 127.0.0.1)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=_SERVICE_PORT,
+        help="TCP port of the coordinator (0 = pick a free one; "
+        "printed at startup)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per shard-request budget in seconds",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=2.0,
+        help="per shard-connect budget in seconds",
+    )
+    p.add_argument(
+        "--hedge-after",
+        type=float,
+        default=0.0,
+        help="seconds before a slow shard request is hedged to the next "
+        "shard in preference order (0 = off)",
+    )
+    p.add_argument(
+        "--down-after",
+        type=int,
+        default=2,
+        help="consecutive failures before a shard is marked down",
+    )
+    p.add_argument(
+        "--probe-cooldown",
+        type=float,
+        default=2.0,
+        help="seconds a down shard is skipped before being re-probed",
+    )
+    p.set_defaults(fn=_cmd_serve_shard)
+
+    p = sub.add_parser(
+        "shard-topology",
+        help="offline rendezvous-hash ownership map for a shard list "
+        "(no sockets; deterministic across processes)",
+    )
+    p.add_argument(
+        "shards",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="shard identities exactly as passed to serve-shard",
+    )
+    p.add_argument(
+        "--dataset",
+        default="ck34-mini",
+        help="dataset whose content-hash keys are partitioned",
+    )
+    p.add_argument(
+        "--key",
+        default="",
+        help="print the full preference order for one key instead of "
+        "the dataset map",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list every owned chain under its shard",
+    )
+    p.set_defaults(fn=_cmd_shard_topology)
+
     p = sub.add_parser("query", help="query a running PSC service")
     p.add_argument(
         "op",
@@ -1385,6 +1650,7 @@ def build_parser() -> argparse.ArgumentParser:
             "status",
             "matstore-build",
             "matstore-lookup",
+            "corpus",
             "healthz",
             "metrics",
             "shutdown",
@@ -1441,6 +1707,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--matstore-dir",
         default="",
         help="matstore-build: store root (default: the server's)",
+    )
+    p.add_argument(
+        "--broadcast",
+        action="store_true",
+        help="shutdown: coordinator forwards the shutdown to every shard "
+        "before stopping itself",
     )
     p.set_defaults(fn=_cmd_query)
 

@@ -18,22 +18,37 @@ Start a server with ``python -m repro.cli serve``; talk to it with
 
 from repro.service.batcher import MicroBatcher, PairJob, result_body
 from repro.service.cache import ResultCache, pair_key
-from repro.service.client import ServiceClient
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.client import ServiceClient, backoff_delays
+from repro.service.loadgen import LoadgenConfig, generate_plan, run_load
+from repro.service.metrics import LatencyHistogram, ServiceMetrics, percentile
 from repro.service.protocol import (
     BadRequest,
     NotFound,
     ServiceError,
     ServiceOverloaded,
+    ServiceUnavailable,
     canonical_json,
     resolve_method,
 )
 from repro.service.registry import StructureRegistry, chain_content_hash
-from repro.service.server import PSCService, ServiceConfig
+from repro.service.server import LineProtocolServer, PSCService, ServiceConfig
+from repro.service.shard import (
+    AsyncShardConnection,
+    CoordinatorConfig,
+    ShardCoordinator,
+    parse_shard_spec,
+    partition_keys,
+    rendezvous_owner,
+    rendezvous_rank,
+)
 
 __all__ = [
+    "AsyncShardConnection",
     "BadRequest",
+    "CoordinatorConfig",
     "LatencyHistogram",
+    "LineProtocolServer",
+    "LoadgenConfig",
     "MicroBatcher",
     "NotFound",
     "PSCService",
@@ -44,10 +59,20 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceOverloaded",
+    "ServiceUnavailable",
+    "ShardCoordinator",
     "StructureRegistry",
+    "backoff_delays",
     "canonical_json",
     "chain_content_hash",
+    "generate_plan",
     "pair_key",
+    "parse_shard_spec",
+    "partition_keys",
+    "percentile",
+    "rendezvous_owner",
+    "rendezvous_rank",
     "resolve_method",
     "result_body",
+    "run_load",
 ]

@@ -5,19 +5,48 @@ sequentially (responses are matched by id).  Typed server errors come
 back as the exceptions from :mod:`repro.service.protocol` — most
 importantly :class:`~repro.service.protocol.ServiceOverloaded`, which a
 caller should treat as "busy now, retry with backoff".
+
+Connecting is resilient by default: a refused or timed-out connect is
+retried with bounded exponential backoff (a restarting server shows up
+as :class:`~repro.service.protocol.ServiceUnavailable` only once the
+budget is exhausted, never as a raw ``ConnectionRefusedError``), and a
+request whose *send* hits a dead socket reconnects once and re-sends.
+The shard coordinator's async connections share the same backoff
+schedule via :func:`backoff_delays`.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Dict, Iterator, Optional
 
-from repro.service.protocol import ERROR_TYPES, ServiceError, encode_line
+from repro.service.protocol import (
+    ERROR_TYPES,
+    ServiceError,
+    ServiceUnavailable,
+    encode_line,
+)
 
-__all__ = ["ServiceClient"]
+__all__ = ["ServiceClient", "backoff_delays", "DEFAULT_CONNECT_RETRIES"]
 
 DEFAULT_PORT = 7743
+
+#: reconnect budget shared by the blocking client and the coordinator's
+#: async shard connections: N retries doubling from the base delay
+DEFAULT_CONNECT_RETRIES = 4
+DEFAULT_CONNECT_BACKOFF = 0.05
+
+
+def backoff_delays(retries: int, base: float) -> Iterator[float]:
+    """The bounded exponential-backoff schedule: base, 2*base, 4*base...
+
+    One shared definition so the blocking client and the coordinator's
+    async shard connections wait identically for a restarting server.
+    """
+    for attempt in range(max(0, retries)):
+        yield base * (2**attempt)
 
 
 class ServiceClient:
@@ -28,25 +57,78 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 60.0,
+        connect_timeout: float = 5.0,
+        connect_retries: int = DEFAULT_CONNECT_RETRIES,
+        connect_backoff: float = DEFAULT_CONNECT_BACKOFF,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self._sock: Optional[socket.socket] = None
+        self._file = None
         self._next_id = 0
+        self._connect()
 
     # -- plumbing ----------------------------------------------------------
+    def _connect(self) -> None:
+        """(Re-)establish the connection with bounded backoff."""
+        self._teardown()
+        delays = backoff_delays(self.connect_retries, self.connect_backoff)
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                break
+            except OSError as exc:
+                delay = next(delays, None)
+                if delay is None:
+                    raise ServiceUnavailable(
+                        f"cannot connect to {self.host}:{self.port} after "
+                        f"{attempts} attempts: {type(exc).__name__}: {exc}"
+                    ) from exc
+                time.sleep(delay)
+        self._sock.settimeout(self.timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         """One request/response round trip; returns the raw response dict."""
         self._next_id += 1
         payload = {"id": self._next_id, "op": op}
         payload.update({k: v for k, v in fields.items() if v is not None})
-        self._file.write(encode_line(payload))
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
+        line = encode_line(payload)
+        try:
+            self._file.write(line)
+            self._file.flush()
+        except (ConnectionError, BrokenPipeError, OSError):
+            # dead socket caught at send time: the request was not
+            # processed, so reconnecting and re-sending is safe
+            self._connect()
+            self._file.write(line)
+            self._file.flush()
+        response_line = self._file.readline()
+        if not response_line:
             raise ServiceError("connection closed by server")
-        response = json.loads(line)
+        response = json.loads(response_line)
         if response.get("id") != self._next_id:
             raise ServiceError(
                 f"response id {response.get('id')!r} does not match "
@@ -59,10 +141,7 @@ class ServiceClient:
         return response
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -146,11 +225,20 @@ class ServiceClient:
         :class:`~repro.service.protocol.NotFound` on a store miss."""
         return self.request("matstore-lookup", a=a, b=b)["result"]
 
+    def corpus(self) -> Dict[str, Any]:
+        """The registry's corpus view: ordered hashes + names, plus the
+        generation and fingerprint the coordinator partitions against."""
+        return self.request("corpus")["result"]
+
     def healthz(self) -> Dict[str, Any]:
         return self.request("healthz")["result"]
 
     def metrics(self) -> Dict[str, Any]:
         return self.request("metrics")["result"]
 
-    def shutdown(self) -> Dict[str, Any]:
-        return self.request("shutdown")["result"]
+    def shutdown(self, broadcast: bool = False) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {}
+        if broadcast:
+            # coordinator-only: forward the shutdown to every shard first
+            fields["broadcast"] = True
+        return self.request("shutdown", **fields)["result"]

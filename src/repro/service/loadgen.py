@@ -1,0 +1,194 @@
+"""Open-loop load generator for the PSC service and shard coordinator.
+
+The generator is *open-loop*: request arrival times are drawn up front
+from a seeded Poisson process at the configured rate and fired on
+schedule regardless of how fast responses come back — exactly the
+discipline that exposes queueing collapse, which closed-loop clients
+(waiting for each response before sending the next) structurally hide.
+Requests spread over a pool of pipelined connections, every response is
+classified (ok / shed / error / timeout) with its measured latency, and
+the summary reports the numbers the scale-out story is judged on:
+p50/p99 latency, completed throughput, shed rate, cache hit ratio.
+
+Because the target speaks the one shared line protocol, the same
+generator drives a single :class:`~repro.service.server.PSCService`
+or a :class:`~repro.service.shard.ShardCoordinator` front end — the
+1-shard vs N-shard comparison in ``bench --service`` is the same
+workload aimed at two ports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.service.metrics import percentile
+from repro.service.protocol import (
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.service.shard import AsyncShardConnection
+
+__all__ = ["LoadgenConfig", "generate_plan", "run_load", "run_load_async"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One open-loop load run against a running service."""
+
+    host: str = "127.0.0.1"
+    port: int = 7743
+    rate: float = 20.0  # mean arrivals per second (Poisson)
+    duration: float = 5.0  # seconds of scheduled arrivals
+    clients: int = 8  # pipelined connections round-robined over
+    op: str = "align"  # "align" | "search"
+    method: str = "tmalign"
+    top: int = 5  # search only
+    seed: int = 1234  # arrival times + pair sampling
+    timeout: float = 30.0  # per-request budget
+    drain_timeout: float = 60.0  # wait for in-flight requests at the end
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.op not in ("align", "search"):
+            raise ValueError(f"op must be 'align' or 'search', got {self.op!r}")
+
+
+def generate_plan(
+    names: Sequence[str], config: LoadgenConfig
+) -> List[Tuple[float, Dict[str, Any]]]:
+    """The deterministic request schedule: ``(arrival_offset, payload)``.
+
+    Exponential inter-arrivals (one seeded RNG) make the schedule a
+    Poisson process at ``config.rate``; align pairs are sampled
+    uniformly without replacement per request, so repeats — and
+    therefore measurable cache hits — occur at the natural birthday
+    rate for the corpus size.
+    """
+    if len(names) < 2:
+        raise ValueError("the load plan needs at least two corpus chains")
+    rng = random.Random(config.seed)
+    plan: List[Tuple[float, Dict[str, Any]]] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(config.rate)
+        if t >= config.duration:
+            break
+        if config.op == "align":
+            a, b = rng.sample(list(names), 2)
+            payload: Dict[str, Any] = {
+                "op": "align",
+                "a": a,
+                "b": b,
+                "method": config.method,
+            }
+        else:
+            payload = {
+                "op": "search",
+                "query": rng.choice(list(names)),
+                "top": config.top,
+                "method": config.method,
+            }
+        plan.append((t, payload))
+    return plan
+
+
+async def run_load_async(
+    config: LoadgenConfig, plan: Sequence[Tuple[float, Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Fire ``plan`` open-loop at ``config.host:port``; returns the summary."""
+    loop = asyncio.get_running_loop()
+    conns = [
+        AsyncShardConnection(config.host, config.port, timeout=config.timeout)
+        for _ in range(config.clients)
+    ]
+    outcomes: List[Tuple[str, float, bool]] = []  # (kind, seconds, cached)
+
+    async def fire(conn: AsyncShardConnection, payload: Dict[str, Any]) -> None:
+        t0 = loop.time()
+        try:
+            response = await conn.request(payload)
+        except ServiceOverloaded:
+            outcomes.append(("shed", loop.time() - t0, False))
+        except ServiceUnavailable:
+            outcomes.append(("unavailable", loop.time() - t0, False))
+        except ServiceError:
+            outcomes.append(("error", loop.time() - t0, False))
+        else:
+            outcomes.append(
+                ("ok", loop.time() - t0, bool(response.get("cached")))
+            )
+
+    tasks: List[asyncio.Task] = []
+    start = loop.time()
+    try:
+        for k, (offset, payload) in enumerate(plan):
+            delay = (start + offset) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(
+                asyncio.ensure_future(fire(conns[k % len(conns)], payload))
+            )
+        timeouts = 0
+        if tasks:
+            done, pending = await asyncio.wait(
+                tasks, timeout=config.drain_timeout
+            )
+            timeouts = len(pending)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        elapsed = loop.time() - start
+    finally:
+        await asyncio.gather(
+            *(c.aclose() for c in conns), return_exceptions=True
+        )
+
+    n_ok = sum(1 for kind, _s, _c in outcomes if kind == "ok")
+    n_shed = sum(1 for kind, _s, _c in outcomes if kind == "shed")
+    n_error = sum(
+        1 for kind, _s, _c in outcomes if kind in ("error", "unavailable")
+    )
+    n_cached = sum(1 for kind, _s, c in outcomes if kind == "ok" and c)
+    ok_latencies = [s for kind, s, _c in outcomes if kind == "ok"]
+    offered = len(plan)
+    return {
+        "offered": offered,
+        "offered_rate_rps": round(offered / config.duration, 3),
+        "ok": n_ok,
+        "shed": n_shed,
+        "errors": n_error,
+        "timeouts": timeouts,
+        "elapsed_seconds": round(elapsed, 3),
+        "throughput_rps": round(n_ok / elapsed, 3) if elapsed > 0 else 0.0,
+        "shed_rate": round(n_shed / offered, 4) if offered else 0.0,
+        "cache_hit_ratio": round(n_cached / n_ok, 4) if n_ok else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(ok_latencies, 0.50) * 1e3, 3),
+            "p90": round(percentile(ok_latencies, 0.90) * 1e3, 3),
+            "p99": round(percentile(ok_latencies, 0.99) * 1e3, 3),
+            "mean": round(
+                sum(ok_latencies) / len(ok_latencies) * 1e3, 3
+            )
+            if ok_latencies
+            else 0.0,
+            "max": round(max(ok_latencies) * 1e3, 3) if ok_latencies else 0.0,
+        },
+    }
+
+
+def run_load(
+    config: LoadgenConfig, names: Sequence[str]
+) -> Dict[str, Any]:
+    """Generate the plan and run it in a fresh event loop (blocking)."""
+    plan = generate_plan(names, config)
+    return asyncio.run(run_load_async(config, plan))

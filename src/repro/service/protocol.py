@@ -16,9 +16,9 @@ Response shape::
     {"id": <echoed>, "ok": false, "error": {"code": ..., "message": ...}}
 
 Error codes are stable strings (``overloaded``, ``bad-request``,
-``not-found``, ``internal``); the client library maps them back to the
-typed exceptions below, so a saturated server surfaces as a
-:class:`ServiceOverloaded` in the caller, not as a parse job.
+``not-found``, ``unavailable``, ``internal``); the client library maps
+them back to the typed exceptions below, so a saturated server surfaces
+as a :class:`ServiceOverloaded` in the caller, not as a parse job.
 """
 
 from __future__ import annotations
@@ -35,6 +35,7 @@ __all__ = [
     "BadRequest",
     "NotFound",
     "ServiceOverloaded",
+    "ServiceUnavailable",
     "canonical_json",
     "encode_line",
     "decode_line",
@@ -81,9 +82,28 @@ class ServiceOverloaded(ServiceError):
     code = "overloaded"
 
 
+class ServiceUnavailable(ServiceError):
+    """The service (or a shard behind the coordinator) cannot be reached.
+
+    Raised client-side when bounded reconnect-with-backoff runs out of
+    attempts, and coordinator-side when an op cannot complete on any
+    healthy shard.  Distinct from :class:`ServiceOverloaded`: the server
+    is not shedding load, it is gone.
+    """
+
+    code = "unavailable"
+
+
 #: wire-code -> exception class, for the client-side mapping
 ERROR_TYPES: Dict[str, type] = {
-    cls.code: cls for cls in (ServiceError, BadRequest, NotFound, ServiceOverloaded)
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        BadRequest,
+        NotFound,
+        ServiceOverloaded,
+        ServiceUnavailable,
+    )
 }
 
 

@@ -53,23 +53,31 @@ class StructureRegistry:
         self._corpus: List[str] = []  # corpus hashes, registration order
         self._corpus_set: set[str] = set()
         self.dataset_name: str = ""
+        self._generation = 0
 
     # -- registration ------------------------------------------------------
     def register(self, chain: Chain, corpus: bool = False) -> str:
         """Register one chain; returns its content hash (idempotent)."""
         h = chain_content_hash(chain)
+        changed = False
         if h not in self._chains:
             self._chains[h] = chain
+            changed = True
         known = self._names.get(chain.name)
         if known is not None and known != h:
             raise BadRequest(
                 f"name {chain.name!r} is already registered with different "
                 f"content (hash {known[:12]}...)"
             )
+        if known is None:
+            changed = True
         self._names[chain.name] = h
         if corpus and h not in self._corpus_set:
             self._corpus.append(h)
             self._corpus_set.add(h)
+            changed = True
+        if changed:
+            self._generation += 1
         return h
 
     def register_pdb(self, text: str, name: str, corpus: bool = False) -> str:
@@ -126,9 +134,35 @@ class StructureRegistry:
     def __contains__(self, chain_hash: str) -> bool:
         return chain_hash in self._chains
 
+    @property
+    def generation(self) -> int:
+        """Monotonic registry version: bumps on every state change.
+
+        A coordinator caches its corpus view keyed by this number; a
+        shard whose generation moved underneath the cache is detectable
+        without diffing chain lists.
+        """
+        return self._generation
+
+    def corpus_fingerprint(self) -> str:
+        """sha256 over the ordered corpus content hashes.
+
+        Two registries answer searches identically iff their corpus
+        content matches; the fingerprint makes that comparable across
+        processes in one string (registration *order* is included: it is
+        part of the served corpus identity, like the dataset fingerprint
+        in :mod:`repro.runs.manifest`).
+        """
+        digest = hashlib.sha256()
+        for h in self._corpus:
+            digest.update(h.encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
     def stats(self) -> Dict[str, int]:
         return {
             "chains": len(self._chains),
             "corpus": len(self._corpus),
             "names": len(self._names),
+            "generation": self._generation,
         }

@@ -9,8 +9,11 @@ canonical JSON (see :mod:`repro.service.protocol`).
 Supported ops::
 
     align          pairwise comparison of two registered chains
-    search         one-vs-all ranked search of the corpus
+    search         one-vs-all ranked search of the corpus (optionally
+                   restricted to a coordinator-owned target slice)
     register       ad-hoc PDB upload into the registry
+    corpus         ordered corpus view (hashes + names + generation +
+                   fingerprint) for the shard coordinator
     submit-matrix  enqueue a durable all-vs-all run (repro.runs)
     status         progress/status of a durable run
     healthz        liveness + corpus summary
@@ -54,7 +57,7 @@ from repro.service.protocol import (
 )
 from repro.service.registry import StructureRegistry
 
-__all__ = ["ServiceConfig", "PSCService"]
+__all__ = ["LineProtocolServer", "ServiceConfig", "PSCService"]
 
 
 @dataclass(frozen=True)
@@ -101,79 +104,45 @@ def _require_str(payload: Dict[str, Any], field: str) -> str:
     return value
 
 
-class PSCService:
-    """One server instance: registry + cache + batcher + TCP front end."""
+class LineProtocolServer:
+    """The TCP front end shared by one-node services and the coordinator.
 
-    def __init__(
-        self,
-        config: Optional[ServiceConfig] = None,
-        registry: Optional[StructureRegistry] = None,
-        evaluate=None,
-    ) -> None:
-        self.config = config or ServiceConfig()
-        self.metrics = ServiceMetrics()
-        self.cache = ResultCache(self.config.cache_capacity)
-        self.registry = registry or StructureRegistry()
-        if self.config.dataset and registry is None:
-            from repro.datasets.registry import load_dataset
+    Owns the asyncio server lifecycle and the per-connection request
+    loop: newline-delimited canonical-JSON requests dispatched through
+    ``self._ops`` (op name -> async handler returning ``(result,
+    cached)``), every failure mapped onto a typed wire error, per-op
+    latency observed into ``self.metrics``.  Subclasses define the ops;
+    :class:`PSCService` adds the registry/batcher plumbing, the shard
+    coordinator adds fan-out plumbing — the wire behaviour is one
+    implementation, so a client (or the coordinator itself) cannot tell
+    which kind of server answered.
+    """
 
-            self.registry.load_dataset(load_dataset(self.config.dataset))
-        self.batcher = MicroBatcher(
-            queue_limit=self.config.queue_limit,
-            max_batch=self.config.max_batch,
-            batch_window=self.config.batch_window,
-            max_batch_cost=self.config.max_batch_cost,
-            farm_config=self.config.farm_config(),
-            metrics=self.metrics,
-            evaluate=evaluate,
-            eval_delay=self.config.eval_delay,
-        )
-        self.host = self.config.host
-        self.port = self.config.port
+    def __init__(self, host: str, port: int, metrics: ServiceMetrics) -> None:
+        self.host = host
+        self.port = port
+        self._bind = (host, port)
+        self.metrics = metrics
+        self._ops: Dict[str, Any] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._stop_event: Optional[asyncio.Event] = None
-        # run_id -> (thread, {"error": ...}) for submit-matrix background runs
-        self._matrix_jobs: Dict[str, Tuple[threading.Thread, Dict[str, Any]]] = {}
-        # (corpus hashes, keep) -> SequencePrefilter; rebuilt only when a
-        # registration changes the corpus or a request changes the knob
-        self._prefilters: Dict[Tuple[Tuple[str, ...], float], Any] = {}
-        # precomputed similarity-matrix store: reader instance swapped
-        # whole after every build/extend, writes serialized by the lock
-        self.matstore = None
-        self._matstore_lock = threading.Lock()
-        self._matstore_job: Optional[Tuple[threading.Thread, Dict[str, Any]]] = None
-        if self.config.matstore_dir:
-            from repro.matstore import MatrixStore, MatStoreError
-
-            try:
-                self.matstore = MatrixStore.open(self.config.matstore_dir)
-            except MatStoreError:
-                pass  # not built yet; matstore-build creates it
-        # long-lived shared-memory plane over the registered corpus: one
-        # pin per corpus generation, re-pinned on corpus registration
-        self._corpus_plane = None
-        self._refresh_corpus_plane()
-        self._ops = {
-            "align": self._op_align,
-            "search": self._op_search,
-            "register": self._op_register,
-            "submit-matrix": self._op_submit_matrix,
-            "matstore-build": self._op_matstore_build,
-            "matstore-lookup": self._op_matstore_lookup,
-            "status": self._op_status,
-            "healthz": self._op_healthz,
-            "metrics": self._op_metrics,
-            "shutdown": self._op_shutdown,
-        }
+        self._conn_writers: set = set()
 
     # -- lifecycle ---------------------------------------------------------
+    async def _on_start(self) -> None:
+        """Subclass hook, awaited before the listening socket opens."""
+
+    async def _aclose_extra(self) -> None:
+        """Subclass hook, awaited between closing the listener and
+        waiting for it to drain."""
+
     async def start(self) -> None:
         self._stop_event = asyncio.Event()
-        self.batcher.start()
+        await self._on_start()
         self._server = await asyncio.start_server(
             self._handle_connection,
-            self.config.host,
-            self.config.port,
+            self._bind[0],
+            self._bind[1],
             limit=MAX_LINE_BYTES,
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
@@ -191,18 +160,19 @@ class PSCService:
     async def aclose(self) -> None:
         if self._server is not None:
             self._server.close()
-        await self.batcher.stop()
-        if self._corpus_plane is not None:
-            from repro.parallel import shmplane
-
-            shmplane.release(self._corpus_plane)
-            self._corpus_plane = None
+        # sever live connections too: closing only the listener would
+        # leave pooled peers (e.g. a coordinator's shard connections)
+        # talking to a server that is supposed to be gone
+        for writer in list(self._conn_writers):
+            with contextlib.suppress(ConnectionError, RuntimeError):
+                writer.close()
+        await self._aclose_extra()
         if self._server is not None:
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(self._server.wait_closed(), timeout=0.5)
             self._server = None
 
-    async def __aenter__(self) -> "PSCService":
+    async def __aenter__(self):
         await self.start()
         return self
 
@@ -214,6 +184,7 @@ class PSCService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.metrics.inc("connections")
+        self._conn_writers.add(writer)
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         try:
@@ -238,6 +209,7 @@ class PSCService:
         except ConnectionError:
             pass
         finally:
+            self._conn_writers.discard(writer)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             writer.close()
@@ -274,6 +246,81 @@ class PSCService:
             with contextlib.suppress(ConnectionError, RuntimeError):
                 writer.write(encode_line(response))
                 await writer.drain()
+
+
+class PSCService(LineProtocolServer):
+    """One server instance: registry + cache + batcher + TCP front end."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[StructureRegistry] = None,
+        evaluate=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        super().__init__(self.config.host, self.config.port, ServiceMetrics())
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.registry = registry or StructureRegistry()
+        if self.config.dataset and registry is None:
+            from repro.datasets.registry import load_dataset
+
+            self.registry.load_dataset(load_dataset(self.config.dataset))
+        self.batcher = MicroBatcher(
+            queue_limit=self.config.queue_limit,
+            max_batch=self.config.max_batch,
+            batch_window=self.config.batch_window,
+            max_batch_cost=self.config.max_batch_cost,
+            farm_config=self.config.farm_config(),
+            metrics=self.metrics,
+            evaluate=evaluate,
+            eval_delay=self.config.eval_delay,
+        )
+        # run_id -> (thread, {"error": ...}) for submit-matrix background runs
+        self._matrix_jobs: Dict[str, Tuple[threading.Thread, Dict[str, Any]]] = {}
+        # (corpus hashes, keep) -> SequencePrefilter; rebuilt only when a
+        # registration changes the corpus or a request changes the knob
+        self._prefilters: Dict[Tuple[Tuple[str, ...], float], Any] = {}
+        # precomputed similarity-matrix store: reader instance swapped
+        # whole after every build/extend, writes serialized by the lock
+        self.matstore = None
+        self._matstore_lock = threading.Lock()
+        self._matstore_job: Optional[Tuple[threading.Thread, Dict[str, Any]]] = None
+        if self.config.matstore_dir:
+            from repro.matstore import MatrixStore, MatStoreError
+
+            try:
+                self.matstore = MatrixStore.open(self.config.matstore_dir)
+            except MatStoreError:
+                pass  # not built yet; matstore-build creates it
+        # long-lived shared-memory plane over the registered corpus: one
+        # pin per corpus generation, re-pinned on corpus registration
+        self._corpus_plane = None
+        self._refresh_corpus_plane()
+        self._ops = {
+            "align": self._op_align,
+            "search": self._op_search,
+            "register": self._op_register,
+            "corpus": self._op_corpus,
+            "submit-matrix": self._op_submit_matrix,
+            "matstore-build": self._op_matstore_build,
+            "matstore-lookup": self._op_matstore_lookup,
+            "status": self._op_status,
+            "healthz": self._op_healthz,
+            "metrics": self._op_metrics,
+            "shutdown": self._op_shutdown,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    async def _on_start(self) -> None:
+        self.batcher.start()
+
+    async def _aclose_extra(self) -> None:
+        await self.batcher.stop()
+        if self._corpus_plane is not None:
+            from repro.parallel import shmplane
+
+            shmplane.release(self._corpus_plane)
+            self._corpus_plane = None
 
     # -- pair evaluation with cache ----------------------------------------
     def _store_scores(
@@ -384,11 +431,46 @@ class PSCService:
         )
         hash_q, chain_q = self.registry.resolve(_require_str(payload, "query"))
         exclude_self = bool(payload.get("exclude_self", True))
-        targets = [
-            (h, c)
-            for h, c in self.registry.corpus()
-            if not (exclude_self and h == hash_q)
-        ]
+        raw_targets = payload.get("targets")
+        if raw_targets is not None:
+            # shard-partitioned search: the coordinator restricts each
+            # shard to the slice of the corpus it owns; everything else
+            # (cache, batcher, ranking) is the single-node path
+            if not isinstance(raw_targets, list) or not all(
+                isinstance(t, str) and t for t in raw_targets
+            ):
+                raise BadRequest(
+                    "targets must be a list of non-empty chain references"
+                )
+            seen: set = set()
+            targets = []
+            for ref in raw_targets:
+                h, c = self.registry.resolve(ref)
+                if h in seen or (exclude_self and h == hash_q):
+                    continue
+                seen.add(h)
+                targets.append((h, c))
+            if not targets:
+                # an empty slice is a valid sub-search (e.g. the slice
+                # held only the query itself): report zero candidates so
+                # the coordinator's merge stays total
+                return (
+                    {
+                        "query": hash_q,
+                        "method": method_name,
+                        "params_hash": params_hash,
+                        "corpus": 0,
+                        "from_cache": 0,
+                        "hits": [],
+                    },
+                    True,
+                )
+        else:
+            targets = [
+                (h, c)
+                for h, c in self.registry.corpus()
+                if not (exclude_self and h == hash_q)
+            ]
         if not targets:
             raise BadRequest("the search corpus is empty")
         eligible = len(targets)
@@ -397,10 +479,11 @@ class PSCService:
             # occupy micro-batcher slots or kernel batch lanes
             pf = self._corpus_prefilter(keep)
             corpus = self.registry.corpus()
+            allowed = {h for h, _c in targets}
             excluded = {
                 k
                 for k, (h, _c) in enumerate(corpus)
-                if exclude_self and h == hash_q
+                if h not in allowed
             }
             promoted = set(
                 pf.promote_chain(chain_q, exclude=excluded)
@@ -545,6 +628,27 @@ class PSCService:
                 else self._extend_matstore_async(chain_hash)
             )
         return result, None
+
+    async def _op_corpus(self, payload: Dict[str, Any]):
+        """The registry's corpus view, in registration order.
+
+        This is what the shard coordinator partitions: ordered content
+        hashes plus display names, stamped with the registry generation
+        and corpus fingerprint so a cached view is revalidatable without
+        re-reading the chain list.
+        """
+        return (
+            {
+                "dataset": self.registry.dataset_name,
+                "generation": self.registry.generation,
+                "fingerprint": self.registry.corpus_fingerprint(),
+                "chains": [
+                    {"hash": h, "name": self.registry.name_of(h)}
+                    for h, _c in self.registry.corpus()
+                ],
+            },
+            None,
+        )
 
     # -- matrix store ------------------------------------------------------
     def _matstore_root(self) -> str:
@@ -743,6 +847,8 @@ class PSCService:
                     "dataset": self.registry.dataset_name,
                     "corpus": len(self.registry.corpus()),
                     "chains": len(self.registry),
+                    "registry_generation": self.registry.generation,
+                    "corpus_fingerprint": self.registry.corpus_fingerprint(),
                     "matstore": self._matstore_summary(),
                     "matrix_runs": {
                         run_id: (
@@ -788,6 +894,11 @@ class PSCService:
                 "dataset": self.registry.dataset_name,
                 "corpus": len(self.registry.corpus()),
                 "chains": len(self.registry),
+                # generation + fingerprint let the coordinator (and
+                # operators) detect shard/registry drift from liveness
+                # probes alone
+                "registry_generation": self.registry.generation,
+                "corpus_fingerprint": self.registry.corpus_fingerprint(),
                 "uptime_seconds": round(self.metrics.uptime_seconds, 3),
                 "pid": os.getpid(),
             },

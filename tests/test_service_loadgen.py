@@ -1,0 +1,149 @@
+"""Open-loop load-generator tests: plan determinism, live runs, stats."""
+
+import asyncio
+
+import pytest
+
+from repro.service import PSCService, ServiceConfig
+from repro.service.loadgen import LoadgenConfig, generate_plan, run_load_async
+from repro.service.metrics import percentile
+
+NAMES = [f"chain_{i:02d}" for i in range(10)]
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_extremes_are_min_and_max(self):
+        samples = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 9.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestPlan:
+    def test_same_seed_same_plan(self):
+        config = LoadgenConfig(rate=50.0, duration=2.0, seed=7)
+        assert generate_plan(NAMES, config) == generate_plan(NAMES, config)
+
+    def test_different_seed_different_plan(self):
+        a = generate_plan(NAMES, LoadgenConfig(rate=50.0, duration=2.0, seed=1))
+        b = generate_plan(NAMES, LoadgenConfig(rate=50.0, duration=2.0, seed=2))
+        assert a != b
+
+    def test_offsets_increase_and_stay_inside_duration(self):
+        plan = generate_plan(NAMES, LoadgenConfig(rate=80.0, duration=1.5))
+        offsets = [offset for offset, _payload in plan]
+        assert offsets == sorted(offsets)
+        assert all(0.0 < offset < 1.5 for offset in offsets)
+
+    def test_arrival_count_tracks_the_rate(self):
+        plan = generate_plan(NAMES, LoadgenConfig(rate=100.0, duration=4.0))
+        # Poisson(400): very loose 5-sigma-ish bounds
+        assert 280 <= len(plan) <= 520
+
+    def test_align_payloads_draw_distinct_pairs(self):
+        plan = generate_plan(NAMES, LoadgenConfig(rate=50.0, duration=1.0))
+        for _offset, payload in plan:
+            assert payload["op"] == "align"
+            assert payload["a"] != payload["b"]
+            assert {payload["a"], payload["b"]} <= set(NAMES)
+
+    def test_search_payloads(self):
+        plan = generate_plan(
+            NAMES, LoadgenConfig(rate=50.0, duration=1.0, op="search", top=3)
+        )
+        assert all(p["op"] == "search" and p["top"] == 3 for _t, p in plan)
+
+    def test_too_few_names_raises(self):
+        with pytest.raises(ValueError):
+            generate_plan(["only"], LoadgenConfig())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0},
+            {"duration": 0.0},
+            {"clients": 0},
+            {"op": "bogus"},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadgenConfig(**kwargs)
+
+
+class TestLiveRun:
+    def test_summary_accounts_for_every_offered_request(self):
+        config = ServiceConfig(dataset="ck34-mini", port=0, batch_window=0.001)
+        names = [f"ck_globin_{i:02d}" for i in range(8)]
+
+        async def main():
+            async with PSCService(config) as service:
+                load = LoadgenConfig(
+                    host=service.host,
+                    port=service.port,
+                    rate=60.0,
+                    duration=0.8,
+                    clients=3,
+                    method="sse_composition",
+                    seed=42,
+                )
+                plan = generate_plan(names, load)
+                summary = await run_load_async(load, plan)
+                return plan, summary
+
+        plan, summary = asyncio.run(main())
+        assert summary["offered"] == len(plan)
+        accounted = (
+            summary["ok"]
+            + summary["shed"]
+            + summary["errors"]
+            + summary["timeouts"]
+        )
+        assert accounted == summary["offered"]
+        assert summary["ok"] > 0
+        assert summary["throughput_rps"] > 0
+        assert 0.0 <= summary["shed_rate"] <= 1.0
+        assert 0.0 <= summary["cache_hit_ratio"] <= 1.0
+        lat = summary["latency_ms"]
+        assert 0.0 < lat["p50"] <= lat["p99"] <= lat["max"]
+
+    def test_overload_is_counted_as_shed_not_error(self):
+        # one job admitted at a time and a per-batch delay: the open-loop
+        # burst must overrun the queue and be shed with typed replies
+        config = ServiceConfig(
+            dataset="ck34-mini",
+            port=0,
+            queue_limit=1,
+            max_batch=1,
+            batch_window=0.001,
+            eval_delay=0.05,
+        )
+        names = [f"ck_globin_{i:02d}" for i in range(8)]
+
+        async def main():
+            async with PSCService(config) as service:
+                load = LoadgenConfig(
+                    host=service.host,
+                    port=service.port,
+                    rate=120.0,
+                    duration=0.5,
+                    clients=4,
+                    method="sse_composition",
+                    seed=7,
+                )
+                plan = generate_plan(names, load)
+                return await run_load_async(load, plan)
+
+        summary = asyncio.run(main())
+        assert summary["shed"] > 0
+        assert summary["errors"] == 0
+        assert summary["shed_rate"] > 0
